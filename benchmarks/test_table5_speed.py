@@ -1,0 +1,151 @@
+"""E5 — Table 5: [de]compression speed, micro-benchmark protocol.
+
+The paper repeatedly [de]compresses one L1-resident 1024-value vector
+per dataset and reports average tuples per CPU cycle.  We time the same
+unit of work, report values/second plus the tuples-per-cycle proxy
+(values/sec over a nominal 3.5 GHz), and print the paper's Table 5
+column next to ours.
+
+Absolute magnitudes are CPython-vs-C++ and do not transfer; the claims
+asserted are *relative* (and exclude the general-purpose codec, whose
+core is C in both worlds — see EXPERIMENTS.md):
+
+- ALP is the fastest floating-point scheme at compression and at
+  decompression,
+- PDE is the second fastest at decompression but among the slowest at
+  compression (its per-value exponent search),
+- Elf is the slowest scheme overall.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.harness import (
+    alp_vector_speed,
+    codec_speed_on_vector,
+    dataset_vector,
+)
+from repro.bench.report import format_table, shape_check
+from repro.data import DATASET_ORDER
+from repro.data.paper_reference import TABLE5_TUPLES_PER_CYCLE
+
+SCHEMES = ("alp", "chimp", "chimp128", "elf", "gorilla", "pde", "patas", "zlib(gp)")
+
+#: Subset of datasets for the speed sweep (speeds vary little by dataset
+#: for the scalar codecs; the full list multiplies runtime by 4 for the
+#: same conclusion — the sweep covers every dataset family).
+SPEED_DATASETS = (
+    "Air-Pressure",
+    "City-Temp",
+    "Stocks-USA",
+    "Bitcoin-like:Btc-Price",
+    "CMS/9",
+    "Food-prices",
+    "Gov/26",
+    "NYC/29",
+    "POI-lat",
+    "SD-bench",
+)
+
+
+def _dataset_list():
+    return [name.split(":")[-1] for name in SPEED_DATASETS]
+
+
+def _measure():
+    comp: dict[str, list[float]] = {s: [] for s in SCHEMES}
+    dec: dict[str, list[float]] = {s: [] for s in SCHEMES}
+    for dataset in _dataset_list():
+        vector = dataset_vector(dataset)
+        for scheme in SCHEMES:
+            if scheme == "alp":
+                c, d = alp_vector_speed(vector, repeats=3)
+            else:
+                c, d = codec_speed_on_vector(scheme, vector, repeats=3)
+            comp[scheme].append(c.values_per_second)
+            dec[scheme].append(d.values_per_second)
+    return (
+        {s: float(np.mean(v)) for s, v in comp.items()},
+        {s: float(np.mean(v)) for s, v in dec.items()},
+    )
+
+
+def test_table5_speed(benchmark, emit):
+    comp, dec = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    ghz = 3.5e9
+    rows = []
+    for scheme in SCHEMES:
+        paper_key = "zstd" if scheme == "zlib(gp)" else scheme
+        paper = TABLE5_TUPLES_PER_CYCLE[paper_key]
+        rows.append(
+            [
+                scheme,
+                comp[scheme] / 1e6,
+                comp[scheme] / ghz,
+                paper["compress"],
+                dec[scheme] / 1e6,
+                dec[scheme] / ghz,
+                paper["decompress"],
+            ]
+        )
+
+    fp = [s for s in SCHEMES if s != "zlib(gp)"]
+    checks = [
+        shape_check(
+            "ALP fastest floating-point compression",
+            all(comp["alp"] >= comp[s] for s in fp),
+        ),
+        shape_check(
+            "ALP fastest floating-point decompression",
+            all(dec["alp"] >= dec[s] for s in fp),
+        ),
+        shape_check(
+            "PDE second-fastest floating-point decompression",
+            all(dec["pde"] >= dec[s] for s in fp if s not in ("alp", "pde")),
+        ),
+        # In the paper PDE also compresses slower than the XOR schemes;
+        # here those are per-value Python while PDE's search vectorizes,
+        # so only the PDE-vs-ALP relation transfers (see EXPERIMENTS.md).
+        shape_check(
+            "PDE compression much slower than ALP's (search cost)",
+            comp["pde"] * 2 <= comp["alp"],
+        ),
+        shape_check(
+            "PDE decompression far outpaces its own compression",
+            dec["pde"] >= 3 * comp["pde"],
+        ),
+        shape_check(
+            "Elf slowest at compression",
+            all(comp["elf"] <= comp[s] for s in fp),
+        ),
+        shape_check(
+            "ALP decompresses at least 5x faster than every XOR scheme",
+            all(
+                dec["alp"] >= 5 * dec[s]
+                for s in ("gorilla", "chimp", "chimp128", "patas", "elf")
+            ),
+        ),
+    ]
+
+    report = format_table(
+        [
+            "scheme",
+            "comp Mv/s",
+            "comp tpc*",
+            "paper tpc",
+            "dec Mv/s",
+            "dec tpc*",
+            "paper tpc",
+        ],
+        rows,
+        float_format="{:.3f}",
+        title=(
+            "Table 5 — [de]compression speed (vector micro-benchmark, "
+            "averaged over 10 datasets; tpc* = values/sec / 3.5GHz proxy)"
+        ),
+    )
+    report += "\n" + "\n".join(checks)
+    emit("table5_speed", report)
+    assert all(c.startswith("[PASS]") for c in checks), "\n" + "\n".join(checks)

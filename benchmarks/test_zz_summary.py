@@ -1,0 +1,42 @@
+"""Aggregate summary — collects every experiment's claim lines.
+
+Runs last (``zz``) and writes ``benchmarks/results/SUMMARY.txt`` with
+one section per experiment: every ``[PASS]/[FAIL]`` shape-claim line
+from the results the preceding benches persisted.  The single file is
+the at-a-glance answer to "did the reproduction hold?".
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+
+def test_zz_summary(benchmark, emit, results_dir):
+    def build() -> str:
+        sections = []
+        total_pass = total_fail = 0
+        for path in sorted(Path(results_dir).glob("*.txt")):
+            if path.name == "SUMMARY.txt":
+                continue
+            claims = [
+                line
+                for line in path.read_text().splitlines()
+                if line.startswith("[PASS]") or line.startswith("[FAIL]")
+            ]
+            if not claims:
+                continue
+            total_pass += sum(1 for c in claims if c.startswith("[PASS]"))
+            total_fail += sum(1 for c in claims if c.startswith("[FAIL]"))
+            sections.append(f"## {path.stem}\n" + "\n".join(claims))
+        header = (
+            "# Reproduction summary — shape claims across all experiments\n"
+            f"# {total_pass} PASS / {total_fail} FAIL\n"
+        )
+        return header + "\n\n".join(sections), total_fail
+
+    (text, failures) = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("SUMMARY", text)
+    # The individual benches already assert their own claims; this
+    # aggregate only requires that at least the core experiments ran.
+    assert "table4_compression_ratio" in text
+    assert failures == 0, f"{failures} shape claims failed; see SUMMARY.txt"

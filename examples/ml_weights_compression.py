@@ -1,0 +1,38 @@
+"""Lossless compression of ML model weights with ALP_rd-32 (§4.4).
+
+Trained float32 weights have fully random mantissas — no decimal origin
+to exploit — but their sign/exponent/top-mantissa front bits have low
+variance.  ALP_rd-32 dictionary-encodes those front bits and bit-packs
+the rest, recovering every weight bit-exactly.
+
+Run:  python examples/ml_weights_compression.py
+"""
+
+import zlib
+
+import numpy as np
+
+from repro.core.float32 import compress_f32, decompress_f32
+from repro.data import MODELS, get_model_weights
+
+print(f"{'model':14s} {'type':20s} {'params':>9s} "
+      f"{'alprd32':>8s} {'zlib':>6s} {'saved':>6s}")
+for name, spec in MODELS.items():
+    weights = get_model_weights(name)
+    column = compress_f32(weights)
+    assert column.scheme == "alprd", "weights should trigger the rd path"
+
+    restored = decompress_f32(column)
+    assert np.array_equal(
+        restored.view(np.uint32), weights.view(np.uint32)
+    ), "weights must round-trip bit-exactly"
+
+    alprd_bits = column.bits_per_value()
+    zlib_bits = len(zlib.compress(weights.tobytes(), 6)) * 8 / weights.size
+    saved = 1.0 - alprd_bits / 32.0
+    print(f"{name:14s} {spec.model_type:20s} {spec.synth_params:>9,} "
+          f"{alprd_bits:8.1f} {zlib_bits:6.1f} {saved:6.1%}")
+
+print("\nbits per value, uncompressed = 32; every round-trip verified "
+      "bit-exact.")
+print("Unlike quantization, this is lossless: the model is unchanged.")

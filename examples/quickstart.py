@@ -1,0 +1,35 @@
+"""Quickstart: compress a float64 column with ALP and get it back.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import compress, decompress
+
+# A realistic sensor column: temperatures with one visible decimal.
+rng = np.random.default_rng(7)
+temperatures = np.round(np.cumsum(rng.normal(0, 0.3, 200_000)) + 21.0, 1)
+
+column = compress(temperatures)
+
+print(f"values            : {column.count:,}")
+print(f"compressed size   : {column.size_bits() / 8 / 1024:.1f} KiB "
+      f"(raw: {temperatures.nbytes / 1024:.1f} KiB)")
+print(f"bits per value    : {column.bits_per_value():.2f}  (raw: 64)")
+print(f"compression ratio : {column.compression_ratio():.1f}x")
+print(f"scheme            : "
+      f"{'ALP_rd fallback used' if column.uses_rd else 'ALP decimal encoding'}")
+
+restored = decompress(column)
+assert np.array_equal(
+    restored.view(np.uint64), temperatures.view(np.uint64)
+), "round-trip must be bit-exact"
+print("round-trip        : bit-exact ✓")
+
+# Every vector of 1024 values carries its own (exponent, factor) pair,
+# chosen by the two-level sampler:
+first = column.rowgroups[0].alp.vectors[0]
+print(f"first vector      : e={first.exponent}, f={first.factor}, "
+      f"{first.exception_count} exceptions, "
+      f"{first.bits_per_value():.2f} bits/value")

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline build environment lacks the ``wheel`` package, which the
+PEP 517 editable path requires; this shim lets ``pip install -e .`` use
+the legacy ``setup.py develop`` path.  All metadata lives in
+``setup.cfg``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""repro — a Python reproduction of *ALP: Adaptive Lossless
+floating-Point Compression* (Afroozeh, Kuffó & Boncz, SIGMOD).
+
+Quickstart::
+
+    import numpy as np
+    from repro import compress, decompress
+
+    values = np.round(np.random.default_rng(0).normal(20.0, 5.0, 100_000), 2)
+    column = compress(values)
+    print(column.bits_per_value())        # ~10-14 bits instead of 64
+    assert np.array_equal(decompress(column), values)
+
+Subpackages:
+
+- :mod:`repro.core` — ALP / ALP_rd, the paper's contribution.
+- :mod:`repro.encodings` — FastLanes-style integer encodings (FFOR, BP,
+  DICT, RLE, Delta) plus the LWC+ALP cascade.
+- :mod:`repro.baselines` — Gorilla, Chimp, Chimp128, Patas, Elf, PDE and
+  a general-purpose compressor, all behind one codec interface.
+- :mod:`repro.storage` — a columnar on-disk format with vector skipping.
+- :mod:`repro.query` — a small vectorized query engine (Tectorwise-style)
+  for the end-to-end benchmarks.
+- :mod:`repro.data` — synthetic generators for the paper's 30 datasets.
+- :mod:`repro.analysis` — the Table 2 dataset metrics.
+- :mod:`repro.bench` — the benchmark harness behind every table/figure.
+"""
+
+from repro.core.compressor import (
+    CompressedRowGroups,
+    compress,
+    decompress,
+)
+from repro.core.float32 import compress_f32, decompress_f32
+from repro.encodings.cascade import cascade_compress, cascade_decompress
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompressedRowGroups",
+    "__version__",
+    "cascade_compress",
+    "cascade_decompress",
+    "compress",
+    "compress_f32",
+    "decompress",
+    "decompress_f32",
+]

@@ -1,0 +1,112 @@
+"""MSB-first bit stream used by the XOR-based baselines.
+
+Gorilla, Chimp, Chimp128 and Elf all emit variable-width bit fields into a
+continuous stream.  The reference implementations use hand-rolled 64-bit
+buffers; here the writer accumulates bits into a Python integer buffer and
+flushes whole bytes into a ``bytearray``, which keeps the per-call overhead
+low without sacrificing clarity.
+
+The stream is *MSB-first*: the first bit written becomes the most
+significant bit of the first byte, which is the convention of the original
+Gorilla paper and of the DuckDB Chimp/Patas code the paper benchmarks.
+"""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """Append-only MSB-first bit sink.
+
+    >>> w = BitWriter()
+    >>> w.write(0b101, 3)
+    >>> w.write(0b1, 1)
+    >>> w.finish()[0] == 0b10110000
+    True
+    """
+
+    __slots__ = ("_buffer", "_acc", "_acc_bits")
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._acc = 0  # pending bits, right-aligned
+        self._acc_bits = 0
+
+    def write(self, value: int, width: int) -> None:
+        """Write the ``width`` low bits of ``value`` (0 <= width <= 64)."""
+        if width == 0:
+            return
+        if width < 0 or width > 64:
+            raise ValueError(f"bit width must be in [0, 64], got {width}")
+        value &= (1 << width) - 1
+        self._acc = (self._acc << width) | value
+        self._acc_bits += width
+        while self._acc_bits >= 8:
+            self._acc_bits -= 8
+            self._buffer.append((self._acc >> self._acc_bits) & 0xFF)
+        # Trim consumed high bits so the accumulator stays small.
+        self._acc &= (1 << self._acc_bits) - 1
+
+    def write_bit(self, bit: int) -> None:
+        """Write a single bit (0 or 1)."""
+        self.write(bit, 1)
+
+    @property
+    def bit_length(self) -> int:
+        """Total number of bits written so far."""
+        return len(self._buffer) * 8 + self._acc_bits
+
+    def finish(self) -> bytes:
+        """Flush any partial byte (zero-padded) and return the stream."""
+        if self._acc_bits:
+            pad = 8 - self._acc_bits
+            self._buffer.append((self._acc << pad) & 0xFF)
+            self._acc = 0
+            self._acc_bits = 0
+        return bytes(self._buffer)
+
+
+class BitReader:
+    """Sequential MSB-first bit source over a ``bytes`` object.
+
+    Reading past the end raises :class:`EOFError`; the XOR decoders rely on
+    their own value counts and never intentionally over-read, so hitting EOF
+    indicates stream corruption.
+    """
+
+    __slots__ = ("_data", "_pos_bits", "_total_bits")
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos_bits = 0
+        self._total_bits = len(data) * 8
+
+    def read(self, width: int) -> int:
+        """Read ``width`` bits and return them as an unsigned integer."""
+        if width == 0:
+            return 0
+        if width < 0 or width > 64:
+            raise ValueError(f"bit width must be in [0, 64], got {width}")
+        end = self._pos_bits + width
+        if end > self._total_bits:
+            raise EOFError("bit stream exhausted")
+        first_byte = self._pos_bits // 8
+        last_byte = (end - 1) // 8
+        chunk = int.from_bytes(self._data[first_byte : last_byte + 1], "big")
+        chunk_bits = (last_byte - first_byte + 1) * 8
+        shift = chunk_bits - (end - first_byte * 8)
+        self._pos_bits = end
+        return (chunk >> shift) & ((1 << width) - 1)
+
+    def read_bit(self) -> int:
+        """Read a single bit."""
+        return self.read(1)
+
+    @property
+    def bits_consumed(self) -> int:
+        """Number of bits read so far."""
+        return self._pos_bits
+
+    @property
+    def bits_remaining(self) -> int:
+        """Number of bits left in the stream (including padding)."""
+        return self._total_bits - self._pos_bits

@@ -1,0 +1,81 @@
+"""Shortest-decimal-representation helpers.
+
+The paper's dataset analysis (Section 2, Table 2) measures the *visible
+decimal precision* of a double: the number of digits after the decimal
+point in its shortest round-tripping decimal representation (what
+``repr(float)`` prints in Python).  The Elf baseline also needs this
+quantity at encode time, and PDE searches for it per value.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+#: A double has at most 17 significant decimal digits; anything asking for
+#: more precision than this cannot be decimal-origin data.
+MAX_DOUBLE_DECIMALS = 17
+
+
+def decimal_places(value: float) -> int:
+    """Number of digits after the decimal point in the shortest repr.
+
+    Examples: ``decimal_places(8.0605) == 4``, ``decimal_places(3.0) == 0``,
+    ``decimal_places(1e-5) == 5``.  Non-finite values return
+    ``MAX_DOUBLE_DECIMALS + 1`` as an "impossible" sentinel so callers can
+    treat them as exceptions.
+    """
+    if not math.isfinite(value):
+        return MAX_DOUBLE_DECIMALS + 1
+    text = repr(float(value))
+    if "e" in text or "E" in text:
+        # Scientific notation; expand it.  float precision caps the digit
+        # count so this stays bounded.
+        mantissa, _, exp_text = text.lower().partition("e")
+        exponent = int(exp_text)
+        frac_digits = len(mantissa.partition(".")[2])
+        places = frac_digits - exponent
+        return max(0, min(places, 40))
+    frac = text.partition(".")[2]
+    if frac == "0":
+        return 0
+    return len(frac)
+
+
+def decimal_places_array(values: np.ndarray) -> np.ndarray:
+    """Vector-friendly wrapper around :func:`decimal_places`."""
+    values = np.asarray(values, dtype=np.float64)
+    return np.fromiter(
+        (decimal_places(v) for v in values.tolist()),
+        dtype=np.int64,
+        count=values.size,
+    )
+
+
+def magnitude10(value: float) -> int:
+    """Number of digits in the integer part of ``value`` (base-10 magnitude).
+
+    ``magnitude10(146.1) == 3``, ``magnitude10(0.5) == 1`` (we count at
+    least one digit, the leading zero), ``magnitude10(0.0) == 1``.
+    """
+    if not math.isfinite(value) or value == 0.0:
+        return 1
+    integral = abs(value)
+    if integral < 1.0:
+        return 1
+    return int(math.floor(math.log10(integral))) + 1
+
+
+def shortest_round(value: float, places: int) -> float:
+    """Round ``value`` to ``places`` decimal digits through text.
+
+    This is the recovery operation the Elf baseline performs at decode
+    time: the nearest double to the decimal with ``places`` fraction
+    digits.  Going through text avoids the binary-rounding surprises of
+    ``round()`` on halfway cases.
+    """
+    if not math.isfinite(value):
+        return value
+    places = max(0, min(places, 40))
+    return float(f"{value:.{places}f}")

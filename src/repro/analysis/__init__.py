@@ -1,0 +1,36 @@
+"""Dataset analysis: the metrics behind the paper's Section 2 / Table 2,
+plus distribution histograms and a column compressibility report."""
+
+from repro.analysis.histograms import (
+    exponent_histogram,
+    precision_histogram,
+    render_histogram,
+    xor_zero_histograms,
+)
+from repro.analysis.metrics import (
+    DatasetMetrics,
+    best_exponent_success,
+    compute_metrics,
+    penc_pdec_roundtrip,
+    per_value_success_rate,
+)
+from repro.analysis.report import (
+    ColumnDiagnosis,
+    compressibility_report,
+    diagnose_column,
+)
+
+__all__ = [
+    "ColumnDiagnosis",
+    "DatasetMetrics",
+    "best_exponent_success",
+    "compressibility_report",
+    "compute_metrics",
+    "diagnose_column",
+    "exponent_histogram",
+    "penc_pdec_roundtrip",
+    "per_value_success_rate",
+    "precision_histogram",
+    "render_histogram",
+    "xor_zero_histograms",
+]

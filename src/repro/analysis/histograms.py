@@ -1,0 +1,75 @@
+"""Distribution views over a column's bit patterns and decimals.
+
+Section 2 of the paper motivates ALP with distributions: decimal
+precision per value, IEEE 754 exponents, XOR leading/trailing zeros.
+These helpers compute those distributions as plain ``dict`` histograms
+and render compact ASCII bar charts, powering the
+``examples/dataset_analysis.py`` walkthrough and the diagnosis report.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.alputil.bits import (
+    ieee754_exponent,
+    leading_zeros64,
+    trailing_zeros64,
+    xor_with_previous,
+)
+from repro.alputil.decimals import decimal_places_array
+
+
+def precision_histogram(values: np.ndarray) -> dict[int, int]:
+    """Histogram of visible decimal precision per value."""
+    precisions = decimal_places_array(np.asarray(values, dtype=np.float64))
+    unique, counts = np.unique(precisions, return_counts=True)
+    return dict(zip(unique.tolist(), counts.tolist()))
+
+
+def exponent_histogram(
+    values: np.ndarray, bucket: int = 1
+) -> dict[int, int]:
+    """Histogram of biased IEEE 754 exponents (optionally bucketed)."""
+    exponents = ieee754_exponent(np.asarray(values, dtype=np.float64))
+    if bucket > 1:
+        exponents = (exponents // bucket) * bucket
+    unique, counts = np.unique(exponents, return_counts=True)
+    return dict(zip(unique.tolist(), counts.tolist()))
+
+
+def xor_zero_histograms(
+    values: np.ndarray, bucket: int = 4
+) -> tuple[dict[int, int], dict[int, int]]:
+    """(leading, trailing) zero-bit histograms of XOR-with-previous."""
+    xors = xor_with_previous(np.asarray(values, dtype=np.float64))[1:]
+    if xors.size == 0:
+        return {}, {}
+    lead = (leading_zeros64(xors) // bucket) * bucket
+    trail = (trailing_zeros64(xors) // bucket) * bucket
+    lead_u, lead_c = np.unique(lead, return_counts=True)
+    trail_u, trail_c = np.unique(trail, return_counts=True)
+    return (
+        dict(zip(lead_u.tolist(), lead_c.tolist())),
+        dict(zip(trail_u.tolist(), trail_c.tolist())),
+    )
+
+
+def render_histogram(
+    histogram: dict[int, int],
+    title: str,
+    width: int = 40,
+    label: str = "",
+) -> str:
+    """ASCII bar chart of a histogram, keys sorted ascending."""
+    if not histogram:
+        return f"{title}\n  (empty)"
+    total = sum(histogram.values())
+    peak = max(histogram.values())
+    lines = [title]
+    for key in sorted(histogram):
+        count = histogram[key]
+        bar = "#" * max(1, round(width * count / peak))
+        share = count / total
+        lines.append(f"  {label}{key:>5} {bar:<{width}} {share:6.1%}")
+    return "\n".join(lines)

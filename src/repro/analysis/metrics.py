@@ -1,0 +1,199 @@
+"""The dataset metrics of Table 2 (Section 2 of the paper).
+
+For a column of doubles, :func:`compute_metrics` reports:
+
+- visible decimal precision: max / min / per-vector mean and deviation
+  (columns C2-C5),
+- non-unique fraction and value magnitude statistics per vector (C6-C8),
+- IEEE 754 biased-exponent mean and deviation per vector (C9-C10),
+- success rates of the ``P_enc``/``P_dec`` procedures from Section 2.5
+  with the exponent chosen per value / per dataset / per vector
+  (C11-C13),
+- average leading and trailing zero bits after XOR with the previous
+  value (C14-C15).
+
+Everything is computed on (a sample of) the column; the Table 2 bench
+prints one row per dataset in the paper's layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.alputil.bits import (
+    ieee754_exponent,
+    leading_zeros64,
+    trailing_zeros64,
+    xor_with_previous,
+)
+from repro.alputil.decimals import decimal_places_array
+from repro.core.constants import VECTOR_SIZE
+from repro.core.fastround import fast_round
+
+#: P_enc/P_dec search only this far (10**e exactness, Section 2.5).
+MAX_PENC_EXPONENT = 17
+
+
+def penc_pdec_roundtrip(
+    values: np.ndarray, exponents: np.ndarray
+) -> np.ndarray:
+    """Element-wise success of P_enc/P_dec with a given exponent per value.
+
+    P_enc: ``d = round(n * 10**e)``; P_dec: ``n' = d * 10**-e``; success
+    means ``n'`` reproduces ``n`` bit-exactly (Section 2.5).
+    """
+    values = np.ascontiguousarray(values, dtype=np.float64)
+    exponents = np.clip(np.asarray(exponents, dtype=np.int64), 0, MAX_PENC_EXPONENT)
+    tens = 10.0 ** exponents.astype(np.float64)
+    with np.errstate(over="ignore", invalid="ignore"):
+        encoded = fast_round(values * tens)
+        decoded = encoded * (10.0 ** (-exponents.astype(np.float64)))
+    return decoded.view(np.uint64) == values.view(np.uint64)
+
+
+def per_value_success_rate(values: np.ndarray) -> float:
+    """C11: success using each value's *visible precision* as exponent."""
+    if values.size == 0:
+        return 0.0
+    exponents = decimal_places_array(values)
+    return float(penc_pdec_roundtrip(values, exponents).mean())
+
+
+def best_exponent_success(values: np.ndarray) -> tuple[int, float]:
+    """C12: the single exponent maximizing the success rate, and that rate."""
+    if values.size == 0:
+        return 0, 0.0
+    best_e, best_rate = 0, -1.0
+    for e in range(MAX_PENC_EXPONENT + 1):
+        rate = float(
+            penc_pdec_roundtrip(values, np.full(values.size, e)).mean()
+        )
+        if rate > best_rate:
+            best_e, best_rate = e, rate
+    return best_e, best_rate
+
+
+def per_vector_best_exponent_success(
+    values: np.ndarray, vector_size: int = VECTOR_SIZE
+) -> float:
+    """C13: success when the exponent is optimized per vector."""
+    if values.size == 0:
+        return 0.0
+    successes = 0
+    for start in range(0, values.size, vector_size):
+        chunk = values[start : start + vector_size]
+        _, rate = best_exponent_success(chunk)
+        successes += rate * chunk.size
+    return successes / values.size
+
+
+@dataclass(frozen=True)
+class DatasetMetrics:
+    """One Table 2 row."""
+
+    count: int
+    precision_max: int
+    precision_min: int
+    precision_avg: float
+    precision_std_per_vector: float
+    non_unique_fraction: float
+    value_avg: float
+    value_std_per_vector: float
+    exponent_avg: float
+    exponent_std_per_vector: float
+    success_per_value: float
+    best_exponent: int
+    success_best_exponent: float
+    success_per_vector: float
+    xor_leading_zeros_avg: float
+    xor_trailing_zeros_avg: float
+
+
+def _per_vector(values: np.ndarray, vector_size: int, fn) -> list[float]:
+    """Apply ``fn`` to each vector-sized chunk."""
+    return [
+        fn(values[start : start + vector_size])
+        for start in range(0, values.size, vector_size)
+    ]
+
+
+def compute_metrics(
+    values: np.ndarray,
+    vector_size: int = VECTOR_SIZE,
+    sample_limit: int = 65_536,
+    seed: int = 0,
+) -> DatasetMetrics:
+    """Compute a Table 2 row for a column (on a prefix sample if large).
+
+    A contiguous prefix is used rather than a random sample so that the
+    per-vector statistics and XOR locality stay meaningful.
+    """
+    values = np.ascontiguousarray(values, dtype=np.float64)
+    if values.size > sample_limit:
+        values = values[:sample_limit]
+    if values.size == 0:
+        raise ValueError("cannot compute metrics of an empty column")
+
+    finite = values[np.isfinite(values)]
+    precisions = decimal_places_array(values)
+
+    non_unique = np.mean(
+        _per_vector(
+            values,
+            vector_size,
+            lambda v: 1.0 - np.unique(v.view(np.uint64)).size / v.size,
+        )
+    )
+    xors = xor_with_previous(values)[1:]
+    if xors.size == 0:
+        xors = np.zeros(1, dtype=np.uint64)
+
+    best_e, best_rate = best_exponent_success(values)
+    return DatasetMetrics(
+        count=values.size,
+        precision_max=int(precisions.max()),
+        precision_min=int(precisions.min()),
+        precision_avg=float(precisions.mean()),
+        precision_std_per_vector=float(
+            np.mean(
+                _per_vector(
+                    values,
+                    vector_size,
+                    lambda v: decimal_places_array(v).std(),
+                )
+            )
+        ),
+        non_unique_fraction=float(non_unique),
+        value_avg=float(finite.mean()) if finite.size else float("nan"),
+        value_std_per_vector=float(
+            np.mean(
+                _per_vector(
+                    values,
+                    vector_size,
+                    lambda v: v[np.isfinite(v)].std()
+                    if np.isfinite(v).any()
+                    else 0.0,
+                )
+            )
+        ),
+        exponent_avg=float(ieee754_exponent(values).mean()),
+        exponent_std_per_vector=float(
+            np.mean(
+                _per_vector(
+                    values,
+                    vector_size,
+                    lambda v: ieee754_exponent(v).std(),
+                )
+            )
+        ),
+        success_per_value=per_value_success_rate(values),
+        best_exponent=best_e,
+        success_best_exponent=best_rate,
+        success_per_vector=per_vector_best_exponent_success(
+            values, vector_size
+        ),
+        xor_leading_zeros_avg=float(leading_zeros64(xors).mean()),
+        xor_trailing_zeros_avg=float(trailing_zeros64(xors).mean()),
+    )

@@ -1,0 +1,24 @@
+"""Baseline floating-point compressors the paper evaluates against.
+
+Every baseline the evaluation section compares with is implemented here,
+from scratch, behind a single codec interface (see
+:mod:`repro.baselines.registry`):
+
+- :mod:`repro.baselines.gorilla` — Facebook Gorilla [Pelkonen et al.].
+- :mod:`repro.baselines.chimp` — Chimp [Liakos et al.].
+- :mod:`repro.baselines.chimp128` — Chimp128 (ChimpN with a 128-slot ring).
+- :mod:`repro.baselines.patas` — DuckDB's byte-aligned Chimp128 variant.
+- :mod:`repro.baselines.elf` — Elf, erasing-based XOR compression.
+- :mod:`repro.baselines.pde` — PseudoDecimals from BtrBlocks.
+- :mod:`repro.baselines.gp` — a general-purpose block compressor
+  (stdlib zlib/lzma standing in for Zstd, which has no offline wheel).
+"""
+
+from repro.baselines.registry import (
+    CODECS,
+    Codec,
+    get_codec,
+    list_codecs,
+)
+
+__all__ = ["CODECS", "Codec", "get_codec", "list_codecs"]

@@ -1,0 +1,139 @@
+"""Chimp floating-point compression (Liakos et al., VLDB 2022).
+
+Chimp refines Gorilla with four explicit flag-coded cases driven by the
+leading/trailing zero structure of the XOR with the previous value:
+
+- ``00`` — XOR is zero (identical value);
+- ``01`` — more than 6 trailing zeros: store a 3-bit leading-zero code,
+  a 6-bit significant-bit count and only the center bits;
+- ``10`` — leading-zero class unchanged from the previous value: store
+  the ``64 - leading`` low bits;
+- ``11`` — new leading-zero class: store the 3-bit code plus the
+  ``64 - leading`` low bits.
+
+Leading-zero counts are quantized to the reference table
+``{0, 8, 12, 16, 18, 20, 22, 24}`` so they fit a 3-bit code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.alputil.bits import (
+    double_to_bits,
+    leading_zeros64,
+    trailing_zeros64,
+)
+from repro.alputil.bitstream import BitReader, BitWriter
+
+#: Quantized leading-zero classes (reference Chimp table).
+LEADING_CLASSES = (0, 8, 12, 16, 18, 20, 22, 24)
+
+#: Map an exact leading-zero count (0..64) to its class.
+_ROUND_DOWN = []
+for _lz in range(65):
+    _cls = 0
+    for candidate in LEADING_CLASSES:
+        if candidate <= _lz:
+            _cls = candidate
+    _ROUND_DOWN.append(_cls)
+
+#: Map a class value to its 3-bit code and back.
+CLASS_TO_CODE = {cls: i for i, cls in enumerate(LEADING_CLASSES)}
+CODE_TO_CLASS = dict(enumerate(LEADING_CLASSES))
+
+#: Trailing-zero threshold for the "center bits" case.
+TRAILING_THRESHOLD = 6
+
+
+@dataclass(frozen=True)
+class ChimpEncoded:
+    """A Chimp-compressed block of doubles."""
+
+    payload: bytes
+    count: int
+
+    def size_bits(self) -> int:
+        """Compressed footprint in bits."""
+        return len(self.payload) * 8
+
+    def bits_per_value(self) -> float:
+        """Compressed bits per value."""
+        return self.size_bits() / self.count if self.count else 0.0
+
+
+def chimp_compress(values: np.ndarray) -> ChimpEncoded:
+    """Compress a float64 array with Chimp."""
+    values = np.ascontiguousarray(values, dtype=np.float64)
+    writer = BitWriter()
+    if values.size == 0:
+        return ChimpEncoded(payload=writer.finish(), count=0)
+
+    bits = double_to_bits(values)
+    prev = np.empty_like(bits)
+    prev[0] = 0
+    prev[1:] = bits[:-1]
+    xors = bits ^ prev
+    leads = leading_zeros64(xors)
+    trails = trailing_zeros64(xors)
+
+    writer.write(int(bits[0]), 64)
+    stored_leading = -1  # invalid: forces flag 11 on the first XOR
+    xors_list = xors.tolist()
+    leads_list = leads.tolist()
+    trails_list = trails.tolist()
+    for i in range(1, values.size):
+        xor = xors_list[i]
+        if xor == 0:
+            writer.write(0b00, 2)
+            stored_leading = -1
+            continue
+        lead_class = _ROUND_DOWN[leads_list[i]]
+        trail = trails_list[i]
+        if trail > TRAILING_THRESHOLD:
+            writer.write(0b01, 2)
+            significant = 64 - lead_class - trail
+            writer.write(CLASS_TO_CODE[lead_class], 3)
+            writer.write(significant, 6)
+            writer.write(xor >> trail, significant)
+            stored_leading = -1
+        elif lead_class == stored_leading:
+            writer.write(0b10, 2)
+            writer.write(xor, 64 - lead_class)
+        else:
+            writer.write(0b11, 2)
+            writer.write(CLASS_TO_CODE[lead_class], 3)
+            writer.write(xor, 64 - lead_class)
+            stored_leading = lead_class
+    return ChimpEncoded(payload=writer.finish(), count=values.size)
+
+
+def chimp_decompress(encoded: ChimpEncoded) -> np.ndarray:
+    """Decompress a :class:`ChimpEncoded` block back to float64."""
+    if encoded.count == 0:
+        return np.empty(0, dtype=np.float64)
+    reader = BitReader(encoded.payload)
+    out = np.empty(encoded.count, dtype=np.uint64)
+    current = reader.read(64)
+    out[0] = current
+    stored_leading = -1
+    for i in range(1, encoded.count):
+        flag = reader.read(2)
+        if flag == 0b00:
+            stored_leading = -1
+        elif flag == 0b01:
+            lead_class = CODE_TO_CLASS[reader.read(3)]
+            significant = reader.read(6)
+            trail = 64 - lead_class - significant
+            current ^= reader.read(significant) << trail
+            stored_leading = -1
+        elif flag == 0b10:
+            current ^= reader.read(64 - stored_leading)
+        else:
+            lead_class = CODE_TO_CLASS[reader.read(3)]
+            current ^= reader.read(64 - lead_class)
+            stored_leading = lead_class
+        out[i] = current
+    return out.view(np.float64)

@@ -1,0 +1,192 @@
+"""Chimp128 (ChimpN, N = 128) — Chimp with a previous-value ring buffer.
+
+Instead of always XORing with the immediately preceding value, Chimp128
+searches the previous 128 values for the most promising XOR partner, at
+the cost of a 7-bit index per reference.  Candidate lookup uses a hash
+table over the low 14 bits of the double's bit pattern, exactly like the
+reference implementation: a match on the low bits strongly predicts a
+long trailing-zero run in the XOR.
+
+Flag layout (2 bits):
+
+- ``00`` — perfect match: 7-bit ring index only;
+- ``01`` — useful match (> 6 trailing zeros): 7-bit index, 3-bit leading
+  code, 6-bit significant-bit count, center bits;
+- ``10`` / ``11`` — fall back to the previous value, exactly like Chimp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.alputil.bits import double_to_bits
+from repro.alputil.bitstream import BitReader, BitWriter
+from repro.baselines.chimp import (
+    CLASS_TO_CODE,
+    CODE_TO_CLASS,
+    TRAILING_THRESHOLD,
+    _ROUND_DOWN,
+)
+
+#: Default ring size (Chimp128) and the bits needed to index it.
+RING_SIZE = 128
+INDEX_BITS = 7
+
+#: Hash key: the low 14 bits of the IEEE 754 pattern.
+KEY_MASK = (1 << 14) - 1
+
+
+def _index_bits(ring_size: int) -> int:
+    """Bits needed to address a ring of ``ring_size`` slots."""
+    if ring_size < 2 or ring_size & (ring_size - 1):
+        raise ValueError(f"ring size must be a power of two >= 2, got {ring_size}")
+    return ring_size.bit_length() - 1
+
+
+def _leading_zeros(x: int) -> int:
+    """Scalar leading-zero count of a 64-bit int."""
+    return 64 - x.bit_length()
+
+
+def _trailing_zeros(x: int) -> int:
+    """Scalar trailing-zero count of a 64-bit int (64 for zero)."""
+    if x == 0:
+        return 64
+    return (x & -x).bit_length() - 1
+
+
+@dataclass(frozen=True)
+class Chimp128Encoded:
+    """A ChimpN-compressed block of doubles (N = 128 by default)."""
+
+    payload: bytes
+    count: int
+    ring_size: int = RING_SIZE
+
+    def size_bits(self) -> int:
+        """Compressed footprint in bits."""
+        return len(self.payload) * 8
+
+    def bits_per_value(self) -> float:
+        """Compressed bits per value."""
+        return self.size_bits() / self.count if self.count else 0.0
+
+
+def chimpn_compress(
+    values: np.ndarray, ring_size: int = RING_SIZE
+) -> Chimp128Encoded:
+    """Compress a float64 array with ChimpN (ring of ``ring_size``)."""
+    index_bits = _index_bits(ring_size)
+    values = np.ascontiguousarray(values, dtype=np.float64)
+    writer = BitWriter()
+    if values.size == 0:
+        return Chimp128Encoded(
+            payload=writer.finish(), count=0, ring_size=ring_size
+        )
+
+    bits_list = double_to_bits(values).tolist()
+    writer.write(bits_list[0], 64)
+
+    ring = [0] * ring_size
+    ring[0] = bits_list[0]
+    last_seen: dict[int, int] = {bits_list[0] & KEY_MASK: 0}
+    stored_leading = -1
+
+    for i in range(1, len(bits_list)):
+        value = bits_list[i]
+        candidate_pos = last_seen.get(value & KEY_MASK, -1)
+        use_candidate = candidate_pos >= 0 and i - candidate_pos <= ring_size
+        if use_candidate:
+            candidate = ring[candidate_pos % ring_size]
+            xor = value ^ candidate
+            trail = _trailing_zeros(xor)
+            if xor == 0:
+                writer.write(0b00, 2)
+                writer.write(candidate_pos % ring_size, index_bits)
+                stored_leading = -1
+            elif trail > TRAILING_THRESHOLD:
+                writer.write(0b01, 2)
+                writer.write(candidate_pos % ring_size, index_bits)
+                lead_class = _ROUND_DOWN[_leading_zeros(xor)]
+                significant = 64 - lead_class - trail
+                writer.write(CLASS_TO_CODE[lead_class], 3)
+                writer.write(significant, 6)
+                writer.write(xor >> trail, significant)
+                stored_leading = -1
+            else:
+                use_candidate = False
+        if not use_candidate:
+            # Fall back to the previous value, Chimp style.
+            xor = value ^ ring[(i - 1) % ring_size]
+            if xor == 0:
+                # No perfect-match candidate was found via the hash, but
+                # the previous value happens to be equal: flag 00 with the
+                # previous slot's index keeps the decoder uniform.
+                writer.write(0b00, 2)
+                writer.write((i - 1) % ring_size, index_bits)
+                stored_leading = -1
+            else:
+                lead_class = _ROUND_DOWN[_leading_zeros(xor)]
+                if lead_class == stored_leading:
+                    writer.write(0b10, 2)
+                    writer.write(xor, 64 - lead_class)
+                else:
+                    writer.write(0b11, 2)
+                    writer.write(CLASS_TO_CODE[lead_class], 3)
+                    writer.write(xor, 64 - lead_class)
+                    stored_leading = lead_class
+        ring[i % ring_size] = value
+        last_seen[value & KEY_MASK] = i
+    return Chimp128Encoded(
+        payload=writer.finish(), count=values.size, ring_size=ring_size
+    )
+
+
+def chimpn_decompress(encoded: Chimp128Encoded) -> np.ndarray:
+    """Decompress a ChimpN block back to float64."""
+    if encoded.count == 0:
+        return np.empty(0, dtype=np.float64)
+    ring_size = encoded.ring_size
+    index_bits = _index_bits(ring_size)
+    reader = BitReader(encoded.payload)
+    out = np.empty(encoded.count, dtype=np.uint64)
+    ring = [0] * ring_size
+    current = reader.read(64)
+    out[0] = current
+    ring[0] = current
+    stored_leading = -1
+    for i in range(1, encoded.count):
+        flag = reader.read(2)
+        if flag == 0b00:
+            current = ring[reader.read(index_bits)]
+            stored_leading = -1
+        elif flag == 0b01:
+            reference = ring[reader.read(index_bits)]
+            lead_class = CODE_TO_CLASS[reader.read(3)]
+            significant = reader.read(6)
+            trail = 64 - lead_class - significant
+            current = reference ^ (reader.read(significant) << trail)
+            stored_leading = -1
+        elif flag == 0b10:
+            current = ring[(i - 1) % ring_size] ^ reader.read(
+                64 - stored_leading
+            )
+        else:
+            lead_class = CODE_TO_CLASS[reader.read(3)]
+            current = ring[(i - 1) % ring_size] ^ reader.read(64 - lead_class)
+            stored_leading = lead_class
+        ring[i % ring_size] = current
+        out[i] = current
+    return out.view(np.float64)
+
+
+def chimp128_compress(values: np.ndarray) -> Chimp128Encoded:
+    """Compress with the paper's configuration: ChimpN, N = 128."""
+    return chimpn_compress(values, ring_size=RING_SIZE)
+
+
+def chimp128_decompress(encoded: Chimp128Encoded) -> np.ndarray:
+    """Decompress a :class:`Chimp128Encoded` block back to float64."""
+    return chimpn_decompress(encoded)

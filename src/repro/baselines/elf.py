@@ -1,0 +1,117 @@
+"""Elf — erasing-based lossless floating-point compression (Li et al.).
+
+Elf observes that a double which originated as a decimal with ``alpha``
+fraction digits does not need its full 52-bit mantissa: trailing
+mantissa bits can be zeroed ("erased") at encode time as long as the
+decoder can recover the original by rounding the erased double back to
+``alpha`` decimal places.  The erased stream XOR-compresses far better
+(more trailing zeros), which is how Elf beats Chimp128 on compression
+ratio — at the price of being the slowest scheme in the paper's
+evaluation, a trade-off this port shares.
+
+Layout: a per-value metadata stream (1 flag bit; ``1`` is followed by a
+5-bit ``alpha``) plus a Chimp-compressed stream of the (possibly erased)
+values.  The reference implementation derives the erasable bit count
+analytically; we find it by binary search on the recoverability
+predicate, which is simpler and never erases less than the analytical
+bound allows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from struct import pack as _struct_pack
+from struct import unpack as _struct_unpack
+
+import numpy as np
+from repro.alputil.bitstream import BitReader, BitWriter
+from repro.alputil.decimals import decimal_places, shortest_round
+from repro.baselines.chimp import ChimpEncoded, chimp_compress, chimp_decompress
+
+#: alpha is stored in 5 bits.
+MAX_ALPHA = 17
+
+
+def _erase(value: float, alpha: int) -> tuple[float, bool]:
+    """Zero as many trailing mantissa bits as recoverability allows.
+
+    Returns (erased value, erased?).  Recoverability means
+    ``shortest_round(erased, alpha) == value`` bit-exactly.
+    """
+    bits = _struct_unpack("<Q", _struct_pack("<d", value))[0]
+
+    def recoverable(erase_count: int) -> bool:
+        erased_bits = bits & ~((1 << erase_count) - 1)
+        erased = _struct_unpack("<d", _struct_pack("<Q", erased_bits))[0]
+        recovered = shortest_round(erased, alpha)
+        return _struct_unpack("<Q", _struct_pack("<d", recovered))[0] == bits
+
+    low, high = 0, 52
+    if not recoverable(0):  # not even the exact value survives rounding
+        return value, False
+    while low < high:
+        mid = (low + high + 1) // 2
+        if recoverable(mid):
+            low = mid
+        else:
+            high = mid - 1
+    if low == 0:
+        return value, False
+    erased_bits = bits & ~((1 << low) - 1)
+    return _struct_unpack("<d", _struct_pack("<Q", erased_bits))[0], True
+
+
+@dataclass(frozen=True)
+class ElfEncoded:
+    """An Elf-compressed block of doubles."""
+
+    metadata: bytes  # flag/alpha bit stream
+    backend: ChimpEncoded  # XOR-compressed (erased) values
+    count: int
+
+    def size_bits(self) -> int:
+        """Metadata stream + XOR backend."""
+        return len(self.metadata) * 8 + self.backend.size_bits()
+
+    def bits_per_value(self) -> float:
+        """Compressed bits per value."""
+        return self.size_bits() / self.count if self.count else 0.0
+
+
+def elf_compress(values: np.ndarray) -> ElfEncoded:
+    """Compress a float64 array with Elf."""
+    values = np.ascontiguousarray(values, dtype=np.float64)
+    meta = BitWriter()
+    erased_values = np.empty_like(values)
+    for i, value in enumerate(values.tolist()):
+        alpha = decimal_places(value)
+        if 0 <= alpha <= MAX_ALPHA:
+            erased, did_erase = _erase(value, alpha)
+        else:
+            erased, did_erase = value, False
+        if did_erase:
+            meta.write_bit(1)
+            meta.write(alpha, 5)
+            erased_values[i] = erased
+        else:
+            meta.write_bit(0)
+            erased_values[i] = value
+    return ElfEncoded(
+        metadata=meta.finish(),
+        backend=chimp_compress(erased_values),
+        count=values.size,
+    )
+
+
+def elf_decompress(encoded: ElfEncoded) -> np.ndarray:
+    """Decompress an :class:`ElfEncoded` block back to float64."""
+    if encoded.count == 0:
+        return np.empty(0, dtype=np.float64)
+    erased = chimp_decompress(encoded.backend)
+    reader = BitReader(encoded.metadata)
+    out = erased.copy()
+    for i in range(encoded.count):
+        if reader.read_bit():
+            alpha = reader.read(5)
+            out[i] = shortest_round(float(erased[i]), alpha)
+    return out

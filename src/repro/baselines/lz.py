@@ -1,0 +1,180 @@
+"""A from-scratch LZ77 byte compressor in the LZ4/Snappy family.
+
+The paper positions LZ4/Snappy as the "fast, modest-ratio" end of
+general-purpose compression (§1).  Since no such wheel exists offline,
+this module implements the family's canonical design on its own:
+
+- greedy hash-table match finder over a 64 KiB window,
+- byte-aligned tokens: a literal-run length and a (offset, match
+  length) copy, LZ4-block style,
+- no entropy coding — which is exactly why the family is fast and why
+  its ratio trails DEFLATE/Zstd.
+
+Token format (one token per sequence)::
+
+    u8   (literal_len 4 bits | match_len 4 bits), 15 = "more bytes"
+    ...  extension bytes for literal_len (each 255 = continue)
+    lit  literal bytes
+    u16  match offset (little-endian, 0 terminates the stream after
+         the literals — final token carries no match)
+    ...  extension bytes for match_len
+
+Like LZ4, matches are at least 4 bytes and the minimum offset is 1
+(self-overlapping RLE copies allowed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Match-finder hash table size (bits).
+HASH_BITS = 16
+
+#: Minimum useful match (LZ4's constant).
+MIN_MATCH = 4
+
+#: Window the offset field can reach back.
+MAX_OFFSET = 65_535
+
+
+@dataclass(frozen=True)
+class LzEncoded:
+    """An LZ-compressed block of doubles."""
+
+    payload: bytes
+    count: int
+
+    def size_bits(self) -> int:
+        """Compressed footprint in bits."""
+        return len(self.payload) * 8
+
+    def bits_per_value(self) -> float:
+        """Compressed bits per value (input values are 64-bit doubles)."""
+        return self.size_bits() / self.count if self.count else 0.0
+
+
+def _hash4(data: bytes, pos: int) -> int:
+    """Hash of the 4 bytes at ``pos`` (Fibonacci multiplicative)."""
+    word = int.from_bytes(data[pos : pos + 4], "little")
+    return (word * 2654435761) >> (32 - HASH_BITS) & ((1 << HASH_BITS) - 1)
+
+
+def _write_length(length: int, first_budget: int) -> tuple[int, bytes]:
+    """Split a length into a 4-bit field value + extension bytes."""
+    if length < first_budget:
+        return length, b""
+    extra = length - first_budget
+    out = bytearray()
+    while extra >= 255:
+        out.append(255)
+        extra -= 255
+    out.append(extra)
+    return first_budget, bytes(out)
+
+
+def _read_length(field: int, data: bytes, pos: int, first_budget: int):
+    """Inverse of :func:`_write_length`; returns (length, new pos)."""
+    length = field
+    if field == first_budget:
+        while True:
+            byte = data[pos]
+            pos += 1
+            length += byte
+            if byte != 255:
+                break
+    return length, pos
+
+
+def lz_compress_bytes(data: bytes) -> bytes:
+    """Compress raw bytes with the LZ4-style block format."""
+    n = len(data)
+    out = bytearray()
+    table = [-1] * (1 << HASH_BITS)
+    pos = 0
+    literal_start = 0
+
+    def emit(literal_end: int, match_len: int, offset: int) -> None:
+        literal_len = literal_end - literal_start
+        lit_field, lit_ext = _write_length(literal_len, 15)
+        match_field, match_ext = _write_length(
+            match_len - MIN_MATCH if match_len else 0, 15
+        )
+        out.append((lit_field << 4) | match_field)
+        out.extend(lit_ext)
+        out.extend(data[literal_start:literal_end])
+        out.extend(offset.to_bytes(2, "little"))
+        out.extend(match_ext)
+
+    while pos + MIN_MATCH <= n:
+        key = _hash4(data, pos)
+        candidate = table[key]
+        table[key] = pos
+        if (
+            candidate >= 0
+            and pos - candidate <= MAX_OFFSET
+            and data[candidate : candidate + MIN_MATCH]
+            == data[pos : pos + MIN_MATCH]
+        ):
+            # Extend the match forward.
+            match_len = MIN_MATCH
+            while (
+                pos + match_len < n
+                and data[candidate + match_len] == data[pos + match_len]
+            ):
+                match_len += 1
+            emit(pos, match_len, pos - candidate)
+            pos += match_len
+            literal_start = pos
+        else:
+            pos += 1
+    # Final literals with offset 0 (stream terminator).
+    literal_len = n - literal_start
+    lit_field, lit_ext = _write_length(literal_len, 15)
+    out.append(lit_field << 4)
+    out.extend(lit_ext)
+    out.extend(data[literal_start:n])
+    out.extend((0).to_bytes(2, "little"))
+    return bytes(out)
+
+
+def lz_decompress_bytes(payload: bytes) -> bytes:
+    """Inverse of :func:`lz_compress_bytes`."""
+    out = bytearray()
+    pos = 0
+    n = len(payload)
+    while pos < n:
+        token = payload[pos]
+        pos += 1
+        lit_field = token >> 4
+        match_field = token & 0xF
+        literal_len, pos = _read_length(lit_field, payload, pos, 15)
+        out.extend(payload[pos : pos + literal_len])
+        pos += literal_len
+        offset = int.from_bytes(payload[pos : pos + 2], "little")
+        pos += 2
+        if offset == 0:
+            break  # terminator token: no match follows
+        match_len, pos = _read_length(match_field, payload, pos, 15)
+        match_len += MIN_MATCH
+        start = len(out) - offset
+        for i in range(match_len):  # may self-overlap, byte at a time
+            out.append(out[start + i])
+    return bytes(out)
+
+
+def lz_compress(values: np.ndarray) -> LzEncoded:
+    """Compress a float64 array (via its raw bytes)."""
+    values = np.ascontiguousarray(values, dtype=np.float64)
+    return LzEncoded(
+        payload=lz_compress_bytes(values.tobytes()), count=values.size
+    )
+
+
+def lz_decompress(encoded: LzEncoded) -> np.ndarray:
+    """Decompress an :class:`LzEncoded` block back to float64."""
+    if encoded.count == 0:
+        return np.empty(0, dtype=np.float64)
+    raw = lz_decompress_bytes(encoded.payload)
+    return np.frombuffer(raw, dtype=np.float64).copy()

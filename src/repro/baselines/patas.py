@@ -1,0 +1,126 @@
+"""Patas — DuckDB's byte-aligned variant of Chimp128.
+
+Patas trades compression ratio for decode speed: one single encoding
+mode, byte-aligned payloads and a fixed 16-bit packed header per value,
+so decoding has no bit-level branching.  Our header packs:
+
+- 7 bits: ring index of the XOR reference (previous 128 values,
+  found via the same low-bit hash as Chimp128),
+- 4 bits: number of significant payload bytes (0..8),
+- 4 bits: number of trailing zero *bytes* removed (0..8),
+- 1 bit: reserved.
+
+A zero XOR stores zero payload bytes.  The exact DuckDB field widths
+differ slightly (they squeeze trailing zero *bits* into 6 bits); the
+byte-aligned single-mode structure — which is what gives Patas its speed
+profile — is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.alputil.bits import double_to_bits
+from repro.baselines.chimp128 import KEY_MASK, RING_SIZE
+
+
+@dataclass(frozen=True)
+class PatasEncoded:
+    """A Patas-compressed block of doubles."""
+
+    headers: bytes  # 2 bytes per value (little-endian uint16)
+    payload: bytes  # concatenated significant bytes
+    first_value: int
+    count: int
+
+    def size_bits(self) -> int:
+        """Headers + payload + the 64-bit first value."""
+        return (len(self.headers) + len(self.payload)) * 8 + 64
+
+    def bits_per_value(self) -> float:
+        """Compressed bits per value."""
+        return self.size_bits() / self.count if self.count else 0.0
+
+
+def _pack_header(index: int, byte_count: int, trailing_bytes: int) -> int:
+    """Pack (index, byte count, trailing zero bytes) into 16 bits."""
+    return index | (byte_count << 7) | (trailing_bytes << 11)
+
+
+def _unpack_header(header: int) -> tuple[int, int, int]:
+    """Inverse of :func:`_pack_header`."""
+    return header & 0x7F, (header >> 7) & 0xF, (header >> 11) & 0xF
+
+
+def patas_compress(values: np.ndarray) -> PatasEncoded:
+    """Compress a float64 array with Patas."""
+    values = np.ascontiguousarray(values, dtype=np.float64)
+    if values.size == 0:
+        return PatasEncoded(headers=b"", payload=b"", first_value=0, count=0)
+
+    bits_list = double_to_bits(values).tolist()
+    headers = bytearray()
+    payload = bytearray()
+    ring = [0] * RING_SIZE
+    ring[0] = bits_list[0]
+    last_seen: dict[int, int] = {bits_list[0] & KEY_MASK: 0}
+
+    for i in range(1, len(bits_list)):
+        value = bits_list[i]
+        candidate_pos = last_seen.get(value & KEY_MASK, -1)
+        if candidate_pos < 0 or i - candidate_pos > RING_SIZE:
+            candidate_pos = i - 1  # fall back to the previous value
+        reference = ring[candidate_pos % RING_SIZE]
+        xor = value ^ reference
+        if xor == 0:
+            header = _pack_header(candidate_pos % RING_SIZE, 0, 0)
+        else:
+            trailing_bytes = 0
+            while xor & 0xFF == 0:
+                xor >>= 8
+                trailing_bytes += 1
+            byte_count = (xor.bit_length() + 7) // 8
+            header = _pack_header(
+                candidate_pos % RING_SIZE, byte_count, trailing_bytes
+            )
+            payload += xor.to_bytes(byte_count, "little")
+        headers += header.to_bytes(2, "little")
+        ring[i % RING_SIZE] = value
+        last_seen[value & KEY_MASK] = i
+
+    return PatasEncoded(
+        headers=bytes(headers),
+        payload=bytes(payload),
+        first_value=bits_list[0],
+        count=values.size,
+    )
+
+
+def patas_decompress(encoded: PatasEncoded) -> np.ndarray:
+    """Decompress a :class:`PatasEncoded` block back to float64."""
+    if encoded.count == 0:
+        return np.empty(0, dtype=np.float64)
+    out = np.empty(encoded.count, dtype=np.uint64)
+    ring = [0] * RING_SIZE
+    current = encoded.first_value
+    out[0] = current
+    ring[0] = current
+    headers = np.frombuffer(encoded.headers, dtype="<u2").tolist()
+    payload = encoded.payload
+    offset = 0
+    for i in range(1, encoded.count):
+        index, byte_count, trailing_bytes = _unpack_header(headers[i - 1])
+        reference = ring[index]
+        if byte_count == 0:
+            current = reference
+        else:
+            xor = int.from_bytes(
+                payload[offset : offset + byte_count], "little"
+            )
+            offset += byte_count
+            current = reference ^ (xor << (8 * trailing_bytes))
+        ring[i % RING_SIZE] = current
+        out[i] = current
+    return out.view(np.float64)

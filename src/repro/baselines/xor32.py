@@ -1,0 +1,277 @@
+"""32-bit ports of the XOR baselines (Gorilla-32, Chimp-32, Patas-32).
+
+Table 7 benchmarks the float32 versions of the XOR schemes on ML model
+weights — where none of them achieves compression (33..46 bits per
+32-bit value) because trained weights have random mantissas.  These
+ports mirror the 64-bit implementations with narrowed fields:
+
+- Gorilla-32: 5-bit leading-zero count, 5-bit meaningful-bit length;
+- Chimp-32: the same four flags, leading-zero classes quantized to
+  ``{0, 4, 8, 12, 16, 18, 20, 22}`` and a 5-bit significant count;
+- Patas-32: 16-bit packed header (7-bit ring index, 3-bit byte count,
+  2-bit trailing zero bytes) + significant bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.alputil.bits import float32_to_bits
+from repro.alputil.bitstream import BitReader, BitWriter
+
+#: Chimp-32 leading-zero classes (3-bit code).
+LEADING_CLASSES_32 = (0, 4, 8, 12, 16, 18, 20, 22)
+_ROUND_DOWN_32 = []
+for _lz in range(33):
+    _cls = 0
+    for candidate in LEADING_CLASSES_32:
+        if candidate <= _lz:
+            _cls = candidate
+    _ROUND_DOWN_32.append(_cls)
+CLASS_TO_CODE_32 = {cls: i for i, cls in enumerate(LEADING_CLASSES_32)}
+CODE_TO_CLASS_32 = dict(enumerate(LEADING_CLASSES_32))
+
+TRAILING_THRESHOLD_32 = 6
+
+RING_SIZE_32 = 128
+KEY_MASK_32 = (1 << 10) - 1
+
+
+def _lz32(x: int) -> int:
+    """Leading zeros of a 32-bit value (32 for zero)."""
+    return 32 - x.bit_length()
+
+
+def _tz32(x: int) -> int:
+    """Trailing zeros of a 32-bit value (32 for zero)."""
+    if x == 0:
+        return 32
+    return (x & -x).bit_length() - 1
+
+
+@dataclass(frozen=True)
+class Xor32Encoded:
+    """A compressed float32 block (any of the three 32-bit schemes)."""
+
+    payload: bytes
+    count: int
+    scheme: str
+
+    def size_bits(self) -> int:
+        """Compressed footprint in bits."""
+        return len(self.payload) * 8
+
+    def bits_per_value(self) -> float:
+        """Compressed bits per (32-bit) value."""
+        return self.size_bits() / self.count if self.count else 0.0
+
+
+def gorilla32_compress(values: np.ndarray) -> Xor32Encoded:
+    """Compress a float32 array with 32-bit Gorilla."""
+    values = np.ascontiguousarray(values, dtype=np.float32)
+    writer = BitWriter()
+    if values.size == 0:
+        return Xor32Encoded(writer.finish(), 0, "gorilla32")
+    bits_list = float32_to_bits(values).tolist()
+    writer.write(bits_list[0], 32)
+    stored_leading = -1
+    stored_trailing = -1
+    prev = bits_list[0]
+    for value in bits_list[1:]:
+        xor = value ^ prev
+        prev = value
+        if xor == 0:
+            writer.write_bit(0)
+            continue
+        writer.write_bit(1)
+        lead = min(_lz32(xor), 31)
+        trail = _tz32(xor)
+        if (
+            stored_leading >= 0
+            and lead >= stored_leading
+            and trail >= stored_trailing
+        ):
+            writer.write_bit(0)
+            meaningful = 32 - stored_leading - stored_trailing
+            writer.write(xor >> stored_trailing, meaningful)
+        else:
+            writer.write_bit(1)
+            meaningful = 32 - lead - trail
+            writer.write(lead, 5)
+            writer.write(meaningful - 1, 5)
+            writer.write(xor >> trail, meaningful)
+            stored_leading = lead
+            stored_trailing = trail
+    return Xor32Encoded(writer.finish(), values.size, "gorilla32")
+
+
+def gorilla32_decompress(encoded: Xor32Encoded) -> np.ndarray:
+    """Decompress a 32-bit Gorilla block."""
+    if encoded.count == 0:
+        return np.empty(0, dtype=np.float32)
+    reader = BitReader(encoded.payload)
+    out = np.empty(encoded.count, dtype=np.uint32)
+    current = reader.read(32)
+    out[0] = current
+    stored_leading = -1
+    stored_trailing = -1
+    for i in range(1, encoded.count):
+        if reader.read_bit() == 0:
+            out[i] = current
+            continue
+        if reader.read_bit() == 0:
+            meaningful = 32 - stored_leading - stored_trailing
+            current ^= reader.read(meaningful) << stored_trailing
+        else:
+            lead = reader.read(5)
+            meaningful = reader.read(5) + 1
+            trail = 32 - lead - meaningful
+            current ^= reader.read(meaningful) << trail
+            stored_leading = lead
+            stored_trailing = trail
+        out[i] = current
+    return out.view(np.float32)
+
+
+def chimp32_compress(values: np.ndarray) -> Xor32Encoded:
+    """Compress a float32 array with 32-bit Chimp."""
+    values = np.ascontiguousarray(values, dtype=np.float32)
+    writer = BitWriter()
+    if values.size == 0:
+        return Xor32Encoded(writer.finish(), 0, "chimp32")
+    bits_list = float32_to_bits(values).tolist()
+    writer.write(bits_list[0], 32)
+    stored_leading = -1
+    prev = bits_list[0]
+    for value in bits_list[1:]:
+        xor = value ^ prev
+        prev = value
+        if xor == 0:
+            writer.write(0b00, 2)
+            stored_leading = -1
+            continue
+        lead_class = _ROUND_DOWN_32[_lz32(xor)]
+        trail = _tz32(xor)
+        if trail > TRAILING_THRESHOLD_32:
+            writer.write(0b01, 2)
+            significant = 32 - lead_class - trail
+            writer.write(CLASS_TO_CODE_32[lead_class], 3)
+            writer.write(significant, 5)
+            writer.write(xor >> trail, significant)
+            stored_leading = -1
+        elif lead_class == stored_leading:
+            writer.write(0b10, 2)
+            writer.write(xor, 32 - lead_class)
+        else:
+            writer.write(0b11, 2)
+            writer.write(CLASS_TO_CODE_32[lead_class], 3)
+            writer.write(xor, 32 - lead_class)
+            stored_leading = lead_class
+    return Xor32Encoded(writer.finish(), values.size, "chimp32")
+
+
+def chimp32_decompress(encoded: Xor32Encoded) -> np.ndarray:
+    """Decompress a 32-bit Chimp block."""
+    if encoded.count == 0:
+        return np.empty(0, dtype=np.float32)
+    reader = BitReader(encoded.payload)
+    out = np.empty(encoded.count, dtype=np.uint32)
+    current = reader.read(32)
+    out[0] = current
+    stored_leading = -1
+    for i in range(1, encoded.count):
+        flag = reader.read(2)
+        if flag == 0b00:
+            stored_leading = -1
+        elif flag == 0b01:
+            lead_class = CODE_TO_CLASS_32[reader.read(3)]
+            significant = reader.read(5)
+            trail = 32 - lead_class - significant
+            current ^= reader.read(significant) << trail
+            stored_leading = -1
+        elif flag == 0b10:
+            current ^= reader.read(32 - stored_leading)
+        else:
+            lead_class = CODE_TO_CLASS_32[reader.read(3)]
+            current ^= reader.read(32 - lead_class)
+            stored_leading = lead_class
+        out[i] = current
+    return out.view(np.float32)
+
+
+def patas32_compress(values: np.ndarray) -> Xor32Encoded:
+    """Compress a float32 array with byte-aligned 32-bit Patas."""
+    values = np.ascontiguousarray(values, dtype=np.float32)
+    if values.size == 0:
+        return Xor32Encoded(b"", 0, "patas32")
+    bits_list = float32_to_bits(values).tolist()
+    headers = bytearray()
+    payload = bytearray()
+    ring = [0] * RING_SIZE_32
+    ring[0] = bits_list[0]
+    last_seen: dict[int, int] = {bits_list[0] & KEY_MASK_32: 0}
+    for i in range(1, len(bits_list)):
+        value = bits_list[i]
+        candidate_pos = last_seen.get(value & KEY_MASK_32, -1)
+        if candidate_pos < 0 or i - candidate_pos > RING_SIZE_32:
+            candidate_pos = i - 1
+        reference = ring[candidate_pos % RING_SIZE_32]
+        xor = value ^ reference
+        if xor == 0:
+            header = candidate_pos % RING_SIZE_32
+        else:
+            trailing_bytes = 0
+            while xor & 0xFF == 0:
+                xor >>= 8
+                trailing_bytes += 1
+            byte_count = (xor.bit_length() + 7) // 8
+            header = (
+                (candidate_pos % RING_SIZE_32)
+                | (byte_count << 7)
+                | (trailing_bytes << 10)
+            )
+            payload += xor.to_bytes(byte_count, "little")
+        headers += header.to_bytes(2, "little")
+        ring[i % RING_SIZE_32] = value
+        last_seen[value & KEY_MASK_32] = i
+    stream = (
+        bits_list[0].to_bytes(4, "little") + bytes(headers) + bytes(payload)
+    )
+    # Header block length so decode can split the stream.
+    prefix = (len(headers)).to_bytes(4, "little")
+    return Xor32Encoded(prefix + stream, values.size, "patas32")
+
+
+def patas32_decompress(encoded: Xor32Encoded) -> np.ndarray:
+    """Decompress a 32-bit Patas block."""
+    if encoded.count == 0:
+        return np.empty(0, dtype=np.float32)
+    data = encoded.payload
+    header_len = int.from_bytes(data[:4], "little")
+    first = int.from_bytes(data[4:8], "little")
+    headers = data[8 : 8 + header_len]
+    payload = data[8 + header_len :]
+    out = np.empty(encoded.count, dtype=np.uint32)
+    ring = [0] * RING_SIZE_32
+    out[0] = first
+    ring[0] = first
+    offset = 0
+    for i in range(1, encoded.count):
+        header = int.from_bytes(headers[(i - 1) * 2 : i * 2], "little")
+        index = header & 0x7F
+        byte_count = (header >> 7) & 0x7
+        trailing_bytes = (header >> 10) & 0x3
+        reference = ring[index]
+        if byte_count == 0:
+            current = reference
+        else:
+            xor = int.from_bytes(
+                payload[offset : offset + byte_count], "little"
+            )
+            offset += byte_count
+            current = reference ^ (xor << (8 * trailing_bytes))
+        ring[i % RING_SIZE_32] = current
+        out[i] = current
+    return out.view(np.float32)

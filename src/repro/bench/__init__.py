@@ -1,0 +1,31 @@
+"""The benchmark harness behind every table and figure of the paper.
+
+- :mod:`repro.bench.harness` — ratio measurement, timing utilities, and
+  the tuples-per-cycle proxy (DESIGN.md substitution 3),
+- :mod:`repro.bench.report` — fixed-width table rendering with
+  paper-vs-measured columns.
+
+The runnable experiments live in ``benchmarks/`` (one module per table /
+figure) and EXPERIMENTS.md records their outcomes.
+"""
+
+from repro.bench.harness import (
+    NOMINAL_GHZ,
+    SpeedResult,
+    bench_n,
+    measure_ratio,
+    time_callable,
+    tuples_per_cycle,
+)
+from repro.bench.report import format_table, shape_check
+
+__all__ = [
+    "NOMINAL_GHZ",
+    "SpeedResult",
+    "bench_n",
+    "format_table",
+    "measure_ratio",
+    "shape_check",
+    "time_callable",
+    "tuples_per_cycle",
+]

@@ -1,0 +1,100 @@
+"""ASCII rendering of the paper's figures (no plotting deps offline).
+
+The benches regenerate the *data* behind every figure; these helpers
+render it so the shape is visible directly in the pytest output and the
+persisted result files:
+
+- :func:`ascii_scatter` — Figure 1 / Figure 4-style scatter plots, one
+  glyph per series, optional log axes;
+- :func:`ascii_series` — Figure 5-style line series over a shared x
+  axis.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        return math.log10(max(value, 1e-12))
+    return value
+
+
+def ascii_scatter(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    x_label: str,
+    y_label: str,
+    width: int = 64,
+    height: int = 20,
+    log_x: bool = False,
+    log_y: bool = False,
+) -> str:
+    """Render named point series into a character grid.
+
+    Each series gets the first letter of its name (upper-cased, then
+    lower-cased on collision); overlapping points from different series
+    show ``*``.
+    """
+    points = [
+        (name, x, y)
+        for name, pts in series.items()
+        for x, y in pts
+        if math.isfinite(x) and math.isfinite(y)
+    ]
+    if not points:
+        return "(no points)"
+
+    xs = [_transform(x, log_x) for _, x, _ in points]
+    ys = [_transform(y, log_y) for _, _, y in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    glyphs: dict[str, str] = {}
+    used: set[str] = set()
+    for name in series:
+        for candidate in (name[0].upper(), name[0].lower(), "+", "x", "o"):
+            if candidate not in used:
+                glyphs[name] = candidate
+                used.add(candidate)
+                break
+        else:
+            glyphs[name] = "?"
+
+    grid = [[" "] * width for _ in range(height)]
+    for name, x, y in points:
+        col = round((_transform(x, log_x) - x_min) / x_span * (width - 1))
+        row = height - 1 - round(
+            (_transform(y, log_y) - y_min) / y_span * (height - 1)
+        )
+        cell = grid[row][col]
+        grid[row][col] = glyphs[name] if cell in (" ", glyphs[name]) else "*"
+
+    lines = [
+        f"y: {y_label}" + (" (log)" if log_y else ""),
+    ]
+    for row in grid:
+        lines.append("  |" + "".join(row))
+    lines.append("  +" + "-" * width)
+    lines.append(f"   x: {x_label}" + (" (log)" if log_x else ""))
+    legend = "   " + "  ".join(
+        f"{glyphs[name]}={name}" for name in series
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def ascii_series(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    x_label: str,
+    y_label: str,
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Render line series (points only; readers connect the dots)."""
+    return ascii_scatter(
+        series, x_label=x_label, y_label=y_label, width=width, height=height
+    )

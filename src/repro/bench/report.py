@@ -1,0 +1,57 @@
+"""Plain-text table rendering for benchmark reports.
+
+Every bench prints its result in the paper's row/column layout with a
+``paper`` reference column where the paper published one, so the shape
+comparison (who wins, by roughly what factor) is visible in the pytest
+output and can be pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = "{:.1f}",
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width table.
+
+    Floats go through ``float_format``; everything else through ``str``.
+    """
+    rendered_rows = []
+    for row in rows:
+        rendered_rows.append(
+            [
+                float_format.format(cell)
+                if isinstance(cell, float)
+                else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(
+            cell.rjust(widths[i]) if i else cell.ljust(widths[i])
+            for i, cell in enumerate(cells)
+        )
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("  ".join("-" * w for w in widths))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def shape_check(description: str, condition: bool) -> str:
+    """One-line PASS/FAIL marker for a paper shape claim."""
+    marker = "PASS" if condition else "FAIL"
+    return f"[{marker}] {description}"

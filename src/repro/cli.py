@@ -1,0 +1,218 @@
+"""Command-line interface: ``python -m repro`` (or the ``alp-repro`` script).
+
+Subcommands:
+
+- ``compress IN.f64 OUT.alpc`` — compress a raw little-endian float64
+  file (or ``.npy``) into the ALPC column format,
+- ``decompress IN.alpc OUT.f64`` — decompress back to raw float64,
+- ``inspect FILE.alpc`` — print row-group metadata, zone maps and the
+  per-row-group scheme/size breakdown,
+- ``ratio [--codec ...] [--n N] DATASET...`` — measure bits/value of
+  any registered codec on the synthetic paper datasets,
+- ``datasets`` — list the 30 synthetic datasets and their fingerprints.
+
+The CLI is deliberately thin: each subcommand is a few lines over the
+library's public API, so it doubles as usage documentation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+
+def _load_doubles(path: Path) -> np.ndarray:
+    """Read a float64 column from .npy or raw little-endian bytes."""
+    if path.suffix == ".npy":
+        values = np.load(path)
+        return np.ascontiguousarray(values, dtype=np.float64)
+    data = path.read_bytes()
+    if len(data) % 8:
+        raise SystemExit(
+            f"{path}: raw float64 input must be a multiple of 8 bytes"
+        )
+    return np.frombuffer(data, dtype="<f8").copy()
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    from repro.storage import write_column_file
+
+    values = _load_doubles(Path(args.input))
+    write_column_file(args.output, values)
+    raw = values.nbytes
+    compressed = Path(args.output).stat().st_size
+    print(
+        f"{values.size:,} values: {raw:,} B -> {compressed:,} B "
+        f"({8 * compressed / max(values.size, 1):.2f} bits/value, "
+        f"{raw / max(compressed, 1):.1f}x)"
+    )
+    return 0
+
+
+def _cmd_decompress(args: argparse.Namespace) -> int:
+    from repro.storage import read_column_file
+
+    values = read_column_file(args.input)
+    out = Path(args.output)
+    if out.suffix == ".npy":
+        np.save(out, values)
+    else:
+        out.write_bytes(values.astype("<f8").tobytes())
+    print(f"wrote {values.size:,} values to {out}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.storage import ColumnFileReader
+
+    reader = ColumnFileReader(args.input)
+    print(f"{args.input}: {reader.value_count:,} values in "
+          f"{reader.rowgroup_count} row-groups "
+          f"(vector size {reader.vector_size})")
+    print(f"{'rg':>4} {'scheme':>7} {'values':>9} {'bytes':>10} "
+          f"{'bits/val':>9} {'min':>14} {'max':>14}")
+    for index, meta in enumerate(reader.metadata):
+        rowgroup = reader.read_rowgroup_compressed(index)
+        bits = 8 * meta.length / max(meta.count, 1)
+        print(
+            f"{index:>4} {rowgroup.scheme:>7} {meta.count:>9,} "
+            f"{meta.length:>10,} {bits:>9.2f} "
+            f"{meta.min_value:>14.6g} {meta.max_value:>14.6g}"
+            + ("  [non-finite]" if meta.has_non_finite else "")
+        )
+    return 0
+
+
+def _cmd_ratio(args: argparse.Namespace) -> int:
+    from repro.baselines.registry import get_codec, list_codecs
+    from repro.data import DATASET_ORDER, get_dataset
+
+    names = args.datasets or list(DATASET_ORDER)
+    codecs = args.codec or ["alp"]
+    for codec_name in codecs:
+        if codec_name not in list_codecs():
+            raise SystemExit(
+                f"unknown codec {codec_name!r}; known: "
+                + ", ".join(list_codecs())
+            )
+    print(f"{'dataset':16s} " + " ".join(f"{c:>10s}" for c in codecs))
+    for name in names:
+        values = get_dataset(name, n=args.n)
+        cells = []
+        for codec_name in codecs:
+            codec = get_codec(codec_name)
+            cells.append(codec.roundtrip_bits_per_value(values))
+        print(
+            f"{name:16s} " + " ".join(f"{b:10.2f}" for b in cells)
+        )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.report import compressibility_report
+    from repro.data import DATASETS, EXTENSION_DATASETS
+
+    if args.input in DATASETS or args.input in EXTENSION_DATASETS:
+        from repro.data import get_dataset
+
+        values = get_dataset(args.input, n=args.n)
+        name = args.input
+    else:
+        values = _load_doubles(Path(args.input))
+        if values.size > args.n:
+            values = values[: args.n]
+        name = Path(args.input).name
+    print(compressibility_report(values, name=name))
+    return 0
+
+
+def _cmd_choose(args: argparse.Namespace) -> int:
+    from repro.core.autotune import choose_codec
+    from repro.data import DATASETS, EXTENSION_DATASETS
+
+    if args.input in DATASETS or args.input in EXTENSION_DATASETS:
+        from repro.data import get_dataset
+
+        values = get_dataset(args.input, n=args.n)
+    else:
+        values = _load_doubles(Path(args.input))
+    choice = choose_codec(values)
+    print(f"chosen codec : {choice.name}")
+    print(f"projected    : {choice.projected_bits_per_value:.2f} bits/value")
+    for name, bits in sorted(choice.trials.items(), key=lambda kv: kv[1]):
+        shown = "n/a" if bits == float("inf") else f"{bits:.2f}"
+        print(f"  trial {name:8s}: {shown}")
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    from repro.data import DATASETS
+
+    print(f"{'name':16s} {'kind':6s} {'precision':>10s}  semantics")
+    for name, spec in DATASETS.items():
+        kind = "TS" if spec.time_series else "non-TS"
+        lo, hi = spec.precision_hint
+        print(f"{name:16s} {kind:6s} {f'{lo}..{hi}':>10s}  {spec.semantics}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="alp-repro",
+        description="ALP adaptive lossless floating-point compression",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compress", help="compress doubles into ALPC")
+    p.add_argument("input", help="input .npy or raw little-endian float64")
+    p.add_argument("output", help="output .alpc file")
+    p.set_defaults(fn=_cmd_compress)
+
+    p = sub.add_parser("decompress", help="decompress ALPC to doubles")
+    p.add_argument("input", help="input .alpc file")
+    p.add_argument("output", help="output .npy or raw float64 file")
+    p.set_defaults(fn=_cmd_decompress)
+
+    p = sub.add_parser("inspect", help="show ALPC file structure")
+    p.add_argument("input", help=".alpc file")
+    p.set_defaults(fn=_cmd_inspect)
+
+    p = sub.add_parser("ratio", help="measure bits/value on datasets")
+    p.add_argument("datasets", nargs="*", help="dataset names (default all)")
+    p.add_argument(
+        "--codec",
+        action="append",
+        help="codec to measure (repeatable; default alp)",
+    )
+    p.add_argument("--n", type=int, default=20_000, help="values per dataset")
+    p.set_defaults(fn=_cmd_ratio)
+
+    p = sub.add_parser(
+        "analyze", help="compressibility report (Section 2 analysis)"
+    )
+    p.add_argument("input", help="dataset name, .npy or raw float64 file")
+    p.add_argument("--n", type=int, default=20_000, help="values to analyze")
+    p.set_defaults(fn=_cmd_analyze)
+
+    p = sub.add_parser("choose", help="auto-select a codec from a sample")
+    p.add_argument("input", help="dataset name, .npy or raw float64 file")
+    p.add_argument("--n", type=int, default=20_000, help="values to sample")
+    p.set_defaults(fn=_cmd_choose)
+
+    p = sub.add_parser("datasets", help="list the synthetic datasets")
+    p.set_defaults(fn=_cmd_datasets)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

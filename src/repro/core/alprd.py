@@ -1,0 +1,207 @@
+"""ALP_rd: compression for "real" doubles (Section 3.4, Algorithm 3).
+
+When a row-group's values cannot be represented as decimals (e.g. the
+POI-lat/POI-lon coordinate datasets), ALP cuts every double's 64 bits at
+a position ``p >= 48`` chosen once per row-group:
+
+- the *right* part (low ``p`` bits) is stored with plain bit-packing —
+  high-precision mantissa tails are close to incompressible anyway;
+- the *left* part (high ``64 - p <= 16`` bits: sign, exponent and top
+  mantissa bits) has low variance and is compressed with a skewed
+  dictionary of at most 8 16-bit entries plus 16-bit exceptions.
+
+Decoding bit-unpacks both parts, patches left-part exceptions, and
+*glues* them back with a shift-or.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.alputil.bits import bits_to_double, double_to_bits
+from repro.core.constants import MAX_RD_LEFT_BITS
+from repro.core.sampler import equidistant_indices
+from repro.encodings.bitpack import pack_bits, unpack_bits
+from repro.encodings.dictionary import SkewedDictionary
+
+#: How many values per row-group the cut-position search looks at.
+RD_SAMPLE_SIZE = 256
+
+
+@dataclass(frozen=True)
+class AlpRdParameters:
+    """Row-group-level parameters of ALP_rd: cut position + dictionary."""
+
+    right_bit_width: int  # the paper's p, >= 48 for doubles
+    dictionary: SkewedDictionary
+    total_bits: int = 64  # 64 for doubles, 32 for the float port
+
+    @property
+    def left_bit_width(self) -> int:
+        """Width of the front-bit part (``total_bits - p``)."""
+        return self.total_bits - self.right_bit_width
+
+    def size_bits(self) -> int:
+        """Row-group header: 8-bit cut position + the dictionary entries."""
+        return 8 + self.dictionary.size_bits()
+
+
+@dataclass(frozen=True)
+class AlpRdVector:
+    """One ALP_rd-encoded vector (parameters live on the row-group)."""
+
+    left_payload: bytes  # bit-packed dictionary codes
+    right_payload: bytes  # bit-packed right parts
+    exc_positions: np.ndarray  # uint16
+    exc_values: np.ndarray  # uint16 left parts that missed the dictionary
+    count: int
+
+    def size_bits(
+        self, parameters: AlpRdParameters
+    ) -> int:
+        """Vector footprint: both payloads + 32 bits per exception + count."""
+        return (
+            len(self.left_payload) * 8
+            + len(self.right_payload) * 8
+            + self.exc_positions.size * (16 + 16)
+            + 16  # exception count
+        )
+
+
+@dataclass(frozen=True)
+class AlpRdRowGroup:
+    """An ALP_rd-encoded row-group: shared parameters + vectors."""
+
+    parameters: AlpRdParameters
+    vectors: tuple[AlpRdVector, ...]
+    count: int
+
+    def size_bits(self) -> int:
+        """Header + every vector's footprint."""
+        return self.parameters.size_bits() + sum(
+            v.size_bits(self.parameters) for v in self.vectors
+        )
+
+    def bits_per_value(self) -> float:
+        """Compressed bits per value."""
+        if self.count == 0:
+            return 0.0
+        return self.size_bits() / self.count
+
+
+def find_best_cut(
+    sample_bits: np.ndarray, total_bits: int = 64
+) -> AlpRdParameters:
+    """Search the cut position minimizing estimated bits per value.
+
+    Tries every left width in ``1..16`` (i.e. ``p`` from ``total_bits - 1``
+    down to ``total_bits - 16``), fitting a skewed dictionary on the
+    sampled left parts each time, and keeps the cheapest estimate:
+    ``right_width + code_width + exception_rate * 32`` bits per value.
+    """
+    sample_bits = np.asarray(sample_bits, dtype=np.uint64)
+    best: AlpRdParameters | None = None
+    best_cost = float("inf")
+    for left_width in range(1, MAX_RD_LEFT_BITS + 1):
+        right_width = total_bits - left_width
+        left = sample_bits >> np.uint64(right_width)
+        dictionary = SkewedDictionary.fit(left)
+        _, exc_positions, _ = dictionary.encode(left)
+        exc_rate = exc_positions.size / max(sample_bits.size, 1)
+        cost = right_width + dictionary.code_width + exc_rate * 32
+        if cost < best_cost:
+            best_cost = cost
+            best = AlpRdParameters(
+                right_bit_width=right_width,
+                dictionary=dictionary,
+                total_bits=total_bits,
+            )
+    assert best is not None
+    return best
+
+
+def fit_parameters(
+    rowgroup: np.ndarray,
+    total_bits: int = 64,
+    sample_size: int = RD_SAMPLE_SIZE,
+) -> AlpRdParameters:
+    """Sample a row-group and fit (cut position, dictionary) once."""
+    if total_bits == 64:
+        bits = double_to_bits(np.ascontiguousarray(rowgroup, dtype=np.float64))
+    else:
+        from repro.alputil.bits import float32_to_bits
+
+        bits = float32_to_bits(
+            np.ascontiguousarray(rowgroup, dtype=np.float32)
+        ).astype(np.uint64)
+    sample = bits[equidistant_indices(bits.size, sample_size)]
+    return find_best_cut(sample, total_bits=total_bits)
+
+
+def encode_vector_bits(
+    bits: np.ndarray, parameters: AlpRdParameters
+) -> AlpRdVector:
+    """Encode one vector of raw bit patterns under fixed parameters."""
+    bits = np.asarray(bits, dtype=np.uint64)
+    right_width = parameters.right_bit_width
+    right = bits & np.uint64((1 << right_width) - 1)
+    left = bits >> np.uint64(right_width)
+    codes, exc_positions, exc_values = parameters.dictionary.encode(left)
+    return AlpRdVector(
+        left_payload=pack_bits(codes, parameters.dictionary.code_width),
+        right_payload=pack_bits(right, right_width),
+        exc_positions=exc_positions,
+        exc_values=exc_values,
+        count=bits.size,
+    )
+
+
+def decode_vector_bits(
+    vector: AlpRdVector, parameters: AlpRdParameters
+) -> np.ndarray:
+    """Decode one vector back to raw bit patterns (BITUNPACK + GLUE)."""
+    right = unpack_bits(
+        vector.right_payload, parameters.right_bit_width, vector.count
+    )
+    codes = unpack_bits(
+        vector.left_payload, parameters.dictionary.code_width, vector.count
+    )
+    left = parameters.dictionary.decode(
+        codes, vector.exc_positions, vector.exc_values
+    )
+    return (left << np.uint64(parameters.right_bit_width)) | right
+
+
+def alprd_encode(
+    rowgroup: np.ndarray,
+    vector_size: int = 1024,
+    parameters: AlpRdParameters | None = None,
+) -> AlpRdRowGroup:
+    """Encode a float64 row-group with ALP_rd."""
+    rowgroup = np.ascontiguousarray(rowgroup, dtype=np.float64)
+    if parameters is None:
+        parameters = fit_parameters(rowgroup, total_bits=64)
+    bits = double_to_bits(rowgroup)
+    vectors = tuple(
+        encode_vector_bits(bits[start : start + vector_size], parameters)
+        for start in range(0, max(bits.size, 1), vector_size)
+        if bits[start : start + vector_size].size
+    )
+    return AlpRdRowGroup(
+        parameters=parameters, vectors=vectors, count=rowgroup.size
+    )
+
+
+def alprd_decode(rowgroup: AlpRdRowGroup) -> np.ndarray:
+    """Decode an ALP_rd row-group back to float64, bit-exactly."""
+    if not rowgroup.vectors:
+        return np.empty(0, dtype=np.float64)
+    bits = np.concatenate(
+        [
+            decode_vector_bits(vector, rowgroup.parameters)
+            for vector in rowgroup.vectors
+        ]
+    )
+    return bits_to_double(bits)

@@ -1,0 +1,73 @@
+"""Constants of the ALP scheme, as fixed in the paper's Section 4.
+
+All sampling parameters are module-level so tests and ablation benches can
+reference (and sweep around) the exact published configuration:
+
+- vector size ``v = 1024``,
+- row-group size ``w = 100`` vectors,
+- first-level sampling: ``m = 8`` vectors per row-group, ``n = 32`` values
+  per sampled vector,
+- second-level sampling: ``s = 32`` values per vector,
+- at most ``k = 5`` candidate (exponent, factor) combinations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Values per vector (fits comfortably in L1/L2, §4 "Sampling Parameters").
+VECTOR_SIZE = 1024
+
+#: Vectors per row-group (mirrors DuckDB-style row-group sizing).
+ROWGROUP_VECTORS = 100
+
+#: Values per row-group.
+ROWGROUP_SIZE = VECTOR_SIZE * ROWGROUP_VECTORS
+
+#: First-level sampling: vectors sampled per row-group.
+SAMPLES_PER_ROWGROUP = 8
+
+#: First-level sampling: values sampled per sampled vector.
+SAMPLES_PER_VECTOR_FIRST_LEVEL = 32
+
+#: Second-level sampling: values sampled per vector.
+SAMPLES_PER_VECTOR_SECOND_LEVEL = 32
+
+#: Maximum number of candidate (e, f) combinations kept after level one.
+MAX_COMBINATIONS = 5
+
+#: Largest decimal exponent searched.  The paper's search space is
+#: ``0 <= e <= 21`` with ``f <= e`` — 253 combinations.  10**e has an exact
+#: double representation up to e = 22, so every table entry below is exact.
+MAX_EXPONENT = 21
+
+#: Exponent multiplier table ``F10`` from Algorithm 1 (10**0 .. 10**21).
+F10 = np.array([10.0**i for i in range(MAX_EXPONENT + 1)], dtype=np.float64)
+
+#: Inverse multiplier table ``i_F10`` from Algorithm 1.  These are *not*
+#: exact doubles (Section 2.5) — that inexactness is precisely what the
+#: encoder's verification step guards against.
+IF10 = np.array([10.0**-i for i in range(MAX_EXPONENT + 1)], dtype=np.float64)
+
+#: The sweet-spot constant of fast_double_round: 2**51 + 2**52.
+SWEET_SPOT = float((1 << 51) + (1 << 52))
+
+#: Bits to store one exception: 64-bit raw double + 16-bit position (§3.1).
+EXCEPTION_SIZE_BITS = 64 + 16
+
+#: Bits of per-vector metadata: exponent (8), factor (8), exception count
+#: (16) — FFOR adds its own reference + bit width on top.
+VECTOR_HEADER_BITS = 8 + 8 + 16
+
+#: If the best first-level estimate exceeds this many bits per value, the
+#: row-group is deemed incompressible as decimals and ALP_rd takes over
+#: (the reference implementation uses the same threshold).
+RD_SIZE_THRESHOLD_BITS = 48
+
+#: ALP_rd: the cut position p must satisfy p >= 48, i.e. the left (front)
+#: part is at most 16 bits wide (§3.4).
+MAX_RD_LEFT_BITS = 16
+
+#: Fast rounding only holds while |n * 10**e * 10**-f| < 2**51; anything
+#: larger fails verification and becomes an exception.
+ENCODING_LIMIT = float(1 << 51)

@@ -1,0 +1,46 @@
+"""The SIMD-friendly ``fast_double_round`` trick (§3.1, "Fast Rounding").
+
+``round()`` has no SIMD instruction, so ALP rounds by pushing the value
+into the range ``[2**52, 2**53)`` where doubles cannot carry a fractional
+part: ``rounded = cast<int64>(n + sweet - sweet)`` with
+``sweet = 2**51 + 2**52``.  The trick is exact for ``|n| < 2**51``; beyond
+that the verification step of the encoder catches the corruption and the
+value becomes an exception, so no separate range check is needed on the
+hot path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.constants import SWEET_SPOT
+
+
+def fast_round(values: np.ndarray) -> np.ndarray:
+    """Round float64 values half-to-even via the sweet-spot trick.
+
+    Returns int64.  Values outside ``(-2**51, 2**51)``, NaN and ±inf give
+    meaningless (but deterministic) results — by design, since ALP's
+    round-trip verification will flag them as exceptions anyway.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    shifted = values + SWEET_SPOT
+    shifted -= SWEET_SPOT
+    # Clamp non-finite and out-of-int64 garbage in place to keep the cast
+    # warning-free; such values always fail the round-trip check anyway.
+    np.clip(shifted, -(2.0**62), 2.0**62, out=shifted)  # maps +-inf too
+    nan_mask = np.isnan(shifted)
+    if nan_mask.any():
+        shifted[nan_mask] = 0.0
+    return shifted.astype(np.int64)
+
+
+def fast_round_scalar(value: float) -> int:
+    """Scalar reference of :func:`fast_round` (used by the pure-Python
+    decode path of the Figure 4 implementation sweep)."""
+    import math
+
+    shifted = (value + SWEET_SPOT) - SWEET_SPOT
+    if not math.isfinite(shifted):
+        return 0
+    return int(max(-(2.0**62), min(2.0**62, shifted)))

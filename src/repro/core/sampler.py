@@ -1,0 +1,260 @@
+"""The two-level adaptive sampling of ALP (Section 3.2).
+
+Level one runs once per row-group: ``m = 8`` equidistant vectors are
+sampled, ``n = 32`` equidistant values from each, and for every sampled
+vector the *entire* (e, f) search space (253 combinations) is scanned.
+The up-to-``k = 5`` combinations that win most often become the
+row-group's candidate set; ties prefer higher exponents and factors.
+
+Level two runs once per vector: ``s = 32`` equidistant values are
+sampled and the candidates from level one are tried *in order of
+frequency*, with a greedy early exit — if two consecutive candidates do
+no better than the best seen, the search stops.  When level one produced
+a single candidate, level two is skipped entirely.
+
+The level-one scan also powers the ALP vs ALP_rd decision: a best
+estimate above ``RD_SIZE_THRESHOLD_BITS`` bits/value marks the row-group
+as "real doubles".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.alputil.bits import leading_zeros64
+from repro.core.constants import (
+    EXCEPTION_SIZE_BITS,
+    F10,
+    IF10,
+    MAX_COMBINATIONS,
+    MAX_EXPONENT,
+    SAMPLES_PER_ROWGROUP,
+    SAMPLES_PER_VECTOR_FIRST_LEVEL,
+    SAMPLES_PER_VECTOR_SECOND_LEVEL,
+    VECTOR_SIZE,
+)
+from repro.core.fastround import fast_round
+
+
+@dataclass(frozen=True, order=True)
+class ExponentFactor:
+    """One (exponent e, factor f) combination, ``f <= e``."""
+
+    exponent: int
+    factor: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.factor <= self.exponent <= MAX_EXPONENT:
+            raise ValueError(
+                f"invalid combination e={self.exponent}, f={self.factor}"
+            )
+
+
+def _build_search_space() -> tuple[np.ndarray, np.ndarray]:
+    """All (e, f) combinations, highest exponent/factor first.
+
+    Ordering matters: the full search takes the *first* minimum, so
+    enumerating high-e/high-f first implements the paper's tie-break
+    ("prioritize combinations with higher exponents and higher factors").
+    """
+    exponents, factors = [], []
+    for e in range(MAX_EXPONENT, -1, -1):
+        for f in range(e, -1, -1):
+            exponents.append(e)
+            factors.append(f)
+    return (
+        np.asarray(exponents, dtype=np.int64),
+        np.asarray(factors, dtype=np.int64),
+    )
+
+
+_E_ALL, _F_ALL = _build_search_space()
+
+#: Number of combinations in the full search space (253 in the paper).
+SEARCH_SPACE_SIZE = _E_ALL.size
+
+
+def estimate_sizes_all_combinations(sample: np.ndarray) -> np.ndarray:
+    """Estimated bits for ``sample`` under *every* (e, f) combination.
+
+    Fully vectorized over the (combinations x samples) matrix.  Returns an
+    array aligned with the module's search-space ordering.
+    """
+    sample = np.ascontiguousarray(sample, dtype=np.float64)
+    if sample.size == 0:
+        return np.zeros(SEARCH_SPACE_SIZE, dtype=np.int64)
+    # The multiplication structure must match alp_analyze exactly (two
+    # separate multiplies, not a precomputed product): a different rounding
+    # path would make the sampler mispredict the encoder's exceptions.
+    e_mul = F10[_E_ALL][:, None]
+    f_inv = IF10[_F_ALL][:, None]
+    f_mul = F10[_F_ALL][:, None]
+    e_inv = IF10[_E_ALL][:, None]
+    with np.errstate(over="ignore", invalid="ignore"):
+        encoded = fast_round(sample[None, :] * e_mul * f_inv)
+        decoded = encoded * f_mul * e_inv
+    exceptions = decoded.view(np.uint64) != sample.view(np.uint64)
+
+    int_min = np.iinfo(np.int64).min
+    int_max = np.iinfo(np.int64).max
+    masked_max = np.where(exceptions, int_min, encoded).max(axis=1)
+    masked_min = np.where(exceptions, int_max, encoded).min(axis=1)
+    n_exc = exceptions.sum(axis=1)
+    n_valid = sample.size - n_exc
+
+    spread = np.where(
+        n_valid > 0, masked_max - masked_min, 0
+    ).astype(np.uint64)
+    width = 64 - leading_zeros64(spread)
+    return (n_valid * width + n_exc * EXCEPTION_SIZE_BITS).astype(np.int64)
+
+
+def find_best_combination(sample: np.ndarray) -> tuple[ExponentFactor, int]:
+    """Full-search the best (e, f) for a sample; returns (combo, est. bits)."""
+    sizes = estimate_sizes_all_combinations(sample)
+    best = int(np.argmin(sizes))
+    combo = ExponentFactor(int(_E_ALL[best]), int(_F_ALL[best]))
+    return combo, int(sizes[best])
+
+
+def equidistant_indices(total: int, wanted: int) -> np.ndarray:
+    """``wanted`` equidistant indices into a range of ``total`` elements."""
+    if total <= 0:
+        return np.empty(0, dtype=np.int64)
+    wanted = min(wanted, total)
+    return np.linspace(0, total - 1, num=wanted, dtype=np.int64)
+
+
+def sample_vector(values: np.ndarray, wanted: int) -> np.ndarray:
+    """Sample ``wanted`` equidistant values from a vector."""
+    return values[equidistant_indices(values.size, wanted)]
+
+
+@dataclass(frozen=True)
+class FirstLevelResult:
+    """Outcome of the row-group (first) sampling level.
+
+    Attributes:
+        candidates: up to ``k`` combinations, most frequent first.
+        use_rd: True when the row-group should fall back to ALP_rd.
+        best_estimated_bits_per_value: size estimate of the winning combo.
+    """
+
+    candidates: tuple[ExponentFactor, ...]
+    use_rd: bool
+    best_estimated_bits_per_value: float
+
+    @property
+    def k_prime(self) -> int:
+        """Number of surviving candidates (the paper's k')."""
+        return len(self.candidates)
+
+
+def first_level_sample(
+    rowgroup: np.ndarray,
+    vector_size: int = VECTOR_SIZE,
+    vectors_sampled: int = SAMPLES_PER_ROWGROUP,
+    values_per_vector: int = SAMPLES_PER_VECTOR_FIRST_LEVEL,
+    max_candidates: int = MAX_COMBINATIONS,
+    rd_threshold_bits: float | None = None,
+) -> FirstLevelResult:
+    """Row-group sampling: full search on m x n sampled values (§3.2)."""
+    from repro.core.constants import RD_SIZE_THRESHOLD_BITS
+
+    if rd_threshold_bits is None:
+        rd_threshold_bits = float(RD_SIZE_THRESHOLD_BITS)
+
+    rowgroup = np.ascontiguousarray(rowgroup, dtype=np.float64)
+    n_vectors = max(1, (rowgroup.size + vector_size - 1) // vector_size)
+    vector_indices = equidistant_indices(n_vectors, vectors_sampled)
+
+    votes: Counter[ExponentFactor] = Counter()
+    best_ratio = float("inf")
+    for vi in vector_indices.tolist():
+        chunk = rowgroup[vi * vector_size : (vi + 1) * vector_size]
+        if chunk.size == 0:
+            continue
+        sample = sample_vector(chunk, values_per_vector)
+        combo, est_bits = find_best_combination(sample)
+        votes[combo] += 1
+        best_ratio = min(best_ratio, est_bits / sample.size)
+
+    if not votes:
+        return FirstLevelResult(
+            candidates=(ExponentFactor(0, 0),),
+            use_rd=False,
+            best_estimated_bits_per_value=0.0,
+        )
+
+    # Most frequent first; ties prefer higher exponent, then higher factor.
+    ranked = sorted(
+        votes.items(),
+        key=lambda item: (-item[1], -item[0].exponent, -item[0].factor),
+    )
+    candidates = tuple(combo for combo, _ in ranked[:max_candidates])
+    return FirstLevelResult(
+        candidates=candidates,
+        use_rd=best_ratio >= rd_threshold_bits,
+        best_estimated_bits_per_value=best_ratio,
+    )
+
+
+@dataclass(frozen=True)
+class SecondLevelResult:
+    """Outcome of the per-vector (second) sampling level."""
+
+    combination: ExponentFactor
+    combinations_tried: int
+    skipped: bool  # True when k' == 1 and no sampling happened
+
+
+def _estimate_for_candidates(
+    sample: np.ndarray, candidate: ExponentFactor
+) -> int:
+    """Size estimate of one candidate on the per-vector sample."""
+    from repro.core.alp import estimate_size_bits
+
+    return estimate_size_bits(sample, candidate.exponent, candidate.factor)
+
+
+def second_level_sample(
+    vector: np.ndarray,
+    candidates: tuple[ExponentFactor, ...],
+    samples: int = SAMPLES_PER_VECTOR_SECOND_LEVEL,
+) -> SecondLevelResult:
+    """Per-vector sampling with greedy early exit (§3.2).
+
+    Candidates are evaluated in the order level one ranked them.  If two
+    consecutive candidates perform no better than the best so far, the
+    search stops and the best so far wins.  With a single candidate the
+    whole step is skipped.
+    """
+    if not candidates:
+        raise ValueError("second_level_sample needs at least one candidate")
+    if len(candidates) == 1:
+        return SecondLevelResult(
+            combination=candidates[0], combinations_tried=0, skipped=True
+        )
+
+    sample = sample_vector(np.ascontiguousarray(vector, dtype=np.float64), samples)
+    best_combo = candidates[0]
+    best_size = _estimate_for_candidates(sample, best_combo)
+    worse_streak = 0
+    tried = 1
+    for candidate in candidates[1:]:
+        size = _estimate_for_candidates(sample, candidate)
+        tried += 1
+        if size < best_size:
+            best_size = size
+            best_combo = candidate
+            worse_streak = 0
+        else:
+            worse_streak += 1
+            if worse_streak >= 2:
+                break
+    return SecondLevelResult(
+        combination=best_combo, combinations_tried=tried, skipped=False
+    )

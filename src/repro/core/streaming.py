@@ -1,0 +1,133 @@
+"""Incremental (streaming) compression.
+
+Ingestion pipelines rarely hold a whole column in memory; the
+:class:`StreamingCompressor` accepts values in arbitrary-sized chunks,
+buffers one row-group at a time, and emits
+:class:`~repro.core.compressor.CompressedRowGroup` objects as soon as
+each row-group fills — the same unit the storage layer serializes.
+Sampling behaviour is identical to the batch compressor because ALP's
+two-level sampling is row-group-scoped by design.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.core.compressor import (
+    CompressedRowGroup,
+    CompressedRowGroups,
+    CompressionStats,
+    compress_rowgroup,
+)
+from repro.core.constants import ROWGROUP_VECTORS, VECTOR_SIZE
+
+
+class StreamingCompressor:
+    """Chunk-at-a-time compressor emitting completed row-groups.
+
+    Usage::
+
+        sink = []
+        stream = StreamingCompressor(on_rowgroup=sink.append)
+        for chunk in chunks:
+            stream.write(chunk)
+        stream.close()        # flushes the partial trailing row-group
+    """
+
+    def __init__(
+        self,
+        on_rowgroup: Callable[[CompressedRowGroup], None],
+        vector_size: int = VECTOR_SIZE,
+        rowgroup_vectors: int = ROWGROUP_VECTORS,
+    ) -> None:
+        self._on_rowgroup = on_rowgroup
+        self._vector_size = vector_size
+        self._rowgroup_size = vector_size * rowgroup_vectors
+        self._buffer: list[np.ndarray] = []
+        self._buffered = 0
+        self._closed = False
+        self.values_written = 0
+        self.rowgroups_emitted = 0
+
+    def write(self, values: np.ndarray) -> None:
+        """Append a chunk; emits row-groups whenever the buffer fills."""
+        if self._closed:
+            raise RuntimeError("compressor is closed")
+        values = np.ascontiguousarray(values, dtype=np.float64)
+        if values.size == 0:
+            return
+        self.values_written += values.size
+        self._buffer.append(values)
+        self._buffered += values.size
+        while self._buffered >= self._rowgroup_size:
+            self._emit(self._take(self._rowgroup_size))
+
+    def close(self) -> None:
+        """Flush any buffered tail as a final (short) row-group."""
+        if self._closed:
+            return
+        if self._buffered:
+            self._emit(self._take(self._buffered))
+        self._closed = True
+
+    def _take(self, count: int) -> np.ndarray:
+        """Remove exactly ``count`` buffered values."""
+        parts: list[np.ndarray] = []
+        needed = count
+        while needed:
+            head = self._buffer[0]
+            if head.size <= needed:
+                parts.append(head)
+                self._buffer.pop(0)
+                needed -= head.size
+            else:
+                parts.append(head[:needed])
+                self._buffer[0] = head[needed:]
+                needed = 0
+        self._buffered -= count
+        return np.concatenate(parts) if len(parts) > 1 else parts[0]
+
+    def _emit(self, values: np.ndarray) -> None:
+        rowgroup, _, _ = compress_rowgroup(
+            values, vector_size=self._vector_size
+        )
+        self.rowgroups_emitted += 1
+        self._on_rowgroup(rowgroup)
+
+    def __enter__(self) -> "StreamingCompressor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def compress_stream(
+    chunks: Iterator[np.ndarray],
+    vector_size: int = VECTOR_SIZE,
+    rowgroup_vectors: int = ROWGROUP_VECTORS,
+) -> CompressedRowGroups:
+    """Compress an iterator of chunks into a full column object."""
+    rowgroups: list[CompressedRowGroup] = []
+    with StreamingCompressor(
+        rowgroups.append,
+        vector_size=vector_size,
+        rowgroup_vectors=rowgroup_vectors,
+    ) as stream:
+        for chunk in chunks:
+            stream.write(chunk)
+    count = sum(rg.count for rg in rowgroups)
+    return CompressedRowGroups(
+        rowgroups=tuple(rowgroups),
+        count=count,
+        vector_size=vector_size,
+        stats=CompressionStats(
+            vectors_encoded=sum(
+                len(rg.alp.vectors) if rg.alp else len(rg.rd.vectors)
+                for rg in rowgroups
+            ),
+            rd_rowgroups=sum(1 for rg in rowgroups if rg.scheme == "alprd"),
+            alp_rowgroups=sum(1 for rg in rowgroups if rg.scheme == "alp"),
+        ),
+    )

@@ -1,0 +1,34 @@
+"""Synthetic datasets matched to the paper's evaluation corpus.
+
+The real 30-dataset corpus (Table 1) is not redistributable/downloadable
+offline; :mod:`repro.data.datasets` synthesizes a stand-in for each from
+the fingerprints the paper reports, and
+:mod:`repro.data.paper_reference` transcribes the published result
+tables so benchmark reports can print paper-vs-measured side by side.
+"""
+
+from repro.data.datasets import (
+    DATASET_ORDER,
+    DATASETS,
+    DEFAULT_N,
+    ENDTOEND_DATASETS,
+    EXTENSION_DATASETS,
+    DatasetSpec,
+    get_dataset,
+    list_datasets,
+)
+from repro.data.mlweights import MODELS, ModelSpec, get_model_weights
+
+__all__ = [
+    "DATASETS",
+    "DATASET_ORDER",
+    "DEFAULT_N",
+    "ENDTOEND_DATASETS",
+    "EXTENSION_DATASETS",
+    "DatasetSpec",
+    "MODELS",
+    "ModelSpec",
+    "get_dataset",
+    "get_model_weights",
+    "list_datasets",
+]

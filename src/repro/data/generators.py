@@ -1,0 +1,215 @@
+"""Primitive generators the synthetic datasets are composed from.
+
+The paper's 30 evaluation datasets are multi-gigabyte external downloads;
+this offline reproduction synthesizes stand-ins from the statistical
+fingerprints the paper itself reports (Table 1 semantics, Table 2
+metrics).  The primitives below cover every property the compared
+schemes exploit:
+
+- temporal locality (random walks) vs i.i.d. draws,
+- visible decimal precision, fixed or mixed per value,
+- duplicate fraction (repeats of recent values),
+- zero-run structure (the Gov/xx columns),
+- magnitude level and spread,
+- full-precision "real doubles" (coordinate-in-radians transforms).
+
+Every generator takes an explicit ``numpy.random.Generator`` so datasets
+are reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+
+def round_decimals(values: np.ndarray, places: int) -> np.ndarray:
+    """Round to a fixed number of decimal places (decimal-origin data)."""
+    return np.round(np.asarray(values, dtype=np.float64), places)
+
+
+def round_mixed_decimals(
+    values: np.ndarray,
+    places: Sequence[int],
+    weights: Sequence[float],
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Round each value to a precision drawn from a discrete distribution.
+
+    Models columns like CMS/1 where Table 2 reports a large decimal-
+    precision deviation (averages computed at assorted precisions).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    chosen = rng.choice(np.asarray(places), size=values.size, p=weights)
+    out = np.empty_like(values)
+    for p in np.unique(chosen):
+        mask = chosen == p
+        out[mask] = np.round(values[mask], int(p))
+    return out
+
+
+def random_walk(
+    n: int,
+    rng: np.random.Generator,
+    start: float,
+    step_std: float,
+    low: float | None = None,
+    high: float | None = None,
+) -> np.ndarray:
+    """Gaussian random walk — the shape of the time-series datasets."""
+    steps = rng.normal(0.0, step_std, n)
+    walk = start + np.cumsum(steps)
+    if low is not None or high is not None:
+        lo = -math.inf if low is None else low
+        hi = math.inf if high is None else high
+        # Reflect at the boundaries so the walk stays in its domain
+        # without saturating into long constant runs.
+        span = hi - lo
+        if math.isfinite(span) and span > 0:
+            walk = lo + np.abs((walk - lo) % (2 * span) - span)
+        else:
+            walk = np.clip(walk, lo, hi)
+    return walk
+
+
+def iid_lognormal(
+    n: int,
+    rng: np.random.Generator,
+    median: float,
+    sigma: float,
+) -> np.ndarray:
+    """Heavy-tailed positive draws (monetary columns)."""
+    return median * rng.lognormal(0.0, sigma, n)
+
+
+def iid_uniform(
+    n: int, rng: np.random.Generator, low: float, high: float
+) -> np.ndarray:
+    """Uniform i.i.d. draws."""
+    return rng.uniform(low, high, n)
+
+
+def inject_duplicates(
+    values: np.ndarray,
+    fraction: float,
+    rng: np.random.Generator,
+    lookback: int = 200,
+) -> np.ndarray:
+    """Replace a fraction of values with a copy of a recent value.
+
+    Reproduces the "non-unique % per vector" column of Table 2, which the
+    XOR schemes (and cascades) exploit.  Duplicates reference one of the
+    previous ``lookback`` values; with the default lookback of 200 only
+    part of them land inside Chimp128's 128-value window, mirroring how
+    real columns repeat values at assorted distances.
+    """
+    values = np.asarray(values, dtype=np.float64).copy()
+    if values.size < 2 or fraction <= 0:
+        return values
+    dup_mask = rng.random(values.size) < fraction
+    dup_mask[0] = False
+    # Half the repeats copy the immediately preceding value (tick-data
+    # style, preserving temporal locality); the rest reference a value a
+    # geometric distance back, some beyond Chimp128's 128-value window.
+    tail = np.minimum(
+        rng.geometric(2.0 / lookback, size=values.size), lookback
+    )
+    offsets = np.where(rng.random(values.size) < 0.5, 1, tail)
+    idx = np.flatnonzero(dup_mask)
+    src = np.maximum(idx - offsets[idx], 0)
+    # Sequential copy: a duplicate may itself be duplicated later, which
+    # produces the run structure real data exhibits.
+    for i, s in zip(idx.tolist(), src.tolist()):
+        values[i] = values[s]
+    return values
+
+
+def zero_dominated(
+    n: int,
+    rng: np.random.Generator,
+    zero_fraction: float,
+    nonzero: np.ndarray,
+    period: int = 24_576,
+) -> np.ndarray:
+    """Mostly-zero column with *long consecutive* runs of zeros (Gov/xx).
+
+    ``nonzero`` supplies the values for the non-zero slots (cycled).
+    The column alternates between long zero stretches (geometric mean
+    ``zero_fraction * period``) and non-zero bursts (geometric mean
+    ``(1 - zero_fraction) * period``).  Long runs mean most 1024-value
+    vectors are *entirely* zero — the structure behind the paper's
+    sub-bit Gov/26 and Gov/40 ratios, and the data on which Gorilla and
+    Chimp beat Chimp128 (Section 5).
+    """
+    out = np.empty(n, dtype=np.float64)
+    nonzero = np.asarray(nonzero, dtype=np.float64)
+    zero_mean = max(zero_fraction * period, 1.0)
+    burst_mean = max((1.0 - zero_fraction) * period, 1.0)
+    pos = 0
+    nz_cursor = 0
+    while pos < n:
+        zeros = min(int(rng.geometric(1.0 / zero_mean)), n - pos)
+        out[pos : pos + zeros] = 0.0
+        pos += zeros
+        if pos >= n:
+            break
+        burst = min(int(rng.geometric(1.0 / burst_mean)), n - pos)
+        for _ in range(burst):
+            out[pos] = nonzero[nz_cursor % nonzero.size]
+            nz_cursor += 1
+            pos += 1
+    return out
+
+
+def degrees_to_radians(degrees: np.ndarray) -> np.ndarray:
+    """The POI transform: degree coordinates to radians.
+
+    Multiplying by pi/180 turns short decimals into full-precision
+    doubles — the one case in the paper's corpus that is *not* decimal-
+    origin data and forces ALP_rd.
+    """
+    return np.asarray(degrees, dtype=np.float64) * (math.pi / 180.0)
+
+
+def from_pool(
+    n: int,
+    rng: np.random.Generator,
+    pool: np.ndarray,
+    weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """Draw from a small pool of distinct values (SD-bench, NYC/29 shape)."""
+    pool = np.asarray(pool, dtype=np.float64)
+    if weights is not None:
+        weights = np.asarray(weights, dtype=np.float64)
+        weights = weights / weights.sum()
+    return rng.choice(pool, size=n, p=weights)
+
+
+def ml_weights(
+    n: int,
+    rng: np.random.Generator,
+    layer_sizes: Sequence[int] | None = None,
+) -> np.ndarray:
+    """Synthetic trained-model weights (float32, Table 7 substitute).
+
+    Real checkpoints are Gaussian-ish per layer with layer-dependent
+    scale (fan-in initialization shaped by training): full-precision
+    mantissas, low exponent variance — exactly the regime ALP_rd-32
+    targets.
+    """
+    if layer_sizes is None:
+        layer_sizes = []
+        remaining = n
+        while remaining > 0:
+            size = min(remaining, max(1024, n // 12))
+            layer_sizes.append(size)
+            remaining -= size
+    parts = []
+    for size in layer_sizes:
+        fan_in = max(size, 64)
+        scale = math.sqrt(2.0 / fan_in)
+        parts.append(rng.normal(0.0, scale, size).astype(np.float32))
+    weights = np.concatenate(parts)[:n]
+    return weights.astype(np.float32)

@@ -1,0 +1,55 @@
+"""Synthetic ML-model weight tensors for the Table 7 experiment.
+
+The paper compresses the float32 weights of four real models (a vision
+transformer, GPT-2, a text2text model and a tiny word2vec).  Checkpoints
+are not downloadable offline, so we synthesize weight tensors with the
+distributional properties that matter to the compared codecs: zero-mean,
+per-layer-scaled Gaussians with fully random mantissas and a narrow
+exponent band (DESIGN.md, substitution 6).  Parameter counts are scaled
+down ~100x to keep the pure-Python baselines tractable; bits/value is
+size-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.generators import ml_weights
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """One synthetic model from Table 7."""
+
+    name: str
+    model_type: str
+    paper_params: int
+    synth_params: int
+    seed: int
+
+    def generate(self) -> np.ndarray:
+        """Materialize the float32 weight tensor."""
+        rng = np.random.default_rng(self.seed)
+        return ml_weights(self.synth_params, rng)
+
+
+MODELS: dict[str, ModelSpec] = {
+    spec.name: spec
+    for spec in (
+        ModelSpec("Dino-Vitb16", "Vision Transformer", 86_389_248, 400_000, 101),
+        ModelSpec("GPT2", "Text Generation", 124_439_808, 500_000, 102),
+        ModelSpec("Grammarly-lg", "Text2Text", 783_092_736, 600_000, 103),
+        ModelSpec("W2V-Tweets", "Word2Vec", 3_000, 3_000, 104),
+    )
+}
+
+
+def get_model_weights(name: str) -> np.ndarray:
+    """Generate the synthetic weights of one Table 7 model."""
+    try:
+        return MODELS[name].generate()
+    except KeyError:
+        known = ", ".join(MODELS)
+        raise KeyError(f"unknown model {name!r}; known: {known}") from None

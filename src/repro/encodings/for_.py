@@ -1,0 +1,62 @@
+"""Plain Frame-Of-Reference encoding (FOR + BP as two separate kernels).
+
+FOR subtracts the vector minimum ("frame of reference") from every value
+so that the residuals are small non-negative integers, then bit-packs
+them.  The fused variant lives in :mod:`repro.encodings.ffor`; this
+module is the *unfused* reference the paper's Figure 5 compares against,
+and it is also reused to compress dictionary codes and RLE run lengths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.encodings.bitpack import bit_width_required, pack_bits, unpack_bits
+
+
+@dataclass(frozen=True)
+class ForEncoded:
+    """A FOR-encoded integer vector.
+
+    Attributes:
+        payload: bit-packed residuals (``value - reference``).
+        reference: the vector minimum, stored once per vector.
+        bit_width: width of each packed residual.
+        count: number of encoded values.
+    """
+
+    payload: bytes
+    reference: int
+    bit_width: int
+    count: int
+
+    def size_bits(self) -> int:
+        """Storage footprint: packed payload + 64-bit reference + 8-bit width."""
+        return len(self.payload) * 8 + 64 + 8
+
+
+def for_encode(values: np.ndarray) -> ForEncoded:
+    """Encode a signed-integer vector with FOR + bit-packing."""
+    values = np.ascontiguousarray(values, dtype=np.int64)
+    if values.size == 0:
+        return ForEncoded(payload=b"", reference=0, bit_width=0, count=0)
+    reference = int(values.min())
+    residuals = (values.astype(np.uint64) - np.uint64(reference & 0xFFFFFFFFFFFFFFFF))
+    # Subtraction in uint64 wraps correctly for negative references.
+    width = bit_width_required(residuals)
+    payload = pack_bits(residuals, width)
+    return ForEncoded(
+        payload=payload, reference=reference, bit_width=width, count=values.size
+    )
+
+
+def for_decode(encoded: ForEncoded) -> np.ndarray:
+    """Decode a :class:`ForEncoded` vector back to int64 (unfused: two passes)."""
+    residuals = unpack_bits(encoded.payload, encoded.bit_width, encoded.count)
+    # Separate, materialized add pass — this is precisely the extra
+    # load/store the fused FFOR kernel removes.  The add happens in uint64
+    # so that negative references wrap back losslessly.
+    out = residuals + np.uint64(encoded.reference & 0xFFFFFFFFFFFFFFFF)
+    return out.view(np.int64)

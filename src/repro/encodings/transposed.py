@@ -1,0 +1,104 @@
+"""Interleaved ("transposed") bit-packing layout, after FastLanes.
+
+The FastLanes library stores a 1024-value vector in a *unified
+transposed layout*: values are permuted so that any SIMD register
+width — 128, 256, 512 bits — decodes contiguous lanes independently,
+with the tile order ``0 4 2 6 1 5 3 7`` making the permutation identical
+for every width.  The sequential layout used elsewhere in this package
+is simpler and equally fast under numpy, so the interleaved layout is
+provided as an *alternative backend*:
+
+- :data:`TRANSPOSE_PERMUTATION` — the 1024-entry order: the vector is
+  viewed as 8 row-tiles of 128 values, visited in the FastLanes tile
+  order, each tile contributing one value per 16-lane group per step;
+- :func:`pack_bits_transposed` / :func:`unpack_bits_transposed` — bit
+  packing over the permuted order, bit-compatible in *size* with the
+  sequential packer and lossless under the inverse permutation.
+
+Like FastLanes, the permutation is its own fixed constant; unlike the
+C++ library we do not claim SIMD benefits in numpy — the point is
+format-level compatibility of the concept and a place to measure the
+layout's (absence of) cost in this substrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encodings.bitpack import pack_bits, unpack_bits
+
+#: FastLanes tile visiting order.
+TILE_ORDER = (0, 4, 2, 6, 1, 5, 3, 7)
+
+#: Values per vector in the FastLanes layout.
+TRANSPOSED_VECTOR_SIZE = 1024
+
+#: Lanes per tile row (1024 values = 8 tiles x 128; each tile is
+#: visited 16 values at a time across 8 steps).
+_LANE_WIDTH = 16
+
+
+def _build_permutation() -> np.ndarray:
+    """Source index for each output slot of the transposed layout."""
+    order = np.empty(TRANSPOSED_VECTOR_SIZE, dtype=np.int64)
+    slot = 0
+    for step in range(TRANSPOSED_VECTOR_SIZE // (_LANE_WIDTH * len(TILE_ORDER))):
+        for tile in TILE_ORDER:
+            base = tile * (TRANSPOSED_VECTOR_SIZE // len(TILE_ORDER))
+            start = base + step * _LANE_WIDTH
+            order[slot : slot + _LANE_WIDTH] = np.arange(
+                start, start + _LANE_WIDTH
+            )
+            slot += _LANE_WIDTH
+    return order
+
+
+#: Output slot -> source index.
+TRANSPOSE_PERMUTATION = _build_permutation()
+
+#: Source index -> output slot (inverse permutation).
+TRANSPOSE_INVERSE = np.argsort(TRANSPOSE_PERMUTATION)
+
+
+def transpose_values(values: np.ndarray) -> np.ndarray:
+    """Apply the FastLanes ordering to a full 1024-value array."""
+    values = np.asarray(values)
+    if values.size != TRANSPOSED_VECTOR_SIZE:
+        raise ValueError(
+            f"transposed layout needs exactly {TRANSPOSED_VECTOR_SIZE} "
+            f"values, got {values.size}"
+        )
+    return values[TRANSPOSE_PERMUTATION]
+
+
+def untranspose_values(values: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`transpose_values`."""
+    values = np.asarray(values)
+    if values.size != TRANSPOSED_VECTOR_SIZE:
+        raise ValueError(
+            f"transposed layout needs exactly {TRANSPOSED_VECTOR_SIZE} "
+            f"values, got {values.size}"
+        )
+    return values[TRANSPOSE_INVERSE]
+
+
+def pack_bits_transposed(values: np.ndarray, width: int) -> bytes:
+    """Pack a 1024-value array in the interleaved order.
+
+    Short (tail) vectors fall back to the sequential layout — FastLanes
+    likewise only uses the transposed layout on full vectors.
+    """
+    values = np.ascontiguousarray(values, dtype=np.uint64)
+    if values.size != TRANSPOSED_VECTOR_SIZE:
+        return pack_bits(values, width)
+    return pack_bits(transpose_values(values), width)
+
+
+def unpack_bits_transposed(
+    buffer: bytes, width: int, count: int
+) -> np.ndarray:
+    """Inverse of :func:`pack_bits_transposed`."""
+    values = unpack_bits(buffer, width, count)
+    if count != TRANSPOSED_VECTOR_SIZE:
+        return values
+    return untranspose_values(values)

@@ -1,0 +1,101 @@
+"""Vector-at-a-time physical operators (pull-based, Tectorwise style).
+
+Operators form a pull pipeline: each ``next_vector()`` call returns the
+next 1024-value float64 vector (possibly shorter at the tail) or ``None``
+at end of stream.  Work inside an operator is numpy-vectorized over the
+vector — the defining property of the execution model the paper targets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.query.sources import ColumnSource
+
+
+class Operator:
+    """Base class of the pull pipeline."""
+
+    def next_vector(self) -> Optional[np.ndarray]:
+        """Return the next vector, or None when exhausted."""
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        while True:
+            vector = self.next_vector()
+            if vector is None:
+                return
+            yield vector
+
+
+class ScanOperator(Operator):
+    """Leaf operator: pulls vectors out of a column source."""
+
+    def __init__(self, source: ColumnSource) -> None:
+        self._iter = source.vectors()
+
+    def next_vector(self) -> Optional[np.ndarray]:
+        return next(self._iter, None)
+
+
+class FilterOperator(Operator):
+    """Range selection: keeps values in [low, high].
+
+    Emits compacted vectors (selection applied), like Tectorwise's
+    selection-vector approach after compaction.  Vectors with no
+    qualifying values are dropped, so downstream operators do less work —
+    combined with zone maps this is the predicate push-down story.
+    """
+
+    def __init__(self, child: Operator, low: float, high: float) -> None:
+        self._child = child
+        self._low = low
+        self._high = high
+
+    def next_vector(self) -> Optional[np.ndarray]:
+        while True:
+            vector = self._child.next_vector()
+            if vector is None:
+                return None
+            mask = (vector >= self._low) & (vector <= self._high)
+            if mask.any():
+                return vector[mask]
+
+
+class AggregateOperator(Operator):
+    """Terminal aggregate over the child stream: SUM/COUNT/MIN/MAX.
+
+    ``result()`` drains the child and returns the aggregate value.
+    """
+
+    _INITIAL = {
+        "sum": 0.0,
+        "count": 0.0,
+        "min": float("inf"),
+        "max": float("-inf"),
+    }
+
+    def __init__(self, child: Operator, kind: str = "sum") -> None:
+        if kind not in self._INITIAL:
+            raise ValueError(f"unknown aggregate {kind!r}")
+        self._child = child
+        self._kind = kind
+
+    def next_vector(self) -> Optional[np.ndarray]:
+        # Aggregates are sinks; expose the scalar via result() instead.
+        return None
+
+    def result(self) -> float:
+        value = self._INITIAL[self._kind]
+        for vector in self._child:
+            if self._kind == "sum":
+                value += float(vector.sum())
+            elif self._kind == "count":
+                value += vector.size
+            elif self._kind == "min" and vector.size:
+                value = min(value, float(vector.min()))
+            elif self._kind == "max" and vector.size:
+                value = max(value, float(vector.max()))
+        return value

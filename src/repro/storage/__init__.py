@@ -1,0 +1,48 @@
+"""Columnar storage: serialization and a skippable column-file format.
+
+The paper's central systems argument for lightweight encodings is that —
+unlike block-based general-purpose compression — one can *skip through*
+compressed data at vector granularity, enabling predicate push-down in
+scans.  This subpackage makes that concrete:
+
+- :mod:`repro.storage.serializer` — byte-level (de)serialization of
+  compressed row-groups (every dataclass in :mod:`repro.core` has an
+  exact binary layout here),
+- :mod:`repro.storage.columnfile` — an on-disk column format with
+  per-row-group and per-vector zone maps, offset indexes, and a scan
+  API that skips non-qualifying row-groups/vectors without touching
+  (let alone decompressing) their bytes.
+"""
+
+from repro.storage.dataset_dir import DatasetReader, write_dataset
+from repro.storage.columnfile import (
+    ColumnFileReader,
+    ColumnFileWriter,
+    RowGroupMeta,
+    VectorZone,
+    read_column_file,
+    write_column_file,
+)
+from repro.storage.serializer import (
+    deserialize_rowgroup,
+    serialize_rowgroup,
+)
+from repro.storage.serializer_f32 import (
+    deserialize_float_column,
+    serialize_float_column,
+)
+
+__all__ = [
+    "ColumnFileReader",
+    "ColumnFileWriter",
+    "DatasetReader",
+    "RowGroupMeta",
+    "VectorZone",
+    "deserialize_float_column",
+    "deserialize_rowgroup",
+    "read_column_file",
+    "serialize_float_column",
+    "serialize_rowgroup",
+    "write_column_file",
+    "write_dataset",
+]

@@ -1,0 +1,109 @@
+"""Unit tests for the MSB-first bit stream."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.alputil.bitstream import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_empty_stream(self):
+        assert BitWriter().finish() == b""
+
+    def test_single_byte(self):
+        w = BitWriter()
+        w.write(0xAB, 8)
+        assert w.finish() == b"\xab"
+
+    def test_msb_first_padding(self):
+        w = BitWriter()
+        w.write(0b101, 3)
+        assert w.finish() == bytes([0b10100000])
+
+    def test_cross_byte_field(self):
+        w = BitWriter()
+        w.write(0xFFF, 12)
+        assert w.finish() == b"\xff\xf0"
+
+    def test_width_64(self):
+        w = BitWriter()
+        w.write(2**64 - 1, 64)
+        assert w.finish() == b"\xff" * 8
+
+    def test_value_is_masked_to_width(self):
+        w = BitWriter()
+        w.write(0b111111, 2)  # only the low 2 bits survive
+        assert w.finish() == bytes([0b11000000])
+
+    def test_zero_width_is_noop(self):
+        w = BitWriter()
+        w.write(123, 0)
+        assert w.bit_length == 0
+
+    def test_bit_length_tracks_writes(self):
+        w = BitWriter()
+        w.write(1, 3)
+        w.write(1, 10)
+        assert w.bit_length == 13
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(0, 65)
+        with pytest.raises(ValueError):
+            BitWriter().write(0, -1)
+
+
+class TestBitReader:
+    def test_read_back_single(self):
+        r = BitReader(b"\xab")
+        assert r.read(8) == 0xAB
+
+    def test_read_bit_sequence(self):
+        r = BitReader(bytes([0b10110000]))
+        assert [r.read_bit() for _ in range(4)] == [1, 0, 1, 1]
+
+    def test_eof_raises(self):
+        r = BitReader(b"\x00")
+        r.read(8)
+        with pytest.raises(EOFError):
+            r.read(1)
+
+    def test_bits_consumed(self):
+        r = BitReader(b"\x00\x00")
+        r.read(5)
+        assert r.bits_consumed == 5
+        assert r.bits_remaining == 11
+
+    def test_zero_width_read(self):
+        assert BitReader(b"").read(0) == 0
+
+
+class TestRoundTrip:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=64),
+                st.integers(min_value=0, max_value=2**64 - 1),
+            ),
+            max_size=200,
+        )
+    )
+    def test_arbitrary_fields_roundtrip(self, fields):
+        w = BitWriter()
+        expected = []
+        for width, value in fields:
+            w.write(value, width)
+            expected.append((width, value & ((1 << width) - 1)))
+        r = BitReader(w.finish())
+        for width, value in expected:
+            assert r.read(width) == value
+
+    def test_interleaved_wide_and_narrow(self):
+        w = BitWriter()
+        pattern = [(1, 1), (64, 2**63 + 5), (3, 6), (17, 99999), (1, 0)]
+        for width, value in pattern:
+            w.write(value, width)
+        r = BitReader(w.finish())
+        for width, value in pattern:
+            assert r.read(width) == value

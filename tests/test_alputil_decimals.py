@@ -1,0 +1,99 @@
+"""Unit tests for decimal-representation helpers."""
+
+import math
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.alputil.decimals import (
+    MAX_DOUBLE_DECIMALS,
+    decimal_places,
+    decimal_places_array,
+    magnitude10,
+    shortest_round,
+)
+
+
+class TestDecimalPlaces:
+    def test_paper_example(self):
+        # 8.0605 from Section 2.5 has visible precision 4.
+        assert decimal_places(8.0605) == 4
+
+    def test_integer_valued(self):
+        assert decimal_places(3.0) == 0
+        assert decimal_places(-120.0) == 0
+
+    def test_one_decimal(self):
+        assert decimal_places(71.3) == 1
+
+    def test_small_scientific(self):
+        assert decimal_places(1e-5) == 5
+        assert decimal_places(1.5e-3) == 4
+
+    def test_large_scientific_has_no_decimals(self):
+        assert decimal_places(1e20) == 0
+
+    def test_full_precision_double(self):
+        # A value that needs all 17 significant digits.
+        assert decimal_places(0.1234567890123456) == 16
+
+    def test_nan_and_inf_are_sentinel(self):
+        assert decimal_places(float("nan")) == MAX_DOUBLE_DECIMALS + 1
+        assert decimal_places(float("inf")) == MAX_DOUBLE_DECIMALS + 1
+
+    def test_zero(self):
+        assert decimal_places(0.0) == 0
+
+    def test_array_wrapper_matches_scalar(self):
+        values = np.array([8.0605, 3.0, 71.3, 1e-5])
+        assert decimal_places_array(values).tolist() == [4, 0, 1, 5]
+
+    @given(
+        st.integers(min_value=-(10**6), max_value=10**6),
+        st.integers(min_value=0, max_value=6),
+    )
+    def test_decimal_origin_values(self, digits, places):
+        value = digits / (10**places)
+        assert decimal_places(value) <= max(places, 0) or not math.isclose(
+            value, round(value, places)
+        )
+
+
+class TestMagnitude10:
+    def test_examples(self):
+        assert magnitude10(146.1) == 3
+        assert magnitude10(9.9) == 1
+        assert magnitude10(1000.0) == 4
+
+    def test_below_one(self):
+        assert magnitude10(0.5) == 1
+        assert magnitude10(0.0001) == 1
+
+    def test_zero_and_nonfinite(self):
+        assert magnitude10(0.0) == 1
+        assert magnitude10(float("inf")) == 1
+
+    def test_negative(self):
+        assert magnitude10(-73.97) == 2
+
+
+class TestShortestRound:
+    def test_rounding_recovers_decimal_origin(self):
+        assert shortest_round(8.060500000001, 4) == 8.0605
+
+    def test_zero_places(self):
+        assert shortest_round(2.7, 0) == 3.0
+
+    def test_nonfinite_passthrough(self):
+        assert math.isinf(shortest_round(float("inf"), 3))
+
+    @given(
+        st.floats(
+            min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+        ),
+        st.integers(min_value=0, max_value=10),
+    )
+    def test_idempotent(self, value, places):
+        once = shortest_round(value, places)
+        assert shortest_round(once, places) == once

@@ -1,0 +1,68 @@
+"""Tests for the histogram analysis helpers."""
+
+import numpy as np
+
+from repro.analysis.histograms import (
+    exponent_histogram,
+    precision_histogram,
+    render_histogram,
+    xor_zero_histograms,
+)
+
+
+class TestPrecisionHistogram:
+    def test_fixed_precision_column(self):
+        values = np.round(np.random.default_rng(0).uniform(1, 9, 500), 2)
+        hist = precision_histogram(values)
+        assert sum(hist.values()) == 500
+        assert max(hist, key=hist.get) == 2
+
+    def test_integers(self):
+        hist = precision_histogram(np.arange(10.0))
+        assert hist == {0: 10}
+
+
+class TestExponentHistogram:
+    def test_single_bucket_for_tight_range(self):
+        values = np.random.default_rng(1).uniform(1.0, 2.0, 100)
+        hist = exponent_histogram(values)
+        assert set(hist) == {1023}
+
+    def test_bucketing(self):
+        values = np.array([1.0, 2.0, 4.0, 8.0])
+        hist = exponent_histogram(values, bucket=4)
+        assert sum(hist.values()) == 4
+        assert all(k % 4 == 0 for k in hist)
+
+
+class TestXorHistograms:
+    def test_constant_column_all_64s(self):
+        leading, trailing = xor_zero_histograms(np.full(100, 1.5), bucket=4)
+        assert leading == {64: 99}
+        assert trailing == {64: 99}
+
+    def test_single_value_empty(self):
+        leading, trailing = xor_zero_histograms(np.array([1.0]))
+        assert leading == {} and trailing == {}
+
+    def test_counts_sum(self):
+        values = np.random.default_rng(2).uniform(0, 1, 200)
+        leading, trailing = xor_zero_histograms(values)
+        assert sum(leading.values()) == 199
+        assert sum(trailing.values()) == 199
+
+
+class TestRender:
+    def test_render_contains_percentages(self):
+        text = render_histogram({0: 5, 1: 15}, "demo")
+        assert "demo" in text
+        assert "75.0%" in text
+
+    def test_render_empty(self):
+        assert "(empty)" in render_histogram({}, "demo")
+
+    def test_bar_scaling(self):
+        text = render_histogram({0: 1, 1: 100}, "demo", width=10)
+        lines = text.splitlines()[1:]
+        assert lines[1].count("#") == 10  # peak gets full width
+        assert lines[0].count("#") >= 1  # minimum one mark

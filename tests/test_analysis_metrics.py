@@ -1,0 +1,118 @@
+"""Tests for the Table 2 dataset metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    best_exponent_success,
+    compute_metrics,
+    penc_pdec_roundtrip,
+    per_value_success_rate,
+    per_vector_best_exponent_success,
+)
+from repro.data import get_dataset
+
+
+class TestPencPdec:
+    def test_paper_failure_case(self):
+        # Section 2.5: 8.0605 cannot be recovered with e = 4 (its visible
+        # precision) ...
+        ok = penc_pdec_roundtrip(np.array([8.0605]), np.array([4]))
+        assert not ok[0]
+
+    def test_high_exponent_succeeds(self):
+        # ... but e = 14 recovers it.
+        ok = penc_pdec_roundtrip(np.array([8.0605]), np.array([14]))
+        assert ok[0]
+
+    def test_integers_succeed_at_zero(self):
+        ok = penc_pdec_roundtrip(np.array([5.0, -3.0]), np.array([0, 0]))
+        assert ok.all()
+
+    def test_real_doubles_mostly_fail(self):
+        # Values with full random mantissas (POI-style) cannot reach a
+        # high success rate at any exponent — the §2.5 story.
+        rng = np.random.default_rng(42)
+        values = rng.uniform(0, 1, 2048) * math.pi
+        for e in range(18):
+            ok = penc_pdec_roundtrip(values, np.full(values.size, e))
+            assert ok.mean() < 0.9, f"e={e} unexpectedly succeeded"
+
+    def test_per_value_rate_below_best_exponent_rate(self):
+        # The paper's core §2.5 finding: visible-precision exponents are
+        # *worse* than one high exponent (C11 < C12 on most datasets).
+        rng = np.random.default_rng(0)
+        values = np.round(rng.uniform(0, 100, 4096), 4)
+        per_value = per_value_success_rate(values)
+        _, best = best_exponent_success(values)
+        assert best >= per_value
+
+    def test_best_exponent_is_high(self):
+        # Table 2 C12: e = 14 dominates on decimal-origin data.
+        rng = np.random.default_rng(1)
+        values = np.round(rng.uniform(0, 100, 4096), 4)
+        e, rate = best_exponent_success(values)
+        assert e >= 10
+        assert rate > 0.95
+
+    def test_per_vector_at_least_per_dataset(self):
+        rng = np.random.default_rng(2)
+        parts = [np.round(rng.uniform(0, 100, 1024), p) for p in (1, 6)]
+        values = np.concatenate(parts)
+        _, dataset_rate = best_exponent_success(values)
+        vector_rate = per_vector_best_exponent_success(values)
+        assert vector_rate >= dataset_rate - 1e-12
+
+
+class TestComputeMetrics:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compute_metrics(np.empty(0))
+
+    def test_one_decimal_dataset(self):
+        values = get_dataset("City-Temp", n=8192)
+        m = compute_metrics(values)
+        assert m.precision_max <= 1
+        assert m.precision_avg <= 1.0
+        assert m.success_per_vector > 0.9
+
+    def test_poi_metrics_match_paper_shape(self):
+        values = get_dataset("POI-lat", n=8192)
+        m = compute_metrics(values)
+        # Table 2: POI has the lowest XOR zero counts and high precision.
+        assert m.precision_avg > 14
+        assert m.xor_trailing_zeros_avg < 5
+        assert m.success_best_exponent < 0.9
+
+    def test_duplicate_heavy_dataset(self):
+        values = get_dataset("PM10-dust", n=8192)
+        m = compute_metrics(values)
+        assert m.non_unique_fraction > 0.7
+
+    def test_exponent_stats_near_bias(self):
+        values = get_dataset("Stocks-USA", n=8192)
+        m = compute_metrics(values)
+        # Values ~146 -> biased exponent ~1030 with tiny deviation.
+        assert 1024 < m.exponent_avg < 1035
+        assert m.exponent_std_per_vector < 3
+
+    def test_sampling_limit_applies(self):
+        values = get_dataset("City-Temp", n=120_000)
+        m = compute_metrics(values, sample_limit=4096)
+        assert m.count == 4096
+
+    def test_counts_dataset_success_is_total(self):
+        values = get_dataset("CMS/9", n=8192)
+        m = compute_metrics(values)
+        # Table 2: CMS/9 hits 100% success (pure integers).
+        assert m.success_best_exponent > 0.999
+        assert m.precision_avg == 0.0
+
+    def test_gov26_low_exponent_average(self):
+        values = get_dataset("Gov/26", n=32_768)
+        m = compute_metrics(values)
+        # Mostly zeros -> biased exponent average near 0 (Table 2 C9: 4.6).
+        assert m.exponent_avg < 100
+        assert m.xor_leading_zeros_avg > 40

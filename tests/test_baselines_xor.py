@@ -1,0 +1,138 @@
+"""Tests for the XOR-family baselines: Gorilla, Chimp, Chimp128, Patas."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.chimp import chimp_compress, chimp_decompress
+from repro.baselines.chimp128 import chimp128_compress, chimp128_decompress
+from repro.baselines.gorilla import gorilla_compress, gorilla_decompress
+from repro.baselines.patas import patas_compress, patas_decompress
+
+SCHEMES = {
+    "gorilla": (gorilla_compress, gorilla_decompress),
+    "chimp": (chimp_compress, chimp_decompress),
+    "chimp128": (chimp128_compress, chimp128_decompress),
+    "patas": (patas_compress, patas_decompress),
+}
+
+
+def bitwise_equal(a, b):
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return a.shape == b.shape and np.array_equal(
+        a.view(np.uint64), b.view(np.uint64)
+    )
+
+
+@pytest.fixture(params=sorted(SCHEMES))
+def scheme(request):
+    return SCHEMES[request.param]
+
+
+class TestRoundTrips:
+    def test_empty(self, scheme):
+        compress, decompress = scheme
+        assert decompress(compress(np.empty(0))).size == 0
+
+    def test_single_value(self, scheme):
+        compress, decompress = scheme
+        values = np.array([math.pi])
+        assert bitwise_equal(decompress(compress(values)), values)
+
+    def test_constant_run(self, scheme):
+        compress, decompress = scheme
+        values = np.full(500, -7.25)
+        assert bitwise_equal(decompress(compress(values)), values)
+
+    def test_time_series_walk(self, scheme):
+        compress, decompress = scheme
+        rng = np.random.default_rng(0)
+        values = np.round(np.cumsum(rng.normal(0, 0.1, 3000)) + 20.0, 2)
+        assert bitwise_equal(decompress(compress(values)), values)
+
+    def test_special_values(self, scheme):
+        compress, decompress = scheme
+        values = np.array(
+            [0.0, -0.0, math.nan, math.inf, -math.inf, 5e-324, 1.7e308] * 3
+        )
+        assert bitwise_equal(decompress(compress(values)), values)
+
+    def test_random_doubles(self, scheme):
+        compress, decompress = scheme
+        rng = np.random.default_rng(1)
+        values = rng.uniform(-1e6, 1e6, 2000)
+        assert bitwise_equal(decompress(compress(values)), values)
+
+    @given(
+        st.lists(
+            st.floats(allow_nan=True, allow_infinity=True, width=64),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_arbitrary(self, xs):
+        values = np.array(xs, dtype=np.float64)
+        for name, (compress, decompress) in SCHEMES.items():
+            assert bitwise_equal(
+                decompress(compress(values)), values
+            ), f"{name} failed"
+
+
+class TestCompressionBehaviour:
+    def test_gorilla_zero_xor_is_one_bit(self):
+        values = np.full(1000, 1.5)
+        encoded = gorilla_compress(values)
+        # 64 bits header + ~1 bit per repeated value.
+        assert encoded.size_bits() <= 64 + 1000 + 8
+
+    def test_chimp_beats_gorilla_on_similar_values(self):
+        rng = np.random.default_rng(2)
+        values = np.round(np.cumsum(rng.normal(0, 0.01, 5000)) + 100.0, 2)
+        chimp_bits = chimp_compress(values).bits_per_value()
+        gorilla_bits = gorilla_compress(values).bits_per_value()
+        assert chimp_bits < gorilla_bits
+
+    def test_chimp128_beats_chimp_on_repeats(self):
+        # Alternating pattern: Chimp128's ring finds exact matches 2 back,
+        # plain Chimp XORs adjacent dissimilar values.
+        values = np.tile(np.array([17.23, 91.07]), 2500)
+        c128 = chimp128_compress(values).bits_per_value()
+        c = chimp_compress(values).bits_per_value()
+        assert c128 < c
+
+    def test_patas_header_overhead_floor(self):
+        # Patas pays >= 16 bits/value even on perfectly repetitive data —
+        # the ratio-for-speed trade the paper describes.
+        values = np.full(1000, 3.5)
+        bits = patas_compress(values).bits_per_value()
+        assert 16.0 <= bits < 17.0
+
+    def test_xor_schemes_struggle_on_random_mantissas(self):
+        rng = np.random.default_rng(3)
+        values = rng.uniform(0, 1, 1000) * math.pi
+        for name, (compress, _) in SCHEMES.items():
+            bits = compress(values).bits_per_value()
+            assert bits > 40, f"{name} should not compress random mantissas"
+
+
+class TestChimp128Ring:
+    def test_reference_beyond_window_not_used(self):
+        # A value recurring at distance > 128 cannot be referenced: the
+        # stream must still round-trip.
+        values = np.concatenate(
+            [np.array([42.42]), np.arange(1.0, 201.0), np.array([42.42])]
+        )
+        assert bitwise_equal(
+            chimp128_decompress(chimp128_compress(values)), values
+        )
+
+    def test_duplicates_within_window_compress_well(self):
+        rng = np.random.default_rng(4)
+        pool = np.round(rng.uniform(0, 100, 16), 2)
+        values = rng.choice(pool, 4096)
+        bits = chimp128_compress(values).bits_per_value()
+        assert bits < 16  # mostly flag 00 + index

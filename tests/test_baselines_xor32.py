@@ -1,0 +1,104 @@
+"""Tests for the 32-bit XOR baselines (Table 7 comparators)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.xor32 import (
+    chimp32_compress,
+    chimp32_decompress,
+    gorilla32_compress,
+    gorilla32_decompress,
+    patas32_compress,
+    patas32_decompress,
+)
+from repro.data import get_model_weights
+
+SCHEMES32 = {
+    "gorilla32": (gorilla32_compress, gorilla32_decompress),
+    "chimp32": (chimp32_compress, chimp32_decompress),
+    "patas32": (patas32_compress, patas32_decompress),
+}
+
+
+def bitwise_equal32(a, b):
+    a = np.asarray(a, dtype=np.float32)
+    b = np.asarray(b, dtype=np.float32)
+    return a.shape == b.shape and np.array_equal(
+        a.view(np.uint32), b.view(np.uint32)
+    )
+
+
+@pytest.mark.parametrize("name", sorted(SCHEMES32))
+class TestRoundTrips:
+    def test_empty(self, name):
+        compress, decompress = SCHEMES32[name]
+        assert decompress(compress(np.empty(0, dtype=np.float32))).size == 0
+
+    def test_single(self, name):
+        compress, decompress = SCHEMES32[name]
+        values = np.array([math.pi], dtype=np.float32)
+        assert bitwise_equal32(decompress(compress(values)), values)
+
+    def test_time_series(self, name):
+        compress, decompress = SCHEMES32[name]
+        rng = np.random.default_rng(0)
+        values = np.round(
+            np.cumsum(rng.normal(0, 0.1, 3000)) + 20.0, 1
+        ).astype(np.float32)
+        assert bitwise_equal32(decompress(compress(values)), values)
+
+    def test_special_values(self, name):
+        compress, decompress = SCHEMES32[name]
+        values = np.array(
+            [0.0, -0.0, math.nan, math.inf, -math.inf, 1e-45], dtype=np.float32
+        )
+        assert bitwise_equal32(decompress(compress(values)), values)
+
+    def test_ml_weights(self, name):
+        compress, decompress = SCHEMES32[name]
+        weights = get_model_weights("W2V-Tweets")
+        assert bitwise_equal32(decompress(compress(weights)), weights)
+
+
+class TestArbitrary:
+    @given(
+        st.lists(
+            st.floats(width=32, allow_nan=True, allow_infinity=True),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_all_schemes(self, xs):
+        values = np.array(xs, dtype=np.float32)
+        for name, (compress, decompress) in SCHEMES32.items():
+            assert bitwise_equal32(
+                decompress(compress(values)), values
+            ), name
+
+
+class TestTable7Shape:
+    def test_no_compression_on_weights(self):
+        # Paper Table 7: Gorilla/Chimp ~33-34 bits, Patas ~45 bits, on
+        # 32-bit weights — i.e. all at or above the uncompressed size.
+        weights = get_model_weights("GPT2")[:50_000]
+        for name, (compress, _) in SCHEMES32.items():
+            bits = compress(weights).bits_per_value()
+            assert bits >= 31.5, (name, bits)
+            assert bits <= 50.0, (name, bits)
+
+    def test_patas_worst_gorilla_chimp_close(self):
+        weights = get_model_weights("Dino-Vitb16")[:50_000]
+        gorilla_bits = gorilla32_compress(weights).bits_per_value()
+        chimp_bits = chimp32_compress(weights).bits_per_value()
+        patas_bits = patas32_compress(weights).bits_per_value()
+        assert patas_bits > gorilla_bits
+        assert patas_bits > chimp_bits
+
+    def test_repetitive_floats_compress(self):
+        values = np.full(4000, np.float32(1.5))
+        for name, (compress, _) in SCHEMES32.items():
+            assert compress(values).bits_per_value() < 20, name

@@ -1,0 +1,110 @@
+"""Tests for the benchmark harness utilities and figure rendering."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import ascii_scatter, ascii_series
+from repro.bench.harness import (
+    SpeedResult,
+    bench_n,
+    codec_speed_on_vector,
+    dataset_vector,
+    measure_ratio,
+    time_callable,
+)
+from repro.bench.report import format_table, shape_check
+
+
+class TestHarness:
+    def test_bench_n_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_N", "1234")
+        assert bench_n() == 1234
+
+    def test_bench_n_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_N", raising=False)
+        assert bench_n(777) == 777
+
+    def test_measure_ratio_verifies(self):
+        values = np.round(np.random.default_rng(0).uniform(0, 9, 4096), 1)
+        bits = measure_ratio("alp", values)
+        assert 0 < bits < 64
+
+    def test_time_callable_counts(self):
+        result = time_callable(lambda: sum(range(1000)), 1000, repeats=2)
+        assert result.count == 1000
+        assert result.values_per_second > 0
+        assert result.seconds > 0
+
+    def test_tuples_per_cycle_proxy(self):
+        result = SpeedResult(values_per_second=3.5e9, seconds=1.0, count=1)
+        assert result.tuples_per_cycle_proxy == pytest.approx(1.0)
+
+    def test_codec_speed_on_vector(self):
+        vector = dataset_vector("City-Temp")
+        comp, dec = codec_speed_on_vector("patas", vector, repeats=1)
+        assert comp.values_per_second > 0
+        assert dec.values_per_second > 0
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["bb", 10.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "10.2" in text or "10.3" in text
+
+    def test_title(self):
+        text = format_table(["x"], [["y"]], title="The Title")
+        assert text.splitlines()[0] == "The Title"
+
+    def test_shape_check(self):
+        assert shape_check("ok", True).startswith("[PASS]")
+        assert shape_check("bad", False).startswith("[FAIL]")
+
+
+class TestAsciiFigures:
+    def test_scatter_has_legend_and_axes(self):
+        text = ascii_scatter(
+            {"alp": [(1.0, 2.0), (3.0, 4.0)], "pde": [(2.0, 1.0)]},
+            x_label="speed",
+            y_label="ratio",
+        )
+        assert "A=alp" in text and "P=pde" in text
+        assert "x: speed" in text and "y: ratio" in text
+
+    def test_scatter_empty(self):
+        assert ascii_scatter({}, "x", "y") == "(no points)"
+
+    def test_log_axis_label(self):
+        text = ascii_scatter(
+            {"s": [(1.0, 1.0), (1000.0, 2.0)]}, "x", "y", log_x=True
+        )
+        assert "(log)" in text
+
+    def test_non_finite_points_dropped(self):
+        text = ascii_scatter(
+            {"s": [(math.inf, 1.0), (1.0, 1.0)]}, "x", "y"
+        )
+        assert "S" in text
+
+    def test_collision_marker(self):
+        text = ascii_scatter(
+            {"a": [(0.0, 0.0)], "b": [(0.0, 0.0)]}, "x", "y", width=8, height=4
+        )
+        assert "*" in text
+
+    def test_glyph_collision_falls_back(self):
+        text = ascii_scatter(
+            {"alp": [(0.0, 0.0)], "abc": [(1.0, 1.0)]}, "x", "y"
+        )
+        assert "A=alp" in text and "a=abc" in text
+
+    def test_series_renders(self):
+        text = ascii_series(
+            {"fused": [(0, 1.0), (10, 2.0)], "plain": [(0, 0.5), (10, 1.0)]},
+            "bit width",
+            "Mv/s",
+        )
+        assert "F=fused" in text

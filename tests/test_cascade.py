@@ -1,0 +1,127 @@
+"""Tests for the LWC+ALP cascade (DICT/RLE fronts, ALP/Delta domains)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import get_dataset
+from repro.encodings.cascade import (
+    CascadeEncoded,
+    cascade_compress,
+    cascade_decompress,
+)
+
+
+def bitwise_equal(a, b):
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return a.shape == b.shape and np.array_equal(
+        a.view(np.uint64), b.view(np.uint64)
+    )
+
+
+class TestFrontSelection:
+    def test_plain_data_uses_alp(self):
+        values = np.round(np.random.default_rng(0).uniform(0, 100, 8192), 2)
+        encoded = cascade_compress(values)
+        assert encoded.front == "alp"
+
+    def test_run_heavy_data_uses_rle(self):
+        values = np.repeat(
+            np.round(np.random.default_rng(1).uniform(0, 9, 200), 1), 100
+        )
+        encoded = cascade_compress(values)
+        assert encoded.front == "rle+alp"
+        assert bitwise_equal(cascade_decompress(encoded), values)
+
+    def test_duplicate_heavy_data_uses_dict(self):
+        rng = np.random.default_rng(2)
+        pool = np.round(rng.uniform(0, 100, 50), 6)
+        values = rng.choice(pool, 20_000)
+        encoded = cascade_compress(values)
+        assert encoded.front == "dict+alp"
+        assert bitwise_equal(cascade_decompress(encoded), values)
+
+    def test_auto_never_beats_itself(self):
+        # Auto selection must produce the min over {candidate, plain alp}.
+        values = get_dataset("Bio-Temp", n=16_384)
+        auto = cascade_compress(values)
+        plain = cascade_compress(values, front="alp")
+        assert auto.size_bits() <= plain.size_bits()
+
+    def test_forced_front_respected(self):
+        values = np.round(np.random.default_rng(3).uniform(0, 9, 4096), 1)
+        encoded = cascade_compress(values, front="dict+alp")
+        assert encoded.front == "dict+alp"
+        assert bitwise_equal(cascade_decompress(encoded), values)
+
+    def test_unknown_front_rejected(self):
+        with pytest.raises(ValueError):
+            cascade_compress(np.zeros(4), front="huffman")
+
+
+class TestDomainEncoding:
+    def test_high_precision_dictionary_prefers_delta(self):
+        # NYC/29-style: a dictionary of full-precision doubles in a tight
+        # range — sorted bit patterns are near-monotonic, Delta wins.
+        values = get_dataset("NYC/29", n=20_000)
+        encoded = cascade_compress(values, front="dict+alp")
+        assert encoded.domain_encoding == "delta"
+        assert bitwise_equal(cascade_decompress(encoded), values)
+
+    def test_decimal_dictionary_prefers_alp(self):
+        rng = np.random.default_rng(4)
+        pool = np.round(rng.uniform(0, 100, 64), 1)
+        values = rng.choice(pool, 20_000)
+        encoded = cascade_compress(values, front="dict+alp")
+        assert encoded.domain_encoding in ("alp", "delta")
+        assert bitwise_equal(cascade_decompress(encoded), values)
+
+    def test_delta_domain_roundtrips_negative_values(self):
+        rng = np.random.default_rng(5)
+        pool = (rng.uniform(-1, 1, 40) * math.pi)
+        values = rng.choice(pool, 10_000)
+        encoded = cascade_compress(values, front="dict+alp")
+        assert bitwise_equal(cascade_decompress(encoded), values)
+
+
+class TestCascadeRatios:
+    def test_nyc29_cascade_beats_plain_alp(self):
+        values = get_dataset("NYC/29", n=20_000)
+        cascade = cascade_compress(values)
+        plain = cascade_compress(values, front="alp")
+        assert cascade.size_bits() < plain.size_bits() * 0.7
+
+    def test_gov26_rle_cascade_is_tiny(self):
+        values = get_dataset("Gov/26", n=120_000)
+        encoded = cascade_compress(values)
+        assert encoded.size_bits() / values.size < 1.0
+
+    def test_empty(self):
+        encoded = cascade_compress(np.empty(0))
+        assert cascade_decompress(encoded).size == 0
+
+    def test_special_values(self):
+        values = np.tile(
+            np.array([math.nan, math.inf, -0.0, 1.5, 5e-324]), 200
+        )
+        encoded = cascade_compress(values)
+        assert bitwise_equal(cascade_decompress(encoded), values)
+
+    @given(
+        st.lists(
+            st.sampled_from(
+                [0.0, -0.0, 1.5, 2.25, math.pi, math.nan, math.inf, 99.99]
+            ),
+            max_size=400,
+        ),
+        st.sampled_from(["alp", "dict+alp", "rle+alp", None]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_arbitrary_roundtrip(self, xs, front):
+        values = np.array(xs, dtype=np.float64)
+        encoded = cascade_compress(values, front=front)
+        assert bitwise_equal(cascade_decompress(encoded), values)

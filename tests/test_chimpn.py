@@ -1,0 +1,50 @@
+"""Tests for the parameterizable ChimpN generalization."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.chimp128 import (
+    chimpn_compress,
+    chimpn_decompress,
+)
+from repro.data import get_dataset
+
+
+def bitwise_equal(a, b):
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return a.shape == b.shape and np.array_equal(
+        a.view(np.uint64), b.view(np.uint64)
+    )
+
+
+class TestChimpN:
+    @pytest.mark.parametrize("ring", [2, 8, 32, 128, 256, 1024])
+    def test_roundtrip_all_ring_sizes(self, ring):
+        values = get_dataset("Stocks-USA", n=4096)
+        encoded = chimpn_compress(values, ring_size=ring)
+        assert encoded.ring_size == ring
+        assert bitwise_equal(chimpn_decompress(encoded), values)
+
+    def test_invalid_ring_size(self):
+        with pytest.raises(ValueError):
+            chimpn_compress(np.zeros(4), ring_size=100)
+        with pytest.raises(ValueError):
+            chimpn_compress(np.zeros(4), ring_size=1)
+
+    def test_larger_ring_helps_on_spread_duplicates(self):
+        # Values recur at distance ~200: inside a 256-ring, outside 32.
+        rng = np.random.default_rng(0)
+        pool = np.round(rng.uniform(0, 100, 200), 2)
+        values = np.tile(pool, 30)
+        small = chimpn_compress(values, ring_size=32).bits_per_value()
+        large = chimpn_compress(values, ring_size=256).bits_per_value()
+        assert large < small
+
+    def test_index_cost_visible_on_run_data(self):
+        # On long runs, the bigger index field is pure overhead — the
+        # Gov/26 effect from the paper's Section 5.
+        values = np.repeat(np.array([1.5, 2.5]), 2000)
+        small = chimpn_compress(values, ring_size=2).bits_per_value()
+        large = chimpn_compress(values, ring_size=1024).bits_per_value()
+        assert small < large

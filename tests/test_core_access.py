@@ -1,0 +1,83 @@
+"""Tests for random access into compressed columns."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.access import decode_at, decode_slice
+from repro.core.compressor import compress
+from repro.data import get_dataset
+
+
+@pytest.fixture(scope="module")
+def column_and_values():
+    values = get_dataset("Stocks-USA", n=250_000)
+    return compress(values), values
+
+
+class TestDecodeSlice:
+    def test_full_slice(self, column_and_values):
+        column, values = column_and_values
+        out = decode_slice(column, 0, values.size)
+        assert np.array_equal(out.view(np.uint64), values.view(np.uint64))
+
+    def test_mid_vector_slice(self, column_and_values):
+        column, values = column_and_values
+        out = decode_slice(column, 1500, 1700)
+        assert np.array_equal(
+            out.view(np.uint64), values[1500:1700].view(np.uint64)
+        )
+
+    def test_cross_rowgroup_slice(self, column_and_values):
+        column, values = column_and_values
+        # 102400 is the row-group boundary.
+        out = decode_slice(column, 102_000, 103_000)
+        assert np.array_equal(
+            out.view(np.uint64), values[102_000:103_000].view(np.uint64)
+        )
+
+    def test_clamping(self, column_and_values):
+        column, values = column_and_values
+        out = decode_slice(column, -50, values.size + 100)
+        assert out.size == values.size
+        assert decode_slice(column, 10, 10).size == 0
+        assert decode_slice(column, 400_000, 500_000).size == 0
+
+    def test_rd_column_slices(self):
+        values = get_dataset("POI-lat", n=50_000)
+        column = compress(values)
+        out = decode_slice(column, 10_000, 10_100)
+        assert np.array_equal(
+            out.view(np.uint64), values[10_000:10_100].view(np.uint64)
+        )
+
+def test_random_slices_property():
+    values = get_dataset("City-Temp", n=30_000)
+    column = compress(values)
+    rng = np.random.default_rng(0)
+    for _ in range(50):
+        start = int(rng.integers(0, values.size))
+        stop = int(min(values.size, start + rng.integers(0, 3000)))
+        out = decode_slice(column, start, stop)
+        assert np.array_equal(
+            out.view(np.uint64), values[start:stop].view(np.uint64)
+        )
+
+
+class TestDecodeAt:
+    def test_point_reads(self, column_and_values):
+        column, values = column_and_values
+        for index in (0, 1, 1023, 1024, 102_399, 102_400, values.size - 1):
+            got = decode_at(column, index)
+            assert (
+                np.float64(got).view(np.uint64)
+                == values[index].view(np.uint64)
+            ), index
+
+    def test_out_of_range(self, column_and_values):
+        column, values = column_and_values
+        with pytest.raises(IndexError):
+            decode_at(column, values.size)
+        with pytest.raises(IndexError):
+            decode_at(column, -1)

@@ -1,0 +1,217 @@
+"""Unit and property tests for the ALP core (Algorithms 1 and 2)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alp import (
+    alp_analyze,
+    alp_decode_vector,
+    alp_decode_vector_scalar,
+    alp_encode_vector,
+    estimate_size_bits,
+)
+from repro.core.constants import F10, IF10, MAX_EXPONENT
+from repro.core.fastround import fast_round, fast_round_scalar
+
+
+class TestFastRound:
+    def test_matches_round_half_even(self):
+        values = np.array([0.5, 1.5, 2.5, -0.5, -1.5, 2.4, 2.6])
+        expected = np.array([0, 2, 2, 0, -2, 2, 3])
+        assert np.array_equal(fast_round(values), expected)
+
+    def test_integers_pass_through(self):
+        values = np.array([0.0, 1.0, -1.0, 123456.0])
+        assert np.array_equal(fast_round(values), values.astype(np.int64))
+
+    def test_paper_example(self):
+        # Section 2.6: round(80604.99999999985448) == 80605.
+        assert fast_round(np.array([80604.99999999985448]))[0] == 80605
+
+    def test_nan_inf_give_deterministic_garbage(self):
+        out = fast_round(np.array([math.nan, math.inf, -math.inf]))
+        assert out.shape == (3,)  # must not raise
+
+    def test_scalar_matches_vector(self):
+        rng = np.random.default_rng(1)
+        values = rng.uniform(-1e9, 1e9, size=200)
+        vec = fast_round(values)
+        for v, expected in zip(values, vec):
+            assert fast_round_scalar(float(v)) == expected
+
+    @given(
+        st.floats(
+            min_value=-(2.0**50), max_value=2.0**50,
+            allow_nan=False, allow_infinity=False,
+        )
+    )
+    def test_within_half_ulp_of_true_round(self, x):
+        rounded = fast_round(np.array([x]))[0]
+        # Sweet-spot rounding is round-half-to-even, like np.round.
+        assert rounded == int(np.round(x))
+
+
+class TestAlpAnalyze:
+    def test_paper_running_example(self):
+        # n = 8.0605, e = 14, f = 10 must encode to 80605 (Section 2.6).
+        values = np.array([8.0605])
+        encoded, exceptions = alp_analyze(values, 14, 10)
+        assert encoded[0] == 80605
+        assert not exceptions[0]
+
+    def test_naive_exponent_fails_on_8_0605(self):
+        # The motivating failure: e = 4 (visible precision) does not
+        # round-trip 8.0605 (Section 2.5).
+        values = np.array([8.0605])
+        _, exceptions = alp_analyze(values, 4, 0)
+        assert exceptions[0]
+
+    def test_nan_is_exception(self):
+        _, exceptions = alp_analyze(np.array([math.nan]), 14, 10)
+        assert exceptions[0]
+
+    def test_inf_is_exception(self):
+        _, exceptions = alp_analyze(np.array([math.inf, -math.inf]), 14, 10)
+        assert exceptions.all()
+
+    def test_negative_zero_is_not_silently_lost(self):
+        # -0.0 encodes to integer 0, which decodes to +0.0 -> must be an
+        # exception under the bitwise test.
+        _, exceptions = alp_analyze(np.array([-0.0]), 14, 10)
+        assert exceptions[0]
+
+    def test_integers_encode_with_e0_f0(self):
+        values = np.array([1.0, -5.0, 100.0])
+        encoded, exceptions = alp_analyze(values, 0, 0)
+        assert not exceptions.any()
+        assert encoded.tolist() == [1, -5, 100]
+
+    def test_two_decimals_encode_with_e14_f12(self):
+        values = np.array([146.12, 0.01, -99.99])
+        encoded, exceptions = alp_analyze(values, 14, 12)
+        assert not exceptions.any()
+        assert encoded.tolist() == [14612, 1, -9999]
+
+    def test_high_precision_is_exception(self):
+        # 17 significant digits cannot ride through the 2**53 ceiling.
+        values = np.array([0.12345678901234567 * math.pi])
+        _, exceptions = alp_analyze(values, 14, 0)
+        assert exceptions[0]
+
+
+class TestEncodeDecodeVector:
+    def _roundtrip(self, values, e, f):
+        vector = alp_encode_vector(np.asarray(values, dtype=np.float64), e, f)
+        decoded = alp_decode_vector(vector)
+        assert np.array_equal(
+            decoded.view(np.uint64),
+            np.asarray(values, dtype=np.float64).view(np.uint64),
+        )
+        return vector
+
+    def test_clean_vector_has_no_exceptions(self):
+        values = np.round(np.linspace(0.01, 10.0, 1024), 2)
+        vector = self._roundtrip(values, 14, 12)
+        assert vector.exception_count == 0
+
+    def test_exceptions_patched(self):
+        values = np.round(np.linspace(0.01, 10.0, 1024), 2)
+        values[100] = math.pi  # not decimal-origin
+        values[500] = math.nan
+        vector = self._roundtrip(values, 14, 12)
+        assert vector.exception_count == 2
+        assert vector.exc_positions.tolist() == [100, 500]
+
+    def test_all_exception_vector(self):
+        values = np.array([math.pi, math.e, math.nan])
+        vector = self._roundtrip(values, 14, 12)
+        assert vector.exception_count == 3
+
+    def test_placeholder_does_not_widen_bitwidth(self):
+        values = np.full(100, 1.25)
+        values[50] = math.pi
+        vector = alp_encode_vector(values, 14, 12)
+        # Placeholder equals the first encoded value -> spread unchanged.
+        assert vector.ffor.bit_width == 0
+
+    def test_fused_and_unfused_decode_agree(self):
+        values = np.round(np.random.default_rng(2).uniform(0, 100, 1024), 3)
+        vector = alp_encode_vector(values, 14, 11)
+        assert np.array_equal(
+            alp_decode_vector(vector, fused=True),
+            alp_decode_vector(vector, fused=False),
+        )
+
+    def test_scalar_decode_matches_vectorized(self):
+        values = np.round(np.random.default_rng(3).uniform(-50, 50, 512), 2)
+        values[7] = math.pi
+        vector = alp_encode_vector(values, 14, 12)
+        assert np.array_equal(
+            alp_decode_vector_scalar(vector).view(np.uint64),
+            alp_decode_vector(vector).view(np.uint64),
+        )
+
+    def test_bits_per_value_sane(self):
+        values = np.round(np.random.default_rng(4).uniform(0, 100, 1024), 2)
+        vector = alp_encode_vector(values, 14, 12)
+        assert 0 < vector.bits_per_value() < 64
+
+    def test_signed_zero_roundtrips_as_exception(self):
+        values = np.array([0.0, -0.0, 1.5])
+        self._roundtrip(values, 14, 13)
+
+    @given(
+        st.lists(
+            st.integers(min_value=-(10**10), max_value=10**10),
+            min_size=1,
+            max_size=200,
+        ),
+        st.integers(min_value=0, max_value=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_decimal_origin_values_roundtrip(self, digits, places):
+        values = np.array(digits, dtype=np.float64) / (10.0**places)
+        vector = alp_encode_vector(values, 14, 14 - places)
+        decoded = alp_decode_vector(vector)
+        assert np.array_equal(
+            decoded.view(np.uint64), values.view(np.uint64)
+        )
+
+    @given(
+        st.lists(
+            st.floats(allow_nan=True, allow_infinity=True, width=64),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_any_doubles_roundtrip_bitexactly(self, xs):
+        # Losslessness must hold for arbitrary garbage: everything that
+        # fails the decimal encode simply becomes an exception.
+        values = np.array(xs, dtype=np.float64)
+        vector = alp_encode_vector(values, 14, 10)
+        decoded = alp_decode_vector(vector)
+        assert np.array_equal(
+            decoded.view(np.uint64), values.view(np.uint64)
+        )
+
+
+class TestEstimateSizeBits:
+    def test_exceptions_cost_80_bits(self):
+        values = np.array([math.pi])
+        assert estimate_size_bits(values, 14, 10) == 80
+
+    def test_clean_vector_costs_width_times_count(self):
+        values = np.array([1.01, 1.02, 1.03, 1.04])
+        # d in {101..104}, spread 3 -> 2 bits each.
+        assert estimate_size_bits(values, 14, 12) == 8
+
+    def test_better_factor_shrinks_estimate(self):
+        values = np.round(np.random.default_rng(5).uniform(0, 100, 256), 2)
+        loose = estimate_size_bits(values, 14, 0)
+        tight = estimate_size_bits(values, 14, 12)
+        assert tight < loose

@@ -1,0 +1,126 @@
+"""Tests for the ALP-pi extension mode (pi-multiplied coordinates)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alppi import (
+    alppi_analyze,
+    alppi_compress,
+    alppi_decode_vector,
+    alppi_decompress,
+    alppi_encode_vector,
+    find_best_pi_combination,
+    pi_mode_viable,
+)
+from repro.data import get_dataset
+
+
+def bitwise_equal(a, b):
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return a.shape == b.shape and np.array_equal(
+        a.view(np.uint64), b.view(np.uint64)
+    )
+
+
+def gps_radians(n, seed=0, places=7):
+    # NB: one multiply by the precomputed constant (pi/180), matching the
+    # decoder's chain; `deg * math.pi / 180.0` would round twice and
+    # produce values one ulp off from anything the transform can emit.
+    rng = np.random.default_rng(seed)
+    return np.round(rng.uniform(-90, 90, n), places) * (math.pi / 180.0)
+
+
+class TestAnalyze:
+    def test_gps_values_mostly_encode(self):
+        values = gps_radians(1024)
+        combo, _ = find_best_pi_combination(values[:64])
+        _, exceptions = alppi_analyze(values, combo.exponent, combo.factor)
+        assert exceptions.mean() < 0.2
+
+    def test_non_pi_values_become_exceptions(self):
+        values = np.array([math.pi, 0.123456789012345678])
+        _, exceptions = alppi_analyze(values, 14, 7)
+        # pi radians = exactly 180 degrees, so pi itself encodes!
+        assert not exceptions[0]
+        assert exceptions[1]
+
+    def test_known_transform(self):
+        # 45.5 degrees in radians, e-f = 1 digit.
+        values = np.array([45.5 * math.pi / 180.0])
+        encoded, exceptions = alppi_analyze(values, 14, 13)
+        assert not exceptions[0]
+        assert encoded[0] == 455
+
+
+class TestVectorRoundTrip:
+    def test_clean_vector(self):
+        values = gps_radians(1024)
+        combo, _ = find_best_pi_combination(values[:64])
+        vector = alppi_encode_vector(values, combo.exponent, combo.factor)
+        assert bitwise_equal(alppi_decode_vector(vector), values)
+
+    def test_exceptions_patched(self):
+        values = gps_radians(512)
+        values[7] = 0.777777777777  # not pi-multiplied
+        values[100] = math.nan
+        combo, _ = find_best_pi_combination(values[:64])
+        vector = alppi_encode_vector(values, combo.exponent, combo.factor)
+        assert vector.inner.exception_count >= 2
+        assert bitwise_equal(alppi_decode_vector(vector), values)
+
+
+class TestViability:
+    def test_gps_data_viable(self):
+        viable, _ = pi_mode_viable(gps_radians(8192))
+        assert viable
+
+    def test_full_precision_radians_not_viable(self):
+        # The paper's actual POI data: full-precision degrees.
+        values = get_dataset("POI-lat", n=8192)
+        viable, _ = pi_mode_viable(values)
+        assert not viable
+
+    def test_plain_decimals_viable_but_unnecessary(self):
+        # Decimal data also passes through the transform fine — pi mode
+        # should not be *worse*, just unnecessary.
+        values = np.round(np.random.default_rng(1).uniform(0, 90, 4096), 2)
+        viable, _ = pi_mode_viable(values * math.pi / 180.0)
+        assert viable
+
+
+class TestColumnRoundTrip:
+    def test_compress_decompress(self):
+        values = gps_radians(10_000)
+        column = alppi_compress(values)
+        assert bitwise_equal(alppi_decompress(column), values)
+
+    def test_beats_alprd_on_gps_data(self):
+        from repro.core.compressor import compress
+
+        values = get_dataset("POI-lat-gps", n=20_000)
+        pi_bits = alppi_compress(values).bits_per_value()
+        rd_bits = compress(values, force_scheme="alprd").bits_per_value()
+        # The Discussion's premise: the data has ~8 significant digits,
+        # so decimal-grade encoding should roughly halve ALP_rd's size.
+        assert pi_bits < rd_bits * 0.75
+
+    def test_empty(self):
+        column = alppi_compress(np.empty(0))
+        assert alppi_decompress(column).size == 0
+
+    @given(
+        st.lists(
+            st.floats(allow_nan=True, allow_infinity=True, width=64),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_arbitrary_doubles_roundtrip(self, xs):
+        values = np.array(xs, dtype=np.float64)
+        column = alppi_compress(values)
+        assert bitwise_equal(alppi_decompress(column), values)

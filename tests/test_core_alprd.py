@@ -1,0 +1,131 @@
+"""Tests for ALP_rd (Algorithm 3)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alputil.bits import double_to_bits
+from repro.core.alprd import (
+    AlpRdParameters,
+    alprd_decode,
+    alprd_encode,
+    decode_vector_bits,
+    encode_vector_bits,
+    find_best_cut,
+    fit_parameters,
+)
+from repro.core.constants import MAX_RD_LEFT_BITS
+
+
+def _poi_like(n, seed=0):
+    """Synthetic POI-lat style data: uniform degrees converted to radians."""
+    rng = np.random.default_rng(seed)
+    degrees = rng.uniform(-90, 90, n)
+    return degrees * math.pi / 180.0
+
+
+class TestFindBestCut:
+    def test_cut_respects_left_limit(self):
+        bits = double_to_bits(_poi_like(512))
+        params = find_best_cut(bits)
+        assert 1 <= params.left_bit_width <= MAX_RD_LEFT_BITS
+        assert params.right_bit_width >= 64 - MAX_RD_LEFT_BITS
+
+    def test_low_variance_front_bits_found(self):
+        # Values in a tight range share sign+exponent+top mantissa bits:
+        # the dictionary should cover the sample with few entries.
+        bits = double_to_bits(_poi_like(512) + 10.0)
+        params = find_best_cut(bits)
+        assert params.dictionary.entries.size <= 8
+
+    def test_float32_cut(self):
+        rng = np.random.default_rng(1)
+        weights = rng.normal(0, 0.02, 512).astype(np.float32)
+        bits = weights.view(np.uint32).astype(np.uint64)
+        params = find_best_cut(bits, total_bits=32)
+        assert params.total_bits == 32
+        assert params.right_bit_width >= 32 - MAX_RD_LEFT_BITS
+
+
+class TestVectorRoundTrip:
+    def test_roundtrip_poi(self):
+        values = _poi_like(1024)
+        bits = double_to_bits(values)
+        params = find_best_cut(bits)
+        vector = encode_vector_bits(bits, params)
+        assert np.array_equal(decode_vector_bits(vector, params), bits)
+
+    def test_exceptions_recorded_for_out_of_dict_values(self):
+        # Fit on a narrow sample, then encode data outside that range.
+        narrow = double_to_bits(np.linspace(1.0, 1.001, 256))
+        params = find_best_cut(narrow)
+        wild = double_to_bits(np.array([1e300, -1e-300, 2.5]))
+        vector = encode_vector_bits(wild, params)
+        assert vector.exc_positions.size >= 1
+        assert np.array_equal(decode_vector_bits(vector, params), wild)
+
+
+class TestRowGroupRoundTrip:
+    def test_roundtrip_large(self):
+        values = _poi_like(5000)
+        rowgroup = alprd_encode(values)
+        decoded = alprd_decode(rowgroup)
+        assert np.array_equal(
+            decoded.view(np.uint64), values.view(np.uint64)
+        )
+
+    def test_compresses_poi_data(self):
+        # Paper: ALP_rd achieves ~55-56 bits/value on POI (max ~1.2x).
+        values = _poi_like(10_000)
+        rowgroup = alprd_encode(values)
+        assert rowgroup.bits_per_value() < 64
+        assert rowgroup.bits_per_value() > 45
+
+    def test_special_values_roundtrip(self):
+        values = np.array(
+            [math.nan, math.inf, -math.inf, 0.0, -0.0, 5e-324, 1.7e308]
+        )
+        rowgroup = alprd_encode(values)
+        decoded = alprd_decode(rowgroup)
+        assert np.array_equal(
+            decoded.view(np.uint64), values.view(np.uint64)
+        )
+
+    def test_empty(self):
+        rowgroup = alprd_encode(np.empty(0))
+        assert alprd_decode(rowgroup).size == 0
+        assert rowgroup.bits_per_value() == 0.0
+
+    def test_vector_boundaries(self):
+        # 2.5 vectors worth of data.
+        values = _poi_like(2560)
+        rowgroup = alprd_encode(values, vector_size=1024)
+        assert len(rowgroup.vectors) == 3
+        assert np.array_equal(
+            alprd_decode(rowgroup).view(np.uint64), values.view(np.uint64)
+        )
+
+    def test_fixed_parameters_reused(self):
+        values = _poi_like(2048)
+        params = fit_parameters(values)
+        rowgroup = alprd_encode(values, parameters=params)
+        assert rowgroup.parameters is params
+
+    @given(
+        st.lists(
+            st.floats(allow_nan=True, allow_infinity=True, width=64),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_arbitrary_doubles_roundtrip(self, xs):
+        values = np.array(xs, dtype=np.float64)
+        rowgroup = alprd_encode(values)
+        decoded = alprd_decode(rowgroup)
+        assert np.array_equal(
+            decoded.view(np.uint64), values.view(np.uint64)
+        )

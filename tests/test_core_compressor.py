@@ -1,0 +1,151 @@
+"""Integration tests for the public compress/decompress API."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import compress, decompress
+
+
+def bitwise_equal(a, b):
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return a.shape == b.shape and np.array_equal(
+        a.view(np.uint64), b.view(np.uint64)
+    )
+
+
+class TestRoundTrip:
+    def test_decimal_column(self):
+        rng = np.random.default_rng(0)
+        values = np.round(rng.uniform(0, 500, 50_000), 2)
+        column = compress(values)
+        assert bitwise_equal(decompress(column), values)
+        assert not column.uses_rd
+
+    def test_poi_column_uses_rd(self):
+        rng = np.random.default_rng(1)
+        values = rng.uniform(-math.pi, math.pi, 50_000)
+        column = compress(values)
+        assert column.uses_rd
+        assert bitwise_equal(decompress(column), values)
+
+    def test_mixed_rowgroups(self):
+        rng = np.random.default_rng(2)
+        decimal_part = np.round(rng.uniform(0, 100, 102_400), 1)
+        real_part = rng.uniform(0, 1, 102_400) * math.pi
+        values = np.concatenate([decimal_part, real_part])
+        column = compress(values)
+        schemes = [rg.scheme for rg in column.rowgroups]
+        assert "alp" in schemes and "alprd" in schemes
+        assert bitwise_equal(decompress(column), values)
+
+    def test_empty_column(self):
+        column = compress(np.empty(0))
+        assert decompress(column).size == 0
+        assert column.bits_per_value() == 0.0
+
+    def test_single_value(self):
+        values = np.array([42.5])
+        assert bitwise_equal(decompress(compress(values)), values)
+
+    def test_non_multiple_of_vector_size(self):
+        rng = np.random.default_rng(3)
+        values = np.round(rng.uniform(0, 10, 1024 * 3 + 17), 2)
+        assert bitwise_equal(decompress(compress(values)), values)
+
+    def test_special_values_column(self):
+        values = np.array(
+            [math.nan, math.inf, -math.inf, -0.0, 0.0, 1.5, 5e-324] * 100
+        )
+        assert bitwise_equal(decompress(compress(values)), values)
+
+    @given(
+        st.lists(
+            st.floats(allow_nan=True, allow_infinity=True, width=64),
+            max_size=400,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_arbitrary_doubles(self, xs):
+        values = np.array(xs, dtype=np.float64)
+        assert bitwise_equal(decompress(compress(values)), values)
+
+
+class TestCompressionQuality:
+    def test_two_decimal_data_compresses_hard(self):
+        # Stocks-USA-like data: 2 decimals, tight range -> paper gets
+        # ~8 bits/value; we should land well under 20.
+        rng = np.random.default_rng(4)
+        walk = np.cumsum(rng.normal(0, 0.05, 100_000)) + 150.0
+        values = np.round(walk, 2)
+        column = compress(values)
+        assert column.bits_per_value() < 20
+
+    def test_integers_as_doubles_compress(self):
+        # CMS/9-like: discrete counts stored as doubles.
+        rng = np.random.default_rng(5)
+        values = rng.poisson(100, 50_000).astype(np.float64)
+        column = compress(values)
+        assert column.bits_per_value() < 16
+
+    def test_constant_column_is_tiny(self):
+        values = np.full(102_400, 3.14)
+        column = compress(values)
+        assert column.bits_per_value() < 1.0
+
+    def test_rd_data_stays_below_64_bits(self):
+        rng = np.random.default_rng(6)
+        values = rng.uniform(0.1, 1.0, 102_400) * math.pi
+        column = compress(values)
+        assert column.bits_per_value() < 64
+
+    def test_compression_ratio_property(self):
+        values = np.full(2048, 7.25)
+        column = compress(values)
+        assert column.compression_ratio() > 32
+
+
+class TestSchemeForcing:
+    def test_force_alprd_on_decimal_data(self):
+        rng = np.random.default_rng(7)
+        values = np.round(rng.uniform(0, 10, 4096), 1)
+        column = compress(values, force_scheme="alprd")
+        assert all(rg.scheme == "alprd" for rg in column.rowgroups)
+        assert bitwise_equal(decompress(column), values)
+
+    def test_force_alp_on_real_doubles(self):
+        rng = np.random.default_rng(8)
+        values = rng.uniform(0, 1, 4096) * math.pi
+        column = compress(values, force_scheme="alp")
+        assert all(rg.scheme == "alp" for rg in column.rowgroups)
+        assert bitwise_equal(decompress(column), values)
+
+
+class TestStats:
+    def test_single_candidate_skips_second_level(self):
+        rng = np.random.default_rng(9)
+        values = np.round(rng.uniform(0, 100, 1024 * 20), 1)
+        column = compress(values)
+        stats = column.stats
+        # Uniform precision -> k' == 1 -> every vector skipped level two.
+        assert stats.second_level_skipped == stats.vectors_encoded
+
+    def test_tried_histogram(self):
+        rng = np.random.default_rng(10)
+        parts = [np.round(rng.uniform(0, 100, 1024), p) for p in (1, 5)] * 10
+        column = compress(np.concatenate(parts))
+        hist = column.stats.tried_histogram()
+        assert all(k >= 1 for k in hist)
+
+    def test_rowgroup_counts(self):
+        rng = np.random.default_rng(11)
+        values = np.round(rng.uniform(0, 100, 1024 * 100 + 5), 1)
+        column = compress(values)
+        stats = column.stats
+        assert stats.alp_rowgroups + stats.rd_rowgroups == len(
+            column.rowgroups
+        )

@@ -1,0 +1,119 @@
+"""Tests for the 32-bit ALP / ALP_rd ports (Section 4.4)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.float32 import (
+    alp32_analyze,
+    alp32_decode_vector,
+    alp32_encode_vector,
+    compress_f32,
+    decompress_f32,
+    fast_round_f32,
+    find_best_combination_f32,
+)
+
+
+def bitwise_equal32(a, b):
+    a = np.asarray(a, dtype=np.float32)
+    b = np.asarray(b, dtype=np.float32)
+    return a.shape == b.shape and np.array_equal(
+        a.view(np.uint32), b.view(np.uint32)
+    )
+
+
+class TestFastRoundF32:
+    def test_basic(self):
+        values = np.array([0.5, 1.5, 2.4, -2.6], dtype=np.float32)
+        assert fast_round_f32(values).tolist() == [0, 2, 2, -3]
+
+    def test_nonfinite_no_crash(self):
+        out = fast_round_f32(
+            np.array([math.nan, math.inf], dtype=np.float32)
+        )
+        assert out.shape == (2,)
+
+
+class TestAlp32:
+    def test_decimal_floats_encode(self):
+        values = np.round(
+            np.random.default_rng(0).uniform(0, 100, 256), 2
+        ).astype(np.float32)
+        e, f, _ = find_best_combination_f32(values)
+        encoded, exceptions = alp32_analyze(values, e, f)
+        assert exceptions.mean() < 0.2
+
+    def test_vector_roundtrip(self):
+        values = np.round(
+            np.random.default_rng(1).uniform(-50, 50, 1024), 1
+        ).astype(np.float32)
+        e, f, _ = find_best_combination_f32(values)
+        vector = alp32_encode_vector(values, e, f)
+        assert bitwise_equal32(alp32_decode_vector(vector), values)
+
+    def test_exceptions_patched(self):
+        values = np.round(
+            np.random.default_rng(2).uniform(0, 10, 128), 1
+        ).astype(np.float32)
+        values[5] = np.float32(math.pi)
+        e, f, _ = find_best_combination_f32(values)
+        vector = alp32_encode_vector(values, e, f)
+        assert vector.exception_count >= 1
+        assert bitwise_equal32(alp32_decode_vector(vector), values)
+
+
+class TestCompressF32:
+    def test_decimal_column_uses_alp(self):
+        values = np.round(
+            np.random.default_rng(3).uniform(0, 100, 20_000), 1
+        ).astype(np.float32)
+        column = compress_f32(values)
+        assert column.scheme == "alp"
+        assert bitwise_equal32(decompress_f32(column), values)
+        # §4.4: same integers as the 64-bit case but 32-bit base ->
+        # clearly compressed.
+        assert column.bits_per_value() < 20
+
+    def test_ml_weights_use_rd(self):
+        rng = np.random.default_rng(4)
+        weights = rng.normal(0, 0.02, 20_000).astype(np.float32)
+        column = compress_f32(weights)
+        assert column.scheme == "alprd"
+        assert bitwise_equal32(decompress_f32(column), weights)
+        # Table 7: ~28 bits/value on weights — i.e. some compression.
+        assert column.bits_per_value() < 32
+
+    def test_force_scheme(self):
+        values = np.round(
+            np.random.default_rng(5).uniform(0, 10, 2048), 1
+        ).astype(np.float32)
+        column = compress_f32(values, force_scheme="alprd")
+        assert column.scheme == "alprd"
+        assert bitwise_equal32(decompress_f32(column), values)
+
+    def test_empty(self):
+        column = compress_f32(np.empty(0, dtype=np.float32))
+        assert decompress_f32(column).size == 0
+
+    def test_special_values(self):
+        values = np.array(
+            [math.nan, math.inf, -math.inf, 0.0, -0.0], dtype=np.float32
+        )
+        column = compress_f32(values)
+        assert bitwise_equal32(decompress_f32(column), values)
+
+    @given(
+        st.lists(
+            st.floats(width=32, allow_nan=True, allow_infinity=True),
+            max_size=300,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_arbitrary_floats_roundtrip(self, xs):
+        values = np.array(xs, dtype=np.float32)
+        column = compress_f32(values)
+        assert bitwise_equal32(decompress_f32(column), values)

@@ -1,0 +1,202 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.alputil.decimals import decimal_places_array
+from repro.data import (
+    DATASET_ORDER,
+    DATASETS,
+    ENDTOEND_DATASETS,
+    MODELS,
+    get_dataset,
+    get_model_weights,
+    list_datasets,
+)
+from repro.data.generators import (
+    degrees_to_radians,
+    from_pool,
+    inject_duplicates,
+    iid_lognormal,
+    ml_weights,
+    random_walk,
+    round_decimals,
+    round_mixed_decimals,
+    zero_dominated,
+)
+
+
+class TestRegistry:
+    def test_thirty_datasets(self):
+        assert len(DATASETS) == 30
+
+    def test_thirteen_time_series(self):
+        assert len(list_datasets(time_series=True)) == 13
+
+    def test_seventeen_non_time_series(self):
+        assert len(list_datasets(time_series=False)) == 17
+
+    def test_order_matches_registry(self):
+        assert list(DATASET_ORDER) == list(DATASETS)
+
+    def test_endtoend_subset(self):
+        assert set(ENDTOEND_DATASETS) <= set(DATASETS)
+        assert len(ENDTOEND_DATASETS) == 5
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            get_dataset("nope")
+
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_generation_deterministic(self, name):
+        a = get_dataset(name, n=2048, seed=7)
+        b = get_dataset(name, n=2048, seed=7)
+        assert np.array_equal(a.view(np.uint64), b.view(np.uint64))
+
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_seed_changes_data(self, name):
+        # Gov/xx prefixes can be identical all-zero runs: use enough data
+        # that non-zero bursts must appear.
+        n = 60_000
+        a = get_dataset(name, n=n, seed=1)
+        b = get_dataset(name, n=n, seed=2)
+        assert not np.array_equal(a.view(np.uint64), b.view(np.uint64))
+
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_size_and_dtype(self, name):
+        values = get_dataset(name, n=3000)
+        assert values.shape == (3000,)
+        assert values.dtype == np.float64
+        assert np.isfinite(values).all()
+
+
+class TestFingerprints:
+    def test_poi_datasets_are_full_precision(self):
+        for name in ("POI-lat", "POI-lon"):
+            values = get_dataset(name, n=4096)
+            precisions = decimal_places_array(values)
+            assert precisions.mean() > 14, name
+
+    def test_city_temp_is_one_decimal(self):
+        values = get_dataset("City-Temp", n=4096)
+        assert decimal_places_array(values).max() <= 1
+
+    def test_counts_are_integers(self):
+        for name in ("CMS/9", "Medicare/9"):
+            values = get_dataset(name, n=4096)
+            assert np.array_equal(values, np.floor(values)), name
+
+    def test_gov26_mostly_zero(self):
+        values = get_dataset("Gov/26", n=120_000)
+        assert (values == 0).mean() > 0.98
+
+    def test_gov30_zero_fraction(self):
+        values = get_dataset("Gov/30", n=120_000)
+        assert 0.80 < (values == 0).mean() < 0.97
+
+    def test_sd_bench_small_pool(self):
+        values = get_dataset("SD-bench", n=8192)
+        assert np.unique(values).size <= 30
+
+    def test_stocks_have_temporal_locality(self):
+        values = get_dataset("Stocks-USA", n=8192)
+        step = np.abs(np.diff(values))
+        spread = values.max() - values.min()
+        assert np.median(step) < spread / 100
+
+    def test_precision_hints_hold(self):
+        for name, spec in DATASETS.items():
+            values = spec.generate(n=4096)
+            precisions = decimal_places_array(values)
+            low, high = spec.precision_hint
+            assert precisions.max() <= max(high, 20), name
+            # Most values respect the hinted band.
+            in_band = (precisions >= low) & (precisions <= high)
+            assert in_band.mean() > 0.5, name
+
+
+class TestPrimitives:
+    def test_random_walk_reflects_at_bounds(self):
+        rng = np.random.default_rng(0)
+        walk = random_walk(50_000, rng, start=0.0, step_std=5.0, low=-10, high=10)
+        assert walk.min() >= -10 and walk.max() <= 10
+        # Reflection must not create saturation plateaus.
+        assert np.unique(np.round(walk, 3)).size > 1000
+
+    def test_round_mixed_decimals(self):
+        rng = np.random.default_rng(1)
+        values = rng.uniform(0, 1, 1000)
+        mixed = round_mixed_decimals(values, (1, 5), (0.5, 0.5), rng)
+        precisions = decimal_places_array(mixed)
+        assert precisions.max() <= 5
+        assert (precisions <= 1).any()
+
+    def test_inject_duplicates_fraction(self):
+        rng = np.random.default_rng(2)
+        values = rng.uniform(0, 1, 20_000)
+        dup = inject_duplicates(values, 0.5, rng)
+        non_unique = 1 - np.unique(dup).size / dup.size
+        assert 0.35 < non_unique < 0.65
+
+    def test_inject_duplicates_zero_fraction_is_noop(self):
+        rng = np.random.default_rng(3)
+        values = rng.uniform(0, 1, 100)
+        assert np.array_equal(inject_duplicates(values, 0.0, rng), values)
+
+    def test_zero_dominated_fraction(self):
+        rng = np.random.default_rng(4)
+        out = zero_dominated(
+            200_000, rng, 0.95, nonzero=np.array([1.5, 2.5]), period=4096
+        )
+        assert 0.90 < (out == 0).mean() < 0.99
+
+    def test_zero_dominated_has_long_runs(self):
+        rng = np.random.default_rng(5)
+        out = zero_dominated(
+            100_000, rng, 0.99, nonzero=np.array([7.0])
+        )
+        # At least one full 1024-vector must be all zeros.
+        vectors = out[: 96 * 1024].reshape(96, 1024)
+        assert (vectors == 0).all(axis=1).any()
+
+    def test_degrees_to_radians(self):
+        rad = degrees_to_radians(np.array([180.0]))
+        assert abs(rad[0] - np.pi) < 1e-12
+
+    def test_from_pool_only_pool_values(self):
+        rng = np.random.default_rng(6)
+        pool = np.array([1.5, 2.5, 3.5])
+        out = from_pool(100, rng, pool)
+        assert set(out.tolist()) <= set(pool.tolist())
+
+    def test_lognormal_positive(self):
+        rng = np.random.default_rng(7)
+        assert (iid_lognormal(1000, rng, 10.0, 2.0) > 0).all()
+
+
+class TestMlWeights:
+    def test_four_models(self):
+        assert len(MODELS) == 4
+
+    def test_weights_float32(self):
+        w = get_model_weights("GPT2")
+        assert w.dtype == np.float32
+        assert w.size == MODELS["GPT2"].synth_params
+
+    def test_weights_zero_mean_small_scale(self):
+        w = get_model_weights("Dino-Vitb16")
+        assert abs(float(w.mean())) < 0.01
+        assert 0 < float(w.std()) < 1.0
+
+    def test_w2v_tiny(self):
+        assert get_model_weights("W2V-Tweets").size == 3000
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            get_model_weights("bert")
+
+    def test_ml_weights_layer_scales_vary(self):
+        rng = np.random.default_rng(8)
+        w = ml_weights(100_000, rng)
+        first = w[:5000].std()
+        assert first > 0

@@ -1,0 +1,100 @@
+"""Unit tests for the bit-packing primitive."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.encodings.bitpack import (
+    bit_width_required,
+    pack_bits,
+    packed_size_bytes,
+    unpack_bits,
+)
+
+
+class TestBitWidthRequired:
+    def test_empty(self):
+        assert bit_width_required(np.empty(0, dtype=np.uint64)) == 0
+
+    def test_all_zero(self):
+        assert bit_width_required(np.zeros(5, dtype=np.uint64)) == 0
+
+    def test_powers_of_two(self):
+        for w in range(1, 64):
+            arr = np.array([(1 << w) - 1], dtype=np.uint64)
+            assert bit_width_required(arr) == w
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bit_width_required(np.array([-1], dtype=np.int64))
+
+
+class TestPackUnpack:
+    def test_simple(self):
+        values = np.array([1, 2, 3], dtype=np.uint64)
+        assert np.array_equal(unpack_bits(pack_bits(values, 2), 2, 3), values)
+
+    def test_zero_width(self):
+        assert pack_bits(np.zeros(10, dtype=np.uint64), 0) == b""
+        assert np.array_equal(
+            unpack_bits(b"", 0, 10), np.zeros(10, dtype=np.uint64)
+        )
+
+    def test_zero_width_rejects_nonzero_values(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.array([1], dtype=np.uint64), 0)
+
+    def test_width_64(self):
+        values = np.array([0, 2**64 - 1, 123456789], dtype=np.uint64)
+        assert np.array_equal(
+            unpack_bits(pack_bits(values, 64), 64, 3), values
+        )
+
+    def test_overflow_detected(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.array([4], dtype=np.uint64), 2)
+
+    def test_packed_size(self):
+        values = np.arange(100, dtype=np.uint64)
+        width = bit_width_required(values)
+        payload = pack_bits(values, width)
+        assert len(payload) == packed_size_bytes(100, width)
+
+    def test_unpack_short_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            unpack_bits(b"\x00", 8, 2)
+
+    def test_invalid_widths_rejected(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.array([0], dtype=np.uint64), 65)
+        with pytest.raises(ValueError):
+            unpack_bits(b"", -1, 0)
+
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=0, max_value=300),
+        st.randoms(use_true_random=False),
+    )
+    def test_roundtrip_random(self, width, count, rnd):
+        values = np.array(
+            [rnd.getrandbits(width) for _ in range(count)], dtype=np.uint64
+        )
+        assert np.array_equal(
+            unpack_bits(pack_bits(values, width), width, count), values
+        )
+
+    def test_every_width_roundtrips(self):
+        rng = np.random.default_rng(3)
+        for width in range(1, 65):
+            if width == 64:
+                values = rng.integers(
+                    0, 2**63, size=17, dtype=np.uint64
+                ) * np.uint64(2) + rng.integers(0, 2, size=17, dtype=np.uint64)
+            else:
+                values = rng.integers(
+                    0, 1 << width, size=17, dtype=np.uint64
+                )
+            assert np.array_equal(
+                unpack_bits(pack_bits(values, width), width, 17), values
+            ), f"width {width} failed"

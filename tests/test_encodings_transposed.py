@@ -1,0 +1,96 @@
+"""Tests for the FastLanes-style interleaved bit-packing layout."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encodings.bitpack import pack_bits
+from repro.encodings.transposed import (
+    TILE_ORDER,
+    TRANSPOSE_INVERSE,
+    TRANSPOSE_PERMUTATION,
+    TRANSPOSED_VECTOR_SIZE,
+    pack_bits_transposed,
+    transpose_values,
+    unpack_bits_transposed,
+    untranspose_values,
+)
+
+
+class TestPermutation:
+    def test_is_a_permutation(self):
+        assert np.array_equal(
+            np.sort(TRANSPOSE_PERMUTATION), np.arange(1024)
+        )
+
+    def test_inverse_composes_to_identity(self):
+        values = np.arange(1024)
+        assert np.array_equal(
+            untranspose_values(transpose_values(values)), values
+        )
+        assert np.array_equal(
+            TRANSPOSE_PERMUTATION[TRANSPOSE_INVERSE], np.arange(1024)
+        )
+
+    def test_tile_order_is_fastlanes(self):
+        assert TILE_ORDER == (0, 4, 2, 6, 1, 5, 3, 7)
+
+    def test_first_slots_follow_tile_order(self):
+        # Slot 0 starts at tile 0, slot 16 at tile 4 (value 512), etc.
+        assert TRANSPOSE_PERMUTATION[0] == 0
+        assert TRANSPOSE_PERMUTATION[16] == 4 * 128
+        assert TRANSPOSE_PERMUTATION[32] == 2 * 128
+
+    def test_not_identity(self):
+        assert not np.array_equal(TRANSPOSE_PERMUTATION, np.arange(1024))
+
+
+class TestPackUnpack:
+    def test_roundtrip_full_vector(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 1 << 17, 1024).astype(np.uint64)
+        payload = pack_bits_transposed(values, 17)
+        assert np.array_equal(
+            unpack_bits_transposed(payload, 17, 1024), values
+        )
+
+    def test_same_size_as_sequential(self):
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 1 << 9, 1024).astype(np.uint64)
+        assert len(pack_bits_transposed(values, 9)) == len(
+            pack_bits(values, 9)
+        )
+
+    def test_payload_differs_from_sequential(self):
+        values = np.arange(1024, dtype=np.uint64)
+        assert pack_bits_transposed(values, 10) != pack_bits(values, 10)
+
+    def test_short_vector_falls_back(self):
+        values = np.arange(100, dtype=np.uint64)
+        payload = pack_bits_transposed(values, 7)
+        assert payload == pack_bits(values, 7)
+        assert np.array_equal(
+            unpack_bits_transposed(payload, 7, 100), values
+        )
+
+    def test_wrong_size_transpose_rejected(self):
+        with pytest.raises(ValueError):
+            transpose_values(np.arange(512))
+        with pytest.raises(ValueError):
+            untranspose_values(np.arange(2048))
+
+    @given(st.integers(min_value=0, max_value=63), st.randoms(use_true_random=False))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_random_widths(self, width, rnd):
+        if width == 0:
+            values = np.zeros(1024, dtype=np.uint64)
+        else:
+            values = np.array(
+                [rnd.getrandbits(width) for _ in range(1024)],
+                dtype=np.uint64,
+            )
+        payload = pack_bits_transposed(values, width)
+        assert np.array_equal(
+            unpack_bits_transposed(payload, width, 1024), values
+        )

@@ -1,0 +1,154 @@
+"""Fault injection: corrupted payloads must fail loudly or decode
+bounded garbage — never hang, crash the interpreter, or read out of
+bounds.
+
+Decoders are driven with (a) truncated streams, (b) bit-flipped
+payloads and (c) random bytes.  The acceptable outcomes are a Python
+exception (EOFError / ValueError / IndexError / struct.error / KeyError)
+or a well-formed array of the declared length whose content simply
+differs — silent wrong-length results are the only failure.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.baselines.chimp import ChimpEncoded, chimp_compress, chimp_decompress
+from repro.baselines.chimp128 import (
+    Chimp128Encoded,
+    chimp128_compress,
+    chimp128_decompress,
+)
+from repro.baselines.fpc import FpcEncoded, fpc_compress, fpc_decompress
+from repro.baselines.gorilla import (
+    GorillaEncoded,
+    gorilla_compress,
+    gorilla_decompress,
+)
+from repro.baselines.patas import PatasEncoded, patas_compress, patas_decompress
+from repro.core.alp import alp_decode_vector, alp_encode_vector
+from repro.encodings.ffor import FforEncoded, ffor_decode
+from repro.storage.serializer import deserialize_rowgroup
+
+ACCEPTABLE = (EOFError, ValueError, IndexError, KeyError, struct.error)
+
+
+def _values():
+    rng = np.random.default_rng(0)
+    return np.round(np.cumsum(rng.normal(0, 0.1, 500)) + 20.0, 2)
+
+
+class TestTruncatedStreams:
+    def test_gorilla_truncated(self):
+        encoded = gorilla_compress(_values())
+        broken = GorillaEncoded(
+            payload=encoded.payload[: len(encoded.payload) // 3],
+            count=encoded.count,
+        )
+        with pytest.raises(ACCEPTABLE):
+            gorilla_decompress(broken)
+
+    def test_chimp_truncated(self):
+        encoded = chimp_compress(_values())
+        broken = ChimpEncoded(
+            payload=encoded.payload[: len(encoded.payload) // 3],
+            count=encoded.count,
+        )
+        with pytest.raises(ACCEPTABLE):
+            chimp_decompress(broken)
+
+    def test_chimp128_truncated(self):
+        encoded = chimp128_compress(_values())
+        broken = Chimp128Encoded(
+            payload=encoded.payload[: len(encoded.payload) // 3],
+            count=encoded.count,
+            ring_size=encoded.ring_size,
+        )
+        with pytest.raises(ACCEPTABLE):
+            chimp128_decompress(broken)
+
+    def test_ffor_truncated(self):
+        encoded = FforEncoded(payload=b"\x00", reference=0, bit_width=13, count=100)
+        with pytest.raises(ACCEPTABLE):
+            ffor_decode(encoded)
+
+
+class TestBitFlips:
+    def test_flipped_alp_payload_changes_values_not_shape(self):
+        values = _values()
+        vector = alp_encode_vector(values, 14, 12)
+        payload = bytearray(vector.ffor.payload)
+        payload[len(payload) // 2] ^= 0xFF
+        from dataclasses import replace
+
+        broken = replace(
+            vector, ffor=replace(vector.ffor, payload=bytes(payload))
+        )
+        decoded = alp_decode_vector(broken)
+        assert decoded.shape == values.shape  # framing intact
+        assert not np.array_equal(
+            decoded.view(np.uint64), values.view(np.uint64)
+        )  # corruption visible
+
+    def test_flipped_patas_payload_bounded(self):
+        encoded = patas_compress(_values())
+        payload = bytearray(encoded.payload)
+        if payload:
+            payload[0] ^= 0xFF
+        broken = PatasEncoded(
+            headers=encoded.headers,
+            payload=bytes(payload),
+            first_value=encoded.first_value,
+            count=encoded.count,
+        )
+        decoded = patas_decompress(broken)
+        assert decoded.shape == (encoded.count,)
+
+
+class TestRandomBytes:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_gorilla_fuzz(self, seed):
+        rng = np.random.default_rng(seed)
+        junk = rng.integers(0, 256, 200, dtype=np.uint8).tobytes()
+        encoded = GorillaEncoded(payload=junk, count=64)
+        try:
+            out = gorilla_decompress(encoded)
+            assert out.shape == (64,)
+        except ACCEPTABLE:
+            pass
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_chimp_fuzz(self, seed):
+        rng = np.random.default_rng(seed + 100)
+        junk = rng.integers(0, 256, 200, dtype=np.uint8).tobytes()
+        encoded = ChimpEncoded(payload=junk, count=64)
+        try:
+            out = chimp_decompress(encoded)
+            assert out.shape == (64,)
+        except ACCEPTABLE:
+            pass
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_fpc_fuzz(self, seed):
+        rng = np.random.default_rng(seed + 200)
+        headers = rng.integers(0, 256, 32, dtype=np.uint8).tobytes()
+        payload = rng.integers(0, 256, 300, dtype=np.uint8).tobytes()
+        encoded = FpcEncoded(headers=headers, payload=payload, count=64)
+        try:
+            out = fpc_decompress(encoded)
+            assert out.shape == (64,)
+        except ACCEPTABLE:
+            pass
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_rowgroup_deserialize_fuzz(self, seed):
+        rng = np.random.default_rng(seed + 300)
+        junk = rng.integers(0, 256, 400, dtype=np.uint8).tobytes()
+        try:
+            rowgroup, consumed = deserialize_rowgroup(junk)
+            assert consumed <= len(junk)
+        except ACCEPTABLE:
+            pass

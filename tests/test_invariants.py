@@ -1,0 +1,156 @@
+"""Property-style invariant tests across the compression stack."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alp import alp_encode_vector
+from repro.core.compressor import compress, decompress
+from repro.core.sampler import (
+    find_best_combination,
+    first_level_sample,
+)
+from repro.data import get_dataset
+from repro.encodings.bitpack import bit_width_required
+from repro.encodings.ffor import ffor_decode, ffor_encode
+
+
+def bitwise_equal(a, b):
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return a.shape == b.shape and np.array_equal(
+        a.view(np.uint64), b.view(np.uint64)
+    )
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["City-Temp", "POI-lat", "Gov/26"])
+    def test_compression_is_deterministic(self, name):
+        values = get_dataset(name, n=20_000)
+        first = compress(values)
+        second = compress(values)
+        assert first.size_bits() == second.size_bits()
+        for rg_a, rg_b in zip(first.rowgroups, second.rowgroups):
+            assert rg_a.scheme == rg_b.scheme
+            assert rg_a.first_level.candidates == rg_b.first_level.candidates
+
+    def test_sampler_is_deterministic(self):
+        values = get_dataset("Stocks-USA", n=8192)
+        a = first_level_sample(values)
+        b = first_level_sample(values)
+        assert a.candidates == b.candidates
+        assert a.use_rd == b.use_rd
+
+
+class TestFforInvariants:
+    @given(
+        st.lists(
+            st.integers(min_value=-(2**60), max_value=2**60),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_width_is_minimal(self, xs):
+        values = np.array(xs, dtype=np.int64)
+        encoded = ffor_encode(values)
+        spread = int(values.max()) - int(values.min())
+        assert encoded.bit_width == spread.bit_length()
+
+    @given(
+        st.lists(
+            st.integers(min_value=-(2**62), max_value=2**62),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_reference_is_minimum(self, xs):
+        values = np.array(xs, dtype=np.int64)
+        assert ffor_encode(values).reference == int(values.min())
+
+    def test_int64_extremes(self):
+        values = np.array(
+            [np.iinfo(np.int64).min, np.iinfo(np.int64).max, 0], dtype=np.int64
+        )
+        assert np.array_equal(ffor_decode(ffor_encode(values)), values)
+
+
+class TestEncodedVectorInvariants:
+    @given(
+        st.lists(
+            st.floats(
+                min_value=-1e6, max_value=1e6,
+                allow_nan=False, allow_infinity=False,
+            ),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_exceptions_plus_valid_cover_vector(self, xs):
+        values = np.array(xs, dtype=np.float64)
+        combo, _ = find_best_combination(values)
+        vector = alp_encode_vector(values, combo.exponent, combo.factor)
+        assert vector.exception_count <= values.size
+        assert vector.ffor.count == values.size
+        # Exception positions are unique, sorted and in range.
+        positions = vector.exc_positions.astype(np.int64)
+        assert np.unique(positions).size == positions.size
+        assert (np.diff(positions) > 0).all() if positions.size > 1 else True
+        assert (positions < values.size).all() if positions.size else True
+
+    def test_exception_values_are_the_originals(self):
+        values = np.round(np.linspace(0, 10, 256), 2)
+        values[[3, 77]] = [math.pi, math.e]
+        vector = alp_encode_vector(values, 14, 12)
+        assert vector.exc_positions.tolist() == [3, 77]
+        assert vector.exc_values.tolist() == [math.pi, math.e]
+
+
+class TestDifficultData:
+    def test_subnormal_heavy_column(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(1, 1000, 8192).astype(np.float64) * 5e-324
+        column = compress(values)
+        assert bitwise_equal(decompress(column), values)
+
+    def test_alternating_extremes(self):
+        values = np.tile(np.array([1.7e308, 5e-324, -1.7e308]), 2000)
+        column = compress(values)
+        assert bitwise_equal(decompress(column), values)
+
+    def test_monotone_integers_large(self):
+        values = np.arange(1e15, 1e15 + 20_000, dtype=np.float64)
+        column = compress(values)
+        assert bitwise_equal(decompress(column), values)
+        assert column.bits_per_value() < 64
+
+    def test_oscillating_precision(self):
+        rng = np.random.default_rng(1)
+        base = rng.uniform(0, 100, 20_000)
+        values = np.where(
+            np.arange(base.size) % 2 == 0,
+            np.round(base, 1),
+            np.round(base, 9),
+        )
+        column = compress(values)
+        assert bitwise_equal(decompress(column), values)
+
+    def test_invalid_vector_size_rejected(self):
+        with pytest.raises(ValueError):
+            compress(np.zeros(10), vector_size=70_000)
+        with pytest.raises(ValueError):
+            compress(np.zeros(10), vector_size=0)
+
+
+class TestBitWidthRequired:
+    @given(st.integers(min_value=0, max_value=2**63 - 1))
+    def test_value_fits_in_reported_width(self, x):
+        width = bit_width_required(np.array([x], dtype=np.uint64))
+        assert x < (1 << width) if width < 64 else True
+        if width:
+            assert x >= (1 << (width - 1))

@@ -1,0 +1,97 @@
+"""Tests for the multi-column dataset directory format."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.query.table import FilterPredicate
+from repro.storage.dataset_dir import (
+    DatasetReader,
+    write_dataset,
+)
+
+
+@pytest.fixture
+def trades(tmp_path):
+    rng = np.random.default_rng(0)
+    n = 120_000
+    columns = {
+        "price": np.round(np.cumsum(rng.normal(0, 0.05, n)) + 100.0, 2),
+        "volume": rng.integers(1, 500, n).astype(np.float64),
+        "weird/name with spaces": np.round(rng.uniform(0, 1, n), 3),
+    }
+    directory = tmp_path / "trades"
+    write_dataset(directory, columns)
+    return directory, columns
+
+
+class TestWrite:
+    def test_manifest_written(self, trades):
+        directory, columns = trades
+        manifest = json.loads((directory / "manifest.json").read_text())
+        assert manifest["format"] == "alpc-dataset"
+        assert manifest["rows"] == 120_000
+        assert set(manifest["columns"]) == set(columns)
+
+    def test_weird_names_sanitized(self, trades):
+        directory, _ = trades
+        manifest = json.loads((directory / "manifest.json").read_text())
+        filename = manifest["columns"]["weird/name with spaces"]
+        assert "/" not in filename and " " not in filename
+        assert (directory / filename).exists()
+
+    def test_mismatched_lengths_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_dataset(
+                tmp_path / "bad",
+                {"a": np.zeros(5), "b": np.zeros(6)},
+            )
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_dataset(tmp_path / "bad", {})
+
+
+class TestRead:
+    def test_columns_roundtrip(self, trades):
+        directory, columns = trades
+        reader = DatasetReader(directory)
+        assert set(reader.column_names) == set(columns)
+        assert reader.row_count == 120_000
+        for name, expected in columns.items():
+            got = reader.read_column(name)
+            assert np.array_equal(
+                got.view(np.uint64), expected.view(np.uint64)
+            ), name
+
+    def test_unknown_column(self, trades):
+        directory, _ = trades
+        with pytest.raises(KeyError):
+            DatasetReader(directory).read_column("nope")
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(ValueError):
+            DatasetReader(tmp_path)
+
+    def test_compressed_smaller_than_raw(self, trades):
+        directory, columns = trades
+        reader = DatasetReader(directory)
+        raw = sum(a.nbytes for a in columns.values())
+        assert reader.compressed_bytes() < raw / 2
+
+
+class TestTableIntegration:
+    def test_filtered_aggregate_over_files(self, trades):
+        directory, columns = trades
+        table = DatasetReader(directory).table(["price", "volume"])
+        predicate = FilterPredicate("price", 100.0, 101.0)
+        mask = (columns["price"] >= 100.0) & (columns["price"] <= 101.0)
+        expected = float(columns["volume"][mask].sum())
+        got = table.aggregate("volume", "sum", predicate=predicate)
+        assert got == pytest.approx(expected, rel=1e-9)
+
+    def test_partial_table(self, trades):
+        directory, _ = trades
+        table = DatasetReader(directory).table(["volume"])
+        assert table.column_names == ("volume",)

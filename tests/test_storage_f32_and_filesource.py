@@ -1,0 +1,100 @@
+"""Tests for float32 serialization and the file-backed scan source."""
+
+import numpy as np
+import pytest
+
+from repro.core.float32 import compress_f32, decompress_f32
+from repro.data import get_dataset, get_model_weights
+from repro.query.engine import scan_query, sum_query
+from repro.query.sources import FileColumnSource
+from repro.storage.columnfile import write_column_file
+from repro.storage.serializer_f32 import (
+    deserialize_float_column,
+    serialize_float_column,
+)
+
+
+class TestFloat32Serialization:
+    def test_ml_weights_roundtrip(self):
+        weights = get_model_weights("W2V-Tweets")
+        column = compress_f32(weights)
+        assert column.scheme == "alprd"
+        restored_column = deserialize_float_column(
+            serialize_float_column(column)
+        )
+        restored = decompress_f32(restored_column)
+        assert np.array_equal(
+            restored.view(np.uint32), weights.view(np.uint32)
+        )
+
+    def test_alp32_column_roundtrip(self):
+        values = np.round(
+            np.random.default_rng(0).uniform(0, 100, 10_000), 1
+        ).astype(np.float32)
+        column = compress_f32(values)
+        assert column.scheme == "alp"
+        restored_column = deserialize_float_column(
+            serialize_float_column(column)
+        )
+        restored = decompress_f32(restored_column)
+        assert np.array_equal(
+            restored.view(np.uint32), values.view(np.uint32)
+        )
+
+    def test_size_preserved(self):
+        weights = get_model_weights("W2V-Tweets")
+        column = compress_f32(weights)
+        restored = deserialize_float_column(serialize_float_column(column))
+        assert restored.size_bits() == column.size_bits()
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            deserialize_float_column(b"JUNKJUNKJUNK")
+
+    def test_serialized_close_to_logical_size(self):
+        weights = get_model_weights("GPT2")
+        column = compress_f32(weights)
+        payload = serialize_float_column(column)
+        logical = column.size_bits() / 8
+        assert len(payload) <= logical * 1.05 + 1024
+
+
+class TestFileColumnSource:
+    @pytest.fixture
+    def column_file(self, tmp_path):
+        values = np.round(np.linspace(0.0, 1000.0, 250_000), 2)
+        path = tmp_path / "col.alpc"
+        write_column_file(path, values)
+        return path, values
+
+    def test_full_scan(self, column_file):
+        path, values = column_file
+        source = FileColumnSource.open(path)
+        assert source.value_count == values.size
+        assert scan_query(source) == values.size
+        assert sum_query(source) == pytest.approx(
+            float(values.sum()), rel=1e-9
+        )
+
+    def test_compressed_bits_positive(self, column_file):
+        path, values = column_file
+        source = FileColumnSource.open(path)
+        assert 0 < source.compressed_bits < values.size * 64
+
+    def test_range_pushdown_scans_fewer_values(self, column_file):
+        path, values = column_file
+        full = FileColumnSource.open(path)
+        narrow = FileColumnSource.open(path, value_range=(500.0, 501.0))
+        scanned_full = scan_query(full)
+        scanned_narrow = scan_query(narrow)
+        assert scanned_narrow < scanned_full / 20
+
+    def test_pushdown_preserves_matches(self, column_file):
+        path, values = column_file
+        low, high = 250.0, 300.0
+        source = FileColumnSource.open(path, value_range=(low, high))
+        found = 0
+        for vector in source.vectors():
+            found += int(((vector >= low) & (vector <= high)).sum())
+        expected = int(((values >= low) & (values <= high)).sum())
+        assert found == expected
