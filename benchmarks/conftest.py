@@ -10,7 +10,6 @@ Dataset size per sweep is controlled by ``REPRO_BENCH_N`` (default
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 import pytest

@@ -19,7 +19,6 @@ import numpy as np
 from repro.bench.harness import bench_n, time_callable
 from repro.bench.report import format_table, shape_check
 from repro.core.compressor import compress, decompress
-from repro.data import get_dataset
 
 VECTOR_SIZES = (256, 512, 1024, 2048, 4096)
 SWEEP_DATASETS = ("City-Temp", "Stocks-USA", "Food-prices", "CMS/25")

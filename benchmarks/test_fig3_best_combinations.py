@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from collections import Counter
 
-import numpy as np
 
 from repro.bench.harness import bench_n
 from repro.bench.report import format_table, shape_check

@@ -20,7 +20,6 @@ import numpy as np
 from repro.bench.harness import bench_n, measure_ratio
 from repro.bench.report import format_table, shape_check
 from repro.core.float32 import compress_f32, decompress_f32
-from repro.data import get_dataset
 
 #: Paper: all datasets except POI's, Basel's, Medicare/1 and NYC/29
 #: (precision <= 10 and value range within float32).  CMS/1 mirrors

@@ -18,9 +18,8 @@ Shape claims asserted (paper §4.1):
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
-from repro.baselines.registry import get_codec, list_codecs
+from repro.baselines.registry import get_codec
 from repro.bench.harness import bench_n, measure_ratio
 from repro.bench.report import format_table, shape_check
 from repro.data import DATASET_ORDER, DATASETS

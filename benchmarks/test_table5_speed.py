@@ -27,7 +27,6 @@ from repro.bench.harness import (
     dataset_vector,
 )
 from repro.bench.report import format_table, shape_check
-from repro.data import DATASET_ORDER
 from repro.data.paper_reference import TABLE5_TUPLES_PER_CYCLE
 
 SCHEMES = ("alp", "chimp", "chimp128", "elf", "gorilla", "pde", "patas", "zlib(gp)")

@@ -9,7 +9,6 @@ Run:  python examples/analytics_queries.py
 
 import time
 
-import numpy as np
 
 from repro.data import get_dataset
 from repro.query import make_source, scan_query, sum_query

@@ -1,0 +1,184 @@
+"""The benchmark regression gate run by CI.
+
+``python -m repro.bench.gate CURRENT.json BASELINE.json`` compares two
+``BENCH_*.json`` documents record by record (keyed on dataset + codec)
+and exits non-zero when the current run regresses beyond tolerance:
+
+- **compression ratio**: ``bits_per_value`` more than 2% *higher* than
+  the baseline fails.  Ratios are deterministic (fixed-seed synthetic
+  data), so this tolerance only leaves room for intentional trade-offs.
+- **throughput**: the machine-relative ``compress_rel`` /
+  ``decompress_rel`` fields (codec MB/s divided by a same-process,
+  codec-shaped calibration workload — see
+  :func:`repro.bench.harness.calibration_mbps`) more than 25% *lower*
+  than baseline fail.  Comparing relative numbers keeps slow CI runners
+  from reading as codec regressions.
+
+Improvements never fail the gate.  A record present in the baseline but
+missing from the current run fails (coverage must not silently shrink);
+new records in the current run are reported but pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+
+from repro.bench.records import BenchRecord, read_bench_json
+
+#: Fail when bits_per_value grows by more than this fraction.
+RATIO_TOLERANCE = 0.02
+#: Fail when relative throughput drops by more than this fraction.
+SPEED_TOLERANCE = 0.25
+
+
+@dataclass(frozen=True)
+class Check:
+    """One comparison line of the gate report."""
+
+    dataset: str
+    codec: str
+    metric: str
+    baseline: float
+    current: float
+    change: float  # signed fraction, positive = worse
+    tolerance: float
+
+    @property
+    def failed(self) -> bool:
+        return self.change > self.tolerance
+
+    def format(self) -> str:
+        marker = "FAIL" if self.failed else "ok  "
+        return (
+            f"[{marker}] {self.dataset:14s} {self.codec:8s} "
+            f"{self.metric:14s} baseline {self.baseline:10.4f} "
+            f"current {self.current:10.4f} "
+            f"({self.change:+.1%}, tolerance {self.tolerance:.0%})"
+        )
+
+
+def compare_records(
+    current: BenchRecord,
+    baseline: BenchRecord,
+    ratio_tolerance: float = RATIO_TOLERANCE,
+    speed_tolerance: float = SPEED_TOLERANCE,
+) -> list[Check]:
+    """All regression checks for one (dataset, codec) pair."""
+    checks = [
+        Check(
+            dataset=current.dataset,
+            codec=current.codec,
+            metric="bits_per_value",
+            baseline=baseline.bits_per_value,
+            current=current.bits_per_value,
+            change=_relative_increase(
+                baseline.bits_per_value, current.bits_per_value
+            ),
+            tolerance=ratio_tolerance,
+        )
+    ]
+    for metric in ("compress_rel", "decompress_rel"):
+        base = getattr(baseline, metric)
+        cur = getattr(current, metric)
+        checks.append(
+            Check(
+                dataset=current.dataset,
+                codec=current.codec,
+                metric=metric,
+                baseline=base,
+                current=cur,
+                # For throughput, *lower* is worse.
+                change=_relative_increase(cur, base),
+                tolerance=speed_tolerance,
+            )
+        )
+    return checks
+
+
+def _relative_increase(baseline: float, current: float) -> float:
+    """(current - baseline) / baseline, with a zero-safe denominator."""
+    if baseline <= 0:
+        return 0.0 if current <= 0 else float("inf")
+    return (current - baseline) / baseline
+
+
+def run_gate(
+    current_path: str,
+    baseline_path: str,
+    ratio_tolerance: float = RATIO_TOLERANCE,
+    speed_tolerance: float = SPEED_TOLERANCE,
+) -> tuple[list[Check], list[str]]:
+    """Compare two documents; returns (checks, fatal problems)."""
+    _, current_records = read_bench_json(current_path)
+    _, baseline_records = read_bench_json(baseline_path)
+    current_by_key = {record.key: record for record in current_records}
+    baseline_by_key = {record.key: record for record in baseline_records}
+
+    problems = [
+        f"baseline record {key} missing from current run"
+        for key in baseline_by_key
+        if key not in current_by_key
+    ]
+    checks: list[Check] = []
+    for key, record in current_by_key.items():
+        baseline = baseline_by_key.get(key)
+        if baseline is None:
+            print(f"[new ] {key[0]} {key[1]}: no baseline yet, passing")
+            continue
+        checks.extend(
+            compare_records(
+                record,
+                baseline,
+                ratio_tolerance=ratio_tolerance,
+                speed_tolerance=speed_tolerance,
+            )
+        )
+    return checks, problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.gate",
+        description="fail when a bench run regresses vs. a baseline JSON",
+    )
+    parser.add_argument("current", help="BENCH_*.json of this run")
+    parser.add_argument("baseline", help="checked-in baseline BENCH_*.json")
+    parser.add_argument(
+        "--ratio-tolerance",
+        type=float,
+        default=RATIO_TOLERANCE,
+        help="max fractional bits/value increase (default 0.02)",
+    )
+    parser.add_argument(
+        "--speed-tolerance",
+        type=float,
+        default=SPEED_TOLERANCE,
+        help="max fractional relative-throughput drop (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    checks, problems = run_gate(
+        args.current,
+        args.baseline,
+        ratio_tolerance=args.ratio_tolerance,
+        speed_tolerance=args.speed_tolerance,
+    )
+    for check in checks:
+        print(check.format())
+    for problem in problems:
+        print(f"[FAIL] {problem}")
+    failed = [check for check in checks if check.failed]
+    if failed or problems:
+        print(
+            f"regression gate FAILED: {len(failed)} regressed metric(s), "
+            f"{len(problems)} structural problem(s)"
+        )
+        return 1
+    print(f"regression gate passed ({len(checks)} checks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

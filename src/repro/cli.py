@@ -9,7 +9,11 @@ Subcommands:
   per-row-group scheme/size breakdown,
 - ``ratio [--codec ...] [--n N] DATASET...`` — measure bits/value of
   any registered codec on the synthetic paper datasets,
-- ``datasets`` — list the 30 synthetic datasets and their fingerprints.
+- ``datasets`` — list the 30 synthetic datasets and their fingerprints,
+- ``stats [INPUT]`` — run an instrumented compress / file round-trip /
+  range scan and print the :mod:`repro.obs` metrics snapshot as JSON,
+- ``bench [--out BENCH.json]`` — run the structured benchmark sweep and
+  emit the machine-readable ``BENCH_*.json`` record document.
 
 The CLI is deliberately thin: each subcommand is a few lines over the
 library's public API, so it doubles as usage documentation.
@@ -148,6 +152,109 @@ def _cmd_choose(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_values_or_dataset(name: str, n: int) -> np.ndarray:
+    """Resolve ``name`` as a synthetic dataset or a doubles file."""
+    from repro.data import DATASETS, EXTENSION_DATASETS
+
+    if name in DATASETS or name in EXTENSION_DATASETS:
+        from repro.data import get_dataset
+
+        return get_dataset(name, n=n)
+    path = Path(name)
+    if not path.exists():
+        raise SystemExit(
+            f"{name!r} is neither a known dataset nor a file "
+            f"(see `datasets` for the dataset list)"
+        )
+    values = _load_doubles(path)
+    return values[:n] if values.size > n else values
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Instrumented end-to-end run, then the metrics snapshot as JSON.
+
+    Exercises every instrumented layer once — adaptive compression
+    (sampler + ALP/ALP_rd + FFOR + bitpack), decompression, the on-disk
+    column format (write, open, zone-map range scan) and a query-engine
+    aggregation — so the snapshot shows per-stage spans and counters
+    for the full pipeline.
+    """
+    import json
+    import tempfile
+
+    from repro import obs
+    from repro.core.compressor import compress, decompress
+    from repro.query.engine import sum_query
+    from repro.query.sources import FileColumnSource
+    from repro.storage import ColumnFileReader, write_column_file
+
+    values = _load_values_or_dataset(args.input, args.n)
+    obs.enable()
+    obs.reset()
+
+    column = compress(values)
+    restored = decompress(column)
+    if not np.array_equal(
+        restored.view(np.uint64), values.view(np.uint64)
+    ):
+        raise SystemExit("round-trip mismatch: refusing to report stats")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = str(Path(tmp) / "stats.alpc")
+        write_column_file(path, values)
+        reader = ColumnFileReader(path)
+        reader.read_all()
+        finite = values[np.isfinite(values)]
+        if finite.size:
+            # A selective range over the middle of the domain, so the
+            # zone-map skip counters have something to count.
+            low = float(np.quantile(finite, 0.45))
+            high = float(np.quantile(finite, 0.55))
+            for _ in reader.scan_range_vectors(low, high):
+                pass
+        sum_query(FileColumnSource.open(path))
+
+    snapshot = obs.snapshot()
+    obs.disable()
+    obs.reset()
+    print(json.dumps(snapshot, indent=args.indent))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Structured benchmark sweep emitting a BENCH_*.json document."""
+    from repro.baselines.registry import list_codecs
+    from repro.bench.harness import run_structured_bench
+    from repro.bench.smoke import SMOKE_DATASETS
+    from repro.data import DATASET_ORDER
+
+    datasets = args.datasets or list(SMOKE_DATASETS)
+    codecs = args.codec or ["alp"]
+    for name in datasets:
+        if name not in DATASET_ORDER:
+            raise SystemExit(
+                f"unknown dataset {name!r}; see `alp-repro datasets`"
+            )
+    for codec_name in codecs:
+        if codec_name not in list_codecs():
+            raise SystemExit(
+                f"unknown codec {codec_name!r}; known: "
+                + ", ".join(list_codecs())
+            )
+    _, records = run_structured_bench(
+        datasets, codecs, n=args.n, repeats=args.repeats, out_path=args.out
+    )
+    for record in records:
+        print(
+            f"{record.dataset:16s} {record.codec:8s} "
+            f"{record.bits_per_value:7.2f} bits/value  "
+            f"C {record.compress_mbps:8.1f} MB/s  "
+            f"D {record.decompress_mbps:8.1f} MB/s"
+        )
+    print(f"wrote {len(records)} records to {args.out}")
+    return 0
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     from repro.data import DATASETS
 
@@ -202,6 +309,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("input", help="dataset name, .npy or raw float64 file")
     p.add_argument("--n", type=int, default=20_000, help="values to sample")
     p.set_defaults(fn=_cmd_choose)
+
+    p = sub.add_parser(
+        "stats",
+        help="print a JSON metrics snapshot of an instrumented run",
+    )
+    p.add_argument(
+        "input",
+        nargs="?",
+        default="City-Temp",
+        help="dataset name, .npy or raw float64 file (default City-Temp)",
+    )
+    p.add_argument(
+        "--n", type=int, default=20_000, help="values to run through"
+    )
+    p.add_argument(
+        "--indent", type=int, default=2, help="JSON indent (default 2)"
+    )
+    p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser(
+        "bench", help="structured benchmark sweep (emits BENCH_*.json)"
+    )
+    p.add_argument(
+        "datasets", nargs="*", help="dataset names (default: smoke subset)"
+    )
+    p.add_argument(
+        "--codec",
+        action="append",
+        help="codec to measure (repeatable; default alp)",
+    )
+    p.add_argument(
+        "--out",
+        default="BENCH_cli.json",
+        help="output JSON path (default BENCH_cli.json)",
+    )
+    p.add_argument("--n", type=int, default=65_536, help="values per dataset")
+    p.add_argument("--repeats", type=int, default=5, help="timing repeats")
+    p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("datasets", help="list the synthetic datasets")
     p.set_defaults(fn=_cmd_datasets)

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.constants import (
     EXCEPTION_SIZE_BITS,
     F10,
@@ -107,29 +108,33 @@ def alp_encode_vector(
     function performs the encode, verification, exception patching and
     FFOR steps.
     """
-    values = np.ascontiguousarray(values, dtype=np.float64)
-    encoded, exceptions = alp_analyze(values, exponent, factor)
+    with obs.span("alp.encode_vector"):
+        values = np.ascontiguousarray(values, dtype=np.float64)
+        encoded, exceptions = alp_analyze(values, exponent, factor)
 
-    exc_positions = np.flatnonzero(exceptions)
-    if exc_positions.size:
-        non_exc = np.flatnonzero(~exceptions)
-        # FIND_FIRST_ENCODED: a placeholder that cannot widen the FFOR
-        # bit width.  If the whole vector is exceptional, use 0.
-        first_encoded = int(encoded[non_exc[0]]) if non_exc.size else 0
-        encoded = encoded.copy()
-        encoded[exc_positions] = first_encoded
-        exc_values = values[exc_positions].copy()
-    else:
-        exc_values = np.empty(0, dtype=np.float64)
+        exc_positions = np.flatnonzero(exceptions)
+        if exc_positions.size:
+            non_exc = np.flatnonzero(~exceptions)
+            # FIND_FIRST_ENCODED: a placeholder that cannot widen the FFOR
+            # bit width.  If the whole vector is exceptional, use 0.
+            first_encoded = int(encoded[non_exc[0]]) if non_exc.size else 0
+            encoded = encoded.copy()
+            encoded[exc_positions] = first_encoded
+            exc_values = values[exc_positions].copy()
+        else:
+            exc_values = np.empty(0, dtype=np.float64)
 
-    return AlpVector(
-        ffor=ffor_encode(encoded),
-        exponent=exponent,
-        factor=factor,
-        exc_values=exc_values,
-        exc_positions=exc_positions.astype(np.uint16),
-        count=values.size,
-    )
+        if obs.ENABLED:
+            obs.metrics.counter_add("alp.vectors_encoded", 1)
+            obs.metrics.counter_add("alp.exceptions", int(exc_positions.size))
+        return AlpVector(
+            ffor=ffor_encode(encoded),
+            exponent=exponent,
+            factor=factor,
+            exc_values=exc_values,
+            exc_positions=exc_positions.astype(np.uint16),
+            count=values.size,
+        )
 
 
 def alp_decode_vector(vector: AlpVector, fused: bool = True) -> np.ndarray:
@@ -138,12 +143,14 @@ def alp_decode_vector(vector: AlpVector, fused: bool = True) -> np.ndarray:
     ``fused=False`` switches to the unfused FFOR decode for the Figure 5
     fusion ablation; output is bit-identical either way.
     """
-    unffor = ffor_decode if fused else ffor_decode_unfused
-    encoded = unffor(vector.ffor)
-    decoded = encoded * F10[vector.factor] * IF10[vector.exponent]
-    if vector.exc_positions.size:
-        decoded[vector.exc_positions.astype(np.int64)] = vector.exc_values
-    return decoded
+    with obs.span("alp.decode_vector"):
+        unffor = ffor_decode if fused else ffor_decode_unfused
+        encoded = unffor(vector.ffor)
+        decoded = encoded * F10[vector.factor] * IF10[vector.exponent]
+        if vector.exc_positions.size:
+            decoded[vector.exc_positions.astype(np.int64)] = vector.exc_values
+        obs.counter_add("alp.vectors_decoded")
+        return decoded
 
 
 def alp_decode_vector_scalar(vector: AlpVector) -> np.ndarray:

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.alputil.bits import bits_to_double, double_to_bits
 from repro.core.constants import MAX_RD_LEFT_BITS
 from repro.core.sampler import equidistant_indices
@@ -180,28 +181,38 @@ def alprd_encode(
     parameters: AlpRdParameters | None = None,
 ) -> AlpRdRowGroup:
     """Encode a float64 row-group with ALP_rd."""
-    rowgroup = np.ascontiguousarray(rowgroup, dtype=np.float64)
-    if parameters is None:
-        parameters = fit_parameters(rowgroup, total_bits=64)
-    bits = double_to_bits(rowgroup)
-    vectors = tuple(
-        encode_vector_bits(bits[start : start + vector_size], parameters)
-        for start in range(0, max(bits.size, 1), vector_size)
-        if bits[start : start + vector_size].size
-    )
-    return AlpRdRowGroup(
-        parameters=parameters, vectors=vectors, count=rowgroup.size
-    )
+    with obs.span("alprd.encode"):
+        rowgroup = np.ascontiguousarray(rowgroup, dtype=np.float64)
+        if parameters is None:
+            with obs.span("alprd.fit_parameters"):
+                parameters = fit_parameters(rowgroup, total_bits=64)
+        bits = double_to_bits(rowgroup)
+        vectors = tuple(
+            encode_vector_bits(bits[start : start + vector_size], parameters)
+            for start in range(0, max(bits.size, 1), vector_size)
+            if bits[start : start + vector_size].size
+        )
+        if obs.ENABLED:
+            obs.metrics.counter_add("alprd.vectors_encoded", len(vectors))
+            obs.metrics.counter_add(
+                "alprd.exceptions",
+                sum(int(v.exc_positions.size) for v in vectors),
+            )
+        return AlpRdRowGroup(
+            parameters=parameters, vectors=vectors, count=rowgroup.size
+        )
 
 
 def alprd_decode(rowgroup: AlpRdRowGroup) -> np.ndarray:
     """Decode an ALP_rd row-group back to float64, bit-exactly."""
     if not rowgroup.vectors:
         return np.empty(0, dtype=np.float64)
-    bits = np.concatenate(
-        [
-            decode_vector_bits(vector, rowgroup.parameters)
-            for vector in rowgroup.vectors
-        ]
-    )
-    return bits_to_double(bits)
+    with obs.span("alprd.decode"):
+        bits = np.concatenate(
+            [
+                decode_vector_bits(vector, rowgroup.parameters)
+                for vector in rowgroup.vectors
+            ]
+        )
+        obs.counter_add("alprd.vectors_decoded", len(rowgroup.vectors))
+        return bits_to_double(bits)

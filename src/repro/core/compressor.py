@@ -16,9 +16,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.core.alp import AlpVector, alp_decode_vector, alp_encode_vector
 from repro.core.alprd import (
-    AlpRdParameters,
     AlpRdRowGroup,
     alprd_decode,
     alprd_encode,
@@ -140,10 +140,24 @@ def compress_rowgroup(
         raise ValueError(
             f"vector_size must be in [1, 65535], got {vector_size}"
         )
+    with obs.span("compressor.rowgroup"):
+        return _compress_rowgroup(rowgroup, vector_size, force_scheme)
+
+
+def _compress_rowgroup(
+    rowgroup: np.ndarray,
+    vector_size: int,
+    force_scheme: str | None,
+) -> tuple[CompressedRowGroup, list[int], int]:
     rowgroup = np.ascontiguousarray(rowgroup, dtype=np.float64)
     first = first_level_sample(rowgroup, vector_size=vector_size)
 
     use_rd = first.use_rd if force_scheme is None else force_scheme == "alprd"
+    if obs.ENABLED:
+        obs.metrics.counter_add("compressor.rowgroups", 1)
+        obs.metrics.counter_add(
+            "compressor.scheme.alprd" if use_rd else "compressor.scheme.alp", 1
+        )
     if use_rd:
         rd = alprd_encode(rowgroup, vector_size=vector_size)
         return (
@@ -167,6 +181,11 @@ def compress_rowgroup(
         combo = second.combination
         vectors.append(alp_encode_vector(chunk, combo.exponent, combo.factor))
 
+    if obs.ENABLED:
+        obs.metrics.counter_add(
+            "compressor.exceptions_patched",
+            sum(v.exception_count for v in vectors),
+        )
     alp = AlpRowGroup(
         vectors=tuple(vectors),
         candidates=first.candidates,
@@ -193,36 +212,58 @@ def compress(
     bit-exactly through :func:`decompress`, including NaN payloads,
     infinities and signed zeros.
     """
-    values = np.ascontiguousarray(values, dtype=np.float64)
-    rowgroup_size = vector_size * rowgroup_vectors
-    rowgroups: list[CompressedRowGroup] = []
-    all_tried: list[int] = []
-    skipped_total = 0
-    for start in range(0, values.size, rowgroup_size):
-        chunk = values[start : start + rowgroup_size]
-        rg, tried, skipped = compress_rowgroup(
-            chunk, vector_size=vector_size, force_scheme=force_scheme
-        )
-        rowgroups.append(rg)
-        all_tried.extend(tried)
-        skipped_total += skipped
+    with obs.span("compressor.compress"):
+        values = np.ascontiguousarray(values, dtype=np.float64)
+        rowgroup_size = vector_size * rowgroup_vectors
+        rowgroups: list[CompressedRowGroup] = []
+        all_tried: list[int] = []
+        skipped_total = 0
+        for start in range(0, values.size, rowgroup_size):
+            chunk = values[start : start + rowgroup_size]
+            rg, tried, skipped = compress_rowgroup(
+                chunk, vector_size=vector_size, force_scheme=force_scheme
+            )
+            rowgroups.append(rg)
+            all_tried.extend(tried)
+            skipped_total += skipped
 
-    vectors_encoded = sum(
-        len(rg.alp.vectors) if rg.alp else len(rg.rd.vectors)
-        for rg in rowgroups
+        vectors_encoded = sum(
+            len(rg.alp.vectors) if rg.alp else len(rg.rd.vectors)
+            for rg in rowgroups
+        )
+        stats = CompressionStats(
+            vectors_encoded=vectors_encoded,
+            second_level_skipped=skipped_total,
+            combinations_tried=tuple(all_tried),
+            rd_rowgroups=sum(1 for rg in rowgroups if rg.scheme == "alprd"),
+            alp_rowgroups=sum(1 for rg in rowgroups if rg.scheme == "alp"),
+        )
+        column = CompressedRowGroups(
+            rowgroups=tuple(rowgroups),
+            count=values.size,
+            vector_size=vector_size,
+            stats=stats,
+        )
+        _record_column_metrics(column)
+        return column
+
+
+def _record_column_metrics(column: CompressedRowGroups) -> None:
+    """Counter/gauge summary of one finished compression (if enabled)."""
+    if not obs.ENABLED:
+        return
+    stats = column.stats
+    obs.metrics.counter_add("compressor.vectors_encoded", stats.vectors_encoded)
+    obs.metrics.counter_add(
+        "compressor.second_level_skipped", stats.second_level_skipped
     )
-    stats = CompressionStats(
-        vectors_encoded=vectors_encoded,
-        second_level_skipped=skipped_total,
-        combinations_tried=tuple(all_tried),
-        rd_rowgroups=sum(1 for rg in rowgroups if rg.scheme == "alprd"),
-        alp_rowgroups=sum(1 for rg in rowgroups if rg.scheme == "alp"),
+    obs.metrics.counter_add(
+        "compressor.combinations_tried", sum(stats.combinations_tried)
     )
-    return CompressedRowGroups(
-        rowgroups=tuple(rowgroups),
-        count=values.size,
-        vector_size=vector_size,
-        stats=stats,
+    obs.metrics.counter_add("compressor.values", column.count)
+    obs.metrics.counter_add("compressor.compressed_bits", column.size_bits())
+    obs.metrics.gauge_set(
+        "compressor.bits_per_value", column.bits_per_value()
     )
 
 
@@ -261,8 +302,9 @@ def compress_parallel(
             chunk, vector_size=vector_size, force_scheme=force_scheme
         )
 
-    with ThreadPoolExecutor(max_workers=threads) as pool:
-        results = list(pool.map(work, chunks))
+    with obs.span("compressor.compress_parallel"):
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            results = list(pool.map(work, chunks))
 
     rowgroups = [rg for rg, _, _ in results]
     all_tried = [t for _, tried, _ in results for t in tried]
@@ -277,25 +319,30 @@ def compress_parallel(
         rd_rowgroups=sum(1 for rg in rowgroups if rg.scheme == "alprd"),
         alp_rowgroups=sum(1 for rg in rowgroups if rg.scheme == "alp"),
     )
-    return CompressedRowGroups(
+    column = CompressedRowGroups(
         rowgroups=tuple(rowgroups),
         count=values.size,
         vector_size=vector_size,
         stats=stats,
     )
+    _record_column_metrics(column)
+    return column
 
 
 def decompress(column: CompressedRowGroups) -> np.ndarray:
     """Decompress a column back to float64, bit-exactly."""
     if column.count == 0:
         return np.empty(0, dtype=np.float64)
-    parts: list[np.ndarray] = []
-    for rg in column.rowgroups:
-        if rg.alp is not None:
-            parts.extend(
-                alp_decode_vector(vector) for vector in rg.alp.vectors
-            )
-        else:
-            assert rg.rd is not None
-            parts.append(alprd_decode(rg.rd))
-    return np.concatenate(parts)
+    with obs.span("compressor.decompress"):
+        parts: list[np.ndarray] = []
+        for rg in column.rowgroups:
+            if rg.alp is not None:
+                parts.extend(
+                    alp_decode_vector(vector) for vector in rg.alp.vectors
+                )
+            else:
+                assert rg.rd is not None
+                parts.append(alprd_decode(rg.rd))
+        if obs.ENABLED:
+            obs.metrics.counter_add("compressor.values_decoded", column.count)
+        return np.concatenate(parts)

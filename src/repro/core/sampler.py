@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.alputil.bits import leading_zeros64
 from repro.core.constants import (
     EXCEPTION_SIZE_BITS,
@@ -167,21 +168,27 @@ def first_level_sample(
     if rd_threshold_bits is None:
         rd_threshold_bits = float(RD_SIZE_THRESHOLD_BITS)
 
-    rowgroup = np.ascontiguousarray(rowgroup, dtype=np.float64)
-    n_vectors = max(1, (rowgroup.size + vector_size - 1) // vector_size)
-    vector_indices = equidistant_indices(n_vectors, vectors_sampled)
+    with obs.span("sampler.first_level"):
+        rowgroup = np.ascontiguousarray(rowgroup, dtype=np.float64)
+        n_vectors = max(1, (rowgroup.size + vector_size - 1) // vector_size)
+        vector_indices = equidistant_indices(n_vectors, vectors_sampled)
 
-    votes: Counter[ExponentFactor] = Counter()
-    best_ratio = float("inf")
-    for vi in vector_indices.tolist():
-        chunk = rowgroup[vi * vector_size : (vi + 1) * vector_size]
-        if chunk.size == 0:
-            continue
-        sample = sample_vector(chunk, values_per_vector)
-        combo, est_bits = find_best_combination(sample)
-        votes[combo] += 1
-        best_ratio = min(best_ratio, est_bits / sample.size)
+        votes: Counter[ExponentFactor] = Counter()
+        best_ratio = float("inf")
+        sampled = 0
+        for vi in vector_indices.tolist():
+            chunk = rowgroup[vi * vector_size : (vi + 1) * vector_size]
+            if chunk.size == 0:
+                continue
+            sample = sample_vector(chunk, values_per_vector)
+            combo, est_bits = find_best_combination(sample)
+            votes[combo] += 1
+            sampled += 1
+            best_ratio = min(best_ratio, est_bits / sample.size)
 
+    if obs.ENABLED:
+        obs.metrics.counter_add("sampler.first_level_runs", 1)
+        obs.metrics.counter_add("sampler.first_level_vectors", sampled)
     if not votes:
         return FirstLevelResult(
             candidates=(ExponentFactor(0, 0),),
@@ -195,6 +202,8 @@ def first_level_sample(
         key=lambda item: (-item[1], -item[0].exponent, -item[0].factor),
     )
     candidates = tuple(combo for combo, _ in ranked[:max_candidates])
+    if obs.ENABLED:
+        obs.metrics.counter_add("sampler.candidates_kept", len(candidates))
     return FirstLevelResult(
         candidates=candidates,
         use_rd=best_ratio >= rd_threshold_bits,
@@ -235,26 +244,37 @@ def second_level_sample(
     if not candidates:
         raise ValueError("second_level_sample needs at least one candidate")
     if len(candidates) == 1:
+        obs.counter_add("sampler.second_level_skipped")
         return SecondLevelResult(
             combination=candidates[0], combinations_tried=0, skipped=True
         )
 
-    sample = sample_vector(np.ascontiguousarray(vector, dtype=np.float64), samples)
-    best_combo = candidates[0]
-    best_size = _estimate_for_candidates(sample, best_combo)
-    worse_streak = 0
-    tried = 1
-    for candidate in candidates[1:]:
-        size = _estimate_for_candidates(sample, candidate)
-        tried += 1
-        if size < best_size:
-            best_size = size
-            best_combo = candidate
-            worse_streak = 0
-        else:
-            worse_streak += 1
-            if worse_streak >= 2:
-                break
+    with obs.span("sampler.second_level"):
+        sample = sample_vector(
+            np.ascontiguousarray(vector, dtype=np.float64), samples
+        )
+        best_combo = candidates[0]
+        best_size = _estimate_for_candidates(sample, best_combo)
+        worse_streak = 0
+        tried = 1
+        early_exit = False
+        for candidate in candidates[1:]:
+            size = _estimate_for_candidates(sample, candidate)
+            tried += 1
+            if size < best_size:
+                best_size = size
+                best_combo = candidate
+                worse_streak = 0
+            else:
+                worse_streak += 1
+                if worse_streak >= 2:
+                    early_exit = True
+                    break
+    if obs.ENABLED:
+        obs.metrics.counter_add("sampler.second_level_runs", 1)
+        obs.metrics.counter_add("sampler.combinations_tried", tried)
+        if early_exit:
+            obs.metrics.counter_add("sampler.early_exits", 1)
     return SecondLevelResult(
         combination=best_combo, combinations_tried=tried, skipped=False
     )

@@ -15,20 +15,26 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
+
 
 def bit_width_required(values: np.ndarray) -> int:
     """Smallest bit width able to represent every value in ``values``.
 
     Values must be non-negative (unsigned).  An empty or all-zero array
     needs 0 bits — FFOR exploits this for constant vectors.
+
+    Signed-dtype inputs are accepted but validated on their *minimum*:
+    checking ``values.max() < 0`` would only reject all-negative arrays
+    (and can never fire for unsigned dtypes), silently mis-sizing mixed
+    arrays like ``[-1, 5]``.
     """
     values = np.asarray(values)
     if values.size == 0:
         return 0
-    max_value = int(values.max())
-    if max_value < 0:
+    if values.dtype.kind != "u" and int(values.min()) < 0:
         raise ValueError("bit_width_required expects non-negative values")
-    return max_value.bit_length()
+    return int(values.max()).bit_length()
 
 
 def pack_bits(values: np.ndarray, width: int) -> bytes:
@@ -50,7 +56,12 @@ def pack_bits(values: np.ndarray, width: int) -> bytes:
         )
     shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
     bits = ((values[:, None] >> shifts[None, :]) & np.uint64(1)).astype(np.uint8)
-    return np.packbits(bits.ravel()).tobytes()
+    packed = np.packbits(bits.ravel()).tobytes()
+    if obs.ENABLED:
+        obs.metrics.counter_add("bitpack.pack_calls", 1)
+        obs.metrics.counter_add("bitpack.pack_values", int(values.size))
+        obs.metrics.counter_add("bitpack.pack_bytes", len(packed))
+    return packed
 
 
 def unpack_bits(buffer: bytes, width: int, count: int) -> np.ndarray:
@@ -77,6 +88,10 @@ def unpack_bits(buffer: bytes, width: int, count: int) -> np.ndarray:
         )
     if count == 0:
         return np.zeros(0, dtype=np.uint64)
+    if obs.ENABLED:
+        obs.metrics.counter_add("bitpack.unpack_calls", 1)
+        obs.metrics.counter_add("bitpack.unpack_values", count)
+        obs.metrics.counter_add("bitpack.unpack_bytes", len(buffer))
     # Pad the payload to whole 64-bit words (plus one spill word), view it
     # as big-endian uint64, and reconstruct each field from the one or two
     # words it straddles.  Three gathers + shifts, independent of width —

@@ -22,7 +22,7 @@ from typing import Literal
 import numpy as np
 
 from repro.alputil.bits import bits_to_double, double_to_bits
-from repro.encodings.delta import DeltaEncoded, delta_decode, delta_encode
+from repro.encodings.delta import delta_decode, delta_encode
 from repro.encodings.for_ import ForEncoded, for_decode, for_encode
 from repro.encodings.rle import run_boundaries
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.encodings.bitpack import bit_width_required, pack_bits
 
 
@@ -45,6 +46,10 @@ def ffor_encode(values: np.ndarray) -> FforEncoded:
     residuals = values.view(np.uint64) - ref64
     width = bit_width_required(residuals)
     payload = pack_bits(residuals, width)
+    if obs.ENABLED:
+        obs.metrics.counter_add("ffor.vectors_encoded", 1)
+        obs.metrics.counter_add("ffor.packed_bytes", len(payload))
+        obs.metrics.counter_add("ffor.bit_width_sum", width)
     return FforEncoded(
         payload=payload, reference=reference, bit_width=width, count=values.size
     )
@@ -59,6 +64,7 @@ def ffor_decode(encoded: FforEncoded) -> np.ndarray:
     """
     from repro.encodings.bitpack import unpack_bits
 
+    obs.counter_add("ffor.vectors_decoded")
     width, count = encoded.bit_width, encoded.count
     ref64 = np.uint64(encoded.reference & 0xFFFFFFFFFFFFFFFF)
     if width == 0:

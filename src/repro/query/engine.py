@@ -23,21 +23,31 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.query.operators import AggregateOperator, ScanOperator
 from repro.query.sources import ColumnSource, make_source
 
 
 def scan_query(source: ColumnSource) -> int:
     """Decompress every vector; returns the number of values scanned."""
-    scanned = 0
-    for vector in ScanOperator(source):
-        scanned += vector.size
-    return scanned
+    with obs.span("query.scan"):
+        scanned = 0
+        vectors = 0
+        for vector in ScanOperator(source):
+            scanned += vector.size
+            vectors += 1
+        if obs.ENABLED:
+            obs.metrics.counter_add("query.vectors_scanned", vectors)
+            obs.metrics.counter_add("query.values_scanned", scanned)
+        return scanned
 
 
 def sum_query(source: ColumnSource) -> float:
     """SUM aggregation over the scan."""
-    return AggregateOperator(ScanOperator(source), kind="sum").result()
+    with obs.span("query.sum"):
+        result = AggregateOperator(ScanOperator(source), kind="sum").result()
+    obs.counter_add("query.sum_queries")
+    return result
 
 
 def comp_query(codec_name: str, values: np.ndarray) -> int:
@@ -47,16 +57,17 @@ def comp_query(codec_name: str, values: np.ndarray) -> int:
     the paper's note that COMP "also writes extra meta-data for the
     compressed blocks".
     """
-    source = make_source(codec_name, values)
-    if codec_name in ("alp", "lwc+alp"):
-        from repro.storage.serializer import serialize_rowgroup
+    with obs.span("query.comp"):
+        source = make_source(codec_name, values)
+        if codec_name in ("alp", "lwc+alp"):
+            from repro.storage.serializer import serialize_rowgroup
 
-        column = source.column  # type: ignore[attr-defined]
-        total = 0
-        for rowgroup in column.rowgroups:
-            total += len(serialize_rowgroup(rowgroup)) * 8
-        return total
-    return source.compressed_bits
+            column = source.column  # type: ignore[attr-defined]
+            total = 0
+            for rowgroup in column.rowgroups:
+                total += len(serialize_rowgroup(rowgroup)) * 8
+            return total
+        return source.compressed_bits
 
 
 def run_partitioned(

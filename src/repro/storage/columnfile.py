@@ -34,6 +34,7 @@ from typing import Iterator
 
 import numpy as np
 
+from repro import obs
 from repro.core.compressor import (
     CompressedRowGroup,
     CompressedRowGroups,
@@ -134,13 +135,14 @@ class ColumnFileWriter:
 
     def write_values(self, values: np.ndarray) -> None:
         """Compress and append a column chunk (row-group granularity)."""
-        values = np.ascontiguousarray(values, dtype=np.float64)
-        for start in range(0, values.size, self._rowgroup_size):
-            chunk = values[start : start + self._rowgroup_size]
-            rowgroup, _, _ = compress_rowgroup(
-                chunk, vector_size=self._vector_size
-            )
-            self._append_rowgroup(rowgroup, chunk)
+        with obs.span("columnfile.write"):
+            values = np.ascontiguousarray(values, dtype=np.float64)
+            for start in range(0, values.size, self._rowgroup_size):
+                chunk = values[start : start + self._rowgroup_size]
+                rowgroup, _, _ = compress_rowgroup(
+                    chunk, vector_size=self._vector_size
+                )
+                self._append_rowgroup(rowgroup, chunk)
 
     def _append_rowgroup(
         self, rowgroup: CompressedRowGroup, values: np.ndarray
@@ -148,6 +150,9 @@ class ColumnFileWriter:
         payload = serialize_rowgroup(rowgroup)
         offset = self._file.tell()
         self._file.write(payload)
+        if obs.ENABLED:
+            obs.metrics.counter_add("columnfile.rowgroups_written", 1)
+            obs.metrics.counter_add("columnfile.bytes_written", len(payload))
         min_value, max_value, has_non_finite = _zone_map(values)
         self._meta.append(
             RowGroupMeta(
@@ -207,8 +212,10 @@ class ColumnFileReader:
 
     def __init__(self, path: str | os.PathLike) -> None:
         self._path = os.fspath(path)
-        with open(self._path, "rb") as f:
+        with obs.span("columnfile.open"), open(self._path, "rb") as f:
             data = f.read()
+        if obs.ENABLED:
+            obs.metrics.counter_add("columnfile.bytes_read", len(data))
         if data[:4] != MAGIC or data[-4:] != MAGIC:
             raise ValueError(f"{self._path} is not an ALPC column file")
         version = struct.unpack_from("<H", data, 4)[0]
@@ -280,18 +287,20 @@ class ColumnFileReader:
                 f"row-group {index}: read {consumed} bytes, footer says "
                 f"{meta.length}"
             )
+        obs.counter_add("columnfile.rowgroups_read")
         return rowgroup
 
     def read_rowgroup(self, index: int) -> np.ndarray:
         """Decompress one row-group to float64."""
-        rowgroup = self.read_rowgroup_compressed(index)
-        column = CompressedRowGroups(
-            rowgroups=(rowgroup,),
-            count=rowgroup.count,
-            vector_size=self.vector_size,
-            stats=empty_stats(),
-        )
-        return decompress(column)
+        with obs.span("columnfile.read_rowgroup"):
+            rowgroup = self.read_rowgroup_compressed(index)
+            column = CompressedRowGroups(
+                rowgroups=(rowgroup,),
+                count=rowgroup.count,
+                vector_size=self.vector_size,
+                stats=empty_stats(),
+            )
+            return decompress(column)
 
     def read_all(self) -> np.ndarray:
         """Decompress the whole column."""
@@ -313,7 +322,9 @@ class ColumnFileReader:
         """
         for index, meta in enumerate(self._meta):
             if not meta.may_contain_range(low, high):
+                obs.counter_add("columnfile.rowgroups_skipped")
                 continue
+            obs.counter_add("columnfile.rowgroups_scanned")
             yield index, self.read_rowgroup(index)
 
     def count_skippable(self, low: float, high: float) -> int:
@@ -340,6 +351,11 @@ class ColumnFileReader:
 
         for rg_index, meta in enumerate(self._meta):
             if not meta.may_contain_range(low, high):
+                if obs.ENABLED:
+                    obs.metrics.counter_add("columnfile.rowgroups_skipped", 1)
+                    obs.metrics.counter_add(
+                        "columnfile.vectors_skipped", len(meta.vector_zones)
+                    )
                 continue
             rowgroup = self.read_rowgroup_compressed(rg_index)
             vectors = (
@@ -349,7 +365,9 @@ class ColumnFileReader:
             )
             for v_index, zone in enumerate(meta.vector_zones):
                 if not zone.may_contain_range(low, high):
+                    obs.counter_add("columnfile.vectors_skipped")
                     continue
+                obs.counter_add("columnfile.vectors_decoded")
                 if rowgroup.alp is not None:
                     values = alp_decode_vector(vectors[v_index])
                 else:

@@ -1,0 +1,225 @@
+"""Tests for the BENCH_*.json records, harness emitter and CI gate."""
+
+import json
+
+import pytest
+
+from repro.bench.gate import compare_records, run_gate
+from repro.bench.records import (
+    DOCUMENT_KIND,
+    SCHEMA_VERSION,
+    BenchRecord,
+    build_document,
+    read_bench_json,
+    validate_document,
+    write_bench_json,
+)
+
+
+def make_record(**overrides) -> BenchRecord:
+    base = dict(
+        dataset="City-Temp",
+        codec="alp",
+        n=4096,
+        bits_per_value=10.5,
+        compression_ratio=64.0 / 10.5,
+        compress_mbps=300.0,
+        decompress_mbps=2000.0,
+        compress_rel=0.03,
+        decompress_rel=0.2,
+        spans={"compressor.compress": {"count": 1, "total_s": 0.01}},
+        counters={"compressor.values": 4096},
+    )
+    base.update(overrides)
+    return BenchRecord(**base)
+
+
+class TestBenchRecord:
+    def test_dict_round_trip(self):
+        record = make_record()
+        assert BenchRecord.from_dict(record.to_dict()) == record
+
+    def test_key(self):
+        assert make_record().key == ("City-Temp", "alp")
+
+
+class TestValidateDocument:
+    def test_valid_document_passes(self):
+        document = build_document([make_record()], {"n": 4096}, 9000.0)
+        assert validate_document(document) == []
+        assert document["kind"] == DOCUMENT_KIND
+        assert document["schema_version"] == SCHEMA_VERSION
+
+    def test_not_an_object(self):
+        assert validate_document([1, 2]) == ["document is not a JSON object"]
+
+    def test_bad_kind_and_version(self):
+        document = build_document([make_record()], {}, 9000.0)
+        document["kind"] = "other"
+        document["schema_version"] = 99
+        problems = validate_document(document)
+        assert any("kind" in p for p in problems)
+        assert any("schema_version" in p for p in problems)
+
+    def test_bad_calibration(self):
+        document = build_document([make_record()], {}, 9000.0)
+        document["calibration_mbps"] = 0
+        assert any("calibration" in p for p in validate_document(document))
+
+    def test_empty_records(self):
+        document = build_document([], {}, 9000.0)
+        assert any("records" in p for p in validate_document(document))
+
+    def test_nonfinite_numeric_field(self):
+        document = build_document([make_record()], {}, 9000.0)
+        document["records"][0]["bits_per_value"] = float("nan")
+        assert any(
+            "bits_per_value" in p for p in validate_document(document)
+        )
+
+    def test_negative_numeric_field(self):
+        document = build_document([make_record()], {}, 9000.0)
+        document["records"][0]["compress_rel"] = -0.1
+        assert any("compress_rel" in p for p in validate_document(document))
+
+    def test_duplicate_key(self):
+        document = build_document(
+            [make_record(), make_record()], {}, 9000.0
+        )
+        assert any("duplicates" in p for p in validate_document(document))
+
+
+class TestWriteRead:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        written = write_bench_json(path, [make_record()], {"n": 4096}, 9000.0)
+        document, records = read_bench_json(path)
+        assert document == written
+        assert records == [make_record()]
+
+    def test_write_refuses_invalid(self, tmp_path):
+        bad = make_record(bits_per_value=float("inf"))
+        with pytest.raises(ValueError):
+            write_bench_json(tmp_path / "x.json", [bad], {}, 9000.0)
+
+    def test_read_refuses_invalid(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"kind": "wrong"}))
+        with pytest.raises(ValueError):
+            read_bench_json(path)
+
+
+class TestGate:
+    def test_identical_records_pass(self):
+        record = make_record()
+        checks = compare_records(record, record)
+        assert [c.metric for c in checks] == [
+            "bits_per_value",
+            "compress_rel",
+            "decompress_rel",
+        ]
+        assert not any(c.failed for c in checks)
+
+    def test_ratio_regression_fails(self):
+        baseline = make_record()
+        current = make_record(bits_per_value=10.5 * 1.05)
+        checks = {c.metric: c for c in compare_records(current, baseline)}
+        assert checks["bits_per_value"].failed
+
+    def test_ratio_improvement_passes(self):
+        baseline = make_record()
+        current = make_record(bits_per_value=8.0)
+        checks = {c.metric: c for c in compare_records(current, baseline)}
+        assert not checks["bits_per_value"].failed
+
+    def test_throughput_regression_fails(self):
+        baseline = make_record()
+        current = make_record(decompress_rel=0.2 * 0.5)
+        checks = {c.metric: c for c in compare_records(current, baseline)}
+        assert checks["decompress_rel"].failed
+        assert not checks["compress_rel"].failed
+
+    def test_throughput_within_tolerance_passes(self):
+        baseline = make_record()
+        current = make_record(compress_rel=0.03 * 0.8)
+        checks = {c.metric: c for c in compare_records(current, baseline)}
+        assert not checks["compress_rel"].failed
+
+    def _write(self, path, records):
+        write_bench_json(path, records, {"n": 4096}, 9000.0)
+        return str(path)
+
+    def test_run_gate_missing_record_is_fatal(self, tmp_path):
+        baseline = self._write(
+            tmp_path / "base.json",
+            [make_record(), make_record(dataset="Stocks-DE")],
+        )
+        current = self._write(tmp_path / "cur.json", [make_record()])
+        checks, problems = run_gate(current, baseline)
+        assert len(problems) == 1
+        assert "Stocks-DE" in problems[0]
+
+    def test_run_gate_new_record_passes(self, tmp_path):
+        baseline = self._write(tmp_path / "base.json", [make_record()])
+        current = self._write(
+            tmp_path / "cur.json",
+            [make_record(), make_record(dataset="Gov/10")],
+        )
+        checks, problems = run_gate(current, baseline)
+        assert problems == []
+        assert len(checks) == 3  # only the shared record is compared
+        assert not any(c.failed for c in checks)
+
+
+class TestTiming:
+    def test_median_stat_resists_lucky_outlier(self):
+        from repro.bench.harness import time_callable
+
+        fake = iter([0.001, 0.010, 0.010, 0.010, 0.010])
+
+        class Clock:
+            now = 0.0
+
+        def fn():
+            Clock.now += next(fake)
+
+        import repro.bench.harness as harness
+
+        real = harness.time.perf_counter
+        harness.time.perf_counter = lambda: Clock.now
+        try:
+            result = time_callable(fn, 100, repeats=5, warmup=0, stat="median")
+        finally:
+            harness.time.perf_counter = real
+        # One anomalously fast sample must not define the result.
+        assert result.seconds == pytest.approx(0.010)
+
+    def test_invalid_stat_rejected(self):
+        from repro.bench.harness import time_callable
+
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, 1, stat="mean")
+
+
+class TestSmokeSchema:
+    def test_structured_bench_emits_valid_document(self, tmp_path):
+        from repro.bench.harness import run_structured_bench
+
+        path = tmp_path / "BENCH_mini.json"
+        document, records = run_structured_bench(
+            ["City-Temp"], ["alp"], n=4096, repeats=1, out_path=path
+        )
+        assert validate_document(document) == []
+        assert len(records) == 1
+        record = records[0]
+        assert record.bits_per_value > 0
+        assert record.compress_rel > 0
+        assert record.decompress_rel > 0
+        # Per-stage breakdown is embedded in the record.
+        assert "compressor.compress" in record.spans
+        assert any(
+            name.startswith("compressor.") for name in record.counters
+        )
+        # And the file round-trips through the validating reader.
+        loaded_document, loaded_records = read_bench_json(path)
+        assert loaded_records == records

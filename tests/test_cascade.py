@@ -9,7 +9,6 @@ from hypothesis import strategies as st
 
 from repro.data import get_dataset
 from repro.encodings.cascade import (
-    CascadeEncoded,
     cascade_compress,
     cascade_decompress,
 )

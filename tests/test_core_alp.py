@@ -3,7 +3,6 @@
 import math
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -14,7 +13,6 @@ from repro.core.alp import (
     alp_encode_vector,
     estimate_size_bits,
 )
-from repro.core.constants import F10, IF10, MAX_EXPONENT
 from repro.core.fastround import fast_round, fast_round_scalar
 
 

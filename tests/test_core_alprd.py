@@ -3,13 +3,11 @@
 import math
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.alputil.bits import double_to_bits
 from repro.core.alprd import (
-    AlpRdParameters,
     alprd_decode,
     alprd_encode,
     decode_vector_bits,

@@ -20,7 +20,6 @@ from repro.data.generators import (
     iid_lognormal,
     ml_weights,
     random_walk,
-    round_decimals,
     round_mixed_decimals,
     zero_dominated,
 )

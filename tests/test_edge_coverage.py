@@ -3,7 +3,6 @@
 import math
 
 import numpy as np
-import pytest
 
 from repro.alputil.bitstream import BitReader, BitWriter
 from repro.alputil.decimals import decimal_places
@@ -15,7 +14,6 @@ from repro.data import get_dataset
 from repro.encodings.dictionary import dictionary_decode, dictionary_encode
 from repro.encodings.rle import rle_decode, rle_encode
 from repro.query.sources import (
-    AlpSource,
     FileColumnSource,
     UncompressedSource,
     make_source,

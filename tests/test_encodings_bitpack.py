@@ -29,6 +29,27 @@ class TestBitWidthRequired:
         with pytest.raises(ValueError):
             bit_width_required(np.array([-1], dtype=np.int64))
 
+    def test_rejects_mixed_sign(self):
+        # Regression: the old guard checked ``values.max() < 0``, so an
+        # array whose *max* was positive slipped past even with negative
+        # entries, and numpy's int→uint view made the width nonsense.
+        with pytest.raises(ValueError):
+            bit_width_required(np.array([-1, 5], dtype=np.int64))
+
+    def test_signed_nonnegative_ok(self):
+        assert bit_width_required(np.array([0, 5, 7], dtype=np.int64)) == 3
+
+    def test_unsigned_full_range(self):
+        # uint64 can hold 2**64 - 1, which a signed min() check would
+        # misread; the dtype-kind guard must skip the sign test entirely.
+        arr = np.array([0, 2**64 - 1], dtype=np.uint64)
+        assert bit_width_required(arr) == 64
+
+    def test_python_list_input(self):
+        assert bit_width_required([1, 2, 255]) == 8
+        with pytest.raises(ValueError):
+            bit_width_required([3, -2])
+
 
 class TestPackUnpack:
     def test_simple(self):

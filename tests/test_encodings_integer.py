@@ -1,7 +1,6 @@
 """Unit tests for FOR, FFOR, Delta, RLE and Dictionary encodings."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

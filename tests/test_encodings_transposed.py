@@ -10,7 +10,6 @@ from repro.encodings.transposed import (
     TILE_ORDER,
     TRANSPOSE_INVERSE,
     TRANSPOSE_PERMUTATION,
-    TRANSPOSED_VECTOR_SIZE,
     pack_bits_transposed,
     transpose_values,
     unpack_bits_transposed,

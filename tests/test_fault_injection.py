@@ -22,7 +22,7 @@ from repro.baselines.chimp128 import (
     chimp128_compress,
     chimp128_decompress,
 )
-from repro.baselines.fpc import FpcEncoded, fpc_compress, fpc_decompress
+from repro.baselines.fpc import FpcEncoded, fpc_decompress
 from repro.baselines.gorilla import (
     GorillaEncoded,
     gorilla_compress,

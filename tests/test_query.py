@@ -16,9 +16,7 @@ from repro.query.operators import (
     ScanOperator,
 )
 from repro.query.sources import (
-    AlpSource,
     BlockCodecSource,
-    PerVectorCodecSource,
     UncompressedSource,
     make_source,
 )

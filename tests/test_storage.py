@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.compressor import compress, compress_rowgroup, decompress
+from repro.core.compressor import compress_rowgroup, decompress
 from repro.data import get_dataset
 from repro.storage.columnfile import (
     ColumnFileReader,

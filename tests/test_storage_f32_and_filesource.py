@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.float32 import compress_f32, decompress_f32
-from repro.data import get_dataset, get_model_weights
+from repro.data import get_model_weights
 from repro.query.engine import scan_query, sum_query
 from repro.query.sources import FileColumnSource
 from repro.storage.columnfile import write_column_file

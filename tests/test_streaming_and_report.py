@@ -1,6 +1,5 @@
 """Tests for the streaming compressor and the analysis report."""
 
-import math
 
 import numpy as np
 import pytest
