@@ -163,7 +163,16 @@ def pde_compress(values: np.ndarray) -> PdeEncoded:
 
 
 def pde_decompress(encoded: PdeEncoded) -> np.ndarray:
-    """Decompress a :class:`PdeEncoded` column back to float64."""
+    """Decompress a :class:`PdeEncoded` column back to float64.
+
+    Vectors decode into one preallocated output array (same batching
+    style as the ALP decompressor) instead of being concatenated.
+    """
     if encoded.count == 0:
         return np.empty(0, dtype=np.float64)
-    return np.concatenate([_decode_vector(v) for v in encoded.vectors])
+    out = np.empty(encoded.count, dtype=np.float64)
+    pos = 0
+    for vector in encoded.vectors:
+        out[pos : pos + vector.count] = _decode_vector(vector)
+        pos += vector.count
+    return out

@@ -293,11 +293,15 @@ def run_structured_bench(
     n: int,
     repeats: int = 3,
     out_path: str | os.PathLike | None = None,
+    include_kernels: bool = False,
 ) -> tuple[dict, list[BenchRecord]]:
     """Sweep a dataset x codec grid into bench records (and optional JSON).
 
     Returns ``(document, records)``; when ``out_path`` is given the
     document is also written as a ``BENCH_*.json`` file.
+    ``include_kernels`` appends the kernel micro-benchmark records
+    (:func:`repro.bench.kernels.kernel_bench_records`) to the document,
+    under their ``kernels/*`` pseudo-dataset keys.
 
     The document-level ``calibration_mbps`` is informational (one
     process-start measurement); each record's ``*_rel`` fields use
@@ -317,11 +321,16 @@ def run_structured_bench(
                     repeats=repeats,
                 )
             )
+    if include_kernels:
+        from repro.bench.kernels import kernel_bench_records
+
+        records.extend(kernel_bench_records(repeats=repeats))
     config = {
         "n": n,
         "repeats": repeats,
         "datasets": list(datasets),
         "codecs": list(codecs),
+        "kernels": include_kernels,
     }
     if out_path is not None:
         document = write_bench_json(out_path, records, config, calibration)

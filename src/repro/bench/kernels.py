@@ -1,0 +1,256 @@
+"""Kernel-level micro-benchmarks: bit-packing, FFOR and the ALP vector codec.
+
+``python -m repro.bench.kernels`` (or ``alp-repro bench --kernels``)
+times the hot kernels the word-parallel rewrite targets, at the widths
+that exercise its three code paths:
+
+- width 4  — sub-byte fields, the generic scatter/gather path;
+- width 16 — byte-aligned, the direct dtype-cast fast path;
+- width 48 — byte-aligned but wider than any native dtype, the
+  byte-column path.
+
+Each width yields one ``pack`` record (compress = ``pack_bits``,
+decompress = ``unpack_bits``) and one ``ffor`` record (compress =
+``ffor_encode``, decompress = fused ``ffor_decode``); a final
+``kernels/alp-vector`` record times the end-to-end per-vector ALP
+encode (level-two sampling + ALP_enc + FFOR) and decode (UNFFOR +
+ALP_dec + patch), the paper's §4.2 micro-benchmark unit.  The ``pack``
+records also carry the measured speedup over the retired bit-matrix
+packer (:func:`repro.encodings.bitpack.pack_bits_bitmatrix`) in their
+``counters``.
+
+Records follow the ``BENCH_*.json`` schema (see
+:mod:`repro.bench.records`): ``bits_per_value`` is the field width and
+``compression_ratio`` is ``64 / width``, both deterministic, so the CI
+regression gate's ratio check doubles as a layout invariant; the
+``*_rel`` throughputs are calibration-anchored like every other record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.bench.records import BenchRecord
+
+#: The widths benchmarked — one per pack/unpack code path (see module doc).
+KERNEL_WIDTHS = (4, 16, 48)
+
+#: The micro-benchmark unit: one L1-resident vector, as in the paper.
+KERNEL_VECTOR_SIZE = 1024
+
+#: Vectors processed per timed call, so one call takes long enough that
+#: ``perf_counter`` granularity and scheduler noise do not dominate.
+KERNEL_VECTORS = 64
+
+
+def _kernel_values(width: int) -> np.ndarray:
+    """Deterministic uint64 test values that need exactly ``width`` bits."""
+    rng = np.random.default_rng(0xA19 + width)
+    count = KERNEL_VECTORS * KERNEL_VECTOR_SIZE
+    if width == 0:
+        return np.zeros(count, dtype=np.uint64)
+    values = rng.integers(0, 1 << width, size=count, dtype=np.uint64)
+    # Pin the top bit somewhere so bit_width_required(values) == width.
+    values[0] = (1 << width) - 1
+    return values
+
+
+def _per_vector_mbps(fn, values_nbytes: int, repeats: int) -> float:
+    """Median MB/s of a callable that processes all KERNEL_VECTORS."""
+    from repro.bench.harness import time_callable
+
+    result = time_callable(
+        fn, values_nbytes // 8, repeats=repeats, stat="median"
+    )
+    return values_nbytes / result.seconds / 1e6
+
+
+def _bench_pack(width: int, repeats: int, calibration: float) -> BenchRecord:
+    """One pack/unpack record at ``width`` (+ bit-matrix speedup)."""
+    from repro.encodings.bitpack import (
+        pack_bits,
+        pack_bits_bitmatrix,
+        unpack_bits,
+    )
+
+    values = _kernel_values(width)
+    vectors = [
+        values[start : start + KERNEL_VECTOR_SIZE]
+        for start in range(0, values.size, KERNEL_VECTOR_SIZE)
+    ]
+    payloads = [pack_bits(v, width) for v in vectors]
+
+    pack_mbps = _per_vector_mbps(
+        lambda: [pack_bits(v, width) for v in vectors],
+        values.nbytes,
+        repeats,
+    )
+    bitmatrix_mbps = _per_vector_mbps(
+        lambda: [pack_bits_bitmatrix(v, width) for v in vectors],
+        values.nbytes,
+        repeats,
+    )
+    unpack_mbps = _per_vector_mbps(
+        lambda: [
+            unpack_bits(p, width, KERNEL_VECTOR_SIZE) for p in payloads
+        ],
+        values.nbytes,
+        repeats,
+    )
+    return BenchRecord(
+        dataset=f"kernels/w{width:02d}",
+        codec="pack",
+        n=int(values.size),
+        bits_per_value=float(width),
+        compression_ratio=64.0 / width,
+        compress_mbps=pack_mbps,
+        decompress_mbps=unpack_mbps,
+        compress_rel=pack_mbps / calibration,
+        decompress_rel=unpack_mbps / calibration,
+        counters={
+            "pack.bitmatrix_mbps": bitmatrix_mbps,
+            "pack.speedup_vs_bitmatrix": pack_mbps / bitmatrix_mbps,
+        },
+    )
+
+
+def _bench_ffor(width: int, repeats: int, calibration: float) -> BenchRecord:
+    """One FFOR encode/decode record with ``width``-bit residuals."""
+    from repro.encodings.ffor import ffor_decode, ffor_encode
+
+    residuals = _kernel_values(width).astype(np.int64)
+    base = 1 << 52  # a far-from-zero reference, as ALP integers have
+    values = residuals + base
+    vectors = [
+        values[start : start + KERNEL_VECTOR_SIZE]
+        for start in range(0, values.size, KERNEL_VECTOR_SIZE)
+    ]
+    encoded = [ffor_encode(v) for v in vectors]
+
+    encode_mbps = _per_vector_mbps(
+        lambda: [ffor_encode(v) for v in vectors], values.nbytes, repeats
+    )
+    decode_mbps = _per_vector_mbps(
+        lambda: [ffor_decode(e) for e in encoded], values.nbytes, repeats
+    )
+    return BenchRecord(
+        dataset=f"kernels/w{width:02d}",
+        codec="ffor",
+        n=int(values.size),
+        bits_per_value=float(width),
+        compression_ratio=64.0 / width,
+        compress_mbps=encode_mbps,
+        decompress_mbps=decode_mbps,
+        compress_rel=encode_mbps / calibration,
+        decompress_rel=decode_mbps / calibration,
+    )
+
+
+def _bench_alp_vector(repeats: int, calibration: float) -> BenchRecord:
+    """End-to-end per-vector ALP encode/decode (§4.2 protocol)."""
+    from repro.bench.harness import alp_vector_speed
+    from repro.data import get_dataset
+
+    values = get_dataset("City-Temp", n=KERNEL_VECTOR_SIZE)
+    compress_speed, decompress_speed = alp_vector_speed(
+        values, repeats=repeats
+    )
+    compress_mbps = values.nbytes / compress_speed.seconds / 1e6
+    decompress_mbps = values.nbytes / decompress_speed.seconds / 1e6
+    from repro.core.alp import alp_encode_vector
+    from repro.core.sampler import find_best_combination
+
+    combo, _ = find_best_combination(values)
+    encoded = alp_encode_vector(values, combo.exponent, combo.factor)
+    bits_per_value = encoded.bits_per_value()
+    return BenchRecord(
+        dataset="kernels/alp-vector",
+        codec="alp",
+        n=int(values.size),
+        bits_per_value=bits_per_value,
+        compression_ratio=64.0 / bits_per_value,
+        compress_mbps=compress_mbps,
+        decompress_mbps=decompress_mbps,
+        compress_rel=compress_mbps / calibration,
+        decompress_rel=decompress_mbps / calibration,
+    )
+
+
+def kernel_bench_records(repeats: int = 5) -> list[BenchRecord]:
+    """All kernel micro-benchmark records (see module docstring).
+
+    The calibration anchoring the ``*_rel`` fields is measured once
+    before and once after the kernel sweep and averaged, the same
+    drift-compensation idea as the per-record sandwich in
+    :func:`repro.bench.harness.bench_codec_structured`.
+    """
+    from repro.bench.harness import calibration_mbps
+
+    cal_before = calibration_mbps(repeats=repeats)
+    records: list[BenchRecord] = []
+    timings: list[tuple[int, BenchRecord]] = []
+    for width in KERNEL_WIDTHS:
+        timings.append((width, _bench_pack(width, repeats, cal_before)))
+        timings.append((width, _bench_ffor(width, repeats, cal_before)))
+    alp_record = _bench_alp_vector(repeats, cal_before)
+    calibration = (cal_before + calibration_mbps(repeats=repeats)) / 2
+
+    # Re-anchor every record on the averaged calibration.
+    for _, record in timings:
+        records.append(
+            BenchRecord(
+                dataset=record.dataset,
+                codec=record.codec,
+                n=record.n,
+                bits_per_value=record.bits_per_value,
+                compression_ratio=record.compression_ratio,
+                compress_mbps=record.compress_mbps,
+                decompress_mbps=record.decompress_mbps,
+                compress_rel=record.compress_mbps / calibration,
+                decompress_rel=record.decompress_mbps / calibration,
+                counters=record.counters,
+            )
+        )
+    records.append(
+        BenchRecord(
+            dataset=alp_record.dataset,
+            codec=alp_record.codec,
+            n=alp_record.n,
+            bits_per_value=alp_record.bits_per_value,
+            compression_ratio=alp_record.compression_ratio,
+            compress_mbps=alp_record.compress_mbps,
+            decompress_mbps=alp_record.decompress_mbps,
+            compress_rel=alp_record.compress_mbps / calibration,
+            decompress_rel=alp_record.decompress_mbps / calibration,
+        )
+    )
+    return records
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.kernels",
+        description="kernel micro-benchmarks (pack/unpack, FFOR, ALP vector)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="timing repeats (default 5)"
+    )
+    args = parser.parse_args(argv)
+    for record in kernel_bench_records(repeats=args.repeats):
+        extra = ""
+        speedup = record.counters.get("pack.speedup_vs_bitmatrix")
+        if speedup is not None:
+            extra = f"  ({speedup:.1f}x vs bit-matrix)"
+        print(
+            f"{record.dataset:18s} {record.codec:5s} "
+            f"C {record.compress_mbps:8.1f} MB/s  "
+            f"D {record.decompress_mbps:8.1f} MB/s{extra}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

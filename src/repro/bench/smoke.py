@@ -12,6 +12,11 @@ The synthetic generators are deterministic (fixed seeds derived from
 the dataset name), so ``bits_per_value`` is bit-for-bit reproducible
 across machines; only the throughput fields vary, which is why the gate
 compares the calibration-relative ``*_rel`` numbers.
+
+The document also carries the kernel micro-benchmark records
+(:mod:`repro.bench.kernels`) under ``kernels/*`` pseudo-dataset keys,
+so a regression in the bit-packing or FFOR kernels is caught even when
+the end-to-end numbers hide it.
 """
 
 from __future__ import annotations
@@ -42,10 +47,11 @@ def run_smoke(
         n=n,
         repeats=repeats,
         out_path=out_path,
+        include_kernels=True,
     )
     for record in records:
         print(
-            f"{record.dataset:12s} {record.codec:6s} "
+            f"{record.dataset:18s} {record.codec:6s} "
             f"{record.bits_per_value:6.2f} bits/value  "
             f"compress {record.compress_mbps:8.1f} MB/s "
             f"(rel {record.compress_rel:.4f})  "

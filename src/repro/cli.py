@@ -12,7 +12,8 @@ Subcommands:
 - ``datasets`` — list the 30 synthetic datasets and their fingerprints,
 - ``stats [INPUT]`` — run an instrumented compress / file round-trip /
   range scan and print the :mod:`repro.obs` metrics snapshot as JSON,
-- ``bench [--out BENCH.json]`` — run the structured benchmark sweep and
+- ``bench [--out BENCH.json] [--kernels]`` — run the structured
+  benchmark sweep (optionally plus the kernel micro-benchmarks) and
   emit the machine-readable ``BENCH_*.json`` record document.
 
 The CLI is deliberately thin: each subcommand is a few lines over the
@@ -242,11 +243,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 + ", ".join(list_codecs())
             )
     _, records = run_structured_bench(
-        datasets, codecs, n=args.n, repeats=args.repeats, out_path=args.out
+        datasets,
+        codecs,
+        n=args.n,
+        repeats=args.repeats,
+        out_path=args.out,
+        include_kernels=args.kernels,
     )
     for record in records:
         print(
-            f"{record.dataset:16s} {record.codec:8s} "
+            f"{record.dataset:18s} {record.codec:8s} "
             f"{record.bits_per_value:7.2f} bits/value  "
             f"C {record.compress_mbps:8.1f} MB/s  "
             f"D {record.decompress_mbps:8.1f} MB/s"
@@ -346,6 +352,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--n", type=int, default=65_536, help="values per dataset")
     p.add_argument("--repeats", type=int, default=5, help="timing repeats")
+    p.add_argument(
+        "--kernels",
+        action="store_true",
+        help="also run the kernel micro-benchmarks (pack/unpack, FFOR, "
+        "per-vector ALP) and append their kernels/* records",
+    )
     p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("datasets", help="list the synthetic datasets")

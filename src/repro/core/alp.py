@@ -99,6 +99,44 @@ def alp_analyze(
     return encoded, exceptions
 
 
+def _finish_vector(
+    values: np.ndarray,
+    encoded: np.ndarray,
+    exceptions: np.ndarray,
+    exponent: int,
+    factor: int,
+) -> AlpVector:
+    """Exception patching + FFOR for one analyzed vector.
+
+    Shared tail of :func:`alp_encode_vector` and the batched
+    :func:`alp_encode_rowgroup`; both paths therefore produce identical
+    payload bytes for identical inputs.
+    """
+    exc_positions = np.flatnonzero(exceptions)
+    if exc_positions.size:
+        non_exc = np.flatnonzero(~exceptions)
+        # FIND_FIRST_ENCODED: a placeholder that cannot widen the FFOR
+        # bit width.  If the whole vector is exceptional, use 0.
+        first_encoded = int(encoded[non_exc[0]]) if non_exc.size else 0
+        encoded = encoded.copy()
+        encoded[exc_positions] = first_encoded
+        exc_values = values[exc_positions].copy()
+    else:
+        exc_values = np.empty(0, dtype=np.float64)
+
+    if obs.ENABLED:
+        obs.metrics.counter_add("alp.vectors_encoded", 1)
+        obs.metrics.counter_add("alp.exceptions", int(exc_positions.size))
+    return AlpVector(
+        ffor=ffor_encode(encoded),
+        exponent=exponent,
+        factor=factor,
+        exc_values=exc_values,
+        exc_positions=exc_positions.astype(np.uint16),
+        count=values.size,
+    )
+
+
 def alp_encode_vector(
     values: np.ndarray, exponent: int, factor: int
 ) -> AlpVector:
@@ -111,42 +149,57 @@ def alp_encode_vector(
     with obs.span("alp.encode_vector"):
         values = np.ascontiguousarray(values, dtype=np.float64)
         encoded, exceptions = alp_analyze(values, exponent, factor)
-
-        exc_positions = np.flatnonzero(exceptions)
-        if exc_positions.size:
-            non_exc = np.flatnonzero(~exceptions)
-            # FIND_FIRST_ENCODED: a placeholder that cannot widen the FFOR
-            # bit width.  If the whole vector is exceptional, use 0.
-            first_encoded = int(encoded[non_exc[0]]) if non_exc.size else 0
-            encoded = encoded.copy()
-            encoded[exc_positions] = first_encoded
-            exc_values = values[exc_positions].copy()
-        else:
-            exc_values = np.empty(0, dtype=np.float64)
-
-        if obs.ENABLED:
-            obs.metrics.counter_add("alp.vectors_encoded", 1)
-            obs.metrics.counter_add("alp.exceptions", int(exc_positions.size))
-        return AlpVector(
-            ffor=ffor_encode(encoded),
-            exponent=exponent,
-            factor=factor,
-            exc_values=exc_values,
-            exc_positions=exc_positions.astype(np.uint16),
-            count=values.size,
-        )
+        return _finish_vector(values, encoded, exceptions, exponent, factor)
 
 
-def alp_decode_vector(vector: AlpVector, fused: bool = True) -> np.ndarray:
+def alp_encode_rowgroup(
+    values: np.ndarray, exponent: int, factor: int, vector_size: int
+) -> list[AlpVector]:
+    """Encode a whole row-group under one (e, f) as a list of vectors.
+
+    This is the batched common case (a single surviving candidate, so
+    level-two sampling is skipped): ALP_enc + ALP_dec + the exception
+    test run *once* over the full row-group instead of once per vector,
+    and only the per-vector tail (exception patching + FFOR) loops.
+    Output is vector-for-vector identical to calling
+    :func:`alp_encode_vector` on each chunk.
+    """
+    with obs.span("alp.encode_rowgroup"):
+        values = np.ascontiguousarray(values, dtype=np.float64)
+        encoded, exceptions = alp_analyze(values, exponent, factor)
+        return [
+            _finish_vector(
+                values[start : start + vector_size],
+                encoded[start : start + vector_size],
+                exceptions[start : start + vector_size],
+                exponent,
+                factor,
+            )
+            for start in range(0, values.size, vector_size)
+        ]
+
+
+def alp_decode_vector(
+    vector: AlpVector, fused: bool = True, out: np.ndarray | None = None
+) -> np.ndarray:
     """Decode one vector (Algorithm 2): UNFFOR, ALP_dec, then patch.
 
     ``fused=False`` switches to the unfused FFOR decode for the Figure 5
-    fusion ablation; output is bit-identical either way.
+    fusion ablation; output is bit-identical either way.  ``out``, when
+    given, receives the decoded values in place (a ``vector.count``-sized
+    float64 slice) so batch callers can decode straight into one
+    preallocated column instead of concatenating per-vector arrays.
     """
     with obs.span("alp.decode_vector"):
         unffor = ffor_decode if fused else ffor_decode_unfused
         encoded = unffor(vector.ffor)
-        decoded = encoded * F10[vector.factor] * IF10[vector.exponent]
+        # Two separate multiplies (Formula 2), preserved exactly: folding
+        # the constants would change rounding and break bit-exactness.
+        scaled = encoded * F10[vector.factor]
+        if out is None:
+            decoded = scaled * IF10[vector.exponent]
+        else:
+            decoded = np.multiply(scaled, IF10[vector.exponent], out=out)
         if vector.exc_positions.size:
             decoded[vector.exc_positions.astype(np.int64)] = vector.exc_values
         obs.counter_add("alp.vectors_decoded")

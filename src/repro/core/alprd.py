@@ -203,16 +203,26 @@ def alprd_encode(
         )
 
 
-def alprd_decode(rowgroup: AlpRdRowGroup) -> np.ndarray:
-    """Decode an ALP_rd row-group back to float64, bit-exactly."""
+def alprd_decode(
+    rowgroup: AlpRdRowGroup, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Decode an ALP_rd row-group back to float64, bit-exactly.
+
+    ``out``, when given, receives the decoded doubles in place (a
+    ``rowgroup.count``-sized float64 slice), letting :func:`decompress`
+    fill one preallocated column instead of concatenating per-row-group
+    arrays.
+    """
     if not rowgroup.vectors:
-        return np.empty(0, dtype=np.float64)
+        return np.empty(0, dtype=np.float64) if out is None else out
     with obs.span("alprd.decode"):
-        bits = np.concatenate(
-            [
-                decode_vector_bits(vector, rowgroup.parameters)
-                for vector in rowgroup.vectors
-            ]
-        )
+        target = np.empty(rowgroup.count, dtype=np.float64) if out is None else out
+        bits = target.view(np.uint64)
+        pos = 0
+        for vector in rowgroup.vectors:
+            bits[pos : pos + vector.count] = decode_vector_bits(
+                vector, rowgroup.parameters
+            )
+            pos += vector.count
         obs.counter_add("alprd.vectors_decoded", len(rowgroup.vectors))
-        return bits_to_double(bits)
+        return target

@@ -17,7 +17,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import obs
-from repro.core.alp import AlpVector, alp_decode_vector, alp_encode_vector
+from repro.core.alp import (
+    AlpVector,
+    alp_decode_vector,
+    alp_encode_rowgroup,
+    alp_encode_vector,
+)
 from repro.core.alprd import (
     AlpRdRowGroup,
     alprd_decode,
@@ -31,7 +36,7 @@ from repro.core.sampler import (
     ExponentFactor,
     FirstLevelResult,
     first_level_sample,
-    second_level_sample,
+    second_level_sample_rowgroup,
 )
 
 
@@ -168,18 +173,37 @@ def _compress_rowgroup(
             0,
         )
 
-    vectors: list[AlpVector] = []
     tried_counts: list[int] = []
-    skipped = 0
-    for start in range(0, rowgroup.size, vector_size):
-        chunk = rowgroup[start : start + vector_size]
-        second = second_level_sample(chunk, first.candidates)
-        if second.skipped:
-            skipped += 1
-        else:
-            tried_counts.append(second.combinations_tried)
-        combo = second.combination
-        vectors.append(alp_encode_vector(chunk, combo.exponent, combo.factor))
+    if len(first.candidates) == 1:
+        # The common case: one surviving candidate means every vector
+        # skips level two, so the whole row-group encodes as a single
+        # batched ALP_enc/ALP_dec pass instead of ~100 per-vector ones.
+        combo = first.candidates[0]
+        vectors = alp_encode_rowgroup(
+            rowgroup, combo.exponent, combo.factor, vector_size
+        )
+        skipped = len(vectors)
+        obs.counter_add("sampler.second_level_skipped", skipped)
+    else:
+        # Multiple candidates: level-two sampling for every vector runs
+        # as one batched (k' x vectors x s) evaluation, then each vector
+        # encodes under its own winner.
+        seconds = second_level_sample_rowgroup(
+            rowgroup, first.candidates, vector_size=vector_size
+        )
+        vectors = []
+        skipped = 0
+        for vi, start in enumerate(range(0, rowgroup.size, vector_size)):
+            chunk = rowgroup[start : start + vector_size]
+            second = seconds[vi]
+            if second.skipped:
+                skipped += 1
+            else:
+                tried_counts.append(second.combinations_tried)
+            combo = second.combination
+            vectors.append(
+                alp_encode_vector(chunk, combo.exponent, combo.factor)
+            )
 
     if obs.ENABLED:
         obs.metrics.counter_add(
@@ -330,19 +354,27 @@ def compress_parallel(
 
 
 def decompress(column: CompressedRowGroups) -> np.ndarray:
-    """Decompress a column back to float64, bit-exactly."""
+    """Decompress a column back to float64, bit-exactly.
+
+    Every vector decodes directly into its offset of one preallocated
+    output array — no per-vector arrays are built and concatenated.
+    """
     if column.count == 0:
         return np.empty(0, dtype=np.float64)
     with obs.span("compressor.decompress"):
-        parts: list[np.ndarray] = []
+        out = np.empty(column.count, dtype=np.float64)
+        pos = 0
         for rg in column.rowgroups:
             if rg.alp is not None:
-                parts.extend(
-                    alp_decode_vector(vector) for vector in rg.alp.vectors
-                )
+                for vector in rg.alp.vectors:
+                    alp_decode_vector(
+                        vector, out=out[pos : pos + vector.count]
+                    )
+                    pos += vector.count
             else:
                 assert rg.rd is not None
-                parts.append(alprd_decode(rg.rd))
+                alprd_decode(rg.rd, out=out[pos : pos + rg.rd.count])
+                pos += rg.rd.count
         if obs.ENABLED:
             obs.metrics.counter_add("compressor.values_decoded", column.count)
-        return np.concatenate(parts)
+        return out

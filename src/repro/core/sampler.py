@@ -78,39 +78,56 @@ _E_ALL, _F_ALL = _build_search_space()
 SEARCH_SPACE_SIZE = _E_ALL.size
 
 
-def estimate_sizes_all_combinations(sample: np.ndarray) -> np.ndarray:
-    """Estimated bits for ``sample`` under *every* (e, f) combination.
+def estimate_sizes_matrix(
+    samples: np.ndarray, exponents: np.ndarray, factors: np.ndarray
+) -> np.ndarray:
+    """Estimated bits per (combination, sampled vector), fully batched.
 
-    Fully vectorized over the (combinations x samples) matrix.  Returns an
-    array aligned with the module's search-space ordering.
+    ``samples`` is a (vectors x samples-per-vector) float64 matrix;
+    ``exponents`` / ``factors`` are parallel int arrays of combinations.
+    Returns an int64 matrix of shape (combinations, vectors).  This one
+    kernel powers both sampling levels: the first level evaluates the
+    full 253-combination search space over all m sampled vectors at
+    once, the second level evaluates the k' surviving candidates over a
+    single vector's sample.
     """
-    sample = np.ascontiguousarray(sample, dtype=np.float64)
-    if sample.size == 0:
-        return np.zeros(SEARCH_SPACE_SIZE, dtype=np.int64)
+    samples = np.ascontiguousarray(samples, dtype=np.float64)
+    n_samples = samples.shape[1]
     # The multiplication structure must match alp_analyze exactly (two
     # separate multiplies, not a precomputed product): a different rounding
     # path would make the sampler mispredict the encoder's exceptions.
-    e_mul = F10[_E_ALL][:, None]
-    f_inv = IF10[_F_ALL][:, None]
-    f_mul = F10[_F_ALL][:, None]
-    e_inv = IF10[_E_ALL][:, None]
+    e_mul = F10[exponents][:, None, None]
+    f_inv = IF10[factors][:, None, None]
+    f_mul = F10[factors][:, None, None]
+    e_inv = IF10[exponents][:, None, None]
     with np.errstate(over="ignore", invalid="ignore"):
-        encoded = fast_round(sample[None, :] * e_mul * f_inv)
+        encoded = fast_round(samples[None, :, :] * e_mul * f_inv)
         decoded = encoded * f_mul * e_inv
-    exceptions = decoded.view(np.uint64) != sample.view(np.uint64)
+    exceptions = decoded.view(np.uint64) != samples.view(np.uint64)
 
     int_min = np.iinfo(np.int64).min
     int_max = np.iinfo(np.int64).max
-    masked_max = np.where(exceptions, int_min, encoded).max(axis=1)
-    masked_min = np.where(exceptions, int_max, encoded).min(axis=1)
-    n_exc = exceptions.sum(axis=1)
-    n_valid = sample.size - n_exc
+    masked_max = np.where(exceptions, int_min, encoded).max(axis=2)
+    masked_min = np.where(exceptions, int_max, encoded).min(axis=2)
+    n_exc = exceptions.sum(axis=2)
+    n_valid = n_samples - n_exc
 
     spread = np.where(
         n_valid > 0, masked_max - masked_min, 0
     ).astype(np.uint64)
     width = 64 - leading_zeros64(spread)
     return (n_valid * width + n_exc * EXCEPTION_SIZE_BITS).astype(np.int64)
+
+
+def estimate_sizes_all_combinations(sample: np.ndarray) -> np.ndarray:
+    """Estimated bits for ``sample`` under *every* (e, f) combination.
+
+    Returns an array aligned with the module's search-space ordering.
+    """
+    sample = np.ascontiguousarray(sample, dtype=np.float64)
+    if sample.size == 0:
+        return np.zeros(SEARCH_SPACE_SIZE, dtype=np.int64)
+    return estimate_sizes_matrix(sample[None, :], _E_ALL, _F_ALL)[:, 0]
 
 
 def find_best_combination(sample: np.ndarray) -> tuple[ExponentFactor, int]:
@@ -162,7 +179,14 @@ def first_level_sample(
     max_candidates: int = MAX_COMBINATIONS,
     rd_threshold_bits: float | None = None,
 ) -> FirstLevelResult:
-    """Row-group sampling: full search on m x n sampled values (§3.2)."""
+    """Row-group sampling: full search on m x n sampled values (§3.2).
+
+    The full searches of all m sampled vectors run as *one* batched
+    (253 x m*n) evaluation (vectors whose tail chunk yields a shorter
+    sample are batched separately per sample length, so estimates stay
+    identical to the per-vector loop in
+    :func:`first_level_sample_loop`).
+    """
     from repro.core.constants import RD_SIZE_THRESHOLD_BITS
 
     if rd_threshold_bits is None:
@@ -173,22 +197,42 @@ def first_level_sample(
         n_vectors = max(1, (rowgroup.size + vector_size - 1) // vector_size)
         vector_indices = equidistant_indices(n_vectors, vectors_sampled)
 
-        votes: Counter[ExponentFactor] = Counter()
-        best_ratio = float("inf")
-        sampled = 0
+        by_length: dict[int, list[np.ndarray]] = {}
         for vi in vector_indices.tolist():
             chunk = rowgroup[vi * vector_size : (vi + 1) * vector_size]
             if chunk.size == 0:
                 continue
             sample = sample_vector(chunk, values_per_vector)
-            combo, est_bits = find_best_combination(sample)
-            votes[combo] += 1
-            sampled += 1
-            best_ratio = min(best_ratio, est_bits / sample.size)
+            by_length.setdefault(sample.size, []).append(sample)
+
+        votes: Counter[ExponentFactor] = Counter()
+        best_ratio = float("inf")
+        sampled = 0
+        for length, sample_list in by_length.items():
+            sizes = estimate_sizes_matrix(
+                np.stack(sample_list), _E_ALL, _F_ALL
+            )
+            # np.argmin takes the first minimum, preserving the search
+            # space's high-e/high-f-first tie-break per vector.
+            best = np.argmin(sizes, axis=0)
+            for column, ci in enumerate(best.tolist()):
+                votes[ExponentFactor(int(_E_ALL[ci]), int(_F_ALL[ci]))] += 1
+                best_ratio = min(best_ratio, int(sizes[ci, column]) / length)
+            sampled += len(sample_list)
 
     if obs.ENABLED:
         obs.metrics.counter_add("sampler.first_level_runs", 1)
         obs.metrics.counter_add("sampler.first_level_vectors", sampled)
+    return _rank_first_level(votes, best_ratio, max_candidates, rd_threshold_bits)
+
+
+def _rank_first_level(
+    votes: Counter[ExponentFactor],
+    best_ratio: float,
+    max_candidates: int,
+    rd_threshold_bits: float,
+) -> FirstLevelResult:
+    """Turn per-vector winner votes into the ranked candidate set."""
     if not votes:
         return FirstLevelResult(
             candidates=(ExponentFactor(0, 0),),
@@ -209,6 +253,42 @@ def first_level_sample(
         use_rd=best_ratio >= rd_threshold_bits,
         best_estimated_bits_per_value=best_ratio,
     )
+
+
+def first_level_sample_loop(
+    rowgroup: np.ndarray,
+    vector_size: int = VECTOR_SIZE,
+    vectors_sampled: int = SAMPLES_PER_ROWGROUP,
+    values_per_vector: int = SAMPLES_PER_VECTOR_FIRST_LEVEL,
+    max_candidates: int = MAX_COMBINATIONS,
+    rd_threshold_bits: float | None = None,
+) -> FirstLevelResult:
+    """Per-vector-loop reference of :func:`first_level_sample`.
+
+    One full search per sampled vector, exactly as the batched version
+    but dispatched m times.  Kept (un-instrumented) as the ground truth
+    for the sampler-equivalence tests; results are identical.
+    """
+    from repro.core.constants import RD_SIZE_THRESHOLD_BITS
+
+    if rd_threshold_bits is None:
+        rd_threshold_bits = float(RD_SIZE_THRESHOLD_BITS)
+
+    rowgroup = np.ascontiguousarray(rowgroup, dtype=np.float64)
+    n_vectors = max(1, (rowgroup.size + vector_size - 1) // vector_size)
+    vector_indices = equidistant_indices(n_vectors, vectors_sampled)
+
+    votes: Counter[ExponentFactor] = Counter()
+    best_ratio = float("inf")
+    for vi in vector_indices.tolist():
+        chunk = rowgroup[vi * vector_size : (vi + 1) * vector_size]
+        if chunk.size == 0:
+            continue
+        sample = sample_vector(chunk, values_per_vector)
+        combo, est_bits = find_best_combination(sample)
+        votes[combo] += 1
+        best_ratio = min(best_ratio, est_bits / sample.size)
+    return _rank_first_level(votes, best_ratio, max_candidates, rd_threshold_bits)
 
 
 @dataclass(frozen=True)
@@ -253,28 +333,151 @@ def second_level_sample(
         sample = sample_vector(
             np.ascontiguousarray(vector, dtype=np.float64), samples
         )
-        best_combo = candidates[0]
-        best_size = _estimate_for_candidates(sample, best_combo)
-        worse_streak = 0
-        tried = 1
-        early_exit = False
-        for candidate in candidates[1:]:
-            size = _estimate_for_candidates(sample, candidate)
-            tried += 1
-            if size < best_size:
-                best_size = size
-                best_combo = candidate
-                worse_streak = 0
-            else:
-                worse_streak += 1
-                if worse_streak >= 2:
-                    early_exit = True
-                    break
+        # All k' candidates in one (k' x s) evaluation; the paper's greedy
+        # early-exit walk is then replayed over the size array, so the
+        # winner and ``combinations_tried`` match the lazy loop exactly.
+        exponents = np.asarray([c.exponent for c in candidates], dtype=np.int64)
+        factors = np.asarray([c.factor for c in candidates], dtype=np.int64)
+        sizes = estimate_sizes_matrix(sample[None, :], exponents, factors)[:, 0]
+        best_combo, tried, early_exit = _greedy_walk(candidates, sizes.tolist())
     if obs.ENABLED:
         obs.metrics.counter_add("sampler.second_level_runs", 1)
         obs.metrics.counter_add("sampler.combinations_tried", tried)
         if early_exit:
             obs.metrics.counter_add("sampler.early_exits", 1)
+    return SecondLevelResult(
+        combination=best_combo, combinations_tried=tried, skipped=False
+    )
+
+
+def _greedy_walk(
+    candidates: tuple[ExponentFactor, ...], sizes: list[int]
+) -> tuple[ExponentFactor, int, bool]:
+    """The §3.2 greedy early-exit walk over per-candidate size estimates.
+
+    Returns ``(winner, combinations_tried, early_exit)``.  Stops after
+    two consecutive candidates that do no better than the best so far —
+    identical control flow whether the sizes were computed lazily (loop
+    reference) or upfront (batched path).
+    """
+    best_combo = candidates[0]
+    best_size = sizes[0]
+    worse_streak = 0
+    tried = 1
+    for candidate, size in zip(candidates[1:], sizes[1:]):
+        tried += 1
+        if size < best_size:
+            best_size = size
+            best_combo = candidate
+            worse_streak = 0
+        else:
+            worse_streak += 1
+            if worse_streak >= 2:
+                return best_combo, tried, True
+    return best_combo, tried, False
+
+
+def second_level_sample_rowgroup(
+    rowgroup: np.ndarray,
+    candidates: tuple[ExponentFactor, ...],
+    vector_size: int = VECTOR_SIZE,
+    samples: int = SAMPLES_PER_VECTOR_SECOND_LEVEL,
+) -> list[SecondLevelResult]:
+    """Level-two sampling for every vector of a row-group, batched.
+
+    One (k' x vectors x s) evaluation replaces the per-vector calls to
+    :func:`second_level_sample`; the greedy early-exit walk then replays
+    per vector over its own size column.  Winners, try counts and early
+    exits are identical to calling :func:`second_level_sample` on each
+    chunk (vectors with a shorter tail sample are batched separately per
+    sample length so their estimates do not change).
+    """
+    if not candidates:
+        raise ValueError("second_level_sample needs at least one candidate")
+    rowgroup = np.ascontiguousarray(rowgroup, dtype=np.float64)
+    n_vectors = (rowgroup.size + vector_size - 1) // vector_size
+    if len(candidates) == 1:
+        obs.counter_add("sampler.second_level_skipped", n_vectors)
+        return [
+            SecondLevelResult(
+                combination=candidates[0], combinations_tried=0, skipped=True
+            )
+        ] * n_vectors
+
+    with obs.span("sampler.second_level"):
+        by_length: dict[int, list[int]] = {}
+        sample_rows: list[np.ndarray] = []
+        for vi in range(n_vectors):
+            chunk = rowgroup[vi * vector_size : (vi + 1) * vector_size]
+            sample_rows.append(sample_vector(chunk, samples))
+            by_length.setdefault(sample_rows[-1].size, []).append(vi)
+
+        exponents = np.asarray([c.exponent for c in candidates], dtype=np.int64)
+        factors = np.asarray([c.factor for c in candidates], dtype=np.int64)
+        results: list[SecondLevelResult | None] = [None] * n_vectors
+        early_exits = 0
+        tried_total = 0
+        for vector_ids in by_length.values():
+            sizes = estimate_sizes_matrix(
+                np.stack([sample_rows[vi] for vi in vector_ids]),
+                exponents,
+                factors,
+            )
+            for column, vi in enumerate(vector_ids):
+                best_combo, tried, early_exit = _greedy_walk(
+                    candidates, sizes[:, column].tolist()
+                )
+                results[vi] = SecondLevelResult(
+                    combination=best_combo,
+                    combinations_tried=tried,
+                    skipped=False,
+                )
+                tried_total += tried
+                early_exits += early_exit
+    if obs.ENABLED:
+        obs.metrics.counter_add("sampler.second_level_runs", n_vectors)
+        obs.metrics.counter_add("sampler.combinations_tried", tried_total)
+        if early_exits:
+            obs.metrics.counter_add("sampler.early_exits", early_exits)
+    return results  # type: ignore[return-value]
+
+
+def second_level_sample_loop(
+    vector: np.ndarray,
+    candidates: tuple[ExponentFactor, ...],
+    samples: int = SAMPLES_PER_VECTOR_SECOND_LEVEL,
+) -> SecondLevelResult:
+    """Lazy per-candidate-loop reference of :func:`second_level_sample`.
+
+    Evaluates one candidate at a time and stops at the early exit, as
+    the pre-batching implementation did.  Kept (un-instrumented) as the
+    ground truth for the sampler-equivalence tests; results are
+    identical to the batched version.
+    """
+    if not candidates:
+        raise ValueError("second_level_sample needs at least one candidate")
+    if len(candidates) == 1:
+        return SecondLevelResult(
+            combination=candidates[0], combinations_tried=0, skipped=True
+        )
+    sample = sample_vector(
+        np.ascontiguousarray(vector, dtype=np.float64), samples
+    )
+    best_combo = candidates[0]
+    best_size = _estimate_for_candidates(sample, best_combo)
+    worse_streak = 0
+    tried = 1
+    for candidate in candidates[1:]:
+        size = _estimate_for_candidates(sample, candidate)
+        tried += 1
+        if size < best_size:
+            best_size = size
+            best_combo = candidate
+            worse_streak = 0
+        else:
+            worse_streak += 1
+            if worse_streak >= 2:
+                break
     return SecondLevelResult(
         combination=best_combo, combinations_tried=tried, skipped=False
     )

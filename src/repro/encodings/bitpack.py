@@ -9,16 +9,36 @@ The layout is MSB-first within the buffer (value ``i`` occupies bits
 interleaved transposed layout for SIMD friendliness; in numpy the plain
 sequential layout vectorizes equally well and keeps the format readable,
 so we use it and note the deviation here.
+
+Both directions are *word-parallel*: the packer computes, per value, the
+one or two 64-bit destination words its field straddles and combines the
+shifted contributions with an OR-reduction (three to five numpy kernels
+total, independent of width); the unpacker is the mirrored two-word
+gather.  Byte-aligned widths short-circuit to a single dtype cast.  All
+index arithmetic depends only on ``(width, count)`` and is cached, so
+the steady-state cost per 1024-value ALP vector is a handful of numpy
+calls on 1024-element arrays — no N x width bit matrix is ever built.
+The original bit-matrix packer survives as :func:`pack_bits_bitmatrix`,
+the reference the equivalence tests and kernel benchmarks compare
+against.
 """
 
 from __future__ import annotations
+
+from functools import lru_cache
 
 import numpy as np
 
 from repro import obs
 
+#: Widths packable with a single dtype cast (big-endian field bytes are
+#: exactly the value's low bytes in stream order).
+_CAST_DTYPES = {8: np.dtype(np.uint8), 16: ">u2", 32: ">u4", 64: ">u8"}
 
-def bit_width_required(values: np.ndarray) -> int:
+
+def bit_width_required(
+    values: np.ndarray, known_min: int | None = None
+) -> int:
     """Smallest bit width able to represent every value in ``values``.
 
     Values must be non-negative (unsigned).  An empty or all-zero array
@@ -27,21 +47,134 @@ def bit_width_required(values: np.ndarray) -> int:
     Signed-dtype inputs are accepted but validated on their *minimum*:
     checking ``values.max() < 0`` would only reject all-negative arrays
     (and can never fire for unsigned dtypes), silently mis-sizing mixed
-    arrays like ``[-1, 5]``.
+    arrays like ``[-1, 5]``.  Callers that already reduced the minimum
+    (FOR-style encoders subtract it as the frame of reference) pass it
+    via ``known_min`` so the validation does not re-scan the array.
     """
     values = np.asarray(values)
     if values.size == 0:
         return 0
-    if values.dtype.kind != "u" and int(values.min()) < 0:
-        raise ValueError("bit_width_required expects non-negative values")
+    if values.dtype.kind != "u":
+        minimum = int(values.min()) if known_min is None else known_min
+        if minimum < 0:
+            raise ValueError("bit_width_required expects non-negative values")
     return int(values.max()).bit_length()
 
 
-def pack_bits(values: np.ndarray, width: int) -> bytes:
+@lru_cache(maxsize=1024)
+def _pack_plan(
+    width: int, count: int
+) -> tuple[int, int, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Precomputed scatter geometry for ``count`` fields of ``width`` bits.
+
+    Everything here depends only on (width, count), so the hot path pays
+    for it once per shape.  Returns ``(n_words, n_start_words, offset,
+    boundaries, straddle, s_idx, s_shift)`` where
+
+    - ``offset[i]`` is field ``i``'s start bit inside its first word,
+    - ``boundaries[w]`` is the first field starting in word ``w`` (every
+      word up to the last field's start word holds at least one start,
+      because ``width <= 64`` means consecutive starts are never more
+      than 64 bits apart — so the OR-reduction segments are non-empty),
+    - ``straddle`` marks fields crossing into the next word; at most one
+      field crosses any given word boundary (fields are disjoint), so
+      the spill writes at ``s_idx`` are conflict-free fancy indexing.
+    """
+    n_words = (count * width + 63) // 64
+    starts = np.arange(count, dtype=np.uint64) * np.uint64(width)
+    word_idx = (starts >> np.uint64(6)).astype(np.int64)
+    offset = starts & np.uint64(63)
+    # A trailing word reached only by the last field's spill contains no
+    # start; the OR-reduction covers words up to the last start only.
+    n_start_words = int(word_idx[-1]) + 1
+    boundaries = (
+        np.arange(n_start_words, dtype=np.int64) * 64 + width - 1
+    ) // width
+    straddle = (offset + np.uint64(width)) > np.uint64(64)
+    s_idx = word_idx[straddle] + 1
+    s_shift = (np.uint64(64) - offset[straddle]) & np.uint64(63)
+    return n_words, n_start_words, offset, boundaries, straddle, s_idx, s_shift
+
+
+def pack_bits(
+    values: np.ndarray, width: int, max_value: int | None = None
+) -> bytes:
     """Pack ``values`` (non-negative, each < 2**width) into bytes.
+
+    ``max_value`` lets callers that already reduced the maximum (every
+    width computation does) skip the validation re-scan.
 
     >>> unpack_bits(pack_bits(np.array([1, 2, 3], dtype=np.uint64), 2), 2, 3)
     array([1, 2, 3], dtype=uint64)
+    """
+    if width < 0 or width > 64:
+        raise ValueError(f"bit width must be in [0, 64], got {width}")
+    values = np.ascontiguousarray(values, dtype=np.uint64)
+    if values.size:
+        vmax = int(values.max()) if max_value is None else max_value
+        if width == 0:
+            if vmax != 0:
+                raise ValueError("width 0 requires an all-zero array")
+            packed = b""
+        elif vmax >> width:
+            raise ValueError(f"value {vmax} does not fit in {width} bits")
+        else:
+            packed = _pack_words(values, width)
+    else:
+        packed = b""
+    if obs.ENABLED:
+        obs.metrics.counter_add("bitpack.pack_calls", 1)
+        obs.metrics.counter_add("bitpack.pack_values", int(values.size))
+        obs.metrics.counter_add("bitpack.pack_bytes", len(packed))
+    return packed
+
+
+def _pack_words(values: np.ndarray, width: int) -> bytes:
+    """Word-parallel packing core (validated inputs, width in 1..64)."""
+    cast = _CAST_DTYPES.get(width)
+    if cast is not None:
+        # Byte-exact fast path: the field bytes *are* the value's low
+        # bytes in big-endian order, so one dtype cast emits the stream.
+        return values.astype(cast).tobytes()
+    count = values.size
+    nbytes = (count * width + 7) // 8
+    if width % 8 == 0:
+        # Remaining byte-aligned widths (24/40/48/56): slice the low
+        # ``width // 8`` byte columns out of the big-endian value bytes.
+        k = width // 8
+        return (
+            values.astype(">u8").view(np.uint8).reshape(-1, 8)[:, 8 - k :]
+        ).tobytes()
+    (
+        n_words,
+        n_start_words,
+        offset,
+        boundaries,
+        straddle,
+        s_idx,
+        s_shift,
+    ) = _pack_plan(width, count)
+    # Left-align each field in its own 64-bit window, shift it down to
+    # its in-word position, and OR together every field starting in the
+    # same word.  Fields crossing a word boundary contribute their low
+    # bits to the next word in a second, conflict-free pass.
+    field = values << np.uint64(64 - width)
+    hi = field >> offset
+    words = np.zeros(n_words, dtype=np.uint64)
+    np.bitwise_or.reduceat(hi, boundaries, out=words[:n_start_words])
+    if s_idx.size:
+        words[s_idx] |= field[straddle] << s_shift
+    return words.astype(">u8").tobytes()[:nbytes]
+
+
+def pack_bits_bitmatrix(values: np.ndarray, width: int) -> bytes:
+    """Reference packer: expand to an N x width bit matrix, ``packbits``.
+
+    This is the pre-word-parallel implementation, kept as the ground
+    truth for the equivalence tests and as the "before" side of the
+    kernel micro-benchmarks (``alp-repro bench --kernels``).  It is
+    O(N x width) in both memory traffic and work; do not call it on a
+    hot path.
     """
     if width < 0 or width > 64:
         raise ValueError(f"bit width must be in [0, 64], got {width}")
@@ -56,22 +189,33 @@ def pack_bits(values: np.ndarray, width: int) -> bytes:
         )
     shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
     bits = ((values[:, None] >> shifts[None, :]) & np.uint64(1)).astype(np.uint8)
-    packed = np.packbits(bits.ravel()).tobytes()
-    if obs.ENABLED:
-        obs.metrics.counter_add("bitpack.pack_calls", 1)
-        obs.metrics.counter_add("bitpack.pack_values", int(values.size))
-        obs.metrics.counter_add("bitpack.pack_bytes", len(packed))
-    return packed
+    return np.packbits(bits.ravel()).tobytes()
+
+
+@lru_cache(maxsize=1024)
+def _unpack_plan(
+    width: int, count: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Cached gather geometry: (word index, in-word offset, spill shift)."""
+    starts = np.arange(count, dtype=np.uint64) * np.uint64(width)
+    word_idx = (starts >> np.uint64(6)).astype(np.int64)
+    offset = starts & np.uint64(63)
+    # A shift by 64 is undefined; mask the no-spill lanes to zero instead.
+    spill_shift = (np.uint64(64) - offset) & np.uint64(63)
+    return word_idx, offset, spill_shift
 
 
 def unpack_bits(buffer: bytes, width: int, count: int) -> np.ndarray:
     """Unpack ``count`` values of ``width`` bits each from ``buffer``.
 
-    For widths up to 56 this gathers an 8-byte window per value and
-    extracts the field with one shift-and-mask — O(1) numpy work per
-    value, the port of FastLanes' branch-free unpacking.  Wider fields
-    (57..64 bits, rare: only near-incompressible vectors) take a
-    two-window path.
+    The generic path pads the payload to whole 64-bit words (plus one
+    spill word), views it as big-endian uint64, and reconstructs each
+    field from the one or two words it straddles — two gathers plus
+    shifts for *every* width, the numpy analogue of FastLanes'
+    branch-free unpack kernels.  Byte-aligned widths (8/16/32/64) skip
+    the word gather entirely: the stream is reinterpreted with a single
+    big-endian dtype cast.  The gather geometry depends only on
+    ``(width, count)`` and is cached across calls.
     """
     if width < 0 or width > 64:
         raise ValueError(f"bit width must be in [0, 64], got {width}")
@@ -92,20 +236,15 @@ def unpack_bits(buffer: bytes, width: int, count: int) -> np.ndarray:
         obs.metrics.counter_add("bitpack.unpack_calls", 1)
         obs.metrics.counter_add("bitpack.unpack_values", count)
         obs.metrics.counter_add("bitpack.unpack_bytes", len(buffer))
-    # Pad the payload to whole 64-bit words (plus one spill word), view it
-    # as big-endian uint64, and reconstruct each field from the one or two
-    # words it straddles.  Three gathers + shifts, independent of width —
-    # the numpy analogue of FastLanes' branch-free unpack kernels.
+    cast = _CAST_DTYPES.get(width)
+    if cast is not None:
+        return np.frombuffer(buffer, dtype=cast, count=count).astype(np.uint64)
     padded_len = ((len(buffer) + 7) // 8 + 1) * 8
     words = np.frombuffer(
         buffer.ljust(padded_len, b"\x00"), dtype=">u8"
     ).astype(np.uint64)
-    starts = np.arange(count, dtype=np.uint64) * np.uint64(width)
-    word_idx = (starts >> np.uint64(6)).astype(np.int64)
-    offset = starts & np.uint64(63)
+    word_idx, offset, spill_shift = _unpack_plan(width, count)
     hi = words[word_idx] << offset
-    # A shift by 64 is undefined; mask the no-spill lanes to zero instead.
-    spill_shift = (np.uint64(64) - offset) & np.uint64(63)
     lo = np.where(
         offset == 0,
         np.uint64(0),

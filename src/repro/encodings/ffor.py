@@ -19,7 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import obs
-from repro.encodings.bitpack import bit_width_required, pack_bits
+from repro.encodings.bitpack import pack_bits
 
 
 @dataclass(frozen=True)
@@ -44,8 +44,11 @@ def ffor_encode(values: np.ndarray) -> FforEncoded:
     reference = int(values.min())
     ref64 = np.uint64(reference & 0xFFFFFFFFFFFFFFFF)
     residuals = values.view(np.uint64) - ref64
-    width = bit_width_required(residuals)
-    payload = pack_bits(residuals, width)
+    # One reduction serves width computation *and* pack validation; the
+    # residual minimum is 0 by construction, so no sign check is needed.
+    residual_max = int(residuals.max())
+    width = residual_max.bit_length()
+    payload = pack_bits(residuals, width, max_value=residual_max)
     if obs.ENABLED:
         obs.metrics.counter_add("ffor.vectors_encoded", 1)
         obs.metrics.counter_add("ffor.packed_bytes", len(payload))

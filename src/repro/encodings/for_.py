@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.encodings.bitpack import bit_width_required, pack_bits, unpack_bits
+from repro.encodings.bitpack import pack_bits, unpack_bits
 
 
 @dataclass(frozen=True)
@@ -44,9 +44,11 @@ def for_encode(values: np.ndarray) -> ForEncoded:
         return ForEncoded(payload=b"", reference=0, bit_width=0, count=0)
     reference = int(values.min())
     residuals = (values.astype(np.uint64) - np.uint64(reference & 0xFFFFFFFFFFFFFFFF))
-    # Subtraction in uint64 wraps correctly for negative references.
-    width = bit_width_required(residuals)
-    payload = pack_bits(residuals, width)
+    # Subtraction in uint64 wraps correctly for negative references.  One
+    # reduction serves width computation and pack validation alike.
+    residual_max = int(residuals.max())
+    width = residual_max.bit_length()
+    payload = pack_bits(residuals, width, max_value=residual_max)
     return ForEncoded(
         payload=payload, reference=reference, bit_width=width, count=values.size
     )

@@ -223,3 +223,26 @@ class TestSmokeSchema:
         # And the file round-trips through the validating reader.
         loaded_document, loaded_records = read_bench_json(path)
         assert loaded_records == records
+
+
+class TestKernelRecords:
+    def test_kernel_records_conform_to_schema(self):
+        from repro.bench.harness import calibration_mbps
+        from repro.bench.kernels import KERNEL_WIDTHS, kernel_bench_records
+        from repro.bench.records import build_document
+
+        records = kernel_bench_records(repeats=1)
+        # One pack + one ffor record per width, plus the ALP vector one.
+        assert len(records) == 2 * len(KERNEL_WIDTHS) + 1
+        document = build_document(
+            records,
+            config={"kernels": True},
+            calibration_mbps=calibration_mbps(repeats=1),
+        )
+        assert validate_document(document) == []
+        pack_records = [r for r in records if r.codec == "pack"]
+        assert {r.bits_per_value for r in pack_records} == set(
+            float(w) for w in KERNEL_WIDTHS
+        )
+        for record in pack_records:
+            assert record.counters["pack.speedup_vs_bitmatrix"] > 0

@@ -182,3 +182,107 @@ class TestSecondLevel:
         candidates = tuple(ExponentFactor(14, 14 - i) for i in range(k))
         result = second_level_sample(values, candidates)
         assert result.combinations_tried <= k
+
+
+class TestBatchedSamplerEquivalence:
+    """The batched samplers must be decision-identical to the loop refs."""
+
+    DATASETS = ("City-Temp", "Stocks-DE", "Gov/10", "POI-lat")
+
+    def _rowgroup(self, name, n=16 * 1024):
+        from repro.data import get_dataset
+
+        return get_dataset(name, n=n)
+
+    @pytest.mark.parametrize("name", DATASETS)
+    def test_first_level_matches_loop(self, name):
+        from repro.core.sampler import first_level_sample_loop
+
+        rowgroup = self._rowgroup(name)
+        batched = first_level_sample(rowgroup)
+        loop = first_level_sample_loop(rowgroup)
+        assert batched.candidates == loop.candidates
+        assert batched.use_rd == loop.use_rd
+        assert (
+            batched.best_estimated_bits_per_value
+            == loop.best_estimated_bits_per_value
+        )
+
+    def test_first_level_matches_loop_ragged_tail(self):
+        # A tail chunk shorter than the sample size forces the
+        # per-length batching; estimates must not change.
+        from repro.core.sampler import first_level_sample_loop
+
+        rng = np.random.default_rng(10)
+        rowgroup = np.round(rng.uniform(0, 100, 4 * 1024 + 7), 2)
+        batched = first_level_sample(rowgroup, vector_size=1024)
+        loop = first_level_sample_loop(rowgroup, vector_size=1024)
+        assert batched.candidates == loop.candidates
+        assert batched.use_rd == loop.use_rd
+
+    @pytest.mark.parametrize("name", DATASETS)
+    def test_second_level_matches_loop(self, name):
+        from repro.core.sampler import second_level_sample_loop
+
+        rowgroup = self._rowgroup(name)
+        candidates = first_level_sample(rowgroup).candidates
+        if len(candidates) == 1:
+            # Force a multi-candidate walk so the comparison is not
+            # trivially the skip path.
+            base = candidates[0]
+            candidates = (
+                base,
+                ExponentFactor(base.exponent, max(base.factor - 1, 0)),
+                ExponentFactor(max(base.exponent - 1, 0), 0),
+            )
+        for start in range(0, rowgroup.size, 1024):
+            chunk = rowgroup[start : start + 1024]
+            batched = second_level_sample(chunk, candidates)
+            loop = second_level_sample_loop(chunk, candidates)
+            assert batched.combination == loop.combination
+            assert batched.combinations_tried == loop.combinations_tried
+            assert batched.skipped == loop.skipped
+
+    @pytest.mark.parametrize("name", DATASETS)
+    def test_second_level_rowgroup_matches_per_vector(self, name):
+        from repro.core.sampler import second_level_sample_rowgroup
+
+        rowgroup = self._rowgroup(name)
+        candidates = first_level_sample(rowgroup).candidates
+        per_rowgroup = second_level_sample_rowgroup(
+            rowgroup, candidates, vector_size=1024
+        )
+        per_vector = [
+            second_level_sample(rowgroup[start : start + 1024], candidates)
+            for start in range(0, rowgroup.size, 1024)
+        ]
+        assert per_rowgroup == per_vector
+
+    def test_second_level_rowgroup_ragged_tail(self):
+        from repro.core.sampler import second_level_sample_rowgroup
+
+        rng = np.random.default_rng(11)
+        rowgroup = np.concatenate(
+            [
+                np.round(rng.uniform(0, 100, 2 * 1024), 1),
+                np.round(rng.uniform(0, 100, 7), 5),
+            ]
+        )
+        candidates = (ExponentFactor(14, 13), ExponentFactor(10, 5))
+        per_rowgroup = second_level_sample_rowgroup(
+            rowgroup, candidates, vector_size=1024
+        )
+        per_vector = [
+            second_level_sample(rowgroup[start : start + 1024], candidates)
+            for start in range(0, rowgroup.size, 1024)
+        ]
+        assert per_rowgroup == per_vector
+
+    def test_second_level_rowgroup_single_candidate_skips(self):
+        from repro.core.sampler import second_level_sample_rowgroup
+
+        results = second_level_sample_rowgroup(
+            np.arange(3000.0), (ExponentFactor(14, 13),), vector_size=1024
+        )
+        assert len(results) == 3
+        assert all(r.skipped and r.combinations_tried == 0 for r in results)
