@@ -19,8 +19,11 @@ import numpy as np
 from repro.bench.harness import bench_n, time_callable
 from repro.bench.report import format_table, shape_check
 from repro.core.compressor import compress, decompress
+from repro.core.constants import ROWGROUP_SIZE, VECTOR_SIZE
 
-VECTOR_SIZES = (256, 512, 1024, 2048, 4096)
+# The sweep deliberately spells out its sizes (the published 1024 among
+# them) — that is the ablation, not a format constant leak.
+VECTOR_SIZES = (256, 512, 1024, 2048, 4096)  # reprolint: ignore[RL4]
 SWEEP_DATASETS = ("City-Temp", "Stocks-USA", "Food-prices", "CMS/25")
 
 
@@ -31,7 +34,7 @@ def _measure(dataset_cache):
         values = dataset_cache(name, n)
         per_size = {}
         for v in VECTOR_SIZES:
-            column = compress(values, vector_size=v, rowgroup_vectors=max(1, 102_400 // v))
+            column = compress(values, vector_size=v, rowgroup_vectors=max(1, ROWGROUP_SIZE // v))
             decoded = decompress(column)
             assert np.array_equal(
                 decoded.view(np.uint64), values.view(np.uint64)
@@ -61,7 +64,7 @@ def test_ablation_vector_size(benchmark, emit, dataset_cache):
     plateau = []
     for name in SWEEP_DATASETS:
         best = min(bits for bits, _ in results[name].values())
-        at_1024 = results[name][1024][0]
+        at_1024 = results[name][VECTOR_SIZE][0]
         plateau.append(at_1024 <= best * 1.10 + 0.2)
 
     checks = [

@@ -109,14 +109,14 @@ def _ablate_rd_dictionary():
 
     values = get_dataset("POI-lat", n=8192)
     bits = double_to_bits(values)
-    adaptive = find_best_cut(bits[:1024])
+    adaptive = find_best_cut(bits[:VECTOR_SIZE])
     results = {}
     left = bits >> np.uint64(adaptive.right_bit_width)
     for b in range(4):
         size = 1 << b
         from collections import Counter
 
-        ranked = [v for v, _ in Counter(left[:1024].tolist()).most_common(size)]
+        ranked = [v for v, _ in Counter(left[:VECTOR_SIZE].tolist()).most_common(size)]
         dictionary = SkewedDictionary(
             entries=np.asarray(ranked, dtype=np.uint16),
             code_width=max(int(len(ranked) - 1).bit_length(), 0),

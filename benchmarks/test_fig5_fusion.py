@@ -28,6 +28,7 @@ from repro.core.alp import (
     alp_decode_vector,
     alp_encode_vector,
 )
+from repro.core.constants import VECTOR_SIZE
 from repro.core.sampler import find_best_combination
 from repro.data import DATASET_ORDER, DATASETS
 from repro.encodings.ffor import ffor_decode, ffor_decode_unfused, ffor_encode
@@ -91,9 +92,9 @@ def _measure_bitwidths():
     out = {}
     for width in range(0, 53, 4):
         if width == 0:
-            values = np.zeros(1024, dtype=np.int64)
+            values = np.zeros(VECTOR_SIZE, dtype=np.int64)
         else:
-            values = rng.integers(0, 1 << width, size=1024).astype(np.int64)
+            values = rng.integers(0, 1 << width, size=VECTOR_SIZE).astype(np.int64)
         encoded = ffor_encode(values)
         assert np.array_equal(ffor_decode(encoded), values)
         assert np.array_equal(ffor_decode_unfused(encoded), values)

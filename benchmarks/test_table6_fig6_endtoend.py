@@ -72,7 +72,7 @@ def _measure():
                 comp_speed = float("nan")
             else:
                 comp = time_callable(
-                    lambda: comp_query(codec, values),
+                    lambda codec=codec: comp_query(codec, values),
                     values.size,
                     repeats=1,
                     warmup=0,

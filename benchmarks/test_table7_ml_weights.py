@@ -51,7 +51,7 @@ XOR_SAMPLE = 40_000
 
 def _measure():
     out = {}
-    for name, spec in MODELS.items():
+    for name, _spec in MODELS.items():
         weights = get_model_weights(name)
         column = compress_f32(weights)
         decoded = decompress_f32(column)
@@ -83,7 +83,7 @@ def test_table7_ml_weights(benchmark, emit):
     results = benchmark.pedantic(_measure, rounds=1, iterations=1)
 
     rows = []
-    for name, spec in MODELS.items():
+    for name, _spec in MODELS.items():
         r = results[name]
         paper = TABLE7_ML_BITS[name]
         rows.append(

@@ -45,7 +45,7 @@ print(f"zone maps skip {skippable}/{reader.rowgroup_count} row-groups "
 
 start = time.perf_counter()
 matches = 0
-for index, values in reader.scan_range(low, high):
+for _index, values in reader.scan_range(low, high):
     matches += int(((values >= low) & (values <= high)).sum())
 pushdown_seconds = time.perf_counter() - start
 

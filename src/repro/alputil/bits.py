@@ -57,6 +57,7 @@ def bits_to_float32(bits: np.ndarray) -> np.ndarray:
 
 def ieee754_sign(values: np.ndarray) -> np.ndarray:
     """Return the sign bit (0 or 1) of each double."""
+    # fits: the shift leaves a single bit, so the value is 0 or 1
     return (double_to_bits(values) >> np.uint64(63)).astype(np.uint8)
 
 
@@ -67,7 +68,9 @@ def ieee754_exponent(values: np.ndarray) -> np.ndarray:
     (e.g. values near 1.0 have a biased exponent around 1023).
     """
     bits = double_to_bits(values)
-    return ((bits >> np.uint64(DOUBLE_MANTISSA_BITS)) & np.uint64(0x7FF)).astype(
+    # The masked value fits 11 bits, so the uint64 -> int64 bit
+    # reinterpretation is exact and avoids the astype copy.
+    return ((bits >> np.uint64(DOUBLE_MANTISSA_BITS)) & np.uint64(0x7FF)).view(
         np.int64
     )
 

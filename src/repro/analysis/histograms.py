@@ -24,7 +24,7 @@ def precision_histogram(values: np.ndarray) -> dict[int, int]:
     """Histogram of visible decimal precision per value."""
     precisions = decimal_places_array(np.asarray(values, dtype=np.float64))
     unique, counts = np.unique(precisions, return_counts=True)
-    return dict(zip(unique.tolist(), counts.tolist()))
+    return dict(zip(unique.tolist(), counts.tolist(), strict=True))
 
 
 def exponent_histogram(
@@ -35,7 +35,7 @@ def exponent_histogram(
     if bucket > 1:
         exponents = (exponents // bucket) * bucket
     unique, counts = np.unique(exponents, return_counts=True)
-    return dict(zip(unique.tolist(), counts.tolist()))
+    return dict(zip(unique.tolist(), counts.tolist(), strict=True))
 
 
 def xor_zero_histograms(
@@ -50,8 +50,8 @@ def xor_zero_histograms(
     lead_u, lead_c = np.unique(lead, return_counts=True)
     trail_u, trail_c = np.unique(trail, return_counts=True)
     return (
-        dict(zip(lead_u.tolist(), lead_c.tolist())),
-        dict(zip(trail_u.tolist(), trail_c.tolist())),
+        dict(zip(lead_u.tolist(), lead_c.tolist(), strict=True)),
+        dict(zip(trail_u.tolist(), trail_c.tolist(), strict=True)),
     )
 
 

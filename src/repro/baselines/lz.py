@@ -74,7 +74,9 @@ def _write_length(length: int, first_budget: int) -> tuple[int, bytes]:
     return first_budget, bytes(out)
 
 
-def _read_length(field: int, data: bytes, pos: int, first_budget: int):
+def _read_length(
+    field: int, data: bytes, pos: int, first_budget: int
+) -> tuple[int, int]:
     """Inverse of :func:`_write_length`; returns (length, new pos)."""
     length = field
     if field == first_budget:

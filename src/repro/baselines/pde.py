@@ -26,7 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.constants import F10, IF10
+from repro.core.constants import F10, IF10, VECTOR_SIZE
 from repro.core.fastround import fast_round
 from repro.encodings.for_ import ForEncoded, for_decode, for_encode
 
@@ -122,7 +122,7 @@ def _search_exponents(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
 #: PDE packs digits/exponents in vector-sized blocks, like the rest of
 #: the library (BtrBlocks uses its own block granularity; the choice only
 #: affects header amortization).
-PDE_VECTOR_SIZE = 1024
+PDE_VECTOR_SIZE = VECTOR_SIZE
 
 
 def _encode_vector(values: np.ndarray) -> PdeVector:

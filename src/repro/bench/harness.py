@@ -23,13 +23,17 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from repro.baselines.registry import get_codec
 from repro.bench.records import BenchRecord, write_bench_json
+from repro.core.constants import VECTOR_SIZE
 from repro.data import get_dataset
+
+if TYPE_CHECKING:
+    from repro.core.alp import AlpVector
 
 #: Nominal clock used for the tuples-per-cycle proxy (paper's Ice Lake).
 NOMINAL_GHZ = 3.5
@@ -134,7 +138,7 @@ def codec_speed_on_vector(
     return compress_speed, decompress_speed
 
 
-def dataset_vector(name: str, vector_size: int = 1024) -> np.ndarray:
+def dataset_vector(name: str, vector_size: int = VECTOR_SIZE) -> np.ndarray:
     """One vector of a dataset (the micro-benchmark unit)."""
     return get_dataset(name, n=vector_size)
 
@@ -157,7 +161,7 @@ def alp_vector_speed(
     values = np.ascontiguousarray(values, dtype=np.float64)
     candidates = first_level_sample(values).candidates
 
-    def compress_once():
+    def compress_once() -> "AlpVector":
         combo = second_level_sample(values, candidates).combination
         return alp_encode_vector(values, combo.exponent, combo.factor)
 
@@ -177,7 +181,7 @@ def alp_vector_speed(
 def calibration_mbps(
     values: np.ndarray | None = None,
     repeats: int = 5,
-    vector_size: int = 1024,
+    vector_size: int = VECTOR_SIZE,
 ) -> float:
     """Throughput of a codec-shaped reference workload, in MB/s.
 

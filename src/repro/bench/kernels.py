@@ -34,12 +34,13 @@ import sys
 import numpy as np
 
 from repro.bench.records import BenchRecord
+from repro.core.constants import VECTOR_SIZE
 
 #: The widths benchmarked — one per pack/unpack code path (see module doc).
 KERNEL_WIDTHS = (4, 16, 48)
 
 #: The micro-benchmark unit: one L1-resident vector, as in the paper.
-KERNEL_VECTOR_SIZE = 1024
+KERNEL_VECTOR_SIZE = VECTOR_SIZE
 
 #: Vectors processed per timed call, so one call takes long enough that
 #: ``perf_counter`` granularity and scheduler noise do not dominate.

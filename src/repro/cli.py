@@ -14,7 +14,9 @@ Subcommands:
   range scan and print the :mod:`repro.obs` metrics snapshot as JSON,
 - ``bench [--out BENCH.json] [--kernels]`` — run the structured
   benchmark sweep (optionally plus the kernel micro-benchmarks) and
-  emit the machine-readable ``BENCH_*.json`` record document.
+  emit the machine-readable ``BENCH_*.json`` record document,
+- ``lint [PATHS...]`` — run reprolint, the repo-specific static
+  analysis (see ``docs/STATIC_ANALYSIS.md``).
 
 The CLI is deliberately thin: each subcommand is a few lines over the
 library's public API, so it doubles as usage documentation.
@@ -261,6 +263,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import main as lint_main
+
+    argv: list[str] = [str(path) for path in args.paths]
+    if args.root is not None:
+        argv += ["--root", str(args.root)]
+    argv += ["--format", args.format]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     from repro.data import DATASETS
 
@@ -359,6 +373,26 @@ def build_parser() -> argparse.ArgumentParser:
         "per-vector ALP) and append their kernels/* records",
     )
     p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser(
+        "lint",
+        help="run reprolint, the repo-specific static-analysis pass",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src tests benchmarks)",
+    )
+    p.add_argument(
+        "--root", default=None, help="repository root used for rule scoping"
+    )
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    p.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog"
+    )
+    p.set_defaults(fn=_cmd_lint)
 
     p = sub.add_parser("datasets", help="list the synthetic datasets")
     p.set_defaults(fn=_cmd_datasets)

@@ -25,7 +25,8 @@ def _rowgroup_vector_counts(rowgroup: CompressedRowGroup) -> list[int]:
     """Value counts of the row-group's vectors, in order."""
     if rowgroup.alp is not None:
         return [v.count for v in rowgroup.alp.vectors]
-    assert rowgroup.rd is not None
+    if rowgroup.rd is None:
+        raise ValueError("row-group has neither ALP nor ALP_rd payload")
     return [v.count for v in rowgroup.rd.vectors]
 
 
@@ -35,7 +36,8 @@ def _decode_rowgroup_vector(
     """Decode one vector of a row-group."""
     if rowgroup.alp is not None:
         return alp_decode_vector(rowgroup.alp.vectors[index])
-    assert rowgroup.rd is not None
+    if rowgroup.rd is None:
+        raise ValueError("row-group has neither ALP nor ALP_rd payload")
     return bits_to_double(
         decode_vector_bits(
             rowgroup.rd.vectors[index], rowgroup.rd.parameters

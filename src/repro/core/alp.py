@@ -132,6 +132,7 @@ def _finish_vector(
         exponent=exponent,
         factor=factor,
         exc_values=exc_values,
+        # fits: positions < vector size <= 65535 (checked at compress time)
         exc_positions=exc_positions.astype(np.uint16),
         count=values.size,
     )
@@ -233,7 +234,7 @@ def alp_decode_vector_scalar(vector: AlpVector) -> np.ndarray:
             d = reference
         out[i] = d * mul * inv
     for pos, value in zip(
-        vector.exc_positions.tolist(), vector.exc_values.tolist()
+        vector.exc_positions.tolist(), vector.exc_values.tolist(), strict=True
     ):
         out[pos] = value
     return np.asarray(out, dtype=np.float64)

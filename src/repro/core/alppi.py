@@ -97,6 +97,7 @@ def alppi_encode_vector(
             exponent=exponent,
             factor=factor,
             exc_values=exc_values,
+            # fits: positions < vector size <= 65535 (checked at compress time)
             exc_positions=exc_positions.astype(np.uint16),
             count=values.size,
         )

@@ -22,7 +22,11 @@ import numpy as np
 
 from repro import obs
 from repro.alputil.bits import bits_to_double, double_to_bits
-from repro.core.constants import MAX_RD_LEFT_BITS
+from repro.core.constants import (
+    MAX_RD_LEFT_BITS,
+    RD_EXCEPTION_SIZE_BITS,
+    VECTOR_SIZE,
+)
 from repro.core.sampler import equidistant_indices
 from repro.encodings.bitpack import pack_bits, unpack_bits
 from repro.encodings.dictionary import SkewedDictionary
@@ -66,7 +70,7 @@ class AlpRdVector:
         return (
             len(self.left_payload) * 8
             + len(self.right_payload) * 8
-            + self.exc_positions.size * (16 + 16)
+            + self.exc_positions.size * RD_EXCEPTION_SIZE_BITS
             + 16  # exception count
         )
 
@@ -119,7 +123,8 @@ def find_best_cut(
                 dictionary=dictionary,
                 total_bits=total_bits,
             )
-    assert best is not None
+    if best is None:
+        raise RuntimeError("ALP_rd cut search produced no candidate")
     return best
 
 
@@ -177,7 +182,7 @@ def decode_vector_bits(
 
 def alprd_encode(
     rowgroup: np.ndarray,
-    vector_size: int = 1024,
+    vector_size: int = VECTOR_SIZE,
     parameters: AlpRdParameters | None = None,
 ) -> AlpRdRowGroup:
     """Encode a float64 row-group with ALP_rd."""

@@ -74,7 +74,8 @@ class CompressedRowGroup:
     def size_bits(self) -> int:
         """Compressed footprint of this row-group."""
         payload = self.alp if self.alp is not None else self.rd
-        assert payload is not None
+        if payload is None:
+            raise ValueError("row-group has neither ALP nor ALP_rd payload")
         return payload.size_bits() + 8  # scheme tag
 
 
@@ -321,7 +322,7 @@ def compress_parallel(
             force_scheme=force_scheme,
         )
 
-    def work(chunk: np.ndarray):
+    def work(chunk: np.ndarray) -> CompressedRowGroup:
         return compress_rowgroup(
             chunk, vector_size=vector_size, force_scheme=force_scheme
         )
@@ -372,7 +373,10 @@ def decompress(column: CompressedRowGroups) -> np.ndarray:
                     )
                     pos += vector.count
             else:
-                assert rg.rd is not None
+                if rg.rd is None:
+                    raise ValueError(
+                        "row-group has neither ALP nor ALP_rd payload"
+                    )
                 alprd_decode(rg.rd, out=out[pos : pos + rg.rd.count])
                 pos += rg.rd.count
         if obs.ENABLED:

@@ -71,3 +71,16 @@ MAX_RD_LEFT_BITS = 16
 #: Fast rounding only holds while |n * 10**e * 10**-f| < 2**51; anything
 #: larger fails verification and becomes an exception.
 ENCODING_LIMIT = float(1 << 51)
+
+#: All 64 bits set — the mask that makes signed references wrap into
+#: uint64 space (FOR/FFOR subtract in uint64 so negative references
+#: round-trip losslessly).
+U64_MASK = (1 << 64) - 1
+
+#: ALP_rd: bits to store one exception — 16-bit left part + 16-bit
+#: position (§3.4; left parts are at most MAX_RD_LEFT_BITS wide).
+RD_EXCEPTION_SIZE_BITS = 16 + 16
+
+#: ALP_rd: width of a skewed-dictionary code — 3 bits, i.e. at most 8
+#: dictionary entries (§3.4).
+RD_DICTIONARY_BITS = 3

@@ -139,6 +139,7 @@ def alp32_encode_vector(
         exponent=exponent,
         factor=factor,
         exc_values=exc_values,
+        # fits: positions < vector size <= 65535 (checked at compress time)
         exc_positions=exc_positions.astype(np.uint16),
         count=values.size,
     )
@@ -146,6 +147,7 @@ def alp32_encode_vector(
 
 def alp32_decode_vector(vector: AlpFloatVector) -> np.ndarray:
     """Decode one float32 vector (UNFFOR, ALP_dec, patch)."""
+    # fits: encoder verified every encoded value fits int32 before packing
     encoded = ffor_decode(vector.ffor).astype(np.int32)
     decoded = (
         encoded.astype(np.float32)
@@ -170,7 +172,8 @@ class CompressedFloatColumn:
         """Total compressed footprint."""
         if self.scheme == "alp":
             return sum(v.size_bits() for v in self.vectors) + 8
-        assert self.rd_parameters is not None
+        if self.rd_parameters is None:
+            raise ValueError("ALP_rd float32 column is missing its parameters")
         return (
             sum(v.size_bits(self.rd_parameters) for v in self.vectors)
             + self.rd_parameters.size_bits()
@@ -236,8 +239,10 @@ def decompress_f32(column: CompressedFloatColumn) -> np.ndarray:
         return np.concatenate(
             [alp32_decode_vector(v) for v in column.vectors]
         )
-    assert column.rd_parameters is not None
+    if column.rd_parameters is None:
+        raise ValueError("ALP_rd float32 column is missing its parameters")
     bits = np.concatenate(
         [decode_vector_bits(v, column.rd_parameters) for v in column.vectors]
     )
+    # fits: each element is a 32-bit float pattern glued from right | left
     return bits_to_float32(bits.astype(np.uint32))

@@ -86,7 +86,10 @@ def count_range_encoded(
             for vector in rowgroup.alp.vectors:
                 total += filter_vector_encoded(vector, low, high).size
         else:
-            assert rowgroup.rd is not None
+            if rowgroup.rd is None:
+                raise ValueError(
+                    "row-group has neither ALP nor ALP_rd payload"
+                )
             for vector in rowgroup.rd.vectors:
                 values = bits_to_double(
                     decode_vector_bits(vector, rowgroup.rd.parameters)

@@ -198,6 +198,8 @@ def first_level_sample(
         vector_indices = equidistant_indices(n_vectors, vectors_sampled)
 
         by_length: dict[int, list[np.ndarray]] = {}
+        # Iterates the m = 8 sampled vector indices, not per-value data;
+        # the per-value work is vectorized.  # reprolint: ignore[RL2]
         for vi in vector_indices.tolist():
             chunk = rowgroup[vi * vector_size : (vi + 1) * vector_size]
             if chunk.size == 0:
@@ -215,6 +217,8 @@ def first_level_sample(
             # np.argmin takes the first minimum, preserving the search
             # space's high-e/high-f-first tie-break per vector.
             best = np.argmin(sizes, axis=0)
+            # One vote per sampled vector (m = 8 per row-group), not a
+            # per-value loop.  # reprolint: ignore[RL2]
             for column, ci in enumerate(best.tolist()):
                 votes[ExponentFactor(int(_E_ALL[ci]), int(_F_ALL[ci]))] += 1
                 best_ratio = min(best_ratio, int(sizes[ci, column]) / length)
@@ -364,7 +368,7 @@ def _greedy_walk(
     best_size = sizes[0]
     worse_streak = 0
     tried = 1
-    for candidate, size in zip(candidates[1:], sizes[1:]):
+    for candidate, size in zip(candidates[1:], sizes[1:], strict=True):
         tried += 1
         if size < best_size:
             best_size = size

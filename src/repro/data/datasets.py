@@ -58,16 +58,19 @@ class DatasetSpec:
             np.random.SeedSequence([seed, zlib.crc32(self.name.encode())])
         )
         values = self.make(rng, n)
-        assert values.size == n, f"{self.name} generated {values.size} != {n}"
+        if values.size != n:
+            raise RuntimeError(
+                f"{self.name} generated {values.size} != {n}"
+            )
         return np.ascontiguousarray(values, dtype=np.float64)
 
 
-def _air_pressure(rng, n):
+def _air_pressure(rng: np.random.Generator, n: int) -> np.ndarray:
     walk = g.random_walk(n, rng, start=93.4, step_std=0.0004, low=90, high=96)
     return g.inject_duplicates(g.round_decimals(walk, 5), 0.74, rng)
 
 
-def _basel_temp(rng, n):
+def _basel_temp(rng: np.random.Generator, n: int) -> np.ndarray:
     walk = g.random_walk(n, rng, start=11.4, step_std=0.8, low=-15, high=38)
     mixed = g.round_mixed_decimals(
         walk, (5, 6, 7, 8, 11), (0.10, 0.62, 0.18, 0.06, 0.04), rng
@@ -75,7 +78,7 @@ def _basel_temp(rng, n):
     return g.inject_duplicates(mixed, 0.26, rng)
 
 
-def _basel_wind(rng, n):
+def _basel_wind(rng: np.random.Generator, n: int) -> np.ndarray:
     walk = g.random_walk(n, rng, start=7.1, step_std=0.9, low=0, high=35)
     mixed = g.round_mixed_decimals(
         walk, (0, 4, 6, 7, 8), (0.06, 0.10, 0.56, 0.18, 0.10), rng
@@ -83,72 +86,72 @@ def _basel_wind(rng, n):
     return g.inject_duplicates(mixed, 0.60, rng)
 
 
-def _bird_migration(rng, n):
+def _bird_migration(rng: np.random.Generator, n: int) -> np.ndarray:
     walk = g.random_walk(n, rng, start=26.6, step_std=0.02, low=20, high=34)
     mixed = g.round_mixed_decimals(walk, (3, 4, 5), (0.1, 0.3, 0.6), rng)
     return g.inject_duplicates(mixed, 0.55, rng)
 
 
-def _bitcoin_price(rng, n):
+def _bitcoin_price(rng: np.random.Generator, n: int) -> np.ndarray:
     walk = g.random_walk(n, rng, start=19187.0, step_std=12.0, low=15000, high=23000)
     return g.round_mixed_decimals(walk, (3, 4), (0.2, 0.8), rng)
 
 
-def _city_temp(rng, n):
+def _city_temp(rng: np.random.Generator, n: int) -> np.ndarray:
     walk = g.random_walk(n, rng, start=56.0, step_std=1.6, low=-30, high=115)
     return g.inject_duplicates(g.round_decimals(walk, 1), 0.60, rng)
 
 
-def _dew_point_temp(rng, n):
+def _dew_point_temp(rng: np.random.Generator, n: int) -> np.ndarray:
     walk = g.random_walk(n, rng, start=14.4, step_std=0.12, low=-10, high=30)
     return g.inject_duplicates(g.round_decimals(walk, 3), 0.19, rng)
 
 
-def _ir_bio_temp(rng, n):
+def _ir_bio_temp(rng: np.random.Generator, n: int) -> np.ndarray:
     walk = g.random_walk(n, rng, start=12.7, step_std=0.5, low=-20, high=50)
     return g.inject_duplicates(g.round_decimals(walk, 2), 0.49, rng)
 
 
-def _pm10_dust(rng, n):
+def _pm10_dust(rng: np.random.Generator, n: int) -> np.ndarray:
     walk = g.random_walk(n, rng, start=1.5, step_std=0.02, low=0, high=8)
     return g.inject_duplicates(g.round_decimals(walk, 3), 0.93, rng)
 
 
-def _stocks_de(rng, n):
+def _stocks_de(rng: np.random.Generator, n: int) -> np.ndarray:
     walk = g.random_walk(n, rng, start=63.8, step_std=0.05, low=30, high=110)
     mixed = g.round_mixed_decimals(walk, (2, 3), (0.5, 0.5), rng)
     return g.inject_duplicates(mixed, 0.89, rng)
 
 
-def _stocks_uk(rng, n):
+def _stocks_uk(rng: np.random.Generator, n: int) -> np.ndarray:
     walk = g.random_walk(n, rng, start=1593.7, step_std=0.8, low=900, high=2400)
     mixed = g.round_mixed_decimals(walk, (0, 1, 2), (0.2, 0.4, 0.4), rng)
     return g.inject_duplicates(mixed, 0.88, rng)
 
 
-def _stocks_usa(rng, n):
+def _stocks_usa(rng: np.random.Generator, n: int) -> np.ndarray:
     walk = g.random_walk(n, rng, start=146.1, step_std=0.05, low=80, high=220)
     return g.inject_duplicates(g.round_decimals(walk, 2), 0.91, rng)
 
 
-def _wind_dir(rng, n):
+def _wind_dir(rng: np.random.Generator, n: int) -> np.ndarray:
     angles = g.iid_uniform(n, rng, 0.0, 360.0)
     return g.round_decimals(angles, 2)
 
 
-def _arade4(rng, n):
+def _arade4(rng: np.random.Generator, n: int) -> np.ndarray:
     values = g.iid_lognormal(n, rng, median=600.0, sigma=0.7)
     return g.round_mixed_decimals(values, (3, 4), (0.4, 0.6), rng)
 
 
-def _blockchain_tr(rng, n):
+def _blockchain_tr(rng: np.random.Generator, n: int) -> np.ndarray:
     # BTC amounts: wildly varying magnitude, up to 4 visible decimals here
     # (the real column holds satoshi-precision outliers as well).
     values = g.iid_lognormal(n, rng, median=0.5, sigma=3.0)
     return g.round_mixed_decimals(values, (2, 3, 4), (0.2, 0.3, 0.5), rng)
 
 
-def _cms1(rng, n):
+def _cms1(rng: np.random.Generator, n: int) -> np.ndarray:
     values = g.iid_lognormal(n, rng, median=97.0, sigma=0.9)
     mixed = g.round_mixed_decimals(
         values,
@@ -159,7 +162,7 @@ def _cms1(rng, n):
     return g.inject_duplicates(mixed, 0.54, rng)
 
 
-def _cms25(rng, n):
+def _cms25(rng: np.random.Generator, n: int) -> np.ndarray:
     # Standard deviations: computed values with ~9 visible decimals and a
     # huge exponent spread (Table 2 reports exponent std-dev 179).  A
     # minority at lower precision keeps PDE partially effective, like the
@@ -175,21 +178,23 @@ def _cms25(rng, n):
     return g.inject_duplicates(mixed, 0.05, rng)
 
 
-def _counts(rng, n, dup):
+def _counts(
+    rng: np.random.Generator, n: int, dup: float
+) -> np.ndarray:
     counts = rng.pareto(1.2, n) * 30.0
     values = np.floor(counts).astype(np.float64)
     return g.inject_duplicates(values, dup, rng)
 
 
-def _cms9(rng, n):
+def _cms9(rng: np.random.Generator, n: int) -> np.ndarray:
     return _counts(rng, n, 0.71)
 
 
-def _medicare9(rng, n):
+def _medicare9(rng: np.random.Generator, n: int) -> np.ndarray:
     return _counts(rng, n, 0.70)
 
 
-def _food_prices(rng, n):
+def _food_prices(rng: np.random.Generator, n: int) -> np.ndarray:
     values = g.iid_lognormal(n, rng, median=300.0, sigma=2.0)
     mixed = g.round_mixed_decimals(
         values, (0, 1, 2, 4), (0.45, 0.30, 0.23, 0.02), rng
@@ -197,14 +202,20 @@ def _food_prices(rng, n):
     return g.inject_duplicates(mixed, 0.52, rng)
 
 
-def _gov10(rng, n):
+def _gov10(rng: np.random.Generator, n: int) -> np.ndarray:
     values = g.iid_lognormal(n, rng, median=5000.0, sigma=3.2)
     zeroed = np.where(rng.random(n) < 0.20, 0.0, values)  # exponent avg 873
     mixed = g.round_mixed_decimals(zeroed, (0, 1, 2), (0.5, 0.3, 0.2), rng)
     return g.inject_duplicates(mixed, 0.26, rng)
 
 
-def _gov_zero_runs(rng, n, zero_fraction, decimals, period):
+def _gov_zero_runs(
+    rng: np.random.Generator,
+    n: int,
+    zero_fraction: float,
+    decimals: tuple[tuple[int, ...], tuple[float, ...]],
+    period: int,
+) -> np.ndarray:
     nonzero = g.round_mixed_decimals(
         g.iid_lognormal(n // 16 + 16, rng, median=900.0, sigma=2.0),
         decimals[0],
@@ -214,31 +225,31 @@ def _gov_zero_runs(rng, n, zero_fraction, decimals, period):
     return g.zero_dominated(n, rng, zero_fraction, nonzero, period=period)
 
 
-def _gov26(rng, n):
+def _gov26(rng: np.random.Generator, n: int) -> np.ndarray:
     return _gov_zero_runs(
         rng, n, 0.995, ((0, 1, 2), (0.7, 0.2, 0.1)), period=16_384
     )
 
 
-def _gov30(rng, n):
+def _gov30(rng: np.random.Generator, n: int) -> np.ndarray:
     return _gov_zero_runs(
         rng, n, 0.90, ((0, 1, 2), (0.85, 0.1, 0.05)), period=6_144
     )
 
 
-def _gov31(rng, n):
+def _gov31(rng: np.random.Generator, n: int) -> np.ndarray:
     return _gov_zero_runs(
         rng, n, 0.96, ((0, 1, 2), (0.9, 0.07, 0.03)), period=10_240
     )
 
 
-def _gov40(rng, n):
+def _gov40(rng: np.random.Generator, n: int) -> np.ndarray:
     return _gov_zero_runs(
         rng, n, 0.991, ((0, 1, 2), (0.95, 0.04, 0.01)), period=14_336
     )
 
 
-def _medicare1(rng, n):
+def _medicare1(rng: np.random.Generator, n: int) -> np.ndarray:
     values = g.iid_lognormal(n, rng, median=97.0, sigma=1.1)
     mixed = g.round_mixed_decimals(
         values,
@@ -249,7 +260,7 @@ def _medicare1(rng, n):
     return g.inject_duplicates(mixed, 0.41, rng)
 
 
-def _nyc29(rng, n):
+def _nyc29(rng: np.random.Generator, n: int) -> np.ndarray:
     # Longitudes around -73.9 with 13 visible decimals, drawn from a
     # Zipf-weighted pool of distinct locations: frequent places repeat
     # within Chimp128's 128-value window (the paper's ~51% non-unique
@@ -259,15 +270,15 @@ def _nyc29(rng, n):
     return g.from_pool(n, rng, pool, weights)
 
 
-def _poi_lat(rng, n):
+def _poi_lat(rng: np.random.Generator, n: int) -> np.ndarray:
     return g.degrees_to_radians(rng.uniform(-90.0, 90.0, n))
 
 
-def _poi_lon(rng, n):
+def _poi_lon(rng: np.random.Generator, n: int) -> np.ndarray:
     return g.degrees_to_radians(rng.uniform(-180.0, 180.0, n))
 
 
-def _sd_bench(rng, n):
+def _sd_bench(rng: np.random.Generator, n: int) -> np.ndarray:
     pool = np.array(
         [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 100.0, 120.0, 128.0,
          240.0, 250.0, 256.0, 480.0, 500.0, 512.0, 750.0, 960.0, 1000.0,
@@ -317,7 +328,7 @@ DATASETS: dict[str, DatasetSpec] = {
 DATASET_ORDER: tuple[str, ...] = tuple(DATASETS)
 
 
-def _poi_lat_gps(rng, n):
+def _poi_lat_gps(rng: np.random.Generator, n: int) -> np.ndarray:
     # GPS-accuracy coordinates: ~7 decimal digits of degrees (the paper's
     # Discussion: GPS resolves meters, the Earth spans 8 digits of them),
     # then converted to radians.  The pi-multiplied structure is intact
@@ -326,7 +337,7 @@ def _poi_lat_gps(rng, n):
     return g.degrees_to_radians(degrees)
 
 
-def _poi_lon_gps(rng, n):
+def _poi_lon_gps(rng: np.random.Generator, n: int) -> np.ndarray:
     degrees = g.round_decimals(rng.uniform(-180.0, 180.0, n), 7)
     return g.degrees_to_radians(degrees)
 

@@ -121,7 +121,7 @@ def inject_duplicates(
     src = np.maximum(idx - offsets[idx], 0)
     # Sequential copy: a duplicate may itself be duplicated later, which
     # produces the run structure real data exhibits.
-    for i, s in zip(idx.tolist(), src.tolist()):
+    for i, s in zip(idx.tolist(), src.tolist(), strict=True):
         values[i] = values[s]
     return values
 

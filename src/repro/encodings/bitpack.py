@@ -82,7 +82,7 @@ def _pack_plan(
     """
     n_words = (count * width + 63) // 64
     starts = np.arange(count, dtype=np.uint64) * np.uint64(width)
-    word_idx = (starts >> np.uint64(6)).astype(np.int64)
+    word_idx = (starts >> np.uint64(6)).view(np.int64)
     offset = starts & np.uint64(63)
     # A trailing word reached only by the last field's spill contains no
     # start; the OR-reduction covers words up to the last start only.
@@ -198,7 +198,7 @@ def _unpack_plan(
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Cached gather geometry: (word index, in-word offset, spill shift)."""
     starts = np.arange(count, dtype=np.uint64) * np.uint64(width)
-    word_idx = (starts >> np.uint64(6)).astype(np.int64)
+    word_idx = (starts >> np.uint64(6)).view(np.int64)
     offset = starts & np.uint64(63)
     # A shift by 64 is undefined; mask the no-spill lanes to zero instead.
     spill_shift = (np.uint64(64) - offset) & np.uint64(63)

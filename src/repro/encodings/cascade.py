@@ -17,14 +17,17 @@ also sized so benchmarks can report the full trade-off.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal
+from typing import TYPE_CHECKING, Literal
 
 import numpy as np
 
 from repro.alputil.bits import bits_to_double, double_to_bits
-from repro.encodings.delta import delta_decode, delta_encode
+from repro.encodings.delta import DeltaEncoded, delta_decode, delta_encode
 from repro.encodings.for_ import ForEncoded, for_decode, for_encode
 from repro.encodings.rle import run_boundaries
+
+if TYPE_CHECKING:
+    from repro.core.compressor import CompressedRowGroups
 
 FrontEncoding = Literal["alp", "dict+alp", "rle+alp"]
 
@@ -135,7 +138,9 @@ def cascade_compress(
     raise ValueError(f"unknown cascade front {front!r}")
 
 
-def _compress_domain(domain_values: np.ndarray):
+def _compress_domain(
+    domain_values: np.ndarray,
+) -> tuple["CompressedRowGroups | DeltaEncoded", str]:
     """Compress the cascade's value domain: ALP vs Delta, smaller wins.
 
     Delta operates on the raw bit patterns viewed as int64; for a sorted

@@ -19,10 +19,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.encodings.bitpack import pack_bits, unpack_bits
+from repro.core.constants import RD_DICTIONARY_BITS
 from repro.encodings.for_ import ForEncoded, for_decode, for_encode
 
-#: Maximum code width of the ALP_rd skewed dictionary (2**3 = 8 entries).
-MAX_SKEWED_DICT_BITS = 3
+#: Maximum code width of the ALP_rd skewed dictionary (2**3 = 8 entries);
+#: the format-level constant lives in :mod:`repro.core.constants`.
+MAX_SKEWED_DICT_BITS = RD_DICTIONARY_BITS
 #: Exception tolerance of the skewed dictionary: pick the smallest size
 #: whose exception rate stays below this fraction (paper: 10%).
 SKEWED_EXCEPTION_TOLERANCE = 0.10
@@ -121,7 +123,9 @@ class SkewedDictionary:
         found = sorted_entries[idx_clipped] == left
         codes = np.zeros(left.size, dtype=np.uint64)
         codes[found] = sorter[idx_clipped[found]].astype(np.uint64)
+        # fits: positions < vector size <= 65535
         exc_positions = np.flatnonzero(~found).astype(np.uint16)
+        # fits: left parts are at most MAX_RD_LEFT_BITS = 16 bits wide
         exc_values = left[~found].astype(np.uint16)
         return codes, exc_positions, exc_values
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import obs
+from repro.core.constants import U64_MASK
 from repro.encodings.bitpack import pack_bits
 
 
@@ -42,7 +43,7 @@ def ffor_encode(values: np.ndarray) -> FforEncoded:
     if values.size == 0:
         return FforEncoded(payload=b"", reference=0, bit_width=0, count=0)
     reference = int(values.min())
-    ref64 = np.uint64(reference & 0xFFFFFFFFFFFFFFFF)
+    ref64 = np.uint64(reference & U64_MASK)
     residuals = values.view(np.uint64) - ref64
     # One reduction serves width computation *and* pack validation; the
     # residual minimum is 0 by construction, so no sign check is needed.
@@ -69,7 +70,7 @@ def ffor_decode(encoded: FforEncoded) -> np.ndarray:
 
     obs.counter_add("ffor.vectors_decoded")
     width, count = encoded.bit_width, encoded.count
-    ref64 = np.uint64(encoded.reference & 0xFFFFFFFFFFFFFFFF)
+    ref64 = np.uint64(encoded.reference & U64_MASK)
     if width == 0:
         out = np.full(count, ref64, dtype=np.uint64)
         return out.view(np.int64)
@@ -91,5 +92,5 @@ def ffor_decode_unfused(encoded: FforEncoded) -> np.ndarray:
 
     residuals = unpack_bits(encoded.payload, encoded.bit_width, encoded.count)
     residuals = np.ascontiguousarray(residuals)  # materialized store
-    out = residuals + np.uint64(encoded.reference & 0xFFFFFFFFFFFFFFFF)
+    out = residuals + np.uint64(encoded.reference & U64_MASK)
     return out.view(np.int64)

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.constants import U64_MASK
 from repro.encodings.bitpack import pack_bits, unpack_bits
 
 
@@ -43,9 +44,11 @@ def for_encode(values: np.ndarray) -> ForEncoded:
     if values.size == 0:
         return ForEncoded(payload=b"", reference=0, bit_width=0, count=0)
     reference = int(values.min())
-    residuals = (values.astype(np.uint64) - np.uint64(reference & 0xFFFFFFFFFFFFFFFF))
+    residuals = values.view(np.uint64) - np.uint64(reference & U64_MASK)
     # Subtraction in uint64 wraps correctly for negative references.  One
-    # reduction serves width computation and pack validation alike.
+    # reduction serves width computation and pack validation alike.  The
+    # view is a bit reinterpretation (no copy); astype(np.uint64) would
+    # be a value-wrapping cast of the negative values.
     residual_max = int(residuals.max())
     width = residual_max.bit_length()
     payload = pack_bits(residuals, width, max_value=residual_max)
@@ -60,5 +63,5 @@ def for_decode(encoded: ForEncoded) -> np.ndarray:
     # Separate, materialized add pass — this is precisely the extra
     # load/store the fused FFOR kernel removes.  The add happens in uint64
     # so that negative references wrap back losslessly.
-    out = residuals + np.uint64(encoded.reference & 0xFFFFFFFFFFFFFFFF)
+    out = residuals + np.uint64(encoded.reference & U64_MASK)
     return out.view(np.int64)

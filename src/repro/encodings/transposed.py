@@ -25,13 +25,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.constants import VECTOR_SIZE
 from repro.encodings.bitpack import pack_bits, unpack_bits
 
 #: FastLanes tile visiting order.
 TILE_ORDER = (0, 4, 2, 6, 1, 5, 3, 7)
 
 #: Values per vector in the FastLanes layout.
-TRANSPOSED_VECTOR_SIZE = 1024
+TRANSPOSED_VECTOR_SIZE = VECTOR_SIZE
 
 #: Lanes per tile row (1024 values = 8 tiles x 128; each tile is
 #: visited 16 values at a time across 8 steps).

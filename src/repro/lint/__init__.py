@@ -1,0 +1,72 @@
+"""reprolint — repo-specific static analysis for the ALP reproduction.
+
+Generic linters cannot see the invariants this codebase lives on: exact
+int64/uint64 semantics in the ALP round-trip, bit widths that must stay
+inside ``[0, 64]``, hot kernels that must never fall back to per-value
+Python loops, observability span names that the docs promise, and format
+constants that must have a single authoritative definition.  reprolint
+encodes those invariants as five rule families:
+
+- **RL1 dtype/overflow** — signed/unsigned numpy mixes (``int64 op
+  uint64`` silently promotes to float64), shift amounts that can reach
+  the dtype bit width, value-changing ``astype`` casts where a ``view``
+  is meant, and unexplained narrowing casts.
+- **RL2 hot-loop** — per-value Python ``for``/``while`` loops inside the
+  word-parallel kernel modules (``bitpack``, ``ffor``, ``alp``,
+  ``sampler``, ``alprd``), except in pinned ``*_reference`` /
+  ``*_bitmatrix`` / ``*_loop`` / ``*_scalar`` equivalence functions.
+- **RL3 span hygiene** — ``obs`` spans must be entered via ``with`` and
+  span/counter/gauge name literals must come from the registered-name
+  registry (:mod:`repro.lint.names`), keeping ``docs/OBSERVABILITY.md``
+  truthful.
+- **RL4 format constants** — magic numbers for the vector size, the
+  row-group size, the 64-bit mask and the dictionary code width must
+  come from :mod:`repro.core.constants`.
+- **RL5 bare assert** — library code must raise explicit errors
+  (``assert`` vanishes under ``python -O``); asserts belong in tests.
+
+Violations can be suppressed per line with ``# reprolint:
+ignore[RL1]`` (a trailing comment on the flagged line, or a standalone
+comment on the line above); see ``docs/STATIC_ANALYSIS.md`` for the
+full catalog, examples, and how to add a rule.
+
+Run it as ``alp-repro lint`` or ``python -m repro.lint``.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import (
+    FileContext,
+    Rule,
+    Violation,
+    lint_file,
+    lint_paths,
+)
+from repro.lint.rules_assert import BareAssertRule
+from repro.lint.rules_const import FormatConstantRule
+from repro.lint.rules_dtype import DtypeOverflowRule
+from repro.lint.rules_hotloop import HotLoopRule
+from repro.lint.rules_span import SpanHygieneRule
+
+__all__ = [
+    "ALL_RULES",
+    "BareAssertRule",
+    "DtypeOverflowRule",
+    "FileContext",
+    "FormatConstantRule",
+    "HotLoopRule",
+    "Rule",
+    "SpanHygieneRule",
+    "Violation",
+    "lint_file",
+    "lint_paths",
+]
+
+#: Every registered rule, in report order.
+ALL_RULES: tuple[Rule, ...] = (
+    DtypeOverflowRule(),
+    HotLoopRule(),
+    SpanHygieneRule(),
+    FormatConstantRule(),
+    BareAssertRule(),
+)

@@ -1,0 +1,79 @@
+"""Command-line entry point for reprolint.
+
+Invoked as ``alp-repro lint`` or ``python -m repro.lint``.  Exits 1 when
+any violation is found, 0 on a clean run — which is what the
+``lint-static`` CI job and ``tests/test_lint_self.py`` key off.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint import ALL_RULES
+from repro.lint.engine import lint_paths
+
+#: Default walk targets when no paths are given.
+_DEFAULT_PATHS = ("src", "tests", "benchmarks")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="alp-repro lint",
+        description=(
+            "reprolint: repo-specific static analysis (dtype/overflow, "
+            "hot loops, span hygiene, format constants, bare asserts)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        default=None,
+        help="files or directories to lint (default: src tests benchmarks)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repository root used for rule scoping (default: cwd)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code}  {rule.name}: {rule.description}")
+        return 0
+    paths = list(args.paths) if args.paths else [
+        Path(p) for p in _DEFAULT_PATHS if Path(p).exists()
+    ]
+    violations = lint_paths(paths, root=args.root, rules=ALL_RULES)
+    if args.format == "json":
+        print(json.dumps([v.as_dict() for v in violations], indent=2))
+    else:
+        for violation in violations:
+            print(violation.render())
+        if violations:
+            print(f"reprolint: {len(violations)} violation(s)")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,279 @@
+"""The reprolint rule engine: file walking, suppressions, rule dispatch.
+
+The engine is deliberately small: it parses each file once, extracts the
+comment/suppression map with :mod:`tokenize`, computes the file's
+*effective path* (the repo-relative path used for rule scoping), and
+hands a :class:`FileContext` to every rule whose scope matches.
+
+Scoping works on path segments.  ``src/repro/encodings/bitpack.py`` has
+the effective parts ``("repro", "encodings", "bitpack.py")`` — the
+leading ``src`` is dropped so rules can say "applies under
+``repro/core``".  Files below a ``lint_fixtures`` directory are scoped
+by their path *relative to that directory*, so a fixture at
+``tests/lint_fixtures/repro/core/rl1_bad.py`` is linted exactly as if it
+lived at ``src/repro/core/rl1_bad.py``.  That is what lets the seeded
+bad-example fixtures trigger scoped rules from inside ``tests/``.
+
+Suppression syntax (see ``docs/STATIC_ANALYSIS.md``):
+
+- ``# reprolint: ignore[RL1]`` — suppress RL1 on this line (trailing
+  comment) or on the next line (standalone comment line);
+- ``# reprolint: ignore[RL1,RL4]`` — several rules at once;
+- ``# reprolint: ignore`` — every rule on that line;
+- ``# reprolint: skip-file`` — anywhere in the file: skip it entirely.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+#: Matches one suppression comment; ``codes`` empty means "all rules".
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*ignore(?:\[(?P<codes>[A-Za-z0-9_,\s]*)\])?"
+)
+_SKIP_FILE_RE = re.compile(r"#\s*reprolint:\s*skip-file\b")
+
+#: Directory names never descended into when expanding directories.
+_SKIP_DIRS = {
+    "__pycache__",
+    ".git",
+    ".venv",
+    "venv",
+    "build",
+    "dist",
+    "node_modules",
+}
+
+#: Fixture directories are excluded from *implicit* directory walks (the
+#: repo must lint clean) but linted when passed explicitly.
+_FIXTURE_DIR = "lint_fixtures"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: CODE message`` — the CLI text format."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready representation (the CLI ``--format json`` shape)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """Everything a rule needs to know about one parsed file."""
+
+    path: Path
+    #: Repo-relative path segments used for scoping (``src`` stripped,
+    #: fixture prefix stripped — see the module docstring).
+    effective: tuple[str, ...]
+    tree: ast.Module
+    source: str
+    #: line number -> suppressed rule codes ("*" suppresses everything).
+    suppressions: dict[int, frozenset[str]]
+    #: Lines carrying any comment at all (RL1 narrowing-cast justification).
+    comment_lines: frozenset[int]
+
+    @property
+    def basename(self) -> str:
+        """Final path segment (the file name)."""
+        return self.effective[-1] if self.effective else self.path.name
+
+
+class Rule:
+    """Base class for reprolint rules.
+
+    Subclasses set :attr:`code` / :attr:`name` / :attr:`description`,
+    implement :meth:`applies_to` for path scoping and :meth:`check` to
+    yield violations.  ``description`` feeds ``--list-rules`` and the
+    rule catalog in ``docs/STATIC_ANALYSIS.md``.
+    """
+
+    code: str = "RL0"
+    name: str = "base"
+    description: str = ""
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Whether this rule runs on ``ctx`` (path-segment scoping)."""
+        raise NotImplementedError
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Yield every violation found in ``ctx``."""
+        raise NotImplementedError
+
+    def violation(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Violation:
+        """Build a :class:`Violation` anchored at ``node``."""
+        return Violation(
+            rule=self.code,
+            path=str(ctx.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+def _collect_comments(
+    source: str,
+) -> tuple[dict[int, frozenset[str]], frozenset[int], bool]:
+    """Extract (suppressions, commented lines, skip-file) from source.
+
+    A standalone suppression comment (nothing but the comment on its
+    line) also applies to the following line, so justifications can sit
+    above long statements.
+    """
+    suppressions: dict[int, set[str]] = {}
+    comment_lines: set[int] = set()
+    skip_file = False
+    lines = source.splitlines()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return {}, frozenset(), False
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        line_no = token.start[0]
+        comment_lines.add(line_no)
+        if _SKIP_FILE_RE.search(token.string):
+            skip_file = True
+        match = _SUPPRESS_RE.search(token.string)
+        if match is None:
+            continue
+        raw = match.group("codes")
+        codes = (
+            {"*"}
+            if raw is None or not raw.strip()
+            else {code.strip().upper() for code in raw.split(",") if code.strip()}
+        )
+        targets = [line_no]
+        line_text = lines[line_no - 1] if line_no - 1 < len(lines) else ""
+        if line_text.strip().startswith("#"):
+            targets.append(line_no + 1)
+        for target in targets:
+            suppressions.setdefault(target, set()).update(codes)
+    return (
+        {line: frozenset(codes) for line, codes in suppressions.items()},
+        frozenset(comment_lines),
+        skip_file,
+    )
+
+
+def effective_parts(path: Path, root: Path) -> tuple[str, ...]:
+    """Path segments used for rule scoping (see the module docstring)."""
+    try:
+        rel = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        rel = Path(path.name)
+    parts = list(rel.parts)
+    if _FIXTURE_DIR in parts:
+        parts = parts[parts.index(_FIXTURE_DIR) + 1 :]
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    return tuple(parts)
+
+
+def parse_file(path: Path, root: Path) -> FileContext | None:
+    """Parse one file into a :class:`FileContext` (None = skip-file)."""
+    source = path.read_text(encoding="utf-8")
+    suppressions, comment_lines, skip_file = _collect_comments(source)
+    if skip_file:
+        return None
+    tree = ast.parse(source, filename=str(path))
+    return FileContext(
+        path=path,
+        effective=effective_parts(path, root),
+        tree=tree,
+        source=source,
+        suppressions=suppressions,
+        comment_lines=comment_lines,
+    )
+
+
+def _suppressed(ctx: FileContext, violation: Violation) -> bool:
+    codes = ctx.suppressions.get(violation.line)
+    if codes is None:
+        return False
+    return "*" in codes or violation.rule.upper() in codes
+
+
+def lint_file(
+    path: Path, root: Path, rules: Sequence[Rule]
+) -> list[Violation]:
+    """Run ``rules`` over one file, honouring suppressions."""
+    ctx = parse_file(path, root)
+    if ctx is None:
+        return []
+    found: list[Violation] = []
+    for rule in rules:
+        if not rule.applies_to(ctx):
+            continue
+        for violation in rule.check(ctx):
+            if not _suppressed(ctx, violation):
+                found.append(violation)
+    found.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return found
+
+
+def iter_python_files(
+    paths: Iterable[Path], include_fixtures: bool = False
+) -> Iterator[Path]:
+    """Yield ``.py`` files under ``paths`` (files pass through as-is).
+
+    Implicit directory walks skip ``lint_fixtures`` directories — the
+    seeded bad examples must not fail a whole-repo run — unless a
+    fixture path was passed explicitly (``include_fixtures``).
+    """
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        explicit_fixture = include_fixtures or _FIXTURE_DIR in path.parts
+        for candidate in sorted(path.rglob("*.py")):
+            parts = candidate.relative_to(path).parts
+            if any(part in _SKIP_DIRS for part in parts):
+                continue
+            if not explicit_fixture and _FIXTURE_DIR in parts:
+                continue
+            yield candidate
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    root: Path | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> list[Violation]:
+    """Lint every Python file under ``paths``; the library entry point."""
+    if rules is None:
+        from repro.lint import ALL_RULES
+
+        rules = ALL_RULES
+    if root is None:
+        root = Path.cwd()
+    found: list[Violation] = []
+    for path in iter_python_files(paths):
+        found.extend(lint_file(path, root, rules))
+    return found

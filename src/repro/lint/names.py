@@ -1,0 +1,92 @@
+"""The registered observability names RL3 validates against.
+
+Every span/counter/gauge name literal used with :mod:`repro.obs` must
+appear here, and ``docs/OBSERVABILITY.md`` documents this same set —
+``tests/test_lint_self.py`` cross-checks both, so a metric cannot be
+added (or renamed) without the registry and the docs following along.
+
+To add a metric: use it in code, add its name to the matching set below,
+and document it in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+#: Span names (``with obs.span("...")``), one per instrumented phase.
+SPAN_NAMES: frozenset[str] = frozenset(
+    {
+        "alp.decode_vector",
+        "alp.encode_rowgroup",
+        "alp.encode_vector",
+        "alprd.decode",
+        "alprd.encode",
+        "alprd.fit_parameters",
+        "columnfile.open",
+        "columnfile.read_rowgroup",
+        "columnfile.write",
+        "compressor.compress",
+        "compressor.compress_parallel",
+        "compressor.decompress",
+        "compressor.rowgroup",
+        "query.comp",
+        "query.scan",
+        "query.sum",
+        "sampler.first_level",
+        "sampler.second_level",
+    }
+)
+
+#: Counter names (``obs.counter_add("...", n)``).
+COUNTER_NAMES: frozenset[str] = frozenset(
+    {
+        "alp.exceptions",
+        "alp.vectors_decoded",
+        "alp.vectors_encoded",
+        "alprd.exceptions",
+        "alprd.vectors_decoded",
+        "alprd.vectors_encoded",
+        "bitpack.pack_bytes",
+        "bitpack.pack_calls",
+        "bitpack.pack_values",
+        "bitpack.unpack_bytes",
+        "bitpack.unpack_calls",
+        "bitpack.unpack_values",
+        "columnfile.bytes_read",
+        "columnfile.bytes_written",
+        "columnfile.rowgroups_read",
+        "columnfile.rowgroups_scanned",
+        "columnfile.rowgroups_skipped",
+        "columnfile.rowgroups_written",
+        "columnfile.vectors_decoded",
+        "columnfile.vectors_skipped",
+        "compressor.combinations_tried",
+        "compressor.compressed_bits",
+        "compressor.exceptions_patched",
+        "compressor.rowgroups",
+        "compressor.scheme.alp",
+        "compressor.scheme.alprd",
+        "compressor.second_level_skipped",
+        "compressor.values",
+        "compressor.values_decoded",
+        "compressor.vectors_encoded",
+        "ffor.bit_width_sum",
+        "ffor.packed_bytes",
+        "ffor.vectors_decoded",
+        "ffor.vectors_encoded",
+        "query.sum_queries",
+        "query.values_scanned",
+        "query.vectors_scanned",
+        "sampler.candidates_kept",
+        "sampler.combinations_tried",
+        "sampler.early_exits",
+        "sampler.first_level_runs",
+        "sampler.first_level_vectors",
+        "sampler.second_level_runs",
+        "sampler.second_level_skipped",
+    }
+)
+
+#: Gauge names (``obs.gauge_set("...", value)``).
+GAUGE_NAMES: frozenset[str] = frozenset({"compressor.bits_per_value"})
+
+#: Everything together, for docs cross-checking.
+ALL_METRIC_NAMES: frozenset[str] = SPAN_NAMES | COUNTER_NAMES | GAUGE_NAMES

@@ -1,0 +1,171 @@
+"""Lightweight numpy integer-dtype inference over the AST.
+
+This is *not* a type checker: it is a forward, intraprocedural dataflow
+pass that tracks the integer kind/width of expressions whose dtype is
+syntactically evident — ``np.uint64(x)``, ``arr.view(np.int64)``,
+``np.zeros(n, dtype=np.uint16)``, names assigned from such expressions,
+and arithmetic that propagates a known kind.  Anything else is
+``None`` ("unknown"), and rules only fire when *both* sides of a
+suspicious operation are known — so the pass trades recall for a
+near-zero false-positive rate, which is what makes RL1 enforceable.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IntKind:
+    """An inferred numpy integer dtype: kind ('i'/'u') and bit width."""
+
+    kind: str
+    width: int
+
+    def __str__(self) -> str:
+        return f"{'u' if self.kind == 'u' else ''}int{self.width}"
+
+
+#: numpy constructor / attribute names to (kind, width).
+_NP_INT_NAMES: dict[str, IntKind] = {
+    "int8": IntKind("i", 8),
+    "int16": IntKind("i", 16),
+    "int32": IntKind("i", 32),
+    "int64": IntKind("i", 64),
+    "intp": IntKind("i", 64),
+    "uint8": IntKind("u", 8),
+    "uint16": IntKind("u", 16),
+    "uint32": IntKind("u", 32),
+    "uint64": IntKind("u", 64),
+}
+
+#: dtype string codes like ">u8", "<i4", "u2" (numpy char + item size).
+_DTYPE_STR_RE = re.compile(r"^[<>=|]?(?P<kind>[iu])(?P<bytes>[1248])$")
+
+#: Array-returning numpy constructors whose ``dtype=`` kw names the dtype.
+_DTYPE_KW_CALLS = {
+    "asarray",
+    "ascontiguousarray",
+    "array",
+    "zeros",
+    "empty",
+    "full",
+    "arange",
+    "frombuffer",
+    "fromiter",
+    "full_like",
+    "zeros_like",
+    "empty_like",
+    "linspace",
+}
+
+
+def _is_np(node: ast.expr) -> bool:
+    return isinstance(node, ast.Name) and node.id in ("np", "numpy")
+
+
+def dtype_of_node(node: ast.expr) -> IntKind | None:
+    """Dtype named by an expression used *as a dtype* (``np.uint64``,
+    ``"<u2"``, ``np.dtype(np.uint8)``)."""
+    if isinstance(node, ast.Attribute) and _is_np(node.value):
+        return _NP_INT_NAMES.get(node.attr)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        match = _DTYPE_STR_RE.match(node.value)
+        if match:
+            return IntKind(match.group("kind"), int(match.group("bytes")) * 8)
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "dtype"
+        and _is_np(node.func.value)
+        and node.args
+    ):
+        return dtype_of_node(node.args[0])
+    return None
+
+
+def _dtype_kw(call: ast.Call) -> IntKind | None:
+    for keyword in call.keywords:
+        if keyword.arg == "dtype":
+            return dtype_of_node(keyword.value)
+    return None
+
+
+class Env:
+    """Name -> inferred :class:`IntKind` within one function scope."""
+
+    def __init__(self) -> None:
+        self.names: dict[str, IntKind | None] = {}
+        #: Name -> the AST expression it was last assigned from, used by
+        #: rules that need to look *through* a local (e.g. shift masks).
+        self.sources: dict[str, ast.expr] = {}
+
+    def assign(self, target: ast.expr, value: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            self.names[target.id] = infer(value, self)
+            self.sources[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                if isinstance(element, ast.Name):
+                    self.names[element.id] = None
+                    self.sources.pop(element.id, None)
+
+
+def infer(node: ast.expr, env: Env) -> IntKind | None:
+    """Best-effort integer dtype of ``node`` (None when unknown)."""
+    if isinstance(node, ast.Name):
+        return env.names.get(node.id)
+    if isinstance(node, ast.Call):
+        return _infer_call(node, env)
+    if isinstance(node, ast.BinOp):
+        left = infer(node.left, env)
+        if isinstance(node.op, (ast.LShift, ast.RShift)):
+            return left
+        right = infer(node.right, env)
+        if left is not None and right is not None:
+            if left.kind == right.kind:
+                return left if left.width >= right.width else right
+            return None  # mixed-kind promotion — RL1's business, not ours
+        return left if left is not None else right
+    if isinstance(node, ast.UnaryOp):
+        return infer(node.operand, env)
+    if isinstance(node, ast.Subscript):
+        # Indexing/slicing an array keeps its dtype; constant-table
+        # subscripts (F10[e]) resolve to None via the Name lookup.
+        return infer(node.value, env)
+    if isinstance(node, ast.IfExp):
+        body = infer(node.body, env)
+        orelse = infer(node.orelse, env)
+        return body if body == orelse else None
+    return None
+
+
+def _infer_call(node: ast.Call, env: Env) -> IntKind | None:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        # np.uint64(x) and friends.
+        if _is_np(func.value) and func.attr in _NP_INT_NAMES:
+            return _NP_INT_NAMES[func.attr]
+        # arr.view(np.uint64) / arr.astype(np.int64) / arr.astype("<u2").
+        if func.attr in ("view", "astype") and node.args:
+            return dtype_of_node(node.args[0])
+        # np.asarray(x, dtype=...), np.zeros(n, dtype=...), ...
+        if _is_np(func.value) and func.attr in _DTYPE_KW_CALLS:
+            return _dtype_kw(node)
+        # arr.copy() / np.abs(arr) etc. keep the dtype of their input.
+        if func.attr in ("copy", "ravel", "reshape", "flatten"):
+            return infer(func.value, env)
+    return None
+
+
+def resolve(node: ast.expr, env: Env, depth: int = 3) -> ast.expr:
+    """Follow ``Name`` nodes to their assigned expression (bounded)."""
+    while depth > 0 and isinstance(node, ast.Name):
+        source = env.sources.get(node.id)
+        if source is None:
+            return node
+        node = source
+        depth -= 1
+    return node

@@ -1,0 +1,40 @@
+"""RL5 — bare ``assert`` is forbidden in library code.
+
+``python -O`` strips every ``assert`` statement, so an assert used for
+input validation silently stops validating in optimized runs — the
+compressor would then write corrupt payloads instead of raising.
+Library code under ``src/repro/`` must raise ``ValueError`` /
+``TypeError`` / ``RuntimeError`` explicitly; asserts stay welcome in
+``tests/`` and ``benchmarks/``, which this rule does not scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Rule, Violation
+
+
+class BareAssertRule(Rule):
+    """RL5: ``assert`` statements outside tests."""
+
+    code = "RL5"
+    name = "bare-assert"
+    description = (
+        "assert statements in library code (stripped under python -O); "
+        "raise ValueError/TypeError instead"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return bool(ctx.effective) and ctx.effective[0] == "repro"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assert):
+                yield self.violation(
+                    ctx,
+                    node,
+                    "assert in library code vanishes under python -O; "
+                    "raise ValueError/TypeError explicitly",
+                )

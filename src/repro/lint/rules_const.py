@@ -1,0 +1,96 @@
+"""RL4 — format constants must come from ``repro.core.constants``.
+
+The on-disk format is defined by a handful of numbers: the vector size
+(1024), the row-group size (102 400) and the 64-bit mask.  Inlining
+those as literals is how a format change half-lands: one module updates,
+another keeps the old number, and payloads stop round-tripping between
+them.  RL4 flags the known format literals anywhere in the format-
+bearing packages and points at the canonical constant to import.
+
+``core/constants.py`` itself is exempt (it *defines* them), as is any
+literal used as a ``maxsize=`` keyword (cache sizing is not format).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Rule, Violation
+
+#: Literal value -> canonical name in repro.core.constants.
+_MAGIC: dict[int, str] = {
+    1024: "VECTOR_SIZE",
+    102400: "ROWGROUP_SIZE",
+    0xFFFFFFFFFFFFFFFF: "U64_MASK",
+}
+
+#: Keyword arguments whose integer values are configuration, not format.
+_EXEMPT_KWARGS = {"maxsize"}
+
+#: Second-level packages where format literals are format bugs.
+_SCOPED_PACKAGES = {
+    "core",
+    "encodings",
+    "storage",
+    "baselines",
+    "bench",
+    "alputil",
+    "query",
+}
+
+
+class FormatConstantRule(Rule):
+    """RL4: inline format literals instead of ``core/constants`` names."""
+
+    code = "RL4"
+    name = "format-constant"
+    description = (
+        "magic numbers for the vector size, row-group size or 64-bit "
+        "mask; import the constant from repro.core.constants"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        parts = ctx.effective
+        if not parts:
+            return False
+        if parts[0] == "benchmarks":
+            return True
+        return (
+            parts[0] == "repro"
+            and len(parts) >= 2
+            and parts[1] in _SCOPED_PACKAGES
+            and ctx.basename != "constants.py"
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        exempt = _exempt_constants(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Constant)
+                and type(node.value) is int
+                and node.value in _MAGIC
+            ):
+                continue
+            if id(node) in exempt:
+                continue
+            name = _MAGIC[node.value]
+            yield self.violation(
+                ctx,
+                node,
+                f"magic format literal {node.value}; use "
+                f"repro.core.constants.{name}",
+            )
+
+
+def _exempt_constants(tree: ast.Module) -> set[int]:
+    """ids of Constant nodes sitting under an exempt keyword argument."""
+    exempt: set[int] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        for keyword in node.keywords:
+            if keyword.arg in _EXEMPT_KWARGS:
+                for child in ast.walk(keyword.value):
+                    exempt.add(id(child))
+    return exempt

@@ -1,0 +1,316 @@
+"""RL1 — dtype/overflow rules for the exact-integer kernels.
+
+The ALP round-trip is only lossless while every integer operation stays
+in the intended dtype.  numpy silently promotes ``int64 op uint64`` to
+*float64* (destroying exactness above 2**53), wraps value-changing
+``astype`` casts, and leaves shifts by the full bit width undefined.
+RL1 flags, inside ``repro/encodings``, ``repro/core`` and
+``repro/alputil``:
+
+- **RL1 mix** — arithmetic mixing a known signed and a known unsigned
+  64-bit numpy operand (the silent float64 promotion);
+- **RL1 shift** — shift amounts that can reach the dtype bit width: a
+  constant ``>= 64`` on a 64-bit numpy operand, or the
+  ``np.uint64(64) - x`` pattern without a ``& 63`` mask;
+- **RL1 cast** — ``astype`` between same-width signed/unsigned dtypes
+  (a value-wrapping cast where a ``view`` bit-reinterpretation is
+  meant), and narrowing ``astype`` casts with neither a masking
+  operation in the dataflow nor a justifying comment on (or directly
+  above) the line.
+
+Inference is deliberately conservative (see :mod:`repro.lint.npinfer`):
+a check only fires when the dtypes involved are syntactically certain.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Rule, Violation
+from repro.lint.npinfer import Env, IntKind, dtype_of_node, infer, resolve
+
+#: Arithmetic operators checked for signed/unsigned mixes.
+_ARITH_OPS = (
+    ast.Add,
+    ast.Sub,
+    ast.Mult,
+    ast.FloorDiv,
+    ast.Mod,
+    ast.BitAnd,
+    ast.BitOr,
+    ast.BitXor,
+)
+
+#: Calls in a value's dataflow that count as masking/clamping before a
+#: narrowing cast.
+_MASKING_CALLS = {"clip", "minimum", "mod", "where", "clamp"}
+
+
+def _constant_int(node: ast.expr) -> int | None:
+    """The integer value of ``node`` if it is a plain or wrapped constant
+    (``64``, ``np.uint64(64)``)."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    if (
+        isinstance(node, ast.Call)
+        and dtype_of_node(node.func) is not None
+        and len(node.args) == 1
+    ):
+        return _constant_int(node.args[0])
+    return None
+
+
+def _contains_mask(node: ast.expr) -> bool:
+    """Whether the expression tree masks/clamps its value."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.BinOp) and isinstance(child.op, ast.BitAnd):
+            return True
+        if isinstance(child, ast.Call) and isinstance(
+            child.func, ast.Attribute
+        ):
+            if child.func.attr in _MASKING_CALLS:
+                return True
+    return False
+
+
+def _width_reaching_sub(node: ast.expr, env: Env) -> ast.BinOp | None:
+    """Find an unmasked ``<64-ish> - <numpy value>`` inside ``node``.
+
+    ``np.uint64(64) - offset`` can evaluate to exactly 64 when
+    ``offset == 0``; shifting by it is undefined.  The idiomatic guard
+    is ``(np.uint64(64) - offset) & np.uint64(63)``, whose presence
+    anywhere in the expression clears the finding.
+    """
+    for child in ast.walk(node):
+        if isinstance(child, ast.BinOp) and isinstance(child.op, ast.BitAnd):
+            if (
+                _constant_int(child.left) == 63
+                or _constant_int(child.right) == 63
+            ):
+                return None  # masked with & 63 — safe by construction
+    for child in ast.walk(node):
+        if not (isinstance(child, ast.BinOp) and isinstance(child.op, ast.Sub)):
+            continue
+        if _constant_int(child.left) != 64:
+            continue
+        # Only meaningful when the subtraction happens in numpy (a plain
+        # Python ``64 - width`` feeds an in-range constant).
+        if (
+            dtype_of_node(getattr(child.left, "func", ast.Constant(None)))
+            is not None
+            or _is_np_wrapped(child.left)
+            or infer(child.right, env) is not None
+        ):
+            return child
+    return None
+
+
+def _is_np_wrapped(node: ast.expr) -> bool:
+    """True for ``np.uint64(<const>)``-style wrapped constants."""
+    return (
+        isinstance(node, ast.Call)
+        and dtype_of_node(node.func) is not None
+    )
+
+
+class DtypeOverflowRule(Rule):
+    """RL1: signed/unsigned mixes, width-reaching shifts, unsafe casts."""
+
+    code = "RL1"
+    name = "dtype-overflow"
+    description = (
+        "signed/unsigned numpy mixes, shifts that can reach the dtype "
+        "bit width, value-wrapping or unexplained narrowing astype casts"
+    )
+
+    _SCOPES = ("encodings", "core", "alputil")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        parts = ctx.effective
+        return (
+            len(parts) >= 2
+            and parts[0] in ("repro",) + self._SCOPES
+            and (parts[0] != "repro" or parts[1] in self._SCOPES)
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        checker = _ScopeChecker(self, ctx)
+        checker.run(ctx.tree.body, Env())
+        yield from checker.violations
+
+
+class _ScopeChecker:
+    """Statement-order walker keeping one dtype :class:`Env` per scope."""
+
+    def __init__(self, rule: DtypeOverflowRule, ctx: FileContext) -> None:
+        self.rule = rule
+        self.ctx = ctx
+        self.violations: list[Violation] = []
+
+    def run(self, body: list[ast.stmt], env: Env) -> None:
+        for stmt in body:
+            self._statement(stmt, env)
+
+    def _statement(self, stmt: ast.stmt, env: Env) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self.run(stmt.body, Env())
+            return
+        if isinstance(stmt, ast.ClassDef):
+            self.run(stmt.body, Env())
+            return
+        if isinstance(stmt, ast.Assign):
+            self._expression(stmt.value, env)
+            for target in stmt.targets:
+                env.assign(target, stmt.value)
+            return
+        if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._expression(stmt.value, env)
+            env.assign(stmt.target, stmt.value)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self._expression(stmt.value, env)
+            self._check_mix(stmt.target, stmt.op, stmt.value, stmt, env)
+            return
+        for expr in self._own_expressions(stmt):
+            self._expression(expr, env)
+        for child_body in self._child_bodies(stmt):
+            self.run(child_body, env)
+
+    @staticmethod
+    def _own_expressions(stmt: ast.stmt) -> list[ast.expr]:
+        exprs: list[ast.expr] = []
+        for field_name in ("value", "test", "iter", "exc", "msg"):
+            value = getattr(stmt, field_name, None)
+            if isinstance(value, ast.expr):
+                exprs.append(value)
+        for item in getattr(stmt, "items", []) or []:
+            exprs.append(item.context_expr)
+        return exprs
+
+    @staticmethod
+    def _child_bodies(stmt: ast.stmt) -> list[list[ast.stmt]]:
+        bodies: list[list[ast.stmt]] = []
+        for field_name in ("body", "orelse", "finalbody"):
+            value = getattr(stmt, field_name, None)
+            if isinstance(value, list) and value and isinstance(
+                value[0], ast.stmt
+            ):
+                bodies.append(value)
+        for handler in getattr(stmt, "handlers", []) or []:
+            bodies.append(handler.body)
+        return bodies
+
+    def _expression(self, node: ast.expr, env: Env) -> None:
+        for child in ast.walk(node):
+            if isinstance(child, ast.BinOp):
+                if isinstance(child.op, _ARITH_OPS):
+                    self._check_mix(
+                        child.left, child.op, child.right, child, env
+                    )
+                elif isinstance(child.op, (ast.LShift, ast.RShift)):
+                    self._check_shift(child, env)
+            elif isinstance(child, ast.Call):
+                self._check_astype(child, env)
+
+    # -- individual checks --------------------------------------------
+
+    def _check_mix(
+        self,
+        left: ast.expr,
+        op: ast.operator,
+        right: ast.expr,
+        node: ast.AST,
+        env: Env,
+    ) -> None:
+        if not isinstance(op, _ARITH_OPS):
+            return
+        left_kind = infer(left, env)
+        right_kind = infer(right, env)
+        if left_kind is None or right_kind is None:
+            return
+        if left_kind.kind == right_kind.kind:
+            return
+        if 64 not in (left_kind.width, right_kind.width):
+            return  # sub-64 mixes promote to a wider int, losslessly
+        self.violations.append(
+            self.rule.violation(
+                self.ctx,
+                node,
+                f"arithmetic mixes {left_kind} and {right_kind}: numpy "
+                "promotes this to float64, silently losing integer "
+                "exactness above 2**53",
+            )
+        )
+
+    def _check_shift(self, node: ast.BinOp, env: Env) -> None:
+        left_kind = infer(node.left, env)
+        amount = _constant_int(node.right)
+        if amount is not None:
+            if left_kind is not None and left_kind.width == 64 and amount >= 64:
+                self.violations.append(
+                    self.rule.violation(
+                        self.ctx,
+                        node,
+                        f"shift by {amount} on a {left_kind} operand is "
+                        "undefined (amount reaches the dtype bit width)",
+                    )
+                )
+            return
+        resolved = resolve(node.right, env)
+        sub = _width_reaching_sub(resolved, env)
+        if sub is not None:
+            self.violations.append(
+                self.rule.violation(
+                    self.ctx,
+                    node,
+                    "shift amount of the form (64 - x) can reach 64, "
+                    "which is undefined; mask it with & np.uint64(63)",
+                )
+            )
+
+    def _check_astype(self, node: ast.Call, env: Env) -> None:
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr == "astype"
+            and node.args
+        ):
+            return
+        target = dtype_of_node(node.args[0])
+        if target is None:
+            return
+        source = infer(func.value, env)
+        if (
+            source is not None
+            and source.width == target.width
+            and source.kind != target.kind
+        ):
+            self.violations.append(
+                self.rule.violation(
+                    self.ctx,
+                    node,
+                    f"astype({target}) on a {source} value is a "
+                    "value-wrapping cast; use .view() for an explicit "
+                    "bit reinterpretation",
+                )
+            )
+            return
+        if target.width < 64 and (source is None or source.width > target.width):
+            # A justifying comment counts on the flagged line itself or on
+            # the line directly above (long statements rarely fit both).
+            if (
+                node.lineno in self.ctx.comment_lines
+                or node.lineno - 1 in self.ctx.comment_lines
+            ):
+                return
+            if _contains_mask(resolve(func.value, env)):
+                return
+            self.violations.append(
+                self.rule.violation(
+                    self.ctx,
+                    node,
+                    f"narrowing astype({target}) without a masking "
+                    "operation or a justifying comment on the line",
+                )
+            )

@@ -1,0 +1,133 @@
+"""RL2 — hot-loop rule: no per-value Python loops in the hot kernels.
+
+PR 2 made the packing/encoding kernels word-parallel; a per-value Python
+``for``/``while`` loop sneaking back into ``bitpack`` / ``ffor`` /
+``alp`` / ``sampler`` / ``alprd`` would regress throughput by two orders
+of magnitude without failing any correctness test.  RL2 flags, inside
+those modules:
+
+- every ``while`` statement;
+- ``for`` loops whose iterable is ``something.tolist()`` (the classic
+  "iterate the array in Python" pattern) or a 1/2-argument ``range()``
+  over a data-sized bound (``len(...)``, ``.size``, ``.shape``).
+
+Pinned equivalence/reference implementations are exempt: any function
+whose name ends in ``_reference``, ``_bitmatrix``, ``_loop`` or
+``_scalar`` is a deliberate scalar oracle kept for differential testing.
+Three-argument ``range(start, stop, step)`` loops are allowed — they are
+chunk/block loops, not per-value loops.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Rule, Violation
+
+#: Modules whose loops are performance-critical.
+_HOT_BASENAMES = {"bitpack.py", "ffor.py", "alp.py", "sampler.py", "alprd.py"}
+
+#: Function-name suffixes marking pinned scalar oracles.
+_PINNED_SUFFIXES = ("_reference", "_bitmatrix", "_loop", "_scalar")
+
+#: Attribute/function names that make a ``range()`` bound data-sized.
+_SIZE_MARKERS = {"size", "shape", "count"}
+
+
+def _is_pinned(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    return func.name.endswith(_PINNED_SUFFIXES)
+
+
+def _mentions_data_size(node: ast.expr) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Attribute) and child.attr in _SIZE_MARKERS:
+            return True
+        if (
+            isinstance(child, ast.Call)
+            and isinstance(child.func, ast.Name)
+            and child.func.id == "len"
+        ):
+            return True
+    return False
+
+
+def _per_value_iter(iter_node: ast.expr) -> str | None:
+    """A human-readable reason if ``iter_node`` iterates per value."""
+    for child in ast.walk(iter_node):
+        if (
+            isinstance(child, ast.Call)
+            and isinstance(child.func, ast.Attribute)
+            and child.func.attr == "tolist"
+        ):
+            return "iterates an array via .tolist()"
+    if (
+        isinstance(iter_node, ast.Call)
+        and isinstance(iter_node.func, ast.Name)
+        and iter_node.func.id == "range"
+        and len(iter_node.args) <= 2
+        and any(_mentions_data_size(arg) for arg in iter_node.args)
+    ):
+        return "ranges over a data-sized bound"
+    return None
+
+
+class HotLoopRule(Rule):
+    """RL2: per-value Python loops inside the hot kernel modules."""
+
+    code = "RL2"
+    name = "hot-loop"
+    description = (
+        "per-value for/while loops in hot modules (bitpack, ffor, alp, "
+        "sampler, alprd) outside pinned *_reference/*_bitmatrix/"
+        "*_loop/*_scalar oracles"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return (
+            bool(ctx.effective)
+            and ctx.effective[0] == "repro"
+            and ctx.basename in _HOT_BASENAMES
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        yield from self._walk(ctx, ctx.tree.body)
+
+    def _walk(
+        self, ctx: FileContext, body: list[ast.stmt]
+    ) -> Iterator[Violation]:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not _is_pinned(stmt):
+                    yield from self._walk(ctx, stmt.body)
+                continue
+            if isinstance(stmt, ast.While):
+                yield self.violation(
+                    ctx,
+                    stmt,
+                    "while loop in a hot module; vectorize it or move it "
+                    "to a pinned *_reference oracle",
+                )
+            elif isinstance(stmt, ast.For):
+                reason = _per_value_iter(stmt.iter)
+                if reason is not None:
+                    yield self.violation(
+                        ctx,
+                        stmt,
+                        f"per-value for loop in a hot module ({reason}); "
+                        "vectorize it or move it to a pinned *_reference "
+                        "oracle",
+                    )
+            for child_body in _child_bodies(stmt):
+                yield from self._walk(ctx, child_body)
+
+
+def _child_bodies(stmt: ast.stmt) -> list[list[ast.stmt]]:
+    bodies: list[list[ast.stmt]] = []
+    for field_name in ("body", "orelse", "finalbody"):
+        value = getattr(stmt, field_name, None)
+        if isinstance(value, list) and value and isinstance(value[0], ast.stmt):
+            bodies.append(value)
+    for handler in getattr(stmt, "handlers", []) or []:
+        bodies.append(handler.body)
+    return bodies

@@ -1,0 +1,110 @@
+"""RL3 — span hygiene: ``with``-scoped spans and registered names.
+
+The observability layer promises two things: spans always close (their
+timings feed the benchmark regression gate), and every metric name in
+the code is documented in ``docs/OBSERVABILITY.md``.  Both break
+quietly.  RL3 enforces:
+
+- ``obs.span(...)`` is only entered via ``with`` — a manually-managed
+  span object leaks on the first exception and skews timings;
+- every span/counter/gauge *name literal* passed to ``obs.span`` /
+  ``obs.counter_add`` / ``obs.gauge_set`` appears in the registry
+  (:mod:`repro.lint.names`), which the docs test cross-checks.
+
+Dynamically computed names are skipped (nothing to check statically); an
+``IfExp`` of two string literals — the conditional-scheme counter
+pattern — has both branches validated.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Rule, Violation
+from repro.lint.names import COUNTER_NAMES, GAUGE_NAMES, SPAN_NAMES
+
+#: Receiver names treated as the observability module.
+_OBS_RECEIVERS = {"obs", "metrics"}
+
+#: obs call attr -> the registry its first argument must be in.
+_NAME_REGISTRIES = {
+    "span": ("span", SPAN_NAMES),
+    "counter_add": ("counter", COUNTER_NAMES),
+    "gauge_set": ("gauge", GAUGE_NAMES),
+}
+
+
+def _is_obs_call(node: ast.Call, attr: str) -> bool:
+    func = node.func
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == attr
+        and isinstance(func.value, ast.Name)
+        and func.value.id in _OBS_RECEIVERS
+    )
+
+
+def _name_literals(node: ast.expr) -> list[str] | None:
+    """String literals a name argument can evaluate to (None = dynamic)."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return [node.value]
+    if isinstance(node, ast.IfExp):
+        body = _name_literals(node.body)
+        orelse = _name_literals(node.orelse)
+        if body is not None and orelse is not None:
+            return body + orelse
+    return None
+
+
+class SpanHygieneRule(Rule):
+    """RL3: ``with``-only spans and registry-checked metric names."""
+
+    code = "RL3"
+    name = "span-hygiene"
+    description = (
+        "obs spans entered outside a with statement, or span/counter/"
+        "gauge name literals missing from the registered-name registry"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        parts = ctx.effective
+        return (
+            bool(parts)
+            and parts[0] == "repro"
+            and ctx.basename != "obs.py"
+            and (len(parts) < 2 or parts[1] != "lint")
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        with_contexts = {
+            id(item.context_expr)
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, (ast.With, ast.AsyncWith))
+            for item in node.items
+        }
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _is_obs_call(node, "span") and id(node) not in with_contexts:
+                yield self.violation(
+                    ctx,
+                    node,
+                    "obs.span() must be entered via a with statement "
+                    "(manual span management leaks on exceptions)",
+                )
+            for attr, (kind, registry) in _NAME_REGISTRIES.items():
+                if not (_is_obs_call(node, attr) and node.args):
+                    continue
+                literals = _name_literals(node.args[0])
+                if literals is None:
+                    continue  # dynamic name — not statically checkable
+                for literal in literals:
+                    if literal not in registry:
+                        yield self.violation(
+                            ctx,
+                            node,
+                            f"unregistered {kind} name {literal!r}; add it "
+                            "to repro/lint/names.py and "
+                            "docs/OBSERVABILITY.md",
+                        )

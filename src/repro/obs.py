@@ -34,6 +34,7 @@ import os
 import threading
 import time
 from dataclasses import dataclass, field
+from types import TracebackType
 
 __all__ = [
     "MetricsRegistry",
@@ -64,7 +65,12 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         return False
 
 
@@ -88,7 +94,7 @@ class SpanStat:
         if elapsed > self.max_s:
             self.max_s = elapsed
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, float]:
         mean = self.total_s / self.count if self.count else 0.0
         return {
             "count": self.count,
@@ -113,7 +119,12 @@ class _Span:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         elapsed = time.perf_counter() - self._start
         self._registry._pop(self._path, elapsed)
         return False
@@ -151,7 +162,7 @@ class MetricsRegistry:
 
     # -- span nesting internals (thread-local stack) ------------------
 
-    def _stack(self) -> list:
+    def _stack(self) -> list[str]:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = []
@@ -176,7 +187,7 @@ class MetricsRegistry:
 
     # -- export -------------------------------------------------------
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, object]:
         """JSON-ready view of everything recorded so far."""
         with self._lock:
             return {
@@ -234,7 +245,7 @@ def gauge_set(name: str, value: float) -> None:
         metrics.gauge_set(name, value)
 
 
-def span(name: str):
+def span(name: str) -> _Span | _NullSpan:
     """Timer span on the global registry; a shared no-op when disabled.
 
     The disabled path allocates nothing: every call returns the same
@@ -245,7 +256,7 @@ def span(name: str):
     return _NULL_SPAN
 
 
-def snapshot() -> dict:
+def snapshot() -> dict[str, object]:
     """Snapshot of the global registry."""
     return metrics.snapshot()
 

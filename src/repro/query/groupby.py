@@ -94,6 +94,6 @@ def group_by(
             f"{values.value_count}"
         )
     accumulator = GroupedAggregate()
-    for key_vector, value_vector in zip(keys.vectors(), values.vectors()):
+    for key_vector, value_vector in zip(keys.vectors(), values.vectors(), strict=True):
         accumulator.update(key_vector, value_vector)
     return accumulator.result(kind)

@@ -92,7 +92,10 @@ class AlpSource:
                 for vector in rowgroup.alp.vectors:
                     yield alp_decode_vector(vector)
             else:
-                assert rowgroup.rd is not None
+                if rowgroup.rd is None:
+                    raise ValueError(
+                        "row-group has neither ALP nor ALP_rd payload"
+                    )
                 parameters = rowgroup.rd.parameters
                 for vector in rowgroup.rd.vectors:
                     yield bits_to_double(
@@ -155,7 +158,7 @@ class PerVectorCodecSource:
     def partition(self, parts: int) -> list["PerVectorCodecSource"]:
         out = []
         for group in _split_list(self.blobs, parts):
-            count = sum(getattr(blob, "count") for blob in group)
+            count = sum(blob.count for blob in group)
             bits = sum(blob.size_bits() for blob in group)
             out.append(
                 PerVectorCodecSource(
@@ -221,7 +224,7 @@ class BlockCodecSource:
     def partition(self, parts: int) -> list["BlockCodecSource"]:
         out = []
         for group in _split_list(self.blobs, parts):
-            count = sum(getattr(blob, "count") for blob in group)
+            count = sum(blob.count for blob in group)
             bits = sum(blob.size_bits() for blob in group)
             out.append(
                 BlockCodecSource(

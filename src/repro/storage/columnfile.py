@@ -258,7 +258,7 @@ class ColumnFileReader:
                 vector_zones=zones,
             )
             for (offset, length, count, lo, hi, special), zones in zip(
-                raw_meta, all_zones
+                raw_meta, all_zones, strict=True
             )
         ]
         self._data = data

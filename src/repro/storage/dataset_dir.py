@@ -24,11 +24,16 @@ from pathlib import Path
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from repro.core.constants import ROWGROUP_VECTORS, VECTOR_SIZE
 from repro.storage.columnfile import (
     ColumnFileReader,
     write_column_file,
 )
+
+if TYPE_CHECKING:
+    from repro.query.table import CompressedTable
 
 MANIFEST_NAME = "manifest.json"
 FORMAT_NAME = "alpc-dataset"
@@ -123,7 +128,7 @@ class DatasetReader:
         """Decompress one column fully."""
         return self._reader(column).read_all()
 
-    def table(self, columns: list[str] | None = None):
+    def table(self, columns: list[str] | None = None) -> "CompressedTable":
         """A :class:`CompressedTable` over file-backed sources."""
         from repro.query.sources import FileColumnSource
         from repro.query.table import CompressedTable

@@ -27,6 +27,7 @@ Layout of one serialized row-group::
 from __future__ import annotations
 
 import struct
+from typing import Any
 
 import numpy as np
 
@@ -92,7 +93,7 @@ class ByteReader:
         self._buffer = buffer
         self._pos = offset
 
-    def _take(self, fmt: str):
+    def _take(self, fmt: str) -> Any:
         size = struct.calcsize(fmt)
         value = struct.unpack_from(fmt, self._buffer, self._pos)[0]
         self._pos += size
@@ -221,7 +222,8 @@ def serialize_rowgroup(rowgroup: CompressedRowGroup) -> bytes:
         for vector in alp.vectors:
             _write_alp_vector(w, vector)
     else:
-        assert rowgroup.rd is not None
+        if rowgroup.rd is None:
+            raise ValueError("row-group has neither ALP nor ALP_rd payload")
         rd = rowgroup.rd
         w.u8(_SCHEME_ALPRD)
         w.u32(rowgroup.count)

@@ -91,7 +91,8 @@ def serialize_float_column(column: CompressedFloatColumn) -> bytes:
         for vector in column.vectors:
             _write_float_vector(w, vector)
     else:
-        assert column.rd_parameters is not None
+        if column.rd_parameters is None:
+            raise ValueError("ALP_rd float32 column is missing its parameters")
         w.u8(_SCHEME_ALPRD32)
         w.u32(column.count)
         w.u8(column.rd_parameters.right_bit_width)

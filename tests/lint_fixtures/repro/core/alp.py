@@ -1,0 +1,21 @@
+"""Seeded RL2 violations — a lint fixture, never imported.
+
+The basename ``alp.py`` marks this file hot, so per-value loops outside
+pinned ``*_reference`` oracles are flagged.
+"""
+
+
+def decode_slow(values):
+    total = 0
+    for i in range(len(values)):
+        total += values[i]
+    while total > 0:
+        total -= 1
+    return total
+
+
+def decode_reference(values):
+    out = []
+    for value in values.tolist():
+        out.append(value)
+    return out

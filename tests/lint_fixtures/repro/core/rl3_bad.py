@@ -1,0 +1,18 @@
+"""Seeded RL3 violations — a lint fixture, never imported."""
+
+from repro import obs
+
+
+def manually_managed_span():
+    span = obs.span("compressor.compress")
+    span.__enter__()
+    return span
+
+
+def unregistered_counter():
+    obs.counter_add("compressor.not_a_registered_name")
+
+
+def hygienic():
+    with obs.span("compressor.compress"):
+        obs.counter_add("compressor.values", 1)

@@ -1,0 +1,7 @@
+"""Seeded RL4 violations — a lint fixture, never imported."""
+
+FULL_MASK = 18446744073709551615
+
+
+def vector_chunks(n):
+    return (n + 1024 - 1) // 1024

@@ -1,0 +1,6 @@
+"""Seeded RL5 violation — a lint fixture, never imported."""
+
+
+def validate(count):
+    assert count >= 0, "count must be non-negative"
+    return count

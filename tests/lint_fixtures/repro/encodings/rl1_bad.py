@@ -1,0 +1,26 @@
+"""Seeded RL1 violations — a lint fixture, never imported.
+
+The path under ``lint_fixtures`` mirrors ``src/``, so the engine scopes
+this file as ``repro/encodings/rl1_bad.py`` and the dtype rules fire.
+"""
+
+import numpy as np
+
+
+def mixed_arithmetic(values):
+    signed = np.asarray(values, dtype=np.int64)
+    unsigned = np.asarray(values, dtype=np.uint64)
+    return signed + unsigned
+
+
+def unexplained_narrowing(values):
+    return values.astype(np.uint16)
+
+
+def wrapping_cast(values):
+    signed = np.asarray(values, dtype=np.int64)
+    return signed.astype(np.uint64)
+
+
+def full_width_shift():
+    return np.uint64(1) << np.uint64(64)

@@ -38,7 +38,7 @@ class TestFastRound:
         rng = np.random.default_rng(1)
         values = rng.uniform(-1e9, 1e9, size=200)
         vec = fast_round(values)
-        for v, expected in zip(values, vec):
+        for v, expected in zip(values, vec, strict=True):
             assert fast_round_scalar(float(v)) == expected
 
     @given(

@@ -33,7 +33,7 @@ class TestDeterminism:
         first = compress(values)
         second = compress(values)
         assert first.size_bits() == second.size_bits()
-        for rg_a, rg_b in zip(first.rowgroups, second.rowgroups):
+        for rg_a, rg_b in zip(first.rowgroups, second.rowgroups, strict=True):
             assert rg_a.scheme == rg_b.scheme
             assert rg_a.first_level.candidates == rg_b.first_level.candidates
 

@@ -1,0 +1,147 @@
+"""Engine mechanics of reprolint: scoping, suppressions, fixtures, CLI."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint import ALL_RULES
+from repro.lint.cli import main as lint_main
+from repro.lint.engine import effective_parts, lint_file, lint_paths
+
+ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = ROOT / "tests" / "lint_fixtures"
+
+
+def _codes(violations):
+    return sorted({v.rule for v in violations})
+
+
+# ---------------------------------------------------------------- scoping
+
+
+def test_effective_parts_strips_src():
+    parts = effective_parts(ROOT / "src/repro/core/alp.py", ROOT)
+    assert parts == ("repro", "core", "alp.py")
+
+
+def test_effective_parts_scopes_fixtures_like_src():
+    parts = effective_parts(FIXTURES / "repro/encodings/rl1_bad.py", ROOT)
+    assert parts == ("repro", "encodings", "rl1_bad.py")
+
+
+def test_directory_walk_skips_fixtures_unless_explicit():
+    implicit = lint_paths([ROOT / "tests"], root=ROOT)
+    assert not any("lint_fixtures" in v.path for v in implicit)
+    explicit = lint_paths([FIXTURES], root=ROOT)
+    assert explicit
+
+
+# --------------------------------------------------------------- fixtures
+
+
+def test_fixtures_trigger_every_rule_family():
+    violations = lint_paths([FIXTURES], root=ROOT)
+    assert _codes(violations) == ["RL1", "RL2", "RL3", "RL4", "RL5"]
+
+
+def test_rl1_fixture_flags_each_check():
+    violations = lint_file(
+        FIXTURES / "repro/encodings/rl1_bad.py", ROOT, ALL_RULES
+    )
+    messages = " | ".join(v.message for v in violations)
+    assert "mixes int64 and uint64" in messages
+    assert "narrowing astype(uint16)" in messages
+    assert "value-wrapping cast" in messages
+    assert "shift by 64" in messages
+
+
+def test_rl2_fixture_exempts_pinned_reference():
+    violations = lint_file(FIXTURES / "repro/core/alp.py", ROOT, ALL_RULES)
+    assert all(v.rule == "RL2" for v in violations)
+    # decode_reference's .tolist() loop is pinned and must not appear.
+    assert len(violations) == 2
+
+
+# ------------------------------------------------------------ suppressions
+
+
+def _lint_snippet(tmp_path: Path, source: str):
+    target = tmp_path / "lint_fixtures" / "repro" / "core" / "snippet.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(source)
+    return lint_file(target, tmp_path, ALL_RULES)
+
+
+def test_trailing_suppression(tmp_path):
+    assert _lint_snippet(tmp_path, "assert True  # reprolint: ignore[RL5]\n") == []
+
+
+def test_standalone_suppression_covers_next_line(tmp_path):
+    source = "# reprolint: ignore[RL5]\nassert True\n"
+    assert _lint_snippet(tmp_path, source) == []
+
+
+def test_suppression_is_per_rule(tmp_path):
+    violations = _lint_snippet(
+        tmp_path, "assert True  # reprolint: ignore[RL4]\n"
+    )
+    assert _codes(violations) == ["RL5"]
+
+
+def test_bare_ignore_suppresses_all_rules(tmp_path):
+    assert _lint_snippet(tmp_path, "assert True  # reprolint: ignore\n") == []
+
+
+def test_multi_code_suppression(tmp_path):
+    source = "SIZE = 1024  # reprolint: ignore[RL4,RL5]\n"
+    assert _lint_snippet(tmp_path, source) == []
+
+
+def test_skip_file(tmp_path):
+    source = "# reprolint: skip-file\nassert True\nSIZE = 1024\n"
+    assert _lint_snippet(tmp_path, source) == []
+
+
+def test_unsuppressed_violation_fires(tmp_path):
+    violations = _lint_snippet(tmp_path, "assert True\n")
+    assert _codes(violations) == ["RL5"]
+
+
+# ---------------------------------------------------------------------- CLI
+
+
+def test_cli_nonzero_on_fixtures(capsys):
+    code = lint_main([str(FIXTURES), "--root", str(ROOT)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "RL1" in out and "violation(s)" in out
+
+
+def test_cli_zero_on_clean_file(capsys):
+    clean = ROOT / "src/repro/core/constants.py"
+    assert lint_main([str(clean), "--root", str(ROOT)]) == 0
+
+
+def test_cli_json_format(capsys):
+    code = lint_main([str(FIXTURES), "--root", str(ROOT), "--format", "json"])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert {entry["rule"] for entry in payload} == {
+        "RL1",
+        "RL2",
+        "RL3",
+        "RL4",
+        "RL5",
+    }
+    assert all(
+        {"rule", "path", "line", "col", "message"} <= set(entry)
+        for entry in payload
+    )
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("RL1", "RL2", "RL3", "RL4", "RL5"):
+        assert code in out

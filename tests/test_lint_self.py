@@ -1,0 +1,70 @@
+"""The repo must stay reprolint-clean, and the name registry truthful.
+
+These tests pin the clean state reached in this PR: any new violation in
+``src/``, ``tests/`` or ``benchmarks/`` fails the suite (same signal as
+the ``lint-static`` CI job, but runnable offline), and the observability
+name registry is cross-checked against both the code and the docs.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.lint.engine import lint_paths
+from repro.lint.names import (
+    ALL_METRIC_NAMES,
+    COUNTER_NAMES,
+    GAUGE_NAMES,
+    SPAN_NAMES,
+)
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_repo_lints_clean():
+    targets = [ROOT / name for name in ("src", "tests", "benchmarks")]
+    violations = lint_paths([p for p in targets if p.exists()], root=ROOT)
+    rendered = "\n".join(v.render() for v in violations)
+    assert violations == [], f"reprolint violations:\n{rendered}"
+
+
+def _scan_used_names() -> dict[str, set[str]]:
+    used: dict[str, set[str]] = {"span": set(), "counter": set(), "gauge": set()}
+    kinds = {"span": "span", "counter_add": "counter", "gauge_set": "gauge"}
+    for path in sorted((ROOT / "src" / "repro").rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in kinds
+                and node.args
+            ):
+                continue
+            arg = node.args[0]
+            literals = []
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                literals = [arg.value]
+            elif isinstance(arg, ast.IfExp):
+                literals = [
+                    part.value
+                    for part in (arg.body, arg.orelse)
+                    if isinstance(part, ast.Constant)
+                    and isinstance(part.value, str)
+                ]
+            used[kinds[node.func.attr]].update(literals)
+    return used
+
+
+def test_registry_matches_code():
+    used = _scan_used_names()
+    assert used["span"] == set(SPAN_NAMES)
+    assert used["counter"] == set(COUNTER_NAMES)
+    assert used["gauge"] == set(GAUGE_NAMES)
+
+
+def test_registry_names_are_documented():
+    doc = (ROOT / "docs" / "OBSERVABILITY.md").read_text(encoding="utf-8")
+    missing = sorted(name for name in ALL_METRIC_NAMES if name not in doc)
+    assert missing == [], f"undocumented metric names: {missing}"

@@ -1,0 +1,99 @@
+"""Property-based round-trip tests (hypothesis).
+
+The invariants the whole repo rests on, checked over generated inputs:
+
+- ``pack_bits``/``unpack_bits`` round-trip every width 0–64;
+- FOR/FFOR round-trip arbitrary int64 values, including the extremes
+  that exercise the wrapping uint64 subtraction;
+- the ALP vector encode/decode and the full compressor pipeline are
+  *bit-identical* on arbitrary doubles, including ±0.0, subnormals and
+  the NaN/Inf exception paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alp import alp_decode_vector, alp_encode_vector
+from repro.core.compressor import compress, decompress
+from repro.encodings.bitpack import pack_bits, unpack_bits
+from repro.encodings.ffor import ffor_decode, ffor_encode
+from repro.encodings.for_ import for_decode, for_encode
+
+#: Doubles whose bit patterns stress every ALP code path.
+_EDGE_DOUBLES = (
+    0.0,
+    -0.0,
+    5e-324,  # smallest positive subnormal
+    -5e-324,
+    2.2250738585072014e-308,  # smallest normal
+    float("nan"),
+    float("inf"),
+    float("-inf"),
+    1e308,
+    -1e308,
+    1.1,
+    -123.456,
+)
+
+_any_double = st.one_of(
+    st.sampled_from(_EDGE_DOUBLES),
+    st.floats(allow_nan=True, allow_infinity=True, width=64),
+)
+
+_int64 = st.integers(
+    min_value=int(np.iinfo(np.int64).min), max_value=int(np.iinfo(np.int64).max)
+)
+
+
+@st.composite
+def _width_and_values(draw):
+    width = draw(st.integers(min_value=0, max_value=64))
+    upper = (1 << width) - 1
+    values = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=upper), min_size=0, max_size=300
+        )
+    )
+    return width, np.array(values, dtype=np.uint64)
+
+
+@settings(max_examples=50, deadline=None)
+@given(_width_and_values())
+def test_pack_unpack_roundtrip(case):
+    width, values = case
+    packed = pack_bits(values, width)
+    assert np.array_equal(unpack_bits(packed, width, values.size), values)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(_int64, min_size=1, max_size=200))
+def test_for_ffor_roundtrip(values):
+    array = np.array(values, dtype=np.int64)
+    assert np.array_equal(for_decode(for_encode(array)), array)
+    assert np.array_equal(ffor_decode(ffor_encode(array)), array)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(_any_double, min_size=1, max_size=200),
+    st.integers(min_value=0, max_value=21),
+    st.data(),
+)
+def test_alp_vector_roundtrip_bit_identical(values, exponent, data):
+    factor = data.draw(st.integers(min_value=0, max_value=exponent))
+    array = np.array(values, dtype=np.float64)
+    vector = alp_encode_vector(array, exponent, factor)
+    decoded = alp_decode_vector(vector)
+    # Bit-level equality: NaN payloads and signed zeros must survive.
+    assert np.array_equal(decoded.view(np.uint64), array.view(np.uint64))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(_any_double, min_size=1, max_size=400))
+def test_compressor_pipeline_bit_identical(values):
+    array = np.array(values, dtype=np.float64)
+    decoded = decompress(compress(array))
+    assert np.array_equal(decoded.view(np.uint64), array.view(np.uint64))
