@@ -14,9 +14,9 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import api
 from repro.query import FilterPredicate, group_by
 from repro.query.sources import FileColumnSource
-from repro.storage.dataset_dir import DatasetReader, write_dataset
 
 rng = np.random.default_rng(5)
 n = 400_000
@@ -25,10 +25,12 @@ volume = rng.integers(1, 900, n).astype(np.float64)
 venue = rng.integers(0, 6, n).astype(np.float64)
 
 directory = Path(tempfile.mkdtemp()) / "trades"
-write_dataset(directory, {"price": price, "volume": volume, "venue": venue})
+api.write_dataset(
+    directory, {"price": price, "volume": volume, "venue": venue}
+)
 
 raw_mib = (price.nbytes + volume.nbytes + venue.nbytes) / 2**20
-reader = DatasetReader(directory)
+reader = api.open_dataset(directory)
 disk_mib = reader.compressed_bytes() / 2**20
 print(f"dataset   : {n:,} rows x {len(reader.column_names)} columns")
 print(f"on disk   : {disk_mib:.2f} MiB (raw {raw_mib:.2f} MiB, "

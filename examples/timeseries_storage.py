@@ -14,7 +14,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.storage import ColumnFileReader, write_column_file
+from repro import api
 
 # One year of tick prices: a slow upward random walk, two decimals.
 rng = np.random.default_rng(21)
@@ -24,7 +24,7 @@ prices = np.round(
 
 path = Path(tempfile.mkdtemp()) / "stocks.alpc"
 start = time.perf_counter()
-write_column_file(path, prices)
+api.write(path, prices)  # atomic, checksummed (format v3)
 write_seconds = time.perf_counter() - start
 
 raw_mib = prices.nbytes / 2**20
@@ -33,7 +33,7 @@ print(f"wrote {prices.size:,} ticks in {write_seconds:.2f}s")
 print(f"file size : {file_mib:.2f} MiB (raw {raw_mib:.2f} MiB, "
       f"{raw_mib / file_mib:.1f}x smaller)")
 
-reader = ColumnFileReader(path)
+reader = api.open(path)
 print(f"row-groups: {reader.rowgroup_count}, each with a [min, max] zone map")
 
 # Range query: prices the walk only reaches late in the year.

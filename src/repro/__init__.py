@@ -11,8 +11,14 @@ Quickstart::
     print(column.bits_per_value())        # ~10-14 bits instead of 64
     assert np.array_equal(decompress(column), values)
 
+For files, datasets and integrity tooling, :mod:`repro.api` is the
+one-stop facade: ``api.write`` / ``api.read`` / ``api.open`` /
+``api.verify`` / ``api.repair``, all configured through a single
+``CompressionOptions`` object.
+
 Subpackages:
 
+- :mod:`repro.api` — the unified facade over the whole pipeline.
 - :mod:`repro.core` — ALP / ALP_rd, the paper's contribution.
 - :mod:`repro.encodings` — FastLanes-style integer encodings (FFOR, BP,
   DICT, RLE, Delta) plus the LWC+ALP cascade.
@@ -33,12 +39,14 @@ from repro.core.compressor import (
 )
 from repro.core.float32 import compress_f32, decompress_f32
 from repro.encodings.cascade import cascade_compress, cascade_decompress
+from repro import api
 
 __version__ = "1.0.0"
 
 __all__ = [
     "CompressedRowGroups",
     "__version__",
+    "api",
     "cascade_compress",
     "cascade_decompress",
     "compress",

@@ -1,0 +1,201 @@
+"""The unified public facade of the reproduction.
+
+One import gives the whole pipeline — compression, on-disk storage,
+datasets, and integrity tooling — behind a single options object::
+
+    import numpy as np
+    from repro import api
+
+    values = np.round(np.random.default_rng(0).normal(20, 5, 100_000), 2)
+
+    column = api.compress(values)                  # in-memory
+    restored = api.decompress(column)
+
+    api.write("col.alpc", values)                  # checksummed file (v3)
+    reader = api.open("col.alpc")                  # lazy, verifying reader
+    restored = api.read("col.alpc")
+
+    report = api.verify("col.alpc")                # integrity walk
+    api.repair("col.alpc", "col.fixed.alpc")       # drop corrupt sections
+
+Every knob the layers used to take as drifting per-function keyword
+lists is collected in :class:`CompressionOptions`, accepted uniformly by
+:func:`compress`, :func:`write`, :func:`write_dataset` and the
+underlying ``ColumnFileWriter``.  The older entry points
+(``repro.compress``, ``write_column_file``, …) keep working —
+superseded conveniences emit :class:`DeprecationWarning` pointing here.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.compressor import (
+    CompressedRowGroups,
+    compress as _compress,
+    compress_parallel as _compress_parallel,
+    decompress as decompress,  # re-export: already options-free
+)
+from repro.core.constants import ROWGROUP_VECTORS, VECTOR_SIZE
+from repro.storage.columnfile import ColumnFileReader, ColumnFileWriter
+from repro.storage.dataset_dir import DatasetReader
+from repro.storage.errors import (
+    CorruptFileError,
+    CorruptRowGroupError,
+    IntegrityError,
+)
+from repro.storage.verify import (
+    DatasetVerifyReport,
+    FileVerifyReport,
+    RepairReport,
+    repair_column_file,
+    verify_path,
+)
+
+__all__ = [
+    "CompressedRowGroups",
+    "CompressionOptions",
+    "CorruptFileError",
+    "CorruptRowGroupError",
+    "IntegrityError",
+    "compress",
+    "decompress",
+    "open",
+    "open_dataset",
+    "read",
+    "repair",
+    "verify",
+    "write",
+    "write_dataset",
+]
+
+#: Schemes :attr:`CompressionOptions.force_scheme` accepts (None = adaptive).
+_SCHEMES = (None, "alp", "alprd")
+
+
+@dataclass(frozen=True)
+class CompressionOptions:
+    """Every tuning knob of the pipeline, in one place.
+
+    Attributes:
+        vector_size: values per ALP vector (the paper's ``v``).
+        rowgroup_vectors: vectors per row-group (the paper's ``w``).
+        threads: worker threads for :func:`compress`; ``1`` is serial,
+            more dispatches row-groups to a thread pool (bit-identical
+            output either way).
+        force_scheme: ``"alp"`` or ``"alprd"`` bypasses the adaptive
+            ALP-vs-ALP_rd cutoff decision; ``None`` keeps it adaptive.
+        integrity: write checksummed format v3 with atomic
+            publish (the default); ``False`` writes the legacy v2
+            layout without checksums.
+    """
+
+    vector_size: int = VECTOR_SIZE
+    rowgroup_vectors: int = ROWGROUP_VECTORS
+    threads: int = 1
+    force_scheme: str | None = None
+    integrity: bool = True
+
+    def __post_init__(self) -> None:
+        if self.force_scheme not in _SCHEMES:
+            raise ValueError(
+                f"force_scheme must be one of {_SCHEMES}, "
+                f"got {self.force_scheme!r}"
+            )
+        if self.threads < 1:
+            raise ValueError(f"threads must be >= 1, got {self.threads}")
+        if self.rowgroup_vectors < 1:
+            raise ValueError(
+                f"rowgroup_vectors must be >= 1, got {self.rowgroup_vectors}"
+            )
+
+
+#: The default option set (adaptive scheme, integrity on).
+DEFAULT_OPTIONS = CompressionOptions()
+
+
+def compress(
+    values: np.ndarray, options: CompressionOptions | None = None
+) -> CompressedRowGroups:
+    """Compress a float64 column under one options object.
+
+    ``options.threads > 1`` routes through the thread-pooled
+    compressor; the result is bit-identical to the serial path.
+    """
+    opts = options or DEFAULT_OPTIONS
+    if opts.threads > 1:
+        return _compress_parallel(
+            values,
+            threads=opts.threads,
+            vector_size=opts.vector_size,
+            rowgroup_vectors=opts.rowgroup_vectors,
+            force_scheme=opts.force_scheme,
+        )
+    return _compress(
+        values,
+        vector_size=opts.vector_size,
+        rowgroup_vectors=opts.rowgroup_vectors,
+        force_scheme=opts.force_scheme,
+    )
+
+
+def write(
+    path: str | os.PathLike,
+    values: np.ndarray,
+    options: CompressionOptions | None = None,
+) -> None:
+    """Compress ``values`` into a column file (atomic, checksummed)."""
+    with ColumnFileWriter(path, options=options or DEFAULT_OPTIONS) as writer:
+        writer.write_values(values)
+
+
+def open(
+    path: str | os.PathLike, *, degraded: bool = False
+) -> ColumnFileReader:
+    """Open a column file for verified random access and scans.
+
+    With ``degraded=True`` bulk reads and range scans *quarantine*
+    corrupt row-groups (skip + report via
+    :meth:`ColumnFileReader.scan_report`) instead of raising.
+    """
+    return ColumnFileReader(path, degraded=degraded)
+
+
+def read(path: str | os.PathLike, *, degraded: bool = False) -> np.ndarray:
+    """Decompress an entire column file to float64."""
+    return ColumnFileReader(path, degraded=degraded).read_all()
+
+
+def write_dataset(
+    directory: str | os.PathLike,
+    columns: dict[str, np.ndarray],
+    options: CompressionOptions | None = None,
+) -> None:
+    """Compress a dict of equally-long columns into a dataset directory."""
+    from repro.storage.dataset_dir import write_dataset as _write_dataset
+
+    _write_dataset(directory, columns, options=options or DEFAULT_OPTIONS)
+
+
+def open_dataset(
+    directory: str | os.PathLike, *, degraded: bool = False
+) -> DatasetReader:
+    """Open a dataset directory for lazy per-column reads and queries."""
+    return DatasetReader(directory, degraded=degraded)
+
+
+def verify(
+    path: str | os.PathLike,
+) -> FileVerifyReport | DatasetVerifyReport:
+    """Walk a column file or dataset directory, reporting every bad section."""
+    return verify_path(path)
+
+
+def repair(
+    source: str | os.PathLike, destination: str | os.PathLike
+) -> RepairReport:
+    """Rewrite a damaged column file, keeping every intact row-group."""
+    return repair_column_file(source, destination)

@@ -13,7 +13,7 @@ variant of Table 4's penultimate column), ``gorilla``, ``chimp``,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -29,6 +29,21 @@ from repro.baselines.pde import pde_compress, pde_decompress
 from repro.core.compressor import compress as alp_compress
 from repro.core.compressor import decompress as alp_decompress
 from repro.encodings.cascade import cascade_compress, cascade_decompress
+
+
+@runtime_checkable
+class Encoded(Protocol):
+    """What every codec's compressed object exposes.
+
+    The registry's uniform contract: whatever ``Codec.compress``
+    returns, it carries the value count and its compressed footprint.
+    """
+
+    count: int
+
+    def size_bits(self) -> int:
+        """Compressed size in bits."""
+        ...
 
 
 @dataclass(frozen=True)
@@ -97,6 +112,10 @@ def get_codec(name: str) -> Codec:
     except KeyError:
         known = ", ".join(sorted(CODECS))
         raise KeyError(f"unknown codec {name!r}; known: {known}") from None
+
+
+#: Short alias: ``repro.baselines.registry.get(name)``.
+get = get_codec
 
 
 def list_codecs() -> list[str]:

@@ -1,0 +1,291 @@
+"""Storage fault-injection sweep: prove v3 corruption is never silent.
+
+``python -m repro.bench.faults`` writes a small multi-row-group column
+file, then damages **every section** of it — header, each row-group
+payload, footer, trailer — with single-bit flips at several positions
+plus truncations at every section boundary, and classifies what a
+reader sees:
+
+- ``detected`` — a typed :class:`~repro.storage.errors.IntegrityError`
+  in strict mode, *and* (for row-group damage) the degraded reader
+  quarantining exactly the damaged group while returning every other
+  value bit-exactly;
+- ``correct`` — the read still returns bit-identical values (possible
+  only when the flip lands in dead bytes; v3 checksums cover every
+  section, so this does not happen there);
+- ``silent-garbage`` — wrong values with no error and no quarantine
+  report.  Any occurrence fails the sweep (exit code 1): it would mean
+  the checksums have a hole.
+
+The sweep is the machine-checkable form of the format's integrity
+claim, and CI runs it on every push (the ``storage-fuzz`` job).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.storage.columnfile import ColumnFileReader, ColumnFileWriter
+from repro.storage.errors import IntegrityError
+
+#: Geometry small enough that the sweep runs in seconds but still has
+#: several row-groups (so per-group quarantine is actually exercised).
+FAULT_VECTOR_SIZE = 128
+FAULT_ROWGROUP_VECTORS = 4
+FAULT_VALUE_COUNT = 4 * FAULT_ROWGROUP_VECTORS * FAULT_VECTOR_SIZE
+
+#: Relative positions probed inside each section by the bit-flip sweep.
+FLIP_POSITIONS = (0.0, 0.25, 0.5, 0.75, 0.999)
+
+
+@dataclass(frozen=True)
+class Section:
+    """One contiguous byte range of the file with a format meaning."""
+
+    name: str  # "header", "rowgroup[i]", "footer", "trailer"
+    offset: int
+    length: int
+
+
+@dataclass(frozen=True)
+class FaultOutcome:
+    """What one injected fault did to the read path."""
+
+    section: str
+    kind: str  # "bitflip" | "truncate"
+    position: int
+    outcome: str  # "detected" | "correct" | "silent-garbage"
+    detail: str
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "section": self.section,
+            "kind": self.kind,
+            "position": self.position,
+            "outcome": self.outcome,
+            "detail": self.detail,
+        }
+
+
+def _make_values() -> np.ndarray:
+    rng = np.random.default_rng(11)
+    return np.round(
+        np.cumsum(rng.normal(0, 0.2, FAULT_VALUE_COUNT)) + 30.0, 2
+    )
+
+
+def write_fault_file(path: str, values: np.ndarray) -> None:
+    """Write the sweep's small multi-row-group v3 file."""
+    with ColumnFileWriter(
+        path,
+        vector_size=FAULT_VECTOR_SIZE,
+        rowgroup_vectors=FAULT_ROWGROUP_VECTORS,
+    ) as writer:
+        writer.write_values(values)
+
+
+def enumerate_sections(path: str) -> list[Section]:
+    """Name every byte range of a column file, in file order."""
+    reader = ColumnFileReader(path)
+    file_size = os.path.getsize(path)
+    sections = [Section("header", 0, reader.header_length)]
+    for index, meta in enumerate(reader.metadata):
+        sections.append(Section(f"rowgroup[{index}]", meta.offset, meta.length))
+    sections.append(
+        Section("footer", reader.footer_offset, reader.footer_length)
+    )
+    trailer_start = reader.footer_offset + reader.footer_length
+    sections.append(Section("trailer", trailer_start, file_size - trailer_start))
+    return sections
+
+
+def _classify_read(
+    path: str, values: np.ndarray, section: Section
+) -> tuple[str, str]:
+    """Read a damaged file strictly and degraded; classify the outcome."""
+    # Strict read: the only acceptable results are a typed integrity
+    # error or bit-identical values.
+    try:
+        restored = ColumnFileReader(path).read_all()
+    except IntegrityError as exc:
+        strict = ("detected", f"strict: {type(exc).__name__}")
+    else:
+        if np.array_equal(
+            restored.view(np.uint64), values.view(np.uint64)
+        ):
+            strict = ("correct", "strict: bit-identical")
+        else:
+            return (
+                "silent-garbage",
+                "strict read returned wrong values without raising",
+            )
+
+    # Degraded read over row-group damage must additionally keep every
+    # *other* value and report the quarantine; header/footer/trailer
+    # damage has no payload to salvage, so a typed error is the answer.
+    if not section.name.startswith("rowgroup"):
+        return strict
+    try:
+        reader = ColumnFileReader(path, degraded=True)
+        restored = reader.read_all()
+        report = reader.scan_report()
+    except IntegrityError as exc:
+        return ("detected", f"degraded: {type(exc).__name__}")
+    if strict[0] == "correct":
+        return strict
+    if report.rowgroups_quarantined == 0:
+        return (
+            "silent-garbage",
+            "degraded read reported nothing for a damaged row-group",
+        )
+    # read_all() in degraded mode is the concatenation of the intact
+    # row-groups — it must match the original values minus exactly the
+    # quarantined slices.
+    quarantined = {q.index for q in report.quarantined}
+    rg_values = FAULT_ROWGROUP_VECTORS * FAULT_VECTOR_SIZE
+    expected = np.concatenate(
+        [
+            values[index * rg_values : (index + 1) * rg_values]
+            for index in range(reader.rowgroup_count)
+            if index not in quarantined
+        ]
+        or [np.empty(0)]
+    )
+    if not np.array_equal(
+        restored.view(np.uint64), expected.view(np.uint64)
+    ):
+        return (
+            "silent-garbage",
+            "degraded read damaged values outside the quarantined group",
+        )
+    return (
+        "detected",
+        f"degraded: quarantined {report.rowgroups_quarantined} group(s), "
+        "rest bit-identical",
+    )
+
+
+def run_bitflip_sweep(
+    path: str, values: np.ndarray, sections: list[Section]
+) -> list[FaultOutcome]:
+    """Flip one bit at several positions of every section."""
+    pristine = open(path, "rb").read()
+    outcomes = []
+    for section in sections:
+        if section.length == 0:
+            continue
+        for rel in FLIP_POSITIONS:
+            pos = section.offset + min(
+                int(section.length * rel), section.length - 1
+            )
+            damaged = bytearray(pristine)
+            damaged[pos] ^= 0x10
+            with open(path, "wb") as handle:
+                handle.write(damaged)
+            outcome, detail = _classify_read(path, values, section)
+            outcomes.append(
+                FaultOutcome(section.name, "bitflip", pos, outcome, detail)
+            )
+    with open(path, "wb") as handle:
+        handle.write(pristine)
+    return outcomes
+
+
+def run_truncation_sweep(
+    path: str, values: np.ndarray, sections: list[Section]
+) -> list[FaultOutcome]:
+    """Truncate the file at (and just past) every section boundary."""
+    pristine = open(path, "rb").read()
+    outcomes = []
+    cut_points = sorted(
+        {s.offset for s in sections}
+        | {s.offset + s.length for s in sections}
+        | {len(pristine) - 1}
+    )
+    for cut in cut_points:
+        if cut >= len(pristine):
+            continue
+        with open(path, "wb") as handle:
+            handle.write(pristine[:cut])
+        try:
+            restored = ColumnFileReader(path).read_all()
+        except IntegrityError as exc:
+            outcome, detail = "detected", f"strict: {type(exc).__name__}"
+        else:
+            if np.array_equal(
+                restored.view(np.uint64), values.view(np.uint64)
+            ):
+                outcome, detail = "correct", "strict: bit-identical"
+            else:
+                outcome, detail = (
+                    "silent-garbage",
+                    "truncated file read back wrong values",
+                )
+        outcomes.append(
+            FaultOutcome("file", "truncate", cut, outcome, detail)
+        )
+    with open(path, "wb") as handle:
+        handle.write(pristine)
+    return outcomes
+
+
+def run_fault_sweep(directory: str | None = None) -> list[FaultOutcome]:
+    """The full sweep; returns every outcome (callers check for garbage)."""
+    values = _make_values()
+    with tempfile.TemporaryDirectory(dir=directory) as tmp:
+        path = os.path.join(tmp, "faults.alpc")
+        write_fault_file(path, values)
+        sections = enumerate_sections(path)
+        outcomes = run_bitflip_sweep(path, values, sections)
+        outcomes += run_truncation_sweep(path, values, sections)
+    return outcomes
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the sweep; exit 1 on any silent-garbage outcome."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.faults",
+        description="storage fault-injection sweep over every v3 section",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit outcomes as JSON"
+    )
+    args = parser.parse_args(argv)
+    outcomes = run_fault_sweep()
+    garbage = [o for o in outcomes if o.outcome == "silent-garbage"]
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "total": len(outcomes),
+                    "silent_garbage": len(garbage),
+                    "outcomes": [o.as_dict() for o in outcomes],
+                },
+                indent=2,
+            )
+        )
+    else:
+        detected = sum(1 for o in outcomes if o.outcome == "detected")
+        correct = sum(1 for o in outcomes if o.outcome == "correct")
+        print(
+            f"fault sweep: {len(outcomes)} faults injected — "
+            f"{detected} detected, {correct} still-correct, "
+            f"{len(garbage)} silent-garbage"
+        )
+        for item in garbage:
+            print(
+                f"  SILENT GARBAGE: {item.section} {item.kind} "
+                f"@{item.position}: {item.detail}"
+            )
+    return 1 if garbage else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

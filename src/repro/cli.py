@@ -12,6 +12,11 @@ Subcommands:
 - ``datasets`` — list the 30 synthetic datasets and their fingerprints,
 - ``stats [INPUT]`` — run an instrumented compress / file round-trip /
   range scan and print the :mod:`repro.obs` metrics snapshot as JSON,
+- ``verify PATH`` — walk a column file or dataset directory and report
+  every corrupt section (``--json`` for machine-readable output;
+  nonzero exit when damage is found),
+- ``repair IN.alpc OUT.alpc`` — rewrite a damaged file keeping every
+  intact row-group,
 - ``bench [--out BENCH.json] [--kernels]`` — run the structured
   benchmark sweep (optionally plus the kernel micro-benchmarks) and
   emit the machine-readable ``BENCH_*.json`` record document,
@@ -45,10 +50,10 @@ def _load_doubles(path: Path) -> np.ndarray:
 
 
 def _cmd_compress(args: argparse.Namespace) -> int:
-    from repro.storage import write_column_file
+    from repro import api
 
     values = _load_doubles(Path(args.input))
-    write_column_file(args.output, values)
+    api.write(args.output, values)
     raw = values.nbytes
     compressed = Path(args.output).stat().st_size
     print(
@@ -60,9 +65,9 @@ def _cmd_compress(args: argparse.Namespace) -> int:
 
 
 def _cmd_decompress(args: argparse.Namespace) -> int:
-    from repro.storage import read_column_file
+    from repro import api
 
-    values = read_column_file(args.input)
+    values = api.read(args.input)
     out = Path(args.output)
     if out.suffix == ".npy":
         np.save(out, values)
@@ -185,18 +190,16 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     import json
     import tempfile
 
-    from repro import obs
-    from repro.core.compressor import compress, decompress
+    from repro import api, obs
     from repro.query.engine import sum_query
     from repro.query.sources import FileColumnSource
-    from repro.storage import ColumnFileReader, write_column_file
 
     values = _load_values_or_dataset(args.input, args.n)
     obs.enable()
     obs.reset()
 
-    column = compress(values)
-    restored = decompress(column)
+    column = api.compress(values)
+    restored = api.decompress(column)
     if not np.array_equal(
         restored.view(np.uint64), values.view(np.uint64)
     ):
@@ -204,8 +207,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
     with tempfile.TemporaryDirectory() as tmp:
         path = str(Path(tmp) / "stats.alpc")
-        write_column_file(path, values)
-        reader = ColumnFileReader(path)
+        api.write(path, values)
+        reader = api.open(path)
         reader.read_all()
         finite = values[np.isfinite(values)]
         if finite.size:
@@ -222,6 +225,66 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     obs.reset()
     print(json.dumps(snapshot, indent=args.indent))
     return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Integrity-walk a column file or dataset; exit 1 on any damage."""
+    import json
+
+    from repro import api
+
+    report = api.verify(args.path)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+        return 0 if report.ok else 1
+    if report.ok:
+        print(f"{args.path}: ok")
+        return 0
+    from repro.storage.verify import DatasetVerifyReport
+
+    if isinstance(report, DatasetVerifyReport):
+        if report.manifest_error is not None:
+            print(f"{report.path}: {report.manifest_error}")
+        file_reports = report.files
+    else:
+        file_reports = (report,)
+    for file_report in file_reports:
+        for section in file_report.bad_sections:
+            where = (
+                f"row-group {section.index}"
+                if section.section == "rowgroup"
+                else section.section
+            )
+            print(
+                f"{file_report.path}: {where} "
+                f"(offset {section.offset}, {section.length} bytes): "
+                f"{section.error}"
+            )
+    return 1
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    """Rewrite a damaged column file, keeping every intact row-group."""
+    import json
+
+    from repro import api
+
+    report = api.repair(args.input, args.output)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(
+            f"{args.output}: kept {report.rowgroups_kept} row-groups "
+            f"({report.values_kept:,} values), dropped "
+            f"{report.rowgroups_dropped} ({report.values_dropped:,} values)"
+        )
+        for item in report.dropped:
+            print(
+                f"  dropped row-group {item['index']} "
+                f"(offset {item['offset']}, {item['length']} bytes): "
+                f"{item['reason']}"
+            )
+    return 0 if report.rowgroups_dropped == 0 else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -347,6 +410,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--indent", type=int, default=2, help="JSON indent (default 2)"
     )
     p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser(
+        "verify",
+        help="check every checksum/section of a column file or dataset",
+    )
+    p.add_argument("path", help=".alpc file or alpc-dataset directory")
+    p.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    p.set_defaults(fn=_cmd_verify)
+
+    p = sub.add_parser(
+        "repair",
+        help="rewrite a damaged column file keeping intact row-groups",
+    )
+    p.add_argument("input", help="damaged .alpc file")
+    p.add_argument("output", help="destination for the repaired file")
+    p.add_argument(
+        "--json", action="store_true", help="emit the repair report as JSON"
+    )
+    p.set_defaults(fn=_cmd_repair)
 
     p = sub.add_parser(
         "bench", help="structured benchmark sweep (emits BENCH_*.json)"

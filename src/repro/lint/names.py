@@ -22,6 +22,7 @@ SPAN_NAMES: frozenset[str] = frozenset(
         "alprd.fit_parameters",
         "columnfile.open",
         "columnfile.read_rowgroup",
+        "columnfile.verify",
         "columnfile.write",
         "compressor.compress",
         "compressor.compress_parallel",
@@ -52,10 +53,13 @@ COUNTER_NAMES: frozenset[str] = frozenset(
         "bitpack.unpack_values",
         "columnfile.bytes_read",
         "columnfile.bytes_written",
+        "columnfile.checksum_failures",
+        "columnfile.rowgroups_quarantined",
         "columnfile.rowgroups_read",
         "columnfile.rowgroups_scanned",
         "columnfile.rowgroups_skipped",
         "columnfile.rowgroups_written",
+        "columnfile.values_quarantined",
         "columnfile.vectors_decoded",
         "columnfile.vectors_skipped",
         "compressor.combinations_tried",

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro import obs
 from repro.query.operators import AggregateOperator, ScanOperator
-from repro.query.sources import ColumnSource, make_source
+from repro.query.sources import AlpSource, ColumnSource, make_source
 
 
 def scan_query(source: ColumnSource) -> int:
@@ -59,12 +59,11 @@ def comp_query(codec_name: str, values: np.ndarray) -> int:
     """
     with obs.span("query.comp"):
         source = make_source(codec_name, values)
-        if codec_name in ("alp", "lwc+alp"):
+        if isinstance(source, AlpSource):
             from repro.storage.serializer import serialize_rowgroup
 
-            column = source.column  # type: ignore[attr-defined]
             total = 0
-            for rowgroup in column.rowgroups:
+            for rowgroup in source.column.rowgroups:
                 total += len(serialize_rowgroup(rowgroup)) * 8
             return total
         return source.compressed_bits

@@ -287,10 +287,20 @@ class FileColumnSource:
         cls,
         path,
         value_range: tuple[float, float] | None = None,
+        degraded: bool = False,
     ) -> "FileColumnSource":
+        """Open a file source; ``degraded`` quarantines corrupt row-groups.
+
+        A degraded scan yields every vector of the intact row-groups and
+        skips quarantined ones — the reader's ``scan_report()`` carries
+        the structured account of what was dropped.
+        """
         from repro.storage.columnfile import ColumnFileReader
 
-        return cls(reader=ColumnFileReader(path), value_range=value_range)
+        return cls(
+            reader=ColumnFileReader(path, degraded=degraded),
+            value_range=value_range,
+        )
 
     def vectors(self) -> Iterator[np.ndarray]:
         if self.value_range is not None:
@@ -298,9 +308,8 @@ class FileColumnSource:
             for _, _, values in self.reader.scan_range_vectors(low, high):
                 yield values
             return
-        for index in range(self.reader.rowgroup_count):
-            rowgroup = self.reader.read_rowgroup(index)
-            size = self.reader.vector_size
+        size = self.reader.vector_size
+        for _, rowgroup in self.reader.iter_rowgroups():
             for start in range(0, rowgroup.size, size):
                 yield rowgroup[start : start + size]
 

@@ -11,17 +11,42 @@ scans.  This subpackage makes that concrete:
 - :mod:`repro.storage.columnfile` — an on-disk column format with
   per-row-group and per-vector zone maps, offset indexes, and a scan
   API that skips non-qualifying row-groups/vectors without touching
-  (let alone decompressing) their bytes.
+  (let alone decompressing) their bytes,
+- :mod:`repro.storage.integrity` / :mod:`repro.storage.errors` —
+  CRC32C checksums (format v3) and the typed corruption errors the
+  verifying read path raises,
+- :mod:`repro.storage.verify` — section-by-section integrity walks and
+  copy-intact-row-groups repair (``alp-repro verify`` / ``repair``).
+
+See ``docs/STORAGE.md`` for the v3 byte layout and the quarantine
+semantics of degraded reads.
 """
 
 from repro.storage.dataset_dir import DatasetReader, write_dataset
 from repro.storage.columnfile import (
     ColumnFileReader,
     ColumnFileWriter,
+    QuarantinedRowGroup,
     RowGroupMeta,
+    ScanReport,
     VectorZone,
     read_column_file,
     write_column_file,
+)
+from repro.storage.errors import (
+    CorruptFileError,
+    CorruptRowGroupError,
+    IntegrityError,
+)
+from repro.storage.integrity import crc32c
+from repro.storage.verify import (
+    DatasetVerifyReport,
+    FileVerifyReport,
+    RepairReport,
+    repair_column_file,
+    verify_column_file,
+    verify_dataset,
+    verify_path,
 )
 from repro.storage.serializer import (
     deserialize_rowgroup,
@@ -35,14 +60,27 @@ from repro.storage.serializer_f32 import (
 __all__ = [
     "ColumnFileReader",
     "ColumnFileWriter",
+    "CorruptFileError",
+    "CorruptRowGroupError",
     "DatasetReader",
+    "DatasetVerifyReport",
+    "FileVerifyReport",
+    "IntegrityError",
+    "QuarantinedRowGroup",
+    "RepairReport",
     "RowGroupMeta",
+    "ScanReport",
     "VectorZone",
+    "crc32c",
     "deserialize_float_column",
     "deserialize_rowgroup",
     "read_column_file",
+    "repair_column_file",
     "serialize_float_column",
     "serialize_rowgroup",
+    "verify_column_file",
+    "verify_dataset",
+    "verify_path",
     "write_column_file",
     "write_dataset",
 ]

@@ -1,20 +1,45 @@
-"""A skippable on-disk column format over ALP-compressed row-groups.
+"""A skippable, checksummed on-disk column format over ALP row-groups.
 
-File layout (format version 2)::
+File layout (format version 3)::
 
-    "ALPC"  magic (4 bytes)
-    u16     format version (2)
-    u32     vector size
-    ...     row-group sections, back to back (serializer format)
+    header:
+      "ALPC" magic (4 bytes)
+      u16    format version (3)
+      u32    vector size
+      u32    CRC32C of the 10 header bytes above
+    ...      row-group sections, back to back (serializer format)
     footer:
-      u32   row-group count
+      u32    row-group count
       per row-group:
         u64 byte offset, u64 byte length, u64 value count,
-        f64 min, f64 max, u8 has_non_finite
+        f64 min, f64 max, u8 has_non_finite, u32 payload CRC32C
       per row-group (vector zone maps):
         u32 vector count, then per vector: f64 min, f64 max, u8 special
-    u64     footer offset
-    "ALPC"  trailing magic
+    trailer:
+      u32    CRC32C of the footer bytes
+      u64    footer offset
+      "ALPC" trailing magic
+
+Version 2 files (no checksums, 41-byte footer entries, 12-byte trailer)
+remain readable; the checksum steps are version-gated.  The full byte
+layout, integrity and quarantine semantics are specified in
+``docs/STORAGE.md``.
+
+Integrity model
+---------------
+
+Writes are atomic: the writer streams into a temp file next to the
+target and only renames it over the target after the footer is written
+and fsynced, so a crash (or an exception inside a ``with`` block) never
+leaves a half-written file at the destination.  Reads verify the header
+and footer checksums eagerly at open — they are small and everything
+else depends on them — and each row-group payload lazily on first
+touch.  Corruption raises the typed errors of
+:mod:`repro.storage.errors`; a reader opened with ``degraded=True``
+instead *quarantines* bad row-groups: bulk reads and range scans skip
+them, :data:`repro.obs` counters tally them, and
+:meth:`ColumnFileReader.scan_report` returns the structured account
+(count + offsets) a caller needs to alert on.
 
 The footer carries *zone maps* (min/max over finite values) at two
 granularities.  Row-group zone maps let :meth:`ColumnFileReader.scan_range`
@@ -27,10 +52,11 @@ paper contrasts against block-based general-purpose compression.
 
 from __future__ import annotations
 
+import itertools
 import os
 import struct
 from dataclasses import dataclass
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
@@ -42,14 +68,40 @@ from repro.core.compressor import (
     decompress,
 )
 from repro.core.constants import ROWGROUP_VECTORS, VECTOR_SIZE
+from repro.storage.errors import CorruptFileError, CorruptRowGroupError
+from repro.storage.integrity import crc32c
 from repro.storage.serializer import (
     deserialize_rowgroup,
     empty_stats,
     serialize_rowgroup,
 )
 
+if TYPE_CHECKING:
+    from repro.api import CompressionOptions
+
 MAGIC = b"ALPC"
-FORMAT_VERSION = 2
+#: Current (checksummed) format version.
+FORMAT_VERSION = 3
+#: The pre-integrity format; still fully readable, checksum steps skipped.
+FORMAT_VERSION_V2 = 2
+SUPPORTED_VERSIONS = (FORMAT_VERSION_V2, FORMAT_VERSION)
+
+#: Bytes of header before the (v3-only) header checksum field.
+_HEADER_BODY = struct.calcsize("<4sHI")
+_HEADER_LEN = {FORMAT_VERSION_V2: _HEADER_BODY, FORMAT_VERSION: _HEADER_BODY + 4}
+#: Trailer: [footer CRC (v3 only)] + footer offset + trailing magic.
+_TRAILER_LEN = {FORMAT_VERSION_V2: 12, FORMAT_VERSION: 16}
+_FOOTER_ENTRY = {
+    FORMAT_VERSION_V2: struct.Struct("<QQQddB"),
+    FORMAT_VERSION: struct.Struct("<QQQddBI"),
+}
+_ZONE_ENTRY = struct.Struct("<ddB")
+
+#: Exceptions a corrupted payload may raise out of the deserializer /
+#: decoder before (v2) or despite (never, in practice) checksums.
+_DECODE_ERRORS = (ValueError, IndexError, KeyError, OverflowError, struct.error)
+
+_TMP_COUNTER = itertools.count()
 
 
 @dataclass(frozen=True)
@@ -69,7 +121,7 @@ class VectorZone:
 
 @dataclass(frozen=True)
 class RowGroupMeta:
-    """Footer entry for one row-group: location + zone maps."""
+    """Footer entry for one row-group: location, checksum + zone maps."""
 
     offset: int
     length: int
@@ -78,6 +130,8 @@ class RowGroupMeta:
     max_value: float
     has_non_finite: bool
     vector_zones: tuple[VectorZone, ...] = ()
+    #: CRC32C of the serialized payload (0 in version-2 files).
+    payload_crc: int = 0
 
     def may_contain_range(self, low: float, high: float) -> bool:
         """Zone-map test: could any value fall inside [low, high]?
@@ -90,6 +144,53 @@ class RowGroupMeta:
         if self.count == 0:
             return False
         return self.max_value >= low and self.min_value <= high
+
+
+@dataclass(frozen=True)
+class QuarantinedRowGroup:
+    """One corrupt row-group a degraded reader skipped."""
+
+    index: int
+    offset: int
+    length: int
+    count: int
+    reason: str
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "index": self.index,
+            "offset": self.offset,
+            "length": self.length,
+            "count": self.count,
+            "reason": self.reason,
+        }
+
+
+@dataclass(frozen=True)
+class ScanReport:
+    """Structured account of what a (degraded) reader quarantined."""
+
+    path: str
+    format_version: int
+    rowgroups_total: int
+    rowgroups_quarantined: int
+    values_quarantined: int
+    quarantined: tuple[QuarantinedRowGroup, ...]
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing was quarantined."""
+        return self.rowgroups_quarantined == 0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "format_version": self.format_version,
+            "rowgroups_total": self.rowgroups_total,
+            "rowgroups_quarantined": self.rowgroups_quarantined,
+            "values_quarantined": self.values_quarantined,
+            "quarantined": [entry.as_dict() for entry in self.quarantined],
+        }
 
 
 def _zone_map(values: np.ndarray) -> tuple[float, float, bool]:
@@ -115,32 +216,71 @@ def _vector_zones(
 
 
 class ColumnFileWriter:
-    """Stream a float64 column into the ALPC format, row-group at a time."""
+    """Stream a float64 column into the ALPC format, row-group at a time.
+
+    The writer is crash-safe: all bytes go to a temp file in the target
+    directory, which is fsynced and atomically renamed over ``path``
+    only when :meth:`close` completes.  Exiting the ``with`` block on an
+    exception (or calling :meth:`abort`) removes the temp file and
+    leaves the target path untouched.  :meth:`close` and :meth:`abort`
+    are both idempotent.
+    """
 
     def __init__(
         self,
         path: str | os.PathLike,
         vector_size: int = VECTOR_SIZE,
         rowgroup_vectors: int = ROWGROUP_VECTORS,
+        *,
+        options: "CompressionOptions | None" = None,
+        integrity: bool = True,
     ) -> None:
+        if options is not None:
+            vector_size = options.vector_size
+            rowgroup_vectors = options.rowgroup_vectors
+            integrity = options.integrity
+        self._force_scheme = options.force_scheme if options else None
         self._path = os.fspath(path)
+        self._tmp_path = (
+            f"{self._path}.tmp-{os.getpid()}-{next(_TMP_COUNTER)}"
+        )
+        self._version = FORMAT_VERSION if integrity else FORMAT_VERSION_V2
         self._vector_size = vector_size
         self._rowgroup_size = vector_size * rowgroup_vectors
-        self._file = open(self._path, "wb")
         self._meta: list[RowGroupMeta] = []
-        self._file.write(MAGIC)
-        self._file.write(struct.pack("<H", FORMAT_VERSION))
-        self._file.write(struct.pack("<I", vector_size))
         self._closed = False
+        self._file = open(self._tmp_path, "wb")
+        try:
+            header = MAGIC + struct.pack("<HI", self._version, vector_size)
+            self._file.write(header)
+            if self._version >= FORMAT_VERSION:
+                self._file.write(struct.pack("<I", crc32c(header)))
+        except BaseException:
+            self.abort()
+            raise
+
+    @property
+    def path(self) -> str:
+        """The destination path (materializes on successful close)."""
+        return self._path
+
+    @property
+    def format_version(self) -> int:
+        """The format version being written (3, or 2 without integrity)."""
+        return self._version
 
     def write_values(self, values: np.ndarray) -> None:
         """Compress and append a column chunk (row-group granularity)."""
+        if self._closed:
+            raise ValueError(f"writer for {self._path} is closed")
         with obs.span("columnfile.write"):
             values = np.ascontiguousarray(values, dtype=np.float64)
             for start in range(0, values.size, self._rowgroup_size):
                 chunk = values[start : start + self._rowgroup_size]
                 rowgroup, _, _ = compress_rowgroup(
-                    chunk, vector_size=self._vector_size
+                    chunk,
+                    vector_size=self._vector_size,
+                    force_scheme=self._force_scheme,
                 )
                 self._append_rowgroup(rowgroup, chunk)
 
@@ -148,120 +288,394 @@ class ColumnFileWriter:
         self, rowgroup: CompressedRowGroup, values: np.ndarray
     ) -> None:
         payload = serialize_rowgroup(rowgroup)
+        min_value, max_value, has_non_finite = _zone_map(values)
+        self._append_payload(
+            payload,
+            count=values.size,
+            min_value=min_value,
+            max_value=max_value,
+            has_non_finite=has_non_finite,
+            vector_zones=_vector_zones(values, self._vector_size),
+        )
+
+    def append_serialized(self, payload: bytes, meta: RowGroupMeta) -> None:
+        """Append an already-serialized row-group, reusing its zone maps.
+
+        This is the repair path: intact sections of a damaged file are
+        copied byte-for-byte (no recompression) while checksums are
+        recomputed from the bytes actually written.
+        """
+        if self._closed:
+            raise ValueError(f"writer for {self._path} is closed")
+        self._append_payload(
+            payload,
+            count=meta.count,
+            min_value=meta.min_value,
+            max_value=meta.max_value,
+            has_non_finite=meta.has_non_finite,
+            vector_zones=meta.vector_zones,
+        )
+
+    def _append_payload(
+        self,
+        payload: bytes,
+        *,
+        count: int,
+        min_value: float,
+        max_value: float,
+        has_non_finite: bool,
+        vector_zones: tuple[VectorZone, ...],
+    ) -> None:
         offset = self._file.tell()
         self._file.write(payload)
         if obs.ENABLED:
             obs.metrics.counter_add("columnfile.rowgroups_written", 1)
             obs.metrics.counter_add("columnfile.bytes_written", len(payload))
-        min_value, max_value, has_non_finite = _zone_map(values)
         self._meta.append(
             RowGroupMeta(
                 offset=offset,
                 length=len(payload),
-                count=values.size,
+                count=count,
                 min_value=min_value,
                 max_value=max_value,
                 has_non_finite=has_non_finite,
-                vector_zones=_vector_zones(values, self._vector_size),
+                vector_zones=vector_zones,
+                payload_crc=(
+                    crc32c(payload)
+                    if self._version >= FORMAT_VERSION
+                    else 0
+                ),
             )
         )
 
-    def close(self) -> None:
-        """Write the footer and close the file."""
-        if self._closed:
-            return
-        footer_offset = self._file.tell()
-        self._file.write(struct.pack("<I", len(self._meta)))
+    def _footer_bytes(self) -> bytes:
+        parts = [struct.pack("<I", len(self._meta))]
+        entry = _FOOTER_ENTRY[self._version]
         for meta in self._meta:
-            self._file.write(
-                struct.pack(
-                    "<QQQddB",
-                    meta.offset,
-                    meta.length,
-                    meta.count,
-                    meta.min_value,
-                    meta.max_value,
-                    int(meta.has_non_finite),
-                )
+            fields: tuple[object, ...] = (
+                meta.offset,
+                meta.length,
+                meta.count,
+                meta.min_value,
+                meta.max_value,
+                int(meta.has_non_finite),
             )
+            if self._version >= FORMAT_VERSION:
+                fields += (meta.payload_crc,)
+            parts.append(entry.pack(*fields))
         for meta in self._meta:
-            self._file.write(struct.pack("<I", len(meta.vector_zones)))
+            parts.append(struct.pack("<I", len(meta.vector_zones)))
             for zone in meta.vector_zones:
-                self._file.write(
-                    struct.pack(
-                        "<ddB",
+                parts.append(
+                    _ZONE_ENTRY.pack(
                         zone.min_value,
                         zone.max_value,
                         int(zone.has_non_finite),
                     )
                 )
-        self._file.write(struct.pack("<Q", footer_offset))
-        self._file.write(MAGIC)
-        self._file.close()
+        return b"".join(parts)
+
+    def close(self) -> None:
+        """Write footer + trailer, fsync, and atomically publish the file.
+
+        Idempotent; on any error the temp file is removed and the
+        target path is left exactly as it was.
+        """
+        if self._closed:
+            return
+        try:
+            footer_offset = self._file.tell()
+            footer = self._footer_bytes()
+            self._file.write(footer)
+            if self._version >= FORMAT_VERSION:
+                self._file.write(struct.pack("<I", crc32c(footer)))
+            self._file.write(struct.pack("<Q", footer_offset))
+            self._file.write(MAGIC)
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._file.close()
+            os.replace(self._tmp_path, self._path)
+            _fsync_directory(os.path.dirname(self._path) or ".")
+        except BaseException:
+            self.abort()
+            raise
         self._closed = True
+
+    def abort(self) -> None:
+        """Discard everything written so far; the target path is untouched."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._file.close()
+        finally:
+            try:
+                os.unlink(self._tmp_path)
+            except OSError:
+                pass
 
     def __enter__(self) -> "ColumnFileWriter":
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    def __exit__(self, exc_type: object, *exc_info: object) -> None:
+        if exc_type is not None:
+            self.abort()
+        else:
+            self.close()
+
+
+def _fsync_directory(directory: str) -> None:
+    """Best-effort fsync of a directory entry after a rename."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 class ColumnFileReader:
-    """Random-access reader over an ALPC column file."""
+    """Random-access reader over an ALPC column file.
 
-    def __init__(self, path: str | os.PathLike) -> None:
+    Header and footer checksums are verified at open; row-group payload
+    checksums are verified lazily, on the first access of each group
+    (and cached).  With ``degraded=True``, bulk reads and scans skip
+    corrupt row-groups instead of raising, recording them for
+    :meth:`scan_report`; direct access via :meth:`read_rowgroup` /
+    :meth:`read_rowgroup_compressed` always raises so a caller asking
+    for specific bytes never silently gets nothing.
+    """
+
+    def __init__(
+        self, path: str | os.PathLike, *, degraded: bool = False
+    ) -> None:
         self._path = os.fspath(path)
+        self._degraded = degraded
+        self._quarantined: dict[int, CorruptRowGroupError] = {}
+        self._checked: dict[int, CorruptRowGroupError | None] = {}
         with obs.span("columnfile.open"), open(self._path, "rb") as f:
             data = f.read()
         if obs.ENABLED:
             obs.metrics.counter_add("columnfile.bytes_read", len(data))
-        if data[:4] != MAGIC or data[-4:] != MAGIC:
-            raise ValueError(f"{self._path} is not an ALPC column file")
-        version = struct.unpack_from("<H", data, 4)[0]
-        if version != FORMAT_VERSION:
-            raise ValueError(f"unsupported ALPC version {version}")
-        self.vector_size = struct.unpack_from("<I", data, 6)[0]
-        footer_offset = struct.unpack_from("<Q", data, len(data) - 12)[0]
-        n_rowgroups = struct.unpack_from("<I", data, footer_offset)[0]
-        pos = footer_offset + 4
-        entry = struct.Struct("<QQQddB")
-        raw_meta = []
-        for _ in range(n_rowgroups):
-            raw_meta.append(entry.unpack_from(data, pos))
-            pos += entry.size
-        zone_entry = struct.Struct("<ddB")
-        all_zones: list[tuple[VectorZone, ...]] = []
-        for _ in range(n_rowgroups):
-            n_vectors = struct.unpack_from("<I", data, pos)[0]
-            pos += 4
-            zones = []
-            for _ in range(n_vectors):
-                lo, hi, special = zone_entry.unpack_from(data, pos)
-                pos += zone_entry.size
-                zones.append(
-                    VectorZone(
-                        min_value=lo,
-                        max_value=hi,
-                        has_non_finite=bool(special),
-                    )
-                )
-            all_zones.append(tuple(zones))
-        self._meta = [
-            RowGroupMeta(
-                offset=offset,
-                length=length,
-                count=count,
-                min_value=lo,
-                max_value=hi,
-                has_non_finite=bool(special),
-                vector_zones=zones,
-            )
-            for (offset, length, count, lo, hi, special), zones in zip(
-                raw_meta, all_zones, strict=True
-            )
-        ]
         self._data = data
+        self._parse_header_and_trailer()
+        self._parse_footer()
+
+    # -- open-time parsing (header, trailer, footer) ------------------
+
+    def _corrupt(self, reason: str) -> CorruptFileError:
+        return CorruptFileError(self._path, reason)
+
+    def _parse_header_and_trailer(self) -> None:
+        data = self._data
+        if len(data) < _HEADER_LEN[FORMAT_VERSION_V2] + _TRAILER_LEN[
+            FORMAT_VERSION_V2
+        ] or data[:4] != MAGIC:
+            raise self._corrupt("not an ALPC column file (bad magic)")
+        version = struct.unpack_from("<H", data, 4)[0]
+        if version not in SUPPORTED_VERSIONS:
+            raise self._corrupt(f"unsupported ALPC version {version}")
+        self.format_version = version
+        self.vector_size = struct.unpack_from("<I", data, 6)[0]
+        header_len = _HEADER_LEN[version]
+        trailer_len = _TRAILER_LEN[version]
+        if len(data) < header_len + trailer_len:
+            raise self._corrupt("file truncated inside header/trailer")
+        if version >= FORMAT_VERSION:
+            stored = struct.unpack_from("<I", data, _HEADER_BODY)[0]
+            actual = crc32c(data[:_HEADER_BODY])
+            if stored != actual:
+                obs.counter_add("columnfile.checksum_failures")
+                raise self._corrupt(
+                    f"header checksum mismatch "
+                    f"(stored 0x{stored:08x}, computed 0x{actual:08x})"
+                )
+        if data[-4:] != MAGIC:
+            raise self._corrupt("missing trailing magic (truncated file?)")
+        self._footer_offset = struct.unpack_from(
+            "<Q", data, len(data) - 12
+        )[0]
+        footer_end = len(data) - trailer_len
+        if not header_len <= self._footer_offset <= footer_end:
+            raise self._corrupt(
+                f"footer offset {self._footer_offset} outside file bounds"
+            )
+        self._header_len = header_len
+        self._footer_end = footer_end
+        if version >= FORMAT_VERSION:
+            # The v3 trailer is crc(4) | footer_offset(8) | magic(4): the
+            # footer ends at len-16 and its checksum sits right after it.
+            stored = struct.unpack_from("<I", data, footer_end)[0]
+            actual = crc32c(data[self._footer_offset : footer_end])
+            if stored != actual:
+                obs.counter_add("columnfile.checksum_failures")
+                raise self._corrupt(
+                    f"footer checksum mismatch "
+                    f"(stored 0x{stored:08x}, computed 0x{actual:08x})"
+                )
+
+    def _parse_footer(self) -> None:
+        data = self._data
+        try:
+            n_rowgroups = struct.unpack_from(
+                "<I", data, self._footer_offset
+            )[0]
+            pos = self._footer_offset + 4
+            entry = _FOOTER_ENTRY[self.format_version]
+            raw_meta = []
+            for _ in range(n_rowgroups):
+                if pos + entry.size > self._footer_end:
+                    raise self._corrupt("footer truncated (row-group table)")
+                raw_meta.append(entry.unpack_from(data, pos))
+                pos += entry.size
+            all_zones: list[tuple[VectorZone, ...]] = []
+            for _ in range(n_rowgroups):
+                n_vectors = struct.unpack_from("<I", data, pos)[0]
+                pos += 4
+                if pos + n_vectors * _ZONE_ENTRY.size > self._footer_end:
+                    raise self._corrupt("footer truncated (zone maps)")
+                zones = []
+                for _ in range(n_vectors):
+                    lo, hi, special = _ZONE_ENTRY.unpack_from(data, pos)
+                    pos += _ZONE_ENTRY.size
+                    zones.append(
+                        VectorZone(
+                            min_value=lo,
+                            max_value=hi,
+                            has_non_finite=bool(special),
+                        )
+                    )
+                all_zones.append(tuple(zones))
+        except struct.error as exc:
+            raise self._corrupt(f"footer does not parse: {exc}") from exc
+        self._meta = []
+        for fields, zones in zip(raw_meta, all_zones, strict=True):
+            if self.format_version >= FORMAT_VERSION:
+                offset, length, count, lo, hi, special, payload_crc = fields
+            else:
+                offset, length, count, lo, hi, special = fields
+                payload_crc = 0
+            if not (
+                self._header_len <= offset
+                and offset + length <= self._footer_offset
+            ):
+                raise self._corrupt(
+                    f"row-group {len(self._meta)} section "
+                    f"[{offset}, {offset + length}) outside the payload area"
+                )
+            self._meta.append(
+                RowGroupMeta(
+                    offset=offset,
+                    length=length,
+                    count=count,
+                    min_value=lo,
+                    max_value=hi,
+                    has_non_finite=bool(special),
+                    vector_zones=zones,
+                    payload_crc=payload_crc,
+                )
+            )
+
+    # -- integrity ----------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True when bulk reads quarantine corrupt row-groups."""
+        return self._degraded
+
+    def check_rowgroup(self, index: int) -> CorruptRowGroupError | None:
+        """Checksum-verify one row-group payload (cached; no raise).
+
+        Returns the typed error the payload would raise, or ``None``
+        when the section is intact.  Version-2 files carry no payload
+        checksums, so only decode failures can be detected there.
+        """
+        if index in self._checked:
+            return self._checked[index]
+        meta = self._meta[index]
+        err: CorruptRowGroupError | None = None
+        if self.format_version >= FORMAT_VERSION:
+            actual = crc32c(
+                self._data[meta.offset : meta.offset + meta.length]
+            )
+            if actual != meta.payload_crc:
+                obs.counter_add("columnfile.checksum_failures")
+                err = CorruptRowGroupError(
+                    self._path,
+                    index,
+                    meta.offset,
+                    meta.length,
+                    f"payload checksum mismatch (stored "
+                    f"0x{meta.payload_crc:08x}, computed 0x{actual:08x})",
+                )
+        self._checked[index] = err
+        return err
+
+    def _decode_error(
+        self, index: int, reason: str
+    ) -> CorruptRowGroupError:
+        meta = self._meta[index]
+        err = CorruptRowGroupError(
+            self._path, index, meta.offset, meta.length, reason
+        )
+        self._checked[index] = err
+        return err
+
+    def _quarantine(self, index: int, err: CorruptRowGroupError) -> None:
+        if index not in self._quarantined:
+            self._quarantined[index] = err
+            if obs.ENABLED:
+                obs.metrics.counter_add("columnfile.rowgroups_quarantined", 1)
+                obs.metrics.counter_add(
+                    "columnfile.values_quarantined", self._meta[index].count
+                )
+
+    def scan_report(self) -> ScanReport:
+        """The structured quarantine account of this reader so far."""
+        entries = tuple(
+            QuarantinedRowGroup(
+                index=index,
+                offset=self._meta[index].offset,
+                length=self._meta[index].length,
+                count=self._meta[index].count,
+                reason=err.reason,
+            )
+            for index, err in sorted(self._quarantined.items())
+        )
+        return ScanReport(
+            path=self._path,
+            format_version=self.format_version,
+            rowgroups_total=len(self._meta),
+            rowgroups_quarantined=len(entries),
+            values_quarantined=sum(entry.count for entry in entries),
+            quarantined=entries,
+        )
+
+    # -- access -------------------------------------------------------
+
+    @property
+    def header_length(self) -> int:
+        """Byte length of the file header."""
+        return self._header_len
+
+    @property
+    def footer_offset(self) -> int:
+        """Byte offset where the footer starts."""
+        return self._footer_offset
+
+    @property
+    def footer_length(self) -> int:
+        """Byte length of the footer (checksum/trailer excluded)."""
+        return self._footer_end - self._footer_offset
+
+    def rowgroup_payload(self, index: int) -> bytes:
+        """The raw serialized bytes of one row-group section."""
+        meta = self._meta[index]
+        return bytes(self._data[meta.offset : meta.offset + meta.length])
 
     @property
     def rowgroup_count(self) -> int:
@@ -270,28 +684,43 @@ class ColumnFileReader:
 
     @property
     def value_count(self) -> int:
-        """Total number of values in the column."""
+        """Total number of values in the column (per the footer)."""
         return sum(m.count for m in self._meta)
 
     @property
     def metadata(self) -> tuple[RowGroupMeta, ...]:
-        """Zone maps and offsets, in row-group order."""
+        """Zone maps, checksums and offsets, in row-group order."""
         return tuple(self._meta)
 
     def read_rowgroup_compressed(self, index: int) -> CompressedRowGroup:
-        """Decode the framing of one row-group without decompressing it."""
+        """Decode the framing of one row-group without decompressing it.
+
+        Raises :class:`CorruptRowGroupError` on checksum or framing
+        damage, even in degraded mode (direct access is explicit).
+        """
+        err = self.check_rowgroup(index)
+        if err is not None:
+            raise err
         meta = self._meta[index]
-        rowgroup, consumed = deserialize_rowgroup(self._data, meta.offset)
+        try:
+            rowgroup, consumed = deserialize_rowgroup(
+                self._data, meta.offset
+            )
+        except _DECODE_ERRORS as exc:
+            raise self._decode_error(
+                index, f"payload does not decode: {exc}"
+            ) from exc
         if consumed != meta.length:
-            raise ValueError(
-                f"row-group {index}: read {consumed} bytes, footer says "
-                f"{meta.length}"
+            raise self._decode_error(
+                index,
+                f"payload framing mismatch: read {consumed} bytes, "
+                f"footer says {meta.length}",
             )
         obs.counter_add("columnfile.rowgroups_read")
         return rowgroup
 
     def read_rowgroup(self, index: int) -> np.ndarray:
-        """Decompress one row-group to float64."""
+        """Decompress one row-group to float64 (raises on corruption)."""
         with obs.span("columnfile.read_rowgroup"):
             rowgroup = self.read_rowgroup_compressed(index)
             column = CompressedRowGroups(
@@ -300,15 +729,34 @@ class ColumnFileReader:
                 vector_size=self.vector_size,
                 stats=empty_stats(),
             )
-            return decompress(column)
+            try:
+                return decompress(column)
+            except _DECODE_ERRORS as exc:
+                raise self._decode_error(
+                    index, f"payload does not decompress: {exc}"
+                ) from exc
+
+    def iter_rowgroups(self) -> Iterator[tuple[int, np.ndarray]]:
+        """Yield (index, values) per row-group; degraded mode skips bad ones."""
+        for index in range(len(self._meta)):
+            try:
+                yield index, self.read_rowgroup(index)
+            except CorruptRowGroupError as err:
+                if not self._degraded:
+                    raise
+                self._quarantine(index, err)
 
     def read_all(self) -> np.ndarray:
-        """Decompress the whole column."""
-        if not self._meta:
+        """Decompress the whole column.
+
+        In degraded mode, quarantined row-groups are omitted (the
+        result holds every remaining value, in order); consult
+        :meth:`scan_report` for what was skipped.
+        """
+        chunks = [values for _, values in self.iter_rowgroups()]
+        if not chunks:
             return np.empty(0, dtype=np.float64)
-        return np.concatenate(
-            [self.read_rowgroup(i) for i in range(len(self._meta))]
-        )
+        return np.concatenate(chunks)
 
     def scan_range(
         self, low: float, high: float
@@ -318,14 +766,22 @@ class ColumnFileReader:
         Row-groups whose zone map excludes ``[low, high]`` are skipped
         without touching their compressed bytes — this is the predicate
         push-down the paper highlights as impossible for block-based
-        general-purpose compression.
+        general-purpose compression.  Corrupt row-groups raise, or are
+        quarantined in degraded mode.
         """
         for index, meta in enumerate(self._meta):
             if not meta.may_contain_range(low, high):
                 obs.counter_add("columnfile.rowgroups_skipped")
                 continue
+            try:
+                values = self.read_rowgroup(index)
+            except CorruptRowGroupError as err:
+                if not self._degraded:
+                    raise
+                self._quarantine(index, err)
+                continue
             obs.counter_add("columnfile.rowgroups_scanned")
-            yield index, self.read_rowgroup(index)
+            yield index, values
 
     def count_skippable(self, low: float, high: float) -> int:
         """How many row-groups the zone maps eliminate for a range."""
@@ -357,7 +813,13 @@ class ColumnFileReader:
                         "columnfile.vectors_skipped", len(meta.vector_zones)
                     )
                 continue
-            rowgroup = self.read_rowgroup_compressed(rg_index)
+            try:
+                rowgroup = self.read_rowgroup_compressed(rg_index)
+            except CorruptRowGroupError as err:
+                if not self._degraded:
+                    raise
+                self._quarantine(rg_index, err)
+                continue
             vectors = (
                 rowgroup.alp.vectors
                 if rowgroup.alp is not None
@@ -405,14 +867,40 @@ def write_column_file(
     values: np.ndarray,
     vector_size: int = VECTOR_SIZE,
     rowgroup_vectors: int = ROWGROUP_VECTORS,
+    *,
+    options: "CompressionOptions | None" = None,
 ) -> None:
-    """Convenience: compress ``values`` into a new ALPC file."""
+    """Deprecated convenience: compress ``values`` into a new ALPC file.
+
+    Use :func:`repro.api.write` instead (same behavior, one options
+    object instead of drifting keyword lists).
+    """
+    import warnings
+
+    warnings.warn(
+        "write_column_file is deprecated; use repro.api.write",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     with ColumnFileWriter(
-        path, vector_size=vector_size, rowgroup_vectors=rowgroup_vectors
+        path,
+        vector_size=vector_size,
+        rowgroup_vectors=rowgroup_vectors,
+        options=options,
     ) as writer:
         writer.write_values(values)
 
 
 def read_column_file(path: str | os.PathLike) -> np.ndarray:
-    """Convenience: decompress an entire ALPC file."""
+    """Deprecated convenience: decompress an entire ALPC file.
+
+    Use ``repro.api.read`` (or ``repro.api.open(path).read_all()``).
+    """
+    import warnings
+
+    warnings.warn(
+        "read_column_file is deprecated; use repro.api.read",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return ColumnFileReader(path).read_all()

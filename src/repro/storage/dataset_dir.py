@@ -27,12 +27,10 @@ import numpy as np
 from typing import TYPE_CHECKING
 
 from repro.core.constants import ROWGROUP_VECTORS, VECTOR_SIZE
-from repro.storage.columnfile import (
-    ColumnFileReader,
-    write_column_file,
-)
+from repro.storage.columnfile import ColumnFileReader, ColumnFileWriter
 
 if TYPE_CHECKING:
+    from repro.api import CompressionOptions
     from repro.query.table import CompressedTable
 
 MANIFEST_NAME = "manifest.json"
@@ -51,8 +49,16 @@ def write_dataset(
     columns: dict[str, np.ndarray],
     vector_size: int = VECTOR_SIZE,
     rowgroup_vectors: int = ROWGROUP_VECTORS,
+    *,
+    options: "CompressionOptions | None" = None,
 ) -> None:
-    """Compress a dict of equally-long float64 arrays into a directory."""
+    """Compress a dict of equally-long float64 arrays into a directory.
+
+    Column files are written atomically (temp + rename) and, unless
+    ``options.integrity`` is off, in the checksummed v3 format; the
+    manifest is written last, also atomically, so a crashed write never
+    leaves a directory that parses but points at half-written columns.
+    """
     if not columns:
         raise ValueError("a dataset needs at least one column")
     lengths = {name: np.asarray(a).size for name, a in columns.items()}
@@ -68,12 +74,15 @@ def write_dataset(
         if filename in used_names:  # collision after sanitizing
             filename = f"{len(used_names)}_{filename}"
         used_names.add(filename)
-        write_column_file(
+        with ColumnFileWriter(
             path / filename,
-            np.ascontiguousarray(values, dtype=np.float64),
             vector_size=vector_size,
             rowgroup_vectors=rowgroup_vectors,
-        )
+            options=options,
+        ) as writer:
+            writer.write_values(
+                np.ascontiguousarray(values, dtype=np.float64)
+            )
         manifest_columns[name] = filename
     manifest = {
         "format": FORMAT_NAME,
@@ -81,13 +90,23 @@ def write_dataset(
         "rows": int(next(iter(lengths.values()))),
         "columns": manifest_columns,
     }
-    (path / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+    manifest_tmp = path / f"{MANIFEST_NAME}.tmp-{os.getpid()}"
+    manifest_tmp.write_text(json.dumps(manifest, indent=2))
+    os.replace(manifest_tmp, path / MANIFEST_NAME)
 
 
 class DatasetReader:
-    """Lazy reader over an alpc-dataset directory."""
+    """Lazy reader over an alpc-dataset directory.
 
-    def __init__(self, directory: str | os.PathLike) -> None:
+    With ``degraded=True``, every column reader it opens quarantines
+    corrupt row-groups instead of raising (see
+    :meth:`ColumnFileReader.scan_report` per column).
+    """
+
+    def __init__(
+        self, directory: str | os.PathLike, *, degraded: bool = False
+    ) -> None:
+        self._degraded = degraded
         self._path = Path(directory)
         manifest_path = self._path / MANIFEST_NAME
         if not manifest_path.exists():
@@ -120,7 +139,7 @@ class DatasetReader:
             )
         if column not in self._readers:
             self._readers[column] = ColumnFileReader(
-                self._path / self._files[column]
+                self._path / self._files[column], degraded=self._degraded
             )
         return self._readers[column]
 

@@ -1,0 +1,168 @@
+"""Tests for the repro.api facade and CompressionOptions plumbing."""
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.storage.columnfile import (
+    FORMAT_VERSION,
+    FORMAT_VERSION_V2,
+    ColumnFileReader,
+    read_column_file,
+    write_column_file,
+)
+
+
+def _column(n=30_000, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.round(np.cumsum(rng.normal(0, 0.3, n)) + 20.0, 2)
+
+
+def bitwise_equal(a, b):
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return a.shape == b.shape and np.array_equal(
+        a.view(np.uint64), b.view(np.uint64)
+    )
+
+
+class TestCompressionOptions:
+    def test_defaults(self):
+        opts = api.CompressionOptions()
+        assert opts.vector_size == 1024
+        assert opts.threads == 1
+        assert opts.force_scheme is None
+        assert opts.integrity
+
+    def test_bad_force_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            api.CompressionOptions(force_scheme="gzip")
+
+    def test_bad_threads_rejected(self):
+        with pytest.raises(ValueError):
+            api.CompressionOptions(threads=0)
+
+    def test_bad_rowgroup_vectors_rejected(self):
+        with pytest.raises(ValueError):
+            api.CompressionOptions(rowgroup_vectors=0)
+
+    def test_frozen(self):
+        opts = api.CompressionOptions()
+        with pytest.raises(Exception):
+            opts.threads = 4
+
+
+class TestCompress:
+    def test_roundtrip(self):
+        values = _column()
+        column = api.compress(values)
+        assert bitwise_equal(api.decompress(column), values)
+
+    def test_threads_bit_identical(self):
+        values = _column(60_000)
+        serial = api.compress(values)
+        parallel = api.compress(
+            values, api.CompressionOptions(threads=2)
+        )
+        assert serial.size_bits() == parallel.size_bits()
+        assert bitwise_equal(api.decompress(parallel), values)
+
+    def test_force_scheme(self):
+        values = _column()
+        column = api.compress(
+            values, api.CompressionOptions(force_scheme="alprd")
+        )
+        assert column.uses_rd
+        assert bitwise_equal(api.decompress(column), values)
+
+    def test_custom_geometry(self):
+        values = _column(10_000)
+        opts = api.CompressionOptions(vector_size=256, rowgroup_vectors=4)
+        column = api.compress(values, opts)
+        assert column.vector_size == 256
+        assert len(column.rowgroups) == int(np.ceil(10_000 / (256 * 4)))
+        assert bitwise_equal(api.decompress(column), values)
+
+
+class TestFileRoundtrip:
+    def test_write_read(self, tmp_path):
+        values = _column()
+        path = tmp_path / "col.alpc"
+        api.write(path, values)
+        assert bitwise_equal(api.read(path), values)
+
+    def test_writes_v3_by_default(self, tmp_path):
+        path = tmp_path / "col.alpc"
+        api.write(path, _column())
+        assert ColumnFileReader(path).format_version == FORMAT_VERSION
+
+    def test_integrity_off_writes_v2(self, tmp_path):
+        path = tmp_path / "col.alpc"
+        values = _column()
+        api.write(path, values, api.CompressionOptions(integrity=False))
+        reader = ColumnFileReader(path)
+        assert reader.format_version == FORMAT_VERSION_V2
+        assert bitwise_equal(reader.read_all(), values)
+
+    def test_open_reader(self, tmp_path):
+        path = tmp_path / "col.alpc"
+        values = _column()
+        api.write(path, values)
+        reader = api.open(path)
+        assert reader.value_count == values.size
+        assert bitwise_equal(reader.read_all(), values)
+
+    def test_geometry_flows_to_file(self, tmp_path):
+        path = tmp_path / "col.alpc"
+        opts = api.CompressionOptions(vector_size=512, rowgroup_vectors=8)
+        api.write(path, _column(20_000), opts)
+        reader = api.open(path)
+        assert reader.vector_size == 512
+        assert reader.rowgroup_count == int(np.ceil(20_000 / (512 * 8)))
+
+
+class TestDataset:
+    def test_roundtrip(self, tmp_path):
+        columns = {"a": _column(8_000, 1), "b": _column(8_000, 2)}
+        directory = tmp_path / "ds"
+        api.write_dataset(directory, columns)
+        reader = api.open_dataset(directory)
+        assert sorted(reader.column_names) == ["a", "b"]
+        for name, values in columns.items():
+            assert bitwise_equal(reader.read_column(name), values)
+
+    def test_verify_clean_dataset(self, tmp_path):
+        directory = tmp_path / "ds"
+        api.write_dataset(directory, {"a": _column(8_000)})
+        report = api.verify(directory)
+        assert report.ok
+        assert report.as_dict()["ok"] is True
+
+
+class TestVerifyRepair:
+    def test_verify_clean_file(self, tmp_path):
+        path = tmp_path / "col.alpc"
+        api.write(path, _column())
+        report = api.verify(path)
+        assert report.ok
+        assert not report.bad_sections
+
+    def test_repair_clean_file_keeps_everything(self, tmp_path):
+        src = tmp_path / "col.alpc"
+        dst = tmp_path / "fixed.alpc"
+        values = _column()
+        api.write(src, values)
+        report = api.repair(src, dst)
+        assert report.rowgroups_dropped == 0
+        assert bitwise_equal(api.read(dst), values)
+
+
+class TestDeprecationShims:
+    def test_write_column_file_warns_but_works(self, tmp_path):
+        path = tmp_path / "col.alpc"
+        values = _column(5_000)
+        with pytest.warns(DeprecationWarning, match="repro.api.write"):
+            write_column_file(path, values)
+        with pytest.warns(DeprecationWarning, match="repro.api.read"):
+            restored = read_column_file(path)
+        assert bitwise_equal(restored, values)

@@ -110,11 +110,11 @@ class TestDecimalsEdges:
 
 class TestSourcePartitionEdges:
     def test_file_source_partition_is_self(self, tmp_path):
-        from repro.storage.columnfile import write_column_file
+        from repro import api
 
         values = np.round(np.linspace(0, 1, 5000), 2)
         path = tmp_path / "x.alpc"
-        write_column_file(path, values)
+        api.write(path, values)
         source = FileColumnSource.open(path)
         assert source.partition(4) == [source]
 

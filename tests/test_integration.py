@@ -21,7 +21,8 @@ from repro.core.compressor import compress, compress_rowgroup
 from repro.data import DATASET_ORDER, get_dataset
 from repro.query.engine import sum_query
 from repro.query.sources import FileColumnSource, make_source
-from repro.storage.columnfile import ColumnFileReader, write_column_file
+from repro import api
+from repro.storage.columnfile import ColumnFileReader
 from repro.storage.serializer import serialize_rowgroup
 
 
@@ -51,7 +52,7 @@ class TestSizeModelConsistency:
         values = get_dataset("Stocks-USA", n=250_000)
         column = compress(values)
         path = tmp_path / "col.alpc"
-        write_column_file(path, values)
+        api.write(path, values)
         file_bits = path.stat().st_size * 8
         assert file_bits == pytest.approx(column.size_bits(), rel=0.10)
 
@@ -72,7 +73,7 @@ class TestFileToEnginePath:
     def test_dataset_to_file_to_sum(self, tmp_path):
         values = get_dataset("Dew-Temp", n=150_000)
         path = tmp_path / "dew.alpc"
-        write_column_file(path, values)
+        api.write(path, values)
         source = FileColumnSource.open(path)
         assert sum_query(source) == pytest.approx(
             float(values.sum()), rel=1e-9
@@ -81,7 +82,7 @@ class TestFileToEnginePath:
     def test_in_memory_and_file_sources_agree(self, tmp_path):
         values = get_dataset("Btc-Price", n=120_000)
         path = tmp_path / "btc.alpc"
-        write_column_file(path, values)
+        api.write(path, values)
         memory = sum_query(make_source("alp", values))
         file_based = sum_query(FileColumnSource.open(path))
         assert memory == pytest.approx(file_based, rel=1e-12)
@@ -91,7 +92,7 @@ class TestCorruptionHandling:
     def _write(self, tmp_path):
         values = np.round(np.linspace(0, 10, 5000), 2)
         path = tmp_path / "col.alpc"
-        write_column_file(path, values)
+        api.write(path, values)
         return path
 
     def test_truncated_file_rejected(self, tmp_path):

@@ -64,6 +64,18 @@ def test_registry_matches_code():
     assert used["gauge"] == set(GAUGE_NAMES)
 
 
+def test_integrity_names_registered():
+    # The storage-integrity metrics (format v3) must stay registered —
+    # the verify CLI and the degraded-scan report depend on them.
+    assert "columnfile.verify" in SPAN_NAMES
+    for name in (
+        "columnfile.checksum_failures",
+        "columnfile.rowgroups_quarantined",
+        "columnfile.values_quarantined",
+    ):
+        assert name in COUNTER_NAMES
+
+
 def test_registry_names_are_documented():
     doc = (ROOT / "docs" / "OBSERVABILITY.md").read_text(encoding="utf-8")
     missing = sorted(name for name in ALL_METRIC_NAMES if name not in doc)

@@ -9,12 +9,8 @@ from hypothesis import strategies as st
 
 from repro.core.compressor import compress_rowgroup, decompress
 from repro.data import get_dataset
-from repro.storage.columnfile import (
-    ColumnFileReader,
-    ColumnFileWriter,
-    read_column_file,
-    write_column_file,
-)
+from repro import api
+from repro.storage.columnfile import ColumnFileReader, ColumnFileWriter
 from repro.storage.serializer import deserialize_rowgroup, serialize_rowgroup
 
 
@@ -119,19 +115,19 @@ class TestColumnFile:
     def test_write_read_roundtrip(self, tmp_path):
         values = get_dataset("City-Temp", n=250_000)
         path = tmp_path / "city.alpc"
-        write_column_file(path, values)
-        assert bitwise_equal(read_column_file(path), values)
+        api.write(path, values)
+        assert bitwise_equal(api.read(path), values)
 
     def test_file_smaller_than_raw(self, tmp_path):
         values = get_dataset("City-Temp", n=250_000)
         path = tmp_path / "city.alpc"
-        write_column_file(path, values)
+        api.write(path, values)
         assert path.stat().st_size < values.nbytes / 3
 
     def test_rowgroup_random_access(self, tmp_path):
         values = get_dataset("Stocks-USA", n=300_000)
         path = tmp_path / "stocks.alpc"
-        write_column_file(path, values)
+        api.write(path, values)
         reader = ColumnFileReader(path)
         assert reader.rowgroup_count == 3
         assert reader.value_count == 300_000
@@ -147,7 +143,7 @@ class TestColumnFile:
         ]
         values = np.concatenate(parts)
         path = tmp_path / "ranges.alpc"
-        write_column_file(path, values)
+        api.write(path, values)
         reader = ColumnFileReader(path)
         assert reader.count_skippable(100.0, 110.0) == 2
         hits = list(reader.scan_range(100.0, 110.0))
@@ -158,13 +154,13 @@ class TestColumnFile:
         values = np.round(np.linspace(0, 10, 102_400), 2)
         values[5] = math.nan
         path = tmp_path / "nan.alpc"
-        write_column_file(path, values)
+        api.write(path, values)
         reader = ColumnFileReader(path)
         assert reader.count_skippable(1e9, 2e9) == 0  # inconclusive zone map
 
     def test_empty_column(self, tmp_path):
         path = tmp_path / "empty.alpc"
-        write_column_file(path, np.empty(0))
+        api.write(path, np.empty(0))
         reader = ColumnFileReader(path)
         assert reader.rowgroup_count == 0
         assert reader.read_all().size == 0
@@ -178,7 +174,7 @@ class TestColumnFile:
             writer.write_values(chunk_a)
             writer.write_values(chunk_b)
         combined = np.concatenate([chunk_a, chunk_b])
-        assert bitwise_equal(read_column_file(path), combined)
+        assert bitwise_equal(api.read(path), combined)
 
     def test_bad_magic_rejected(self, tmp_path):
         path = tmp_path / "bad.alpc"
@@ -189,5 +185,5 @@ class TestColumnFile:
     def test_rd_rowgroups_in_file(self, tmp_path):
         values = get_dataset("POI-lat", n=120_000)
         path = tmp_path / "poi.alpc"
-        write_column_file(path, values)
-        assert bitwise_equal(read_column_file(path), values)
+        api.write(path, values)
+        assert bitwise_equal(api.read(path), values)

@@ -7,7 +7,7 @@ from repro.core.float32 import compress_f32, decompress_f32
 from repro.data import get_model_weights
 from repro.query.engine import scan_query, sum_query
 from repro.query.sources import FileColumnSource
-from repro.storage.columnfile import write_column_file
+from repro import api
 from repro.storage.serializer_f32 import (
     deserialize_float_column,
     serialize_float_column,
@@ -64,7 +64,7 @@ class TestFileColumnSource:
     def column_file(self, tmp_path):
         values = np.round(np.linspace(0.0, 1000.0, 250_000), 2)
         path = tmp_path / "col.alpc"
-        write_column_file(path, values)
+        api.write(path, values)
         return path, values
 
     def test_full_scan(self, column_file):

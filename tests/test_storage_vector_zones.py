@@ -6,11 +6,8 @@ import numpy as np
 import pytest
 
 from repro.data import get_dataset
-from repro.storage.columnfile import (
-    ColumnFileReader,
-    VectorZone,
-    write_column_file,
-)
+from repro import api
+from repro.storage.columnfile import ColumnFileReader, VectorZone
 
 
 @pytest.fixture
@@ -19,7 +16,7 @@ def sorted_file(tmp_path):
     # so range predicates isolate exactly the right vectors.
     values = np.round(np.linspace(0.0, 1000.0, 300_000), 2)
     path = tmp_path / "sorted.alpc"
-    write_column_file(path, values)
+    api.write(path, values)
     return path, values
 
 
@@ -77,7 +74,7 @@ class TestVectorGranularScan:
     def test_rd_rowgroups_scannable_per_vector(self, tmp_path):
         values = np.sort(get_dataset("POI-lat", n=120_000))
         path = tmp_path / "poi.alpc"
-        write_column_file(path, values)
+        api.write(path, values)
         reader = ColumnFileReader(path)
         low = float(values[60_000])
         high = float(values[61_000])
@@ -102,7 +99,7 @@ class TestVectorGranularScan:
         values = np.round(np.linspace(0, 10, 4096), 2)
         values[2048] = math.nan
         path = tmp_path / "nan.alpc"
-        write_column_file(path, values)
+        api.write(path, values)
         reader = ColumnFileReader(path)
         hits = [v for _, v, _ in reader.scan_range_vectors(1e8, 1e9)]
         assert hits == [2]  # only the NaN vector is inconclusive
