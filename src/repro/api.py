@@ -37,7 +37,8 @@ from repro.core.compressor import (
     CompressedRowGroups,
     compress as _compress,
     compress_parallel as _compress_parallel,
-    decompress as decompress,  # re-export: already options-free
+    decompress as _decompress,
+    decompress_parallel as _decompress_parallel,
 )
 from repro.core.constants import ROWGROUP_VECTORS, VECTOR_SIZE
 from repro.storage.columnfile import ColumnFileReader, ColumnFileWriter
@@ -140,6 +141,21 @@ def compress(
         rowgroup_vectors=opts.rowgroup_vectors,
         force_scheme=opts.force_scheme,
     )
+
+
+def decompress(
+    column: CompressedRowGroups, options: CompressionOptions | None = None
+) -> np.ndarray:
+    """Decompress a column back to float64, bit-exactly.
+
+    Like :func:`compress`, ``options.threads > 1`` routes through the
+    thread-pooled decoder (row-groups decode into disjoint slices of one
+    output array); the result is bit-identical to the serial path.
+    """
+    opts = options or DEFAULT_OPTIONS
+    if opts.threads > 1:
+        return _decompress_parallel(column, threads=opts.threads)
+    return _decompress(column)
 
 
 def write(

@@ -21,7 +21,12 @@ Subcommands:
   benchmark sweep (optionally plus the kernel micro-benchmarks) and
   emit the machine-readable ``BENCH_*.json`` record document,
 - ``lint [PATHS...]`` — run reprolint, the repo-specific static
-  analysis (see ``docs/STATIC_ANALYSIS.md``).
+  analysis (see ``docs/STATIC_ANALYSIS.md``),
+- ``serve PATH...`` — serve column files / dataset directories over the
+  framed TCP protocol (see ``docs/SERVING.md``),
+- ``loadgen --port P`` — closed-loop concurrent load test against a
+  running server; reports p50/p95/p99 latency and can emit a
+  ``BENCH_*.json`` record.
 
 The CLI is deliberately thin: each subcommand is a few lines over the
 library's public API, so it doubles as usage documentation.
@@ -338,6 +343,83 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return lint_main(argv)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve registered datasets over the framed TCP protocol."""
+    import json
+    import signal
+    import threading
+
+    from repro import obs
+    from repro.server import DatasetRegistry, DecodedVectorCache
+    from repro.server.service import ServerConfig, ServerHandle
+
+    if args.obs:
+        obs.enable()
+    cache = DecodedVectorCache(byte_budget=args.cache_mb * (1 << 20))
+    registry = DatasetRegistry(cache=cache, degraded=not args.strict)
+    for spec in args.data:
+        name: str | None = None
+        path = spec
+        if "=" in spec:
+            name, path = spec.split("=", 1)
+        registered = registry.register_path(path, name=name)
+        print(f"serving {registered!r} from {path}")
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_inflight=args.max_inflight,
+        default_deadline_ms=args.deadline_ms,
+    )
+    handle = ServerHandle(registry, config)
+    print(f"listening on {handle.host}:{handle.port}", flush=True)
+
+    stop = threading.Event()
+
+    def _on_signal(signum: int, frame: object) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGINT, _on_signal)
+    signal.signal(signal.SIGTERM, _on_signal)
+    stop.wait()
+    print("draining...", flush=True)
+    handle.shutdown()
+    print(f"cache: {json.dumps(cache.stats().as_dict())}")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Closed-loop load test against a running server."""
+    import json
+
+    from repro.server.loadgen import (
+        LoadgenConfig,
+        discover_targets,
+        run_loadgen,
+        write_loadgen_json,
+    )
+
+    config = LoadgenConfig(
+        host=args.host,
+        port=args.port,
+        clients=args.clients,
+        requests_per_client=args.requests,
+        deadline_ms=args.deadline_ms,
+        overload_retries=args.overload_retries,
+    )
+    targets = discover_targets(config)
+    result = run_loadgen(config, targets)
+    summary = result.summary()
+    print(json.dumps(summary, indent=2))
+    if args.out:
+        write_loadgen_json(args.out, config, result)
+        print(f"wrote {args.out}")
+    if args.fail_on_errors and result.error_count:
+        print(f"FAIL: {result.error_count} request errors")
+        return 1
+    return 0
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     from repro.data import DATASETS
 
@@ -477,6 +559,80 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true", help="print the rule catalog"
     )
     p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser(
+        "serve", help="serve datasets over the framed TCP protocol"
+    )
+    p.add_argument(
+        "data",
+        nargs="+",
+        help="column file or dataset directory to serve; "
+        "NAME=PATH to pick the served name",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port", type=int, default=8642, help="TCP port (0 = ephemeral)"
+    )
+    p.add_argument(
+        "--workers", type=int, default=4, help="blocking-work threads"
+    )
+    p.add_argument(
+        "--max-inflight",
+        type=int,
+        default=32,
+        help="admission bound before `overloaded` rejections",
+    )
+    p.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=30_000.0,
+        help="default per-request deadline",
+    )
+    p.add_argument(
+        "--cache-mb",
+        type=int,
+        default=256,
+        help="decoded-vector cache budget in MiB",
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail requests on corrupt row-groups instead of quarantining",
+    )
+    p.add_argument(
+        "--obs", action="store_true", help="enable metrics recording"
+    )
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen", help="closed-loop load test against a running server"
+    )
+    p.add_argument("--host", default="127.0.0.1", help="server address")
+    p.add_argument("--port", type=int, required=True, help="server port")
+    p.add_argument(
+        "--clients", type=int, default=4, help="concurrent closed-loop clients"
+    )
+    p.add_argument(
+        "--requests", type=int, default=50, help="requests per client"
+    )
+    p.add_argument(
+        "--deadline-ms", type=float, default=None, help="per-request deadline"
+    )
+    p.add_argument(
+        "--overload-retries",
+        type=int,
+        default=0,
+        help="retries per request after `overloaded` rejections",
+    )
+    p.add_argument(
+        "--out", default=None, help="write a BENCH_*.json record document"
+    )
+    p.add_argument(
+        "--fail-on-errors",
+        action="store_true",
+        help="exit nonzero if any request failed (backpressure excluded)",
+    )
+    p.set_defaults(fn=_cmd_loadgen)
 
     p = sub.add_parser("datasets", help="list the synthetic datasets")
     p.set_defaults(fn=_cmd_datasets)

@@ -5,7 +5,7 @@ int64/uint64 semantics in the ALP round-trip, bit widths that must stay
 inside ``[0, 64]``, hot kernels that must never fall back to per-value
 Python loops, observability span names that the docs promise, and format
 constants that must have a single authoritative definition.  reprolint
-encodes those invariants as five rule families:
+encodes those invariants as six rule families:
 
 - **RL1 dtype/overflow** — signed/unsigned numpy mixes (``int64 op
   uint64`` silently promotes to float64), shift amounts that can reach
@@ -24,6 +24,9 @@ encodes those invariants as five rule families:
   come from :mod:`repro.core.constants`.
 - **RL5 bare assert** — library code must raise explicit errors
   (``assert`` vanishes under ``python -O``); asserts belong in tests.
+- **RL6 async blocking** — no blocking calls (``time.sleep``, ``open``,
+  ``socket.*``, direct :mod:`repro.api` codec work) inside ``async def``
+  bodies under ``repro/server`` — the event loop must never block.
 
 Violations can be suppressed per line with ``# reprolint:
 ignore[RL1]`` (a trailing comment on the flagged line, or a standalone
@@ -43,6 +46,7 @@ from repro.lint.engine import (
     lint_paths,
 )
 from repro.lint.rules_assert import BareAssertRule
+from repro.lint.rules_async import AsyncBlockingRule
 from repro.lint.rules_const import FormatConstantRule
 from repro.lint.rules_dtype import DtypeOverflowRule
 from repro.lint.rules_hotloop import HotLoopRule
@@ -50,6 +54,7 @@ from repro.lint.rules_span import SpanHygieneRule
 
 __all__ = [
     "ALL_RULES",
+    "AsyncBlockingRule",
     "BareAssertRule",
     "DtypeOverflowRule",
     "FileContext",
@@ -69,4 +74,5 @@ ALL_RULES: tuple[Rule, ...] = (
     SpanHygieneRule(),
     FormatConstantRule(),
     BareAssertRule(),
+    AsyncBlockingRule(),
 )

@@ -27,12 +27,14 @@ SPAN_NAMES: frozenset[str] = frozenset(
         "compressor.compress",
         "compressor.compress_parallel",
         "compressor.decompress",
+        "compressor.decompress_parallel",
         "compressor.rowgroup",
         "query.comp",
         "query.scan",
         "query.sum",
         "sampler.first_level",
         "sampler.second_level",
+        "server.request",
     }
 )
 
@@ -51,6 +53,9 @@ COUNTER_NAMES: frozenset[str] = frozenset(
         "bitpack.unpack_bytes",
         "bitpack.unpack_calls",
         "bitpack.unpack_values",
+        "cache.evictions",
+        "cache.hits",
+        "cache.misses",
         "columnfile.bytes_read",
         "columnfile.bytes_written",
         "columnfile.checksum_failures",
@@ -86,11 +91,26 @@ COUNTER_NAMES: frozenset[str] = frozenset(
         "sampler.first_level_vectors",
         "sampler.second_level_runs",
         "sampler.second_level_skipped",
+        "server.bytes_in",
+        "server.bytes_out",
+        "server.connections",
+        "server.deadline_exceeded",
+        "server.errors",
+        "server.overloaded",
+        "server.requests",
+        "server.shutdown_rejected",
+        "server.slow_clients",
     }
 )
 
 #: Gauge names (``obs.gauge_set("...", value)``).
-GAUGE_NAMES: frozenset[str] = frozenset({"compressor.bits_per_value"})
+GAUGE_NAMES: frozenset[str] = frozenset(
+    {
+        "cache.bytes",
+        "compressor.bits_per_value",
+        "server.inflight",
+    }
+)
 
 #: Everything together, for docs cross-checking.
 ALL_METRIC_NAMES: frozenset[str] = SPAN_NAMES | COUNTER_NAMES | GAUGE_NAMES

@@ -1,0 +1,131 @@
+"""RL6 — blocking calls inside ``async def`` bodies of the serving layer.
+
+The server's contract is that the event loop never blocks: codec and
+storage work runs in the worker thread pool, coroutines only frame bytes
+and schedule.  One stray ``time.sleep`` or direct ``repro.api`` call
+inside a coroutine stalls *every* connection at once — and nothing at
+runtime flags it; the server just gets mysteriously slow under load.
+
+This rule statically rejects, inside any ``async def`` under
+``repro/server/``:
+
+- ``time.sleep(...)`` (use ``await asyncio.sleep``),
+- the ``open(...)`` builtin and ``socket.*`` calls (blocking I/O belongs
+  in the worker pool or behind asyncio streams),
+- direct :mod:`repro.api` codec/storage calls (``api.compress``,
+  ``api.decompress``, ``api.read``, ``api.write``, ``api.open``,
+  ``api.verify``, ``api.repair``) — including when imported as bare
+  names via ``from repro.api import ...``.
+
+Synchronous helpers nested inside a coroutine are not flagged: defining
+a blocking function there is fine, it is *calling* one from the
+coroutine body that stalls the loop.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Rule, Violation
+
+#: repro.api functions that do blocking codec/storage work.
+_API_BLOCKING = frozenset(
+    {"compress", "decompress", "read", "write", "open", "verify", "repair"}
+)
+
+
+def _api_aliases(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """Names bound to the repro.api module / its blocking functions."""
+    module_aliases: set[str] = set()
+    function_aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro.api":
+                    module_aliases.add(alias.asname or "repro")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "repro":
+                for alias in node.names:
+                    if alias.name == "api":
+                        module_aliases.add(alias.asname or "api")
+            elif node.module == "repro.api":
+                for alias in node.names:
+                    if alias.name in _API_BLOCKING:
+                        function_aliases.add(alias.asname or alias.name)
+    return module_aliases, function_aliases
+
+
+def _iter_coroutine_calls(
+    coroutine: ast.AsyncFunctionDef,
+) -> Iterator[ast.Call]:
+    """Calls lexically inside the coroutine, not in nested sync defs."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(coroutine))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.Lambda)):
+            continue  # a nested sync def is not executed by the loop
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class AsyncBlockingRule(Rule):
+    """RL6: blocking calls in coroutines under ``repro/server``."""
+
+    code = "RL6"
+    name = "async-blocking"
+    description = (
+        "blocking call (time.sleep / open / socket.* / repro.api codec "
+        "work) inside an async def of repro/server; offload to the "
+        "worker pool"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return len(ctx.effective) >= 2 and ctx.effective[:2] == (
+            "repro",
+            "server",
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        module_aliases, function_aliases = _api_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for call in _iter_coroutine_calls(node):
+                reason = self._blocking_reason(
+                    call, module_aliases, function_aliases
+                )
+                if reason is not None:
+                    yield self.violation(
+                        ctx,
+                        call,
+                        f"{reason} inside async def "
+                        f"{node.name!r} blocks the event loop; run it "
+                        "in the worker thread pool",
+                    )
+
+    @staticmethod
+    def _blocking_reason(
+        call: ast.Call,
+        module_aliases: set[str],
+        function_aliases: set[str],
+    ) -> str | None:
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id == "open":
+                return "open()"
+            if func.id in function_aliases:
+                return f"repro.api {func.id}()"
+            return None
+        if isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Name
+        ):
+            owner, attr = func.value.id, func.attr
+            if owner == "time" and attr == "sleep":
+                return "time.sleep()"
+            if owner == "socket":
+                return f"socket.{attr}()"
+            if owner in module_aliases and attr in _API_BLOCKING:
+                return f"repro.api {attr}()"
+        return None

@@ -281,6 +281,10 @@ class FileColumnSource:
 
     reader: object  # repro.storage.columnfile.ColumnFileReader
     value_range: tuple[float, float] | None = None
+    #: Optional decoded-row-group cache (the serving layer's
+    #: ``DecodedVectorCache``); full scans reuse decoded values across
+    #: sources/requests keyed by (file, rowgroup).
+    cache: object | None = None
 
     @classmethod
     def open(
@@ -288,6 +292,7 @@ class FileColumnSource:
         path,
         value_range: tuple[float, float] | None = None,
         degraded: bool = False,
+        cache=None,
     ) -> "FileColumnSource":
         """Open a file source; ``degraded`` quarantines corrupt row-groups.
 
@@ -300,6 +305,7 @@ class FileColumnSource:
         return cls(
             reader=ColumnFileReader(path, degraded=degraded),
             value_range=value_range,
+            cache=cache,
         )
 
     def vectors(self) -> Iterator[np.ndarray]:
@@ -309,7 +315,7 @@ class FileColumnSource:
                 yield values
             return
         size = self.reader.vector_size
-        for _, rowgroup in self.reader.iter_rowgroups():
+        for _, rowgroup in self.reader.iter_rowgroups(self.cache):
             for start in range(0, rowgroup.size, size):
                 yield rowgroup[start : start + size]
 

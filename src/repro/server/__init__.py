@@ -1,0 +1,44 @@
+"""repro.server — an async columnar serving layer over the ALP pipeline.
+
+This package puts the existing surface behind a socket:
+
+- :mod:`repro.server.protocol` — the length-prefixed framed wire format
+  (JSON header + raw payload) and the in-memory column wire encoding;
+- :mod:`repro.server.cache` — the shared decoded-vector LRU cache,
+  keyed by ``(file, rowgroup)`` with a byte budget, also usable by the
+  local query engine (``FileColumnSource(cache=...)``);
+- :mod:`repro.server.registry` — the dataset registry mapping served
+  names to open (degraded) column readers;
+- :mod:`repro.server.ops` — the *synchronous* request handlers
+  (scan/sum/comp/compress/decompress/stats) that the event loop offloads
+  to the worker thread pool;
+- :mod:`repro.server.service` — the asyncio TCP server: bounded
+  admission with explicit ``overloaded`` frames, per-request deadlines,
+  slow-client write limits, graceful draining shutdown;
+- :mod:`repro.server.client` — the blocking socket client used by the
+  load generator, the tests and the CLI;
+- :mod:`repro.server.loadgen` — a closed-loop concurrent load generator
+  reporting p50/p95/p99 latency and emitting a ``BENCH_*.json`` record.
+
+Semantics (frames, cache, backpressure, failure modes) are documented in
+``docs/SERVING.md``; ``alp-repro serve`` / ``alp-repro loadgen`` are the
+CLI entry points.
+"""
+
+from __future__ import annotations
+
+from repro.server.cache import CacheStats, DecodedVectorCache
+from repro.server.client import ServerClient, ServerError
+from repro.server.registry import DatasetRegistry
+from repro.server.service import ReproServer, ServerConfig, run_in_thread
+
+__all__ = [
+    "CacheStats",
+    "DatasetRegistry",
+    "DecodedVectorCache",
+    "ReproServer",
+    "ServerClient",
+    "ServerConfig",
+    "ServerError",
+    "run_in_thread",
+]

@@ -1,0 +1,188 @@
+"""Synchronous TCP client for the :mod:`repro.server` protocol.
+
+A thin blocking wrapper: one socket, sequential request/response frames.
+Used by ``alp-repro loadgen`` (one client per concurrent worker thread),
+the test suite, and anything that wants to talk to a running server
+without touching asyncio.
+
+Error responses raise :class:`ServerError` carrying the protocol error
+code, so callers can branch on backpressure (``exc.code ==
+"overloaded"``) versus genuine failures.
+"""
+
+from __future__ import annotations
+
+import socket
+from types import TracebackType
+
+import numpy as np
+
+from repro.core.compressor import CompressedRowGroups
+from repro.server import protocol
+
+
+class ServerError(Exception):
+    """An ``ok=False`` response from the server."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+
+    @property
+    def is_overloaded(self) -> bool:
+        """Backpressure, not failure — the caller may retry later."""
+        return self.code == protocol.ERR_OVERLOADED
+
+
+class ServerClient:
+    """One blocking connection to a repro server.
+
+    Use as a context manager, or call :meth:`close` explicitly.  A
+    single client is *not* thread-safe (frames would interleave); give
+    each thread its own client.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout_s: float | None = 60.0,
+        deadline_ms: float | None = None,
+    ) -> None:
+        self.deadline_ms = deadline_ms
+        self._sock = socket.create_connection(
+            (host, port), timeout=timeout_s
+        )
+        self._next_id = 0
+
+    # -- plumbing -----------------------------------------------------
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()
+
+    def _read_exactly(self, n: int) -> bytes:
+        chunks: list[bytes] = []
+        remaining = n
+        while remaining:
+            chunk = self._sock.recv(min(remaining, 1 << 20))
+            if not chunk:
+                raise ConnectionError(
+                    f"server closed the connection with {remaining} of "
+                    f"{n} bytes unread"
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def request(
+        self, op: str, fields: dict[str, object] | None = None,
+        payload: bytes = b"",
+    ) -> tuple[dict[str, object], bytes]:
+        """Send one request frame, return the (header, payload) response.
+
+        Raises :class:`ServerError` on ``ok=False`` responses and
+        :class:`ConnectionError` if the server hangs up mid-frame.
+        """
+        self._next_id += 1
+        header: dict[str, object] = {"op": op, "id": self._next_id}
+        if self.deadline_ms is not None:
+            header["deadline_ms"] = self.deadline_ms
+        if fields:
+            header.update(fields)
+        self._sock.sendall(protocol.encode_frame(header, payload))
+        response, resp_payload = protocol.read_frame(self._read_exactly)
+        if not response.get("ok"):
+            code = response.get("error")
+            if not isinstance(code, str) or code not in protocol.ERROR_CODES:
+                code = protocol.ERR_INTERNAL
+            raise ServerError(code, str(response.get("message", "")))
+        return response, resp_payload
+
+    # -- typed ops ----------------------------------------------------
+
+    def ping(self) -> bool:
+        response, _ = self.request("ping")
+        return bool(response.get("pong"))
+
+    def datasets(self) -> dict[str, object]:
+        response, _ = self.request("datasets")
+        datasets = response.get("datasets")
+        return datasets if isinstance(datasets, dict) else {}
+
+    def scan(
+        self,
+        dataset: str,
+        column: str | None = None,
+        low: float | None = None,
+        high: float | None = None,
+    ) -> tuple[np.ndarray, dict[str, object]]:
+        """Fetch (range-filtered) column values; returns (values, fields)."""
+        fields = _query_fields(dataset, column, low, high)
+        response, payload = self.request("scan", fields)
+        return protocol.values_from_bytes(payload), response
+
+    def sum(
+        self,
+        dataset: str,
+        column: str | None = None,
+        low: float | None = None,
+        high: float | None = None,
+    ) -> tuple[float, dict[str, object]]:
+        """Server-side sum; returns (total, response fields)."""
+        response, _ = self.request(
+            "sum", _query_fields(dataset, column, low, high)
+        )
+        return float(response["sum"]), response  # type: ignore[arg-type]
+
+    def comp(
+        self, dataset: str, column: str | None = None, codec: str = "alp"
+    ) -> dict[str, object]:
+        """Server-side compression-size probe under ``codec``."""
+        fields = _query_fields(dataset, column, None, None)
+        fields["codec"] = codec
+        response, _ = self.request("comp", fields)
+        return response
+
+    def compress(
+        self, values: np.ndarray
+    ) -> tuple[CompressedRowGroups, dict[str, object]]:
+        """Round-trip values through the server-side compressor."""
+        response, payload = self.request(
+            "compress", payload=protocol.values_to_bytes(values)
+        )
+        return protocol.column_from_bytes(payload), response
+
+    def decompress(self, column: CompressedRowGroups) -> np.ndarray:
+        """Server-side decompression of a compressed column."""
+        _, payload = self.request(
+            "decompress", payload=protocol.column_to_bytes(column)
+        )
+        return protocol.values_from_bytes(payload)
+
+
+def _query_fields(
+    dataset: str,
+    column: str | None,
+    low: float | None,
+    high: float | None,
+) -> dict[str, object]:
+    fields: dict[str, object] = {"dataset": dataset}
+    if column is not None:
+        fields["column"] = column
+    if low is not None:
+        fields["low"] = low
+    if high is not None:
+        fields["high"] = high
+    return fields

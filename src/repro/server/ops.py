@@ -1,0 +1,221 @@
+"""Synchronous request handlers: the work the event loop never does.
+
+Every op that decodes, compresses or touches storage is *blocking* work,
+so the asyncio service dispatches these handlers to its worker thread
+pool (``run_in_executor``) — the event loop only frames bytes and
+schedules.  That split is enforced statically: reprolint RL6 flags
+blocking calls inside ``async def`` bodies under ``repro/server/``.
+
+Handlers receive the decoded request header and raw payload and return
+an :class:`OpResult` (response header fields + response payload).
+Anticipated failures raise :class:`OpError` with a protocol error code;
+anything else becomes an ``internal`` error frame in the service layer.
+
+The query ops go through the same engine the local benchmarks use
+(:func:`repro.query.engine.sum_query` / :func:`comp_query` over a
+cache-aware :class:`~repro.query.sources.FileColumnSource`), so served
+numbers and local numbers come from one code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro import api
+from repro.query.engine import comp_query, sum_query
+from repro.query.sources import FileColumnSource
+from repro.server import protocol
+from repro.server.registry import DatasetRegistry, ServedColumn
+from repro.storage.errors import IntegrityError
+
+
+class OpError(Exception):
+    """An anticipated failure, mapped to a protocol error frame."""
+
+    def __init__(self, code: str, message: str) -> None:
+        if code not in protocol.ERROR_CODES:
+            raise ValueError(f"unknown error code {code!r}")
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+@dataclass(frozen=True)
+class OpResult:
+    """One successful response: header fields plus a raw payload."""
+
+    fields: dict[str, object] = field(default_factory=dict)
+    payload: bytes = b""
+
+
+#: An op handler: (request header, request payload) -> OpResult.
+OpHandler = Callable[[dict[str, object], bytes], OpResult]
+
+
+def _require_str(header: dict[str, object], key: str) -> str:
+    value = header.get(key)
+    if not isinstance(value, str) or not value:
+        raise OpError(
+            protocol.ERR_BAD_REQUEST,
+            f"request field {key!r} must be a non-empty string",
+        )
+    return value
+
+
+def _optional_str(header: dict[str, object], key: str) -> str | None:
+    value = header.get(key)
+    if value is None:
+        return None
+    if not isinstance(value, str):
+        raise OpError(
+            protocol.ERR_BAD_REQUEST,
+            f"request field {key!r} must be a string",
+        )
+    return value
+
+
+def _range_bounds(
+    header: dict[str, object],
+) -> tuple[float, float] | None:
+    low, high = header.get("low"), header.get("high")
+    if low is None and high is None:
+        return None
+    if low is None or high is None:
+        raise OpError(
+            protocol.ERR_BAD_REQUEST,
+            "range queries need both 'low' and 'high'",
+        )
+    for name, value in (("low", low), ("high", high)):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise OpError(
+                protocol.ERR_BAD_REQUEST,
+                f"request field {name!r} must be a number",
+            )
+    return float(low), float(high)
+
+
+def _resolve(
+    registry: DatasetRegistry, header: dict[str, object]
+) -> ServedColumn:
+    dataset = _require_str(header, "dataset")
+    column = _optional_str(header, "column")
+    try:
+        return registry.column(dataset, column)
+    except KeyError as exc:
+        raise OpError(protocol.ERR_NOT_FOUND, str(exc.args[0])) from exc
+
+
+def _quarantine_fields(served: ServedColumn) -> dict[str, object]:
+    report = served.scan_report()
+    return {
+        "rowgroups_quarantined": report.rowgroups_quarantined,
+        "values_quarantined": report.values_quarantined,
+    }
+
+
+def build_ops(
+    registry: DatasetRegistry,
+    options: api.CompressionOptions | None = None,
+) -> dict[str, OpHandler]:
+    """The op table of one server: name -> synchronous handler."""
+    opts = options or api.CompressionOptions()
+
+    def op_ping(header: dict[str, object], payload: bytes) -> OpResult:
+        return OpResult(fields={"pong": True})
+
+    def op_datasets(header: dict[str, object], payload: bytes) -> OpResult:
+        return OpResult(fields={"datasets": registry.describe()})
+
+    def op_scan(header: dict[str, object], payload: bytes) -> OpResult:
+        served = _resolve(registry, header)
+        bounds = _range_bounds(header)
+        if bounds is None:
+            values = served.all_values()
+        else:
+            values = served.values_in_range(*bounds)
+        fields: dict[str, object] = {"count": int(values.size)}
+        fields.update(_quarantine_fields(served))
+        return OpResult(
+            fields=fields, payload=protocol.values_to_bytes(values)
+        )
+
+    def op_sum(header: dict[str, object], payload: bytes) -> OpResult:
+        served = _resolve(registry, header)
+        bounds = _range_bounds(header)
+        if bounds is None:
+            source = FileColumnSource(
+                reader=served.reader, cache=served.cache
+            )
+            total = float(sum_query(source))
+            count = int(source.value_count)
+        else:
+            values = served.values_in_range(*bounds)
+            total = float(np.sum(values)) if values.size else 0.0
+            count = int(values.size)
+        fields: dict[str, object] = {"sum": total, "count": count}
+        fields.update(_quarantine_fields(served))
+        return OpResult(fields=fields)
+
+    def op_comp(header: dict[str, object], payload: bytes) -> OpResult:
+        from repro.baselines.registry import list_codecs
+
+        served = _resolve(registry, header)
+        codec = _optional_str(header, "codec") or "alp"
+        if codec not in ("uncompressed", *list_codecs()):
+            raise OpError(
+                protocol.ERR_BAD_REQUEST,
+                f"unknown codec {codec!r}; known: "
+                + ", ".join(list_codecs()),
+            )
+        values = served.all_values()
+        bits = int(comp_query(codec, values))
+        return OpResult(
+            fields={
+                "codec": codec,
+                "compressed_bits": bits,
+                "bits_per_value": bits / max(values.size, 1),
+                "count": int(values.size),
+            }
+        )
+
+    def op_compress(header: dict[str, object], payload: bytes) -> OpResult:
+        try:
+            values = protocol.values_from_bytes(payload)
+        except protocol.ProtocolError as exc:
+            raise OpError(protocol.ERR_BAD_REQUEST, str(exc)) from exc
+        column = api.compress(values, opts)
+        return OpResult(
+            fields={
+                "count": int(column.count),
+                "bits_per_value": column.bits_per_value(),
+                "compression_ratio": column.compression_ratio(),
+            },
+            payload=protocol.column_to_bytes(column),
+        )
+
+    def op_decompress(header: dict[str, object], payload: bytes) -> OpResult:
+        try:
+            column = protocol.column_from_bytes(payload)
+        except protocol.ProtocolError as exc:
+            raise OpError(protocol.ERR_BAD_REQUEST, str(exc)) from exc
+        try:
+            values = api.decompress(column, opts)
+        except IntegrityError as exc:
+            raise OpError(protocol.ERR_CORRUPT, str(exc)) from exc
+        return OpResult(
+            fields={"count": int(values.size)},
+            payload=protocol.values_to_bytes(values),
+        )
+
+    return {
+        "ping": op_ping,
+        "datasets": op_datasets,
+        "scan": op_scan,
+        "sum": op_sum,
+        "comp": op_comp,
+        "compress": op_compress,
+        "decompress": op_decompress,
+    }

@@ -1,0 +1,201 @@
+"""The served-dataset registry: names -> open, cache-aware column readers.
+
+A server serves what is *registered*: single ``.alpc`` column files (one
+column, named after the file stem) or ``alpc-dataset`` directories (one
+column per manifest entry).  Registration opens readers eagerly —
+header/footer verification happens at startup, not on the first request
+— in *degraded* mode by default, so a column with corrupt row-groups
+serves its intact remainder (PR 4 quarantine semantics) instead of
+failing every request that touches it.
+
+Every :class:`ServedColumn` routes decoded row-groups through the shared
+:class:`~repro.server.cache.DecodedVectorCache`, keyed by
+``(file path, rowgroup index)`` — the same keying the local query engine
+uses, so a server and an in-process scan can share one cache.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.server.cache import DecodedVectorCache
+from repro.storage.columnfile import ColumnFileReader, ScanReport
+from repro.storage.dataset_dir import MANIFEST_NAME, DatasetReader
+
+
+class ServedColumn:
+    """One column under service: a degraded reader plus the shared cache."""
+
+    def __init__(
+        self,
+        dataset: str,
+        column: str,
+        path: str,
+        reader: ColumnFileReader,
+        cache: DecodedVectorCache | None,
+    ) -> None:
+        self.dataset = dataset
+        self.column = column
+        self.path = path
+        self.reader = reader
+        self.cache = cache
+
+    @property
+    def value_count(self) -> int:
+        """Total values per the file footer (quarantine not subtracted)."""
+        return self.reader.value_count
+
+    @property
+    def compressed_bits(self) -> int:
+        """Compressed payload footprint in bits."""
+        return sum(meta.length * 8 for meta in self.reader.metadata)
+
+    @property
+    def bits_per_value(self) -> float:
+        """Compressed bits per value of the served column."""
+        return self.compressed_bits / max(self.value_count, 1)
+
+    def all_values(self) -> np.ndarray:
+        """Every decodable value, in order (degraded readers skip bad
+        row-groups; see :meth:`scan_report`)."""
+        return self.reader.read_all(cache=self.cache)
+
+    def values_in_range(self, low: float, high: float) -> np.ndarray:
+        """Values inside ``[low, high]``, zone-map-pruned then filtered."""
+        chunks = []
+        for _, values in self.reader.scan_range(low, high, cache=self.cache):
+            mask = (values >= low) & (values <= high)
+            chunks.append(values[mask])
+        if not chunks:
+            return np.empty(0, dtype=np.float64)
+        return np.concatenate(chunks)
+
+    def scan_report(self) -> ScanReport:
+        """Cumulative quarantine account of this column's reader."""
+        return self.reader.scan_report()
+
+    def describe(self) -> dict[str, object]:
+        """Metadata for the ``datasets`` op / the CLI listing."""
+        return {
+            "values": self.value_count,
+            "rowgroups": self.reader.rowgroup_count,
+            "vector_size": self.reader.vector_size,
+            "bits_per_value": self.bits_per_value,
+            "format_version": self.reader.format_version,
+        }
+
+
+class DatasetRegistry:
+    """Maps served dataset/column names to :class:`ServedColumn` readers."""
+
+    def __init__(
+        self,
+        cache: DecodedVectorCache | None = None,
+        degraded: bool = True,
+    ) -> None:
+        self.cache = cache
+        self.degraded = degraded
+        #: dataset name -> column name -> ServedColumn
+        self._datasets: dict[str, dict[str, ServedColumn]] = {}
+
+    def register_file(
+        self, path: str | os.PathLike, name: str | None = None
+    ) -> str:
+        """Serve a single ``.alpc`` file as a one-column dataset."""
+        file_path = Path(path)
+        dataset = name or file_path.stem
+        if dataset in self._datasets:
+            raise ValueError(f"dataset {dataset!r} is already registered")
+        reader = ColumnFileReader(file_path, degraded=self.degraded)
+        self._datasets[dataset] = {
+            file_path.stem: ServedColumn(
+                dataset=dataset,
+                column=file_path.stem,
+                path=str(file_path),
+                reader=reader,
+                cache=self.cache,
+            )
+        }
+        return dataset
+
+    def register_dataset(
+        self, directory: str | os.PathLike, name: str | None = None
+    ) -> str:
+        """Serve every column of an ``alpc-dataset`` directory."""
+        dir_path = Path(directory)
+        dataset = name or dir_path.name
+        if dataset in self._datasets:
+            raise ValueError(f"dataset {dataset!r} is already registered")
+        manifest = DatasetReader(dir_path, degraded=self.degraded)
+        columns: dict[str, ServedColumn] = {}
+        for column in manifest.column_names:
+            file_path = dir_path / manifest.column_file(column)
+            columns[column] = ServedColumn(
+                dataset=dataset,
+                column=column,
+                path=str(file_path),
+                reader=ColumnFileReader(file_path, degraded=self.degraded),
+                cache=self.cache,
+            )
+        self._datasets[dataset] = columns
+        return dataset
+
+    def register_path(
+        self, path: str | os.PathLike, name: str | None = None
+    ) -> str:
+        """Register a path, auto-detecting file vs dataset directory."""
+        p = Path(path)
+        if p.is_dir():
+            if not (p / MANIFEST_NAME).exists():
+                raise ValueError(
+                    f"{p} is a directory without a {MANIFEST_NAME}"
+                )
+            return self.register_dataset(p, name)
+        if not p.is_file():
+            raise ValueError(f"{p} is neither a file nor a directory")
+        return self.register_file(p, name)
+
+    @property
+    def dataset_names(self) -> tuple[str, ...]:
+        """Registered dataset names, registration order."""
+        return tuple(self._datasets)
+
+    def column(
+        self, dataset: str, column: str | None = None
+    ) -> ServedColumn:
+        """Resolve a served column; ``column=None`` works for one-column
+        datasets.  Raises ``KeyError`` with a message fit for an error
+        frame when the name does not resolve."""
+        columns = self._datasets.get(dataset)
+        if columns is None:
+            raise KeyError(
+                f"unknown dataset {dataset!r}; "
+                f"registered: {sorted(self._datasets)}"
+            )
+        if column is None:
+            if len(columns) == 1:
+                return next(iter(columns.values()))
+            raise KeyError(
+                f"dataset {dataset!r} has {len(columns)} columns; "
+                f"specify one of {sorted(columns)}"
+            )
+        served = columns.get(column)
+        if served is None:
+            raise KeyError(
+                f"unknown column {column!r} of dataset {dataset!r}; "
+                f"have {sorted(columns)}"
+            )
+        return served
+
+    def describe(self) -> dict[str, object]:
+        """The ``datasets`` op body: everything served, with metadata."""
+        return {
+            dataset: {
+                column: served.describe()
+                for column, served in columns.items()
+            }
+            for dataset, columns in self._datasets.items()
+        }

@@ -55,8 +55,9 @@ from __future__ import annotations
 import itertools
 import os
 import struct
+import threading
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING, Callable, Hashable, Iterator, Protocol
 
 import numpy as np
 
@@ -102,6 +103,17 @@ _ZONE_ENTRY = struct.Struct("<ddB")
 _DECODE_ERRORS = (ValueError, IndexError, KeyError, OverflowError, struct.error)
 
 _TMP_COUNTER = itertools.count()
+
+
+class RowGroupCache(Protocol):
+    """The cache contract bulk reads accept (see
+    :class:`repro.server.cache.DecodedVectorCache`): decoded row-group
+    values memoized under a ``(file path, rowgroup index)`` key."""
+
+    def get_or_load(
+        self, key: "Hashable", loader: "Callable[[], np.ndarray]"
+    ) -> np.ndarray:
+        ...
 
 
 @dataclass(frozen=True)
@@ -455,6 +467,12 @@ class ColumnFileReader:
     ) -> None:
         self._path = os.fspath(path)
         self._degraded = degraded
+        # One reader may be hammered from many threads (the serving
+        # layer shares readers across requests): the integrity
+        # bookkeeping below is lock-protected so checksum results and
+        # quarantine entries — and their obs counters — stay exact
+        # under concurrency.
+        self._integrity_lock = threading.Lock()
         self._quarantined: dict[int, CorruptRowGroupError] = {}
         self._checked: dict[int, CorruptRowGroupError | None] = {}
         with obs.span("columnfile.open"), open(self._path, "rb") as f:
@@ -594,8 +612,9 @@ class ColumnFileReader:
         when the section is intact.  Version-2 files carry no payload
         checksums, so only decode failures can be detected there.
         """
-        if index in self._checked:
-            return self._checked[index]
+        with self._integrity_lock:
+            if index in self._checked:
+                return self._checked[index]
         meta = self._meta[index]
         err: CorruptRowGroupError | None = None
         if self.format_version >= FORMAT_VERSION:
@@ -603,7 +622,6 @@ class ColumnFileReader:
                 self._data[meta.offset : meta.offset + meta.length]
             )
             if actual != meta.payload_crc:
-                obs.counter_add("columnfile.checksum_failures")
                 err = CorruptRowGroupError(
                     self._path,
                     index,
@@ -612,8 +630,12 @@ class ColumnFileReader:
                     f"payload checksum mismatch (stored "
                     f"0x{meta.payload_crc:08x}, computed 0x{actual:08x})",
                 )
-        self._checked[index] = err
-        return err
+        with self._integrity_lock:
+            if index not in self._checked:
+                self._checked[index] = err
+                if err is not None:
+                    obs.counter_add("columnfile.checksum_failures")
+            return self._checked[index]
 
     def _decode_error(
         self, index: int, reason: str
@@ -622,20 +644,25 @@ class ColumnFileReader:
         err = CorruptRowGroupError(
             self._path, index, meta.offset, meta.length, reason
         )
-        self._checked[index] = err
+        with self._integrity_lock:
+            self._checked[index] = err
         return err
 
     def _quarantine(self, index: int, err: CorruptRowGroupError) -> None:
-        if index not in self._quarantined:
+        with self._integrity_lock:
+            if index in self._quarantined:
+                return
             self._quarantined[index] = err
-            if obs.ENABLED:
-                obs.metrics.counter_add("columnfile.rowgroups_quarantined", 1)
-                obs.metrics.counter_add(
-                    "columnfile.values_quarantined", self._meta[index].count
-                )
+        if obs.ENABLED:
+            obs.metrics.counter_add("columnfile.rowgroups_quarantined", 1)
+            obs.metrics.counter_add(
+                "columnfile.values_quarantined", self._meta[index].count
+            )
 
     def scan_report(self) -> ScanReport:
         """The structured quarantine account of this reader so far."""
+        with self._integrity_lock:
+            quarantined = sorted(self._quarantined.items())
         entries = tuple(
             QuarantinedRowGroup(
                 index=index,
@@ -644,7 +671,7 @@ class ColumnFileReader:
                 count=self._meta[index].count,
                 reason=err.reason,
             )
-            for index, err in sorted(self._quarantined.items())
+            for index, err in quarantined
         )
         return ScanReport(
             path=self._path,
@@ -736,30 +763,48 @@ class ColumnFileReader:
                     index, f"payload does not decompress: {exc}"
                 ) from exc
 
-    def iter_rowgroups(self) -> Iterator[tuple[int, np.ndarray]]:
+    def cached_rowgroup(
+        self, index: int, cache: RowGroupCache | None = None
+    ) -> np.ndarray:
+        """Decompress one row-group through an optional decoded cache.
+
+        The cache key is ``(file path, rowgroup index)`` — the keying
+        the serving layer and the local query engine share.  Corruption
+        raises exactly as :meth:`read_rowgroup` does; errors are never
+        cached as values.
+        """
+        if cache is None:
+            return self.read_rowgroup(index)
+        return cache.get_or_load(
+            (self._path, index), lambda: self.read_rowgroup(index)
+        )
+
+    def iter_rowgroups(
+        self, cache: RowGroupCache | None = None
+    ) -> Iterator[tuple[int, np.ndarray]]:
         """Yield (index, values) per row-group; degraded mode skips bad ones."""
         for index in range(len(self._meta)):
             try:
-                yield index, self.read_rowgroup(index)
+                yield index, self.cached_rowgroup(index, cache)
             except CorruptRowGroupError as err:
                 if not self._degraded:
                     raise
                 self._quarantine(index, err)
 
-    def read_all(self) -> np.ndarray:
+    def read_all(self, cache: RowGroupCache | None = None) -> np.ndarray:
         """Decompress the whole column.
 
         In degraded mode, quarantined row-groups are omitted (the
         result holds every remaining value, in order); consult
         :meth:`scan_report` for what was skipped.
         """
-        chunks = [values for _, values in self.iter_rowgroups()]
+        chunks = [values for _, values in self.iter_rowgroups(cache)]
         if not chunks:
             return np.empty(0, dtype=np.float64)
         return np.concatenate(chunks)
 
     def scan_range(
-        self, low: float, high: float
+        self, low: float, high: float, cache: RowGroupCache | None = None
     ) -> Iterator[tuple[int, np.ndarray]]:
         """Yield (row-group index, values) for groups that may match.
 
@@ -774,7 +819,7 @@ class ColumnFileReader:
                 obs.counter_add("columnfile.rowgroups_skipped")
                 continue
             try:
-                values = self.read_rowgroup(index)
+                values = self.cached_rowgroup(index, cache)
             except CorruptRowGroupError as err:
                 if not self._degraded:
                     raise

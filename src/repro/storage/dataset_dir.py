@@ -132,6 +132,14 @@ class DatasetReader:
         """Number of rows in every column."""
         return self._rows
 
+    def column_file(self, column: str) -> str:
+        """The file name (relative to the dataset directory) of a column."""
+        if column not in self._files:
+            raise KeyError(
+                f"unknown column {column!r}; have {sorted(self._files)}"
+            )
+        return self._files[column]
+
     def _reader(self, column: str) -> ColumnFileReader:
         if column not in self._files:
             raise KeyError(

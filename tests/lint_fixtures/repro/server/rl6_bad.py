@@ -1,0 +1,45 @@
+"""Seeded RL6 violations: blocking calls inside server coroutines.
+
+Scoped as ``repro/server/rl6_bad.py`` via the fixture-prefix stripping,
+so the async-blocking rule applies exactly as it would to real serving
+code.  Every ``async def`` here stalls the event loop in a way RL6 must
+flag; the sync helpers at the bottom are the allowed shapes.
+"""
+
+import socket
+import time
+
+from repro import api
+
+
+async def handle_sleep() -> None:
+    time.sleep(0.1)  # RL6: blocks every connection at once
+
+
+async def handle_file(path: str) -> bytes:
+    with open(path, "rb") as fh:  # RL6: blocking file I/O in a coroutine
+        return fh.read()
+
+
+async def handle_socket(host: str) -> None:
+    sock = socket.create_connection((host, 80))  # RL6: blocking connect
+    sock.close()
+
+
+async def handle_codec(values) -> object:
+    return api.compress(values)  # RL6: codec work belongs in the pool
+
+
+async def allowed_shapes(values) -> None:
+    # Defining a sync helper inside a coroutine is fine — only calling
+    # blocking work from the coroutine body stalls the loop.
+    def worker() -> object:
+        time.sleep(0.01)
+        return api.compress(values)
+
+    _ = worker
+
+
+def sync_is_fine(values) -> object:
+    time.sleep(0.01)
+    return api.compress(values)

@@ -67,6 +67,38 @@ class TestCompress:
         assert serial.size_bits() == parallel.size_bits()
         assert bitwise_equal(api.decompress(parallel), values)
 
+    def test_decompress_honors_threads(self):
+        # threads applies to decompression too: the threaded decoder
+        # writes row-groups into disjoint slices of one output array and
+        # must match the serial path bit for bit.
+        values = _column(60_000)
+        column = api.compress(values)
+        serial = api.decompress(column)
+        threaded = api.decompress(column, api.CompressionOptions(threads=4))
+        assert bitwise_equal(serial, threaded)
+        assert bitwise_equal(threaded, values)
+
+    def test_decompress_threads_with_non_finite_and_rd(self):
+        values = _column(20_000)
+        values[::97] = np.nan
+        values[5::101] = np.inf
+        values[7::103] = -0.0
+        opts = api.CompressionOptions(
+            vector_size=256, rowgroup_vectors=4, threads=3
+        )
+        column = api.compress(values, opts)
+        assert bitwise_equal(api.decompress(column, opts), values)
+        rd = api.compress(
+            values,
+            api.CompressionOptions(
+                vector_size=256, rowgroup_vectors=4, force_scheme="alprd"
+            ),
+        )
+        assert rd.uses_rd
+        assert bitwise_equal(
+            api.decompress(rd, api.CompressionOptions(threads=2)), values
+        )
+
     def test_force_scheme(self):
         values = _column()
         column = api.compress(

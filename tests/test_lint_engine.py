@@ -42,7 +42,22 @@ def test_directory_walk_skips_fixtures_unless_explicit():
 
 def test_fixtures_trigger_every_rule_family():
     violations = lint_paths([FIXTURES], root=ROOT)
-    assert _codes(violations) == ["RL1", "RL2", "RL3", "RL4", "RL5"]
+    assert _codes(violations) == ["RL1", "RL2", "RL3", "RL4", "RL5", "RL6"]
+
+
+def test_rl6_fixture_flags_each_blocking_shape():
+    violations = lint_file(
+        FIXTURES / "repro/server/rl6_bad.py", ROOT, ALL_RULES
+    )
+    assert all(v.rule == "RL6" for v in violations)
+    messages = " | ".join(v.message for v in violations)
+    assert "time.sleep()" in messages
+    assert "open()" in messages
+    assert "socket.create_connection()" in messages
+    assert "repro.api compress()" in messages
+    # The nested sync helper and the module-level sync function are the
+    # allowed shapes — exactly the four coroutine bodies fire.
+    assert len(violations) == 4
 
 
 def test_rl1_fixture_flags_each_check():
@@ -133,6 +148,7 @@ def test_cli_json_format(capsys):
         "RL3",
         "RL4",
         "RL5",
+        "RL6",
     }
     assert all(
         {"rule", "path", "line", "col", "message"} <= set(entry)
@@ -143,5 +159,5 @@ def test_cli_json_format(capsys):
 def test_cli_list_rules(capsys):
     assert lint_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for code in ("RL1", "RL2", "RL3", "RL4", "RL5"):
+    for code in ("RL1", "RL2", "RL3", "RL4", "RL5", "RL6"):
         assert code in out

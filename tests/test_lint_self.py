@@ -29,6 +29,22 @@ def test_repo_lints_clean():
     assert violations == [], f"reprolint violations:\n{rendered}"
 
 
+def test_server_package_is_rl6_clean():
+    # The serving layer's core contract — the event loop never blocks —
+    # is pinned statically: RL6 must be registered and find nothing in
+    # the real server package (the seeded violations live in fixtures).
+    from repro.lint import ALL_RULES, AsyncBlockingRule
+
+    assert any(isinstance(rule, AsyncBlockingRule) for rule in ALL_RULES)
+    violations = lint_paths(
+        [ROOT / "src" / "repro" / "server"],
+        root=ROOT,
+        rules=[AsyncBlockingRule()],
+    )
+    rendered = "\n".join(v.render() for v in violations)
+    assert violations == [], f"blocking calls in coroutines:\n{rendered}"
+
+
 def _scan_used_names() -> dict[str, set[str]]:
     used: dict[str, set[str]] = {"span": set(), "counter": set(), "gauge": set()}
     kinds = {"span": "span", "counter_add": "counter", "gauge_set": "gauge"}

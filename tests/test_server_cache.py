@@ -1,0 +1,171 @@
+"""DecodedVectorCache: LRU/byte-budget semantics and engine integration."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro import api, obs
+from repro.query.sources import FileColumnSource
+from repro.server.cache import DecodedVectorCache
+
+
+def _values(n, fill):
+    return np.full(n, float(fill), dtype=np.float64)
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = DecodedVectorCache(byte_budget=1 << 20)
+        assert cache.get("k") is None
+        cache.put("k", _values(10, 1))
+        got = cache.get("k")
+        assert got is not None and got[0] == 1.0
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+        assert stats.hit_rate == 0.5
+
+    def test_get_or_load_runs_loader_once_cached(self):
+        cache = DecodedVectorCache(byte_budget=1 << 20)
+        calls = []
+
+        def loader():
+            calls.append(1)
+            return _values(8, 2)
+
+        first = cache.get_or_load("k", loader)
+        second = cache.get_or_load("k", loader)
+        assert len(calls) == 1
+        assert first is second
+
+    def test_entries_are_read_only(self):
+        cache = DecodedVectorCache(byte_budget=1 << 20)
+        resident = cache.put("k", _values(4, 3))
+        assert not resident.flags.writeable
+
+    def test_loader_exception_propagates_uncached(self):
+        cache = DecodedVectorCache(byte_budget=1 << 20)
+
+        def boom():
+            raise RuntimeError("corrupt")
+
+        try:
+            cache.get_or_load("k", boom)
+        except RuntimeError:
+            pass
+        assert cache.stats().entries == 0
+
+    def test_invalidate_and_clear(self):
+        cache = DecodedVectorCache(byte_budget=1 << 20)
+        cache.put("a", _values(4, 1))
+        cache.put("b", _values(4, 2))
+        assert cache.invalidate("a")
+        assert not cache.invalidate("a")
+        cache.clear()
+        assert cache.stats().entries == 0
+        assert cache.stats().bytes_used == 0
+
+
+class TestBudget:
+    def test_lru_eviction_order(self):
+        # Budget fits exactly two 80-byte entries; touching "a" makes
+        # "b" the LRU victim when "c" arrives.
+        cache = DecodedVectorCache(byte_budget=160)
+        cache.put("a", _values(10, 1))
+        cache.put("b", _values(10, 2))
+        assert cache.get("a") is not None
+        cache.put("c", _values(10, 3))
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+        assert cache.stats().evictions == 1
+
+    def test_bytes_never_exceed_budget(self):
+        cache = DecodedVectorCache(byte_budget=200)
+        for i in range(20):
+            cache.put(i, _values(8, i))
+            assert cache.stats().bytes_used <= 200
+
+    def test_oversized_value_returned_uncached(self):
+        cache = DecodedVectorCache(byte_budget=32)
+        out = cache.put("big", _values(100, 1))
+        assert out.size == 100
+        assert cache.stats().entries == 0
+
+    def test_duplicate_put_keeps_resident_entry(self):
+        cache = DecodedVectorCache(byte_budget=1 << 20)
+        first = cache.put("k", _values(4, 1))
+        second = cache.put("k", _values(4, 2))
+        assert second is first  # first insert wins
+        assert cache.stats().bytes_used == first.nbytes
+
+
+class TestConcurrency:
+    def test_parallel_get_or_load_converges(self):
+        cache = DecodedVectorCache(byte_budget=1 << 20)
+        results = []
+        barrier = threading.Barrier(8)
+
+        def work(i):
+            barrier.wait()
+            out = cache.get_or_load(
+                "shared", lambda: _values(1024, 7)
+            )
+            results.append(out)
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == 8
+        resident = cache.get("shared")
+        assert all(r is resident or np.array_equal(r, resident) for r in results)
+        assert cache.stats().entries == 1
+
+
+class TestEngineIntegration:
+    def test_file_source_uses_cache(self, tmp_path):
+        values = np.round(
+            np.random.default_rng(0).normal(5, 2, 20_000), 2
+        )
+        path = tmp_path / "c.alpc"
+        api.write(
+            path,
+            values,
+            api.CompressionOptions(vector_size=256, rowgroup_vectors=4),
+        )
+        cache = DecodedVectorCache(byte_budget=64 << 20)
+        source = FileColumnSource.open(path, cache=cache)
+        first = np.concatenate(list(source.vectors()))
+        cold = cache.stats()
+        assert cold.misses > 0 and cold.hits == 0
+        second = np.concatenate(list(source.vectors()))
+        warm = cache.stats()
+        assert warm.misses == cold.misses  # fully served from cache
+        assert warm.hits == cold.misses
+        assert np.array_equal(
+            first.view(np.uint64), second.view(np.uint64)
+        )
+        assert np.array_equal(
+            first.view(np.uint64), values.view(np.uint64)
+        )
+
+    def test_obs_counters_mirrored(self):
+        obs.enable()
+        obs.reset()
+        try:
+            cache = DecodedVectorCache(byte_budget=1 << 20)
+            cache.get("k")
+            cache.put("k", _values(4, 1))
+            cache.get("k")
+            snap = obs.snapshot()
+            assert snap["counters"]["cache.misses"] == 1
+            assert snap["counters"]["cache.hits"] == 1
+            assert snap["gauges"]["cache.bytes"] == 32
+        finally:
+            obs.disable()
+            obs.reset()

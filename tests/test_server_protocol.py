@@ -1,0 +1,153 @@
+"""Wire-format tests: frames, bounds, and the column wire encoding."""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core.compressor import compress, decompress
+from repro.server import protocol
+
+
+def _read_frame_from_bytes(data: bytes, **kwargs):
+    view = memoryview(data)
+    offset = 0
+
+    def read_exactly(n: int) -> bytes:
+        nonlocal offset
+        chunk = bytes(view[offset : offset + n])
+        offset += n
+        return chunk
+
+    return protocol.read_frame(read_exactly, **kwargs)
+
+
+class TestFrames:
+    def test_roundtrip(self):
+        header = {"op": "scan", "dataset": "d", "id": 7}
+        payload = b"\x01\x02\x03"
+        got_header, got_payload = _read_frame_from_bytes(
+            protocol.encode_frame(header, payload)
+        )
+        assert got_header == header
+        assert got_payload == payload
+
+    def test_empty_payload(self):
+        frame = protocol.encode_frame({"op": "ping"})
+        header, payload = _read_frame_from_bytes(frame)
+        assert header == {"op": "ping"}
+        assert payload == b""
+
+    def test_bad_magic_rejected(self):
+        frame = bytearray(protocol.encode_frame({"op": "ping"}))
+        frame[:4] = b"XXXX"
+        with pytest.raises(protocol.ProtocolError, match="magic"):
+            _read_frame_from_bytes(bytes(frame))
+
+    def test_oversized_header_rejected_on_encode(self):
+        with pytest.raises(protocol.ProtocolError, match="header"):
+            protocol.encode_frame({"blob": "x" * protocol.MAX_HEADER_BYTES})
+
+    def test_oversized_payload_rejected_before_read(self):
+        prefix = struct.Struct("<4sIQ").pack(
+            protocol.FRAME_MAGIC, 10, protocol.MAX_PAYLOAD_BYTES + 1
+        )
+        with pytest.raises(protocol.ProtocolError, match="payload"):
+            protocol.parse_prefix(prefix)
+
+    def test_lowered_payload_bound_applies(self):
+        frame = protocol.encode_frame({"op": "x"}, b"a" * 100)
+        with pytest.raises(protocol.ProtocolError, match="payload"):
+            _read_frame_from_bytes(frame, max_payload=50)
+
+    def test_non_object_header_rejected(self):
+        with pytest.raises(protocol.ProtocolError, match="object"):
+            protocol.decode_header(b"[1, 2]")
+
+    def test_non_json_header_rejected(self):
+        with pytest.raises(protocol.ProtocolError, match="JSON"):
+            protocol.decode_header(b"\xff\xfe")
+
+    def test_error_frame_shape(self):
+        frame = protocol.error_frame(
+            protocol.ERR_OVERLOADED, "busy", request_id=3
+        )
+        header, payload = _read_frame_from_bytes(frame)
+        assert header == {
+            "ok": False,
+            "error": "overloaded",
+            "message": "busy",
+            "id": 3,
+        }
+        assert payload == b""
+
+    def test_error_frame_rejects_unknown_code(self):
+        with pytest.raises(ValueError, match="unknown error code"):
+            protocol.error_frame("nope", "x")
+
+    def test_ok_frame_shape(self):
+        frame = protocol.ok_frame({"count": 5}, b"pp", request_id=9)
+        header, payload = _read_frame_from_bytes(frame)
+        assert header == {"ok": True, "count": 5, "id": 9}
+        assert payload == b"pp"
+
+
+class TestValuePayloads:
+    def test_roundtrip_bitexact(self):
+        values = np.array(
+            [0.1, -0.0, np.nan, np.inf, -np.inf, 1e300], dtype=np.float64
+        )
+        back = protocol.values_from_bytes(protocol.values_to_bytes(values))
+        assert np.array_equal(back.view(np.uint64), values.view(np.uint64))
+
+    def test_ragged_length_rejected(self):
+        with pytest.raises(protocol.ProtocolError, match="multiple of 8"):
+            protocol.values_from_bytes(b"\x00" * 11)
+
+    def test_result_is_writable_copy(self):
+        values = np.arange(4, dtype=np.float64)
+        back = protocol.values_from_bytes(protocol.values_to_bytes(values))
+        back[0] = 99.0  # must not raise: decoupled from the buffer
+
+
+class TestColumnWire:
+    def _column(self, n=10_000, seed=0):
+        rng = np.random.default_rng(seed)
+        values = np.round(rng.normal(50, 9, n), 2)
+        return values, compress(values, vector_size=256)
+
+    def test_roundtrip_bitexact(self):
+        values, column = self._column()
+        back = protocol.column_from_bytes(protocol.column_to_bytes(column))
+        assert back.count == column.count
+        assert back.vector_size == column.vector_size
+        restored = decompress(back)
+        assert np.array_equal(
+            restored.view(np.uint64), values.view(np.uint64)
+        )
+
+    def test_trailing_bytes_rejected(self):
+        _, column = self._column(2_000)
+        wire = protocol.column_to_bytes(column) + b"\x00"
+        with pytest.raises(protocol.ProtocolError, match="trailing"):
+            protocol.column_from_bytes(wire)
+
+    def test_truncated_rejected(self):
+        _, column = self._column(2_000)
+        wire = protocol.column_to_bytes(column)
+        with pytest.raises(protocol.ProtocolError):
+            protocol.column_from_bytes(wire[: len(wire) // 2])
+
+    def test_count_mismatch_rejected(self):
+        _, column = self._column(2_000)
+        wire = bytearray(protocol.column_to_bytes(column))
+        # Corrupt the value-count field of the column prefix.
+        struct.pack_into("<Q", wire, 8, column.count + 1)
+        with pytest.raises(protocol.ProtocolError, match="count mismatch"):
+            protocol.column_from_bytes(bytes(wire))
+
+    def test_short_prefix_rejected(self):
+        with pytest.raises(protocol.ProtocolError, match="prefix"):
+            protocol.column_from_bytes(b"\x01\x02")
