@@ -17,13 +17,22 @@ and exits non-zero when the current run regresses beyond tolerance:
 Improvements never fail the gate.  A record present in the baseline but
 missing from the current run fails (coverage must not silently shrink);
 new records in the current run are reported but pass.
+
+Besides the plain-text report on stdout, the gate renders the same
+per-metric delta table as GitHub-flavoured markdown: ``--summary PATH``
+appends it to ``PATH``, and when the ``GITHUB_STEP_SUMMARY`` environment
+variable is set (as it is inside every Actions step) the table lands in
+the job summary automatically, so a reviewer sees baseline vs current
+numbers without opening the log.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.bench.records import BenchRecord, read_bench_json
 
@@ -138,6 +147,61 @@ def run_gate(
     return checks, problems
 
 
+def render_markdown(checks: list[Check], problems: list[str]) -> str:
+    """The gate report as a GitHub-flavoured markdown delta table.
+
+    One row per compared metric — baseline, current, signed delta
+    (negative = improved), tolerance and pass/fail — followed by any
+    structural problems.  This is what lands in the Actions job summary.
+    """
+    lines = [
+        "## Benchmark regression gate",
+        "",
+        "| dataset | codec | metric | baseline | current | delta "
+        "| tolerance | status |",
+        "|---|---|---|---:|---:|---:|---:|---|",
+    ]
+    for check in checks:
+        status = ":x: FAIL" if check.failed else ":white_check_mark: ok"
+        lines.append(
+            f"| {check.dataset} | {check.codec} | {check.metric} "
+            f"| {check.baseline:.4f} | {check.current:.4f} "
+            f"| {check.change:+.1%} | {check.tolerance:.0%} | {status} |"
+        )
+    if problems:
+        lines.append("")
+        for problem in problems:
+            lines.append(f"- :x: {problem}")
+    failed = sum(1 for check in checks if check.failed)
+    lines.append("")
+    if failed or problems:
+        lines.append(
+            f"**Gate FAILED** — {failed} regressed metric(s), "
+            f"{len(problems)} structural problem(s)."
+        )
+    else:
+        lines.append(f"**Gate passed** ({len(checks)} checks).")
+    return "\n".join(lines) + "\n"
+
+
+def write_summary(
+    checks: list[Check],
+    problems: list[str],
+    summary_path: str | None,
+) -> None:
+    """Append the markdown report to ``summary_path`` (or the env default).
+
+    ``GITHUB_STEP_SUMMARY`` names an append-only file inside Actions
+    steps; appending (rather than overwriting) lets several gate
+    invocations in one job stack their tables.
+    """
+    path = summary_path or os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    with Path(path).open("a", encoding="utf-8") as handle:
+        handle.write(render_markdown(checks, problems))
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.gate",
@@ -157,6 +221,14 @@ def main(argv: list[str] | None = None) -> int:
         default=SPEED_TOLERANCE,
         help="max fractional relative-throughput drop (default 0.25)",
     )
+    parser.add_argument(
+        "--summary",
+        default=None,
+        help=(
+            "append the markdown delta table to this file "
+            "(default: $GITHUB_STEP_SUMMARY when set)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     checks, problems = run_gate(
@@ -169,6 +241,7 @@ def main(argv: list[str] | None = None) -> int:
         print(check.format())
     for problem in problems:
         print(f"[FAIL] {problem}")
+    write_summary(checks, problems, args.summary)
     failed = [check for check in checks if check.failed]
     if failed or problems:
         print(

@@ -11,13 +11,32 @@ that exercise its three code paths:
 
 Each width yields one ``pack`` record (compress = ``pack_bits``,
 decompress = ``unpack_bits``) and one ``ffor`` record (compress =
-``ffor_encode``, decompress = fused ``ffor_decode``); a final
+``ffor_encode``, decompress = fused ``ffor_decode``); a
 ``kernels/alp-vector`` record times the end-to-end per-vector ALP
 encode (level-two sampling + ALP_enc + FFOR) and decode (UNFFOR +
 ALP_dec + patch), the paper's §4.2 micro-benchmark unit.  The ``pack``
 records also carry the measured speedup over the retired bit-matrix
 packer (:func:`repro.encodings.bitpack.pack_bits_bitmatrix`) in their
 ``counters``.
+
+Two further records benchmark the encoded-domain *query* kernels
+against the decode-then-aggregate baseline on real-shaped columns:
+
+- ``kernels/q-sum`` — full-column SUM on a City-Temp column:
+  ``compress_mbps`` is the fused path (modular-fold
+  :func:`~repro.encodings.bitpack.unpack_sum` + once-per-vector
+  scaling), ``decompress_mbps`` the decode-first path (UNFFOR +
+  ALP_dec + ``np.sum``), and ``counters["query.sum_speedup_vs_decode"]``
+  their ratio;
+- ``kernels/q-cmp`` — a selective (98th-percentile) range COUNT on a
+  Stocks-DE column: fused unpack-compare with FFOR-header vector
+  skipping versus decode-then-mask, ratio under
+  ``counters["query.cmp_speedup_vs_decode"]``.
+
+Both query kernels are exception-light by construction (the datasets
+are decimal columns ALP encodes with few exceptions), which is the
+regime the encoded-domain paths target; ``--min-speedup`` lets CI pin
+the two ratios directly.
 
 Records follow the ``BENCH_*.json`` schema (see
 :mod:`repro.bench.records`): ``bits_per_value`` is the field width and
@@ -45,6 +64,16 @@ KERNEL_VECTOR_SIZE = VECTOR_SIZE
 #: Vectors processed per timed call, so one call takes long enough that
 #: ``perf_counter`` granularity and scheduler noise do not dominate.
 KERNEL_VECTORS = 64
+
+#: Column the encoded-domain SUM kernel is measured on (exception-light,
+#: narrow residual widths — the fold regime of ``unpack_sum``).
+QUERY_SUM_DATASET = "City-Temp"
+#: Column the fused range-predicate kernel is measured on.
+QUERY_CMP_DATASET = "Stocks-DE"
+#: The range predicate keeps the top ``1 - QUERY_CMP_QUANTILE`` of the
+#: column: selective enough that most vectors are header-rejected, the
+#: case late materialization exists for.
+QUERY_CMP_QUANTILE = 0.98
 
 
 def _kernel_values(width: int) -> np.ndarray:
@@ -180,6 +209,89 @@ def _bench_alp_vector(repeats: int, calibration: float) -> BenchRecord:
     )
 
 
+def _query_column(name: str) -> tuple[np.ndarray, list, float]:
+    """A dataset column ALP-encoded vector by vector for query kernels.
+
+    Returns ``(values, vectors, bits_per_value)``: the raw doubles, the
+    :class:`~repro.core.alp.AlpVector` list (one per
+    ``KERNEL_VECTOR_SIZE`` chunk) and the measured storage footprint.
+    """
+    from repro.core.alp import alp_encode_rowgroup
+    from repro.core.sampler import find_best_combination
+    from repro.data import get_dataset
+
+    values = get_dataset(name, n=KERNEL_VECTORS * KERNEL_VECTOR_SIZE)
+    combo, _ = find_best_combination(values)
+    vectors = alp_encode_rowgroup(
+        values, combo.exponent, combo.factor, KERNEL_VECTOR_SIZE
+    )
+    bits = sum(v.size_bits() for v in vectors) / values.size
+    return values, vectors, bits
+
+
+def _bench_query_sum(repeats: int, calibration: float) -> BenchRecord:
+    """Encoded-domain SUM vs decode-then-aggregate (``kernels/q-sum``)."""
+    from repro.core.alp import alp_decode_vector, alp_sum_vector
+
+    values, vectors, bits = _query_column(QUERY_SUM_DATASET)
+
+    def fused() -> float:
+        return sum(alp_sum_vector(v) for v in vectors)
+
+    def decode_first() -> float:
+        return sum(float(np.sum(alp_decode_vector(v))) for v in vectors)
+
+    fused_mbps = _per_vector_mbps(fused, values.nbytes, repeats)
+    decode_mbps = _per_vector_mbps(decode_first, values.nbytes, repeats)
+    return BenchRecord(
+        dataset="kernels/q-sum",
+        codec="alp",
+        n=int(values.size),
+        bits_per_value=bits,
+        compression_ratio=64.0 / bits,
+        compress_mbps=fused_mbps,
+        decompress_mbps=decode_mbps,
+        compress_rel=fused_mbps / calibration,
+        decompress_rel=decode_mbps / calibration,
+        counters={"query.sum_speedup_vs_decode": fused_mbps / decode_mbps},
+    )
+
+
+def _bench_query_cmp(repeats: int, calibration: float) -> BenchRecord:
+    """Fused selective range COUNT vs decode-then-mask (``kernels/q-cmp``)."""
+    from repro.core.predicates import count_vector_encoded
+    from repro.core.alp import alp_decode_vector
+
+    values, vectors, bits = _query_column(QUERY_CMP_DATASET)
+    low = float(np.quantile(values, QUERY_CMP_QUANTILE))
+    high = float(values.max())
+
+    def fused() -> int:
+        return sum(count_vector_encoded(v, low, high) for v in vectors)
+
+    def decode_first() -> int:
+        total = 0
+        for vector in vectors:
+            decoded = alp_decode_vector(vector)
+            total += int(((decoded >= low) & (decoded <= high)).sum())
+        return total
+
+    fused_mbps = _per_vector_mbps(fused, values.nbytes, repeats)
+    decode_mbps = _per_vector_mbps(decode_first, values.nbytes, repeats)
+    return BenchRecord(
+        dataset="kernels/q-cmp",
+        codec="alp",
+        n=int(values.size),
+        bits_per_value=bits,
+        compression_ratio=64.0 / bits,
+        compress_mbps=fused_mbps,
+        decompress_mbps=decode_mbps,
+        compress_rel=fused_mbps / calibration,
+        decompress_rel=decode_mbps / calibration,
+        counters={"query.cmp_speedup_vs_decode": fused_mbps / decode_mbps},
+    )
+
+
 def kernel_bench_records(repeats: int = 5) -> list[BenchRecord]:
     """All kernel micro-benchmark records (see module docstring).
 
@@ -191,44 +303,37 @@ def kernel_bench_records(repeats: int = 5) -> list[BenchRecord]:
     from repro.bench.harness import calibration_mbps
 
     cal_before = calibration_mbps(repeats=repeats)
-    records: list[BenchRecord] = []
-    timings: list[tuple[int, BenchRecord]] = []
+    raw: list[BenchRecord] = []
     for width in KERNEL_WIDTHS:
-        timings.append((width, _bench_pack(width, repeats, cal_before)))
-        timings.append((width, _bench_ffor(width, repeats, cal_before)))
-    alp_record = _bench_alp_vector(repeats, cal_before)
+        raw.append(_bench_pack(width, repeats, cal_before))
+        raw.append(_bench_ffor(width, repeats, cal_before))
+    raw.append(_bench_alp_vector(repeats, cal_before))
+    raw.append(_bench_query_sum(repeats, cal_before))
+    raw.append(_bench_query_cmp(repeats, cal_before))
     calibration = (cal_before + calibration_mbps(repeats=repeats)) / 2
 
     # Re-anchor every record on the averaged calibration.
-    for _, record in timings:
-        records.append(
-            BenchRecord(
-                dataset=record.dataset,
-                codec=record.codec,
-                n=record.n,
-                bits_per_value=record.bits_per_value,
-                compression_ratio=record.compression_ratio,
-                compress_mbps=record.compress_mbps,
-                decompress_mbps=record.decompress_mbps,
-                compress_rel=record.compress_mbps / calibration,
-                decompress_rel=record.decompress_mbps / calibration,
-                counters=record.counters,
-            )
-        )
-    records.append(
+    return [
         BenchRecord(
-            dataset=alp_record.dataset,
-            codec=alp_record.codec,
-            n=alp_record.n,
-            bits_per_value=alp_record.bits_per_value,
-            compression_ratio=alp_record.compression_ratio,
-            compress_mbps=alp_record.compress_mbps,
-            decompress_mbps=alp_record.decompress_mbps,
-            compress_rel=alp_record.compress_mbps / calibration,
-            decompress_rel=alp_record.decompress_mbps / calibration,
+            dataset=record.dataset,
+            codec=record.codec,
+            n=record.n,
+            bits_per_value=record.bits_per_value,
+            compression_ratio=record.compression_ratio,
+            compress_mbps=record.compress_mbps,
+            decompress_mbps=record.decompress_mbps,
+            compress_rel=record.compress_mbps / calibration,
+            decompress_rel=record.decompress_mbps / calibration,
+            spans=record.spans,
+            counters=record.counters,
         )
-    )
-    return records
+        for record in raw
+    ]
+
+
+#: Counter suffix marking a fused-vs-decode throughput ratio that
+#: ``--min-speedup`` (and the CI ``query-kernels`` job) checks.
+SPEEDUP_COUNTER_SUFFIX = "_speedup_vs_decode"
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -239,16 +344,68 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--repeats", type=int, default=5, help="timing repeats (default 5)"
     )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="also write the records as a BENCH_*.json document",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help=(
+            "fail (exit 1) when any *_speedup_vs_decode counter — the "
+            "fused-query vs decode-first throughput ratios — is below "
+            "this value"
+        ),
+    )
     args = parser.parse_args(argv)
-    for record in kernel_bench_records(repeats=args.repeats):
+    records = kernel_bench_records(repeats=args.repeats)
+    for record in records:
         extra = ""
         speedup = record.counters.get("pack.speedup_vs_bitmatrix")
         if speedup is not None:
             extra = f"  ({speedup:.1f}x vs bit-matrix)"
+        for name, value in record.counters.items():
+            if name.endswith(SPEEDUP_COUNTER_SUFFIX):
+                extra = f"  ({value:.2f}x fused vs decode-first)"
         print(
             f"{record.dataset:18s} {record.codec:5s} "
             f"C {record.compress_mbps:8.1f} MB/s  "
             f"D {record.decompress_mbps:8.1f} MB/s{extra}"
+        )
+    if args.out:
+        from repro.bench.harness import calibration_mbps
+        from repro.bench.records import write_bench_json
+
+        config = {
+            "repeats": args.repeats,
+            "widths": list(KERNEL_WIDTHS),
+            "vectors": KERNEL_VECTORS,
+            "vector_size": KERNEL_VECTOR_SIZE,
+        }
+        write_bench_json(
+            args.out, records, config, calibration_mbps(repeats=args.repeats)
+        )
+        print(f"wrote {len(records)} records to {args.out}")
+    if args.min_speedup is not None:
+        failures = []
+        for record in records:
+            for name, value in record.counters.items():
+                if (
+                    name.endswith(SPEEDUP_COUNTER_SUFFIX)
+                    and value < args.min_speedup
+                ):
+                    failures.append(
+                        f"{record.dataset} {name} = {value:.2f}x "
+                        f"< required {args.min_speedup:.2f}x"
+                    )
+        if failures:
+            for failure in failures:
+                print(f"[FAIL] {failure}")
+            return 1
+        print(
+            f"all fused-query speedups >= {args.min_speedup:.2f}x"
         )
     return 0
 

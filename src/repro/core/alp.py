@@ -37,6 +37,8 @@ from repro.encodings.ffor import (
     ffor_decode,
     ffor_decode_unfused,
     ffor_encode,
+    ffor_sum,
+    ffor_sum_reference,
 )
 
 
@@ -238,6 +240,79 @@ def alp_decode_vector_scalar(vector: AlpVector) -> np.ndarray:
     ):
         out[pos] = value
     return np.asarray(out, dtype=np.float64)
+
+
+def alp_sum_vector(vector: AlpVector) -> float:
+    """SUM of one vector in the encoded domain (late materialization).
+
+    For the non-exception slots ``sum(n_i) = (sum(d_i)) * 10^f * 10^-e``:
+    the integer sum runs fused on the packed FFOR payload
+    (:func:`~repro.encodings.ffor.ffor_sum`, exact in Python ints) and
+    the two Formula-2 multiplies are applied *once per vector* instead of
+    once per value.  Exception slots hold placeholders in the payload, so
+    they are excluded from the integer sum (the sparse correction) and
+    their raw doubles are added with the same pairwise ``np.sum`` the
+    decode-then-aggregate path uses — NaN/Inf/±0.0 exception payloads
+    therefore propagate exactly as they do after full decoding, and an
+    all-exception vector is summed bit-identically to the decoded path.
+
+    The exception-free result differs from summing the individually
+    rounded decoded doubles only in final-ulp rounding: the encoded-
+    domain sum rounds once (after an exact integer sum) where the
+    decoded sum rounds per value, making the fused result at least as
+    accurate.  ``docs/PERFORMANCE.md`` states the exact guarantees.
+    """
+    if vector.count == 0:
+        return 0.0
+    n_exceptions = vector.exception_count
+    exc_sum = (
+        float(np.sum(vector.exc_values)) if n_exceptions else 0.0
+    )
+    if obs.ENABLED:
+        obs.metrics.counter_add("alp.vectors_summed_encoded", 1)
+    if n_exceptions == vector.count:
+        # Pure-exception vector: the decoded column would be exactly
+        # ``exc_values`` — return its sum untouched (adding a 0.0 main
+        # term would flip a -0.0 total to +0.0).
+        return exc_sum
+    exclude = vector.exc_positions if n_exceptions else None
+    d_sum = ffor_sum(vector.ffor, exclude=exclude)
+    # Two separate multiplies (Formula 2), matching alp_decode_vector's
+    # operation order on the summed integer.
+    main = float(d_sum) * float(F10[vector.factor]) * float(
+        IF10[vector.exponent]
+    )
+    if n_exceptions:
+        return main + exc_sum
+    return main
+
+
+def alp_sum_vector_reference(vector: AlpVector) -> float:
+    """Scalar oracle for :func:`alp_sum_vector`: same math, unfused.
+
+    Decodes the integers through the unfused FFOR path, accumulates the
+    exact integer sum per value, and applies the identical scaling and
+    exception correction — bit-identical to the fused kernel by
+    construction, at per-value Python speed.
+    """
+    if vector.count == 0:
+        return 0.0
+    n_exceptions = vector.exception_count
+    exc_sum = (
+        float(np.sum(vector.exc_values)) if n_exceptions else 0.0
+    )
+    if n_exceptions == vector.count:
+        return exc_sum
+    exclude = (
+        vector.exc_positions.astype(np.int64) if n_exceptions else None
+    )
+    d_sum = ffor_sum_reference(vector.ffor, exclude=exclude)
+    main = float(d_sum) * float(F10[vector.factor]) * float(
+        IF10[vector.exponent]
+    )
+    if n_exceptions:
+        return main + exc_sum
+    return main
 
 
 def estimate_size_bits(

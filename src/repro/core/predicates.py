@@ -1,30 +1,57 @@
 """Predicate evaluation directly on ALP-encoded integers.
 
-Because ALP's mapping ``d = round(n * 10^e * 10^-f)`` is monotone in
-``n``, a range predicate on the doubles translates to a range predicate
-on the *encoded integers*: decode can be skipped entirely for filtering.
-For a predicate ``low <= n <= high`` the integer bounds are
+Because ALP's decode ``n = d * 10^f * 10^-e`` (two IEEE 754 multiplies
+by positive constants, evaluated in :func:`repro.core.alp.alp_decode_vector`
+order) is monotone non-decreasing in the integer ``d``, a range predicate
+on the doubles translates into an *exact* range predicate on the encoded
+integers: the smallest ``d`` whose decode reaches ``low`` and the largest
+``d`` whose decode stays within ``high`` are found by binary search over
+the int64 domain (:func:`exact_encoded_bounds`).  Values that survived
+encoding then satisfy ``low <= n <= high`` **iff** ``d_low <= d <=
+d_high`` — no post-filter decode, no float confirmation pass.  Only
+exception slots (whose payload holds a placeholder integer) are compared
+as raw doubles.
 
-    d_low  = ceil-equivalent of ALP_enc(low)
-    d_high = floor-equivalent of ALP_enc(high)
-
-computed conservatively (off-by-one-ulp tolerant) so the integer filter
-*over-approximates*: candidate positions are then confirmed against the
-exactly-decoded values, and exception slots are always re-checked.  The
-result is exact while the bulk comparison runs on bit-packed integers —
-the deepest form of the paper's predicate-push-down story.
+The bulk comparison itself runs fused inside the unpack loop
+(:func:`repro.encodings.ffor.ffor_filter_range`), and vectors whose FFOR
+header (reference + bit width) already decides the predicate are skipped
+without touching the payload — the deepest form of the paper's
+predicate-push-down story.
 """
 
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 
 import numpy as np
 
-from repro.core.alp import AlpVector, alp_decode_vector
+from repro import obs
+from repro.core.alp import AlpVector
 from repro.core.compressor import CompressedRowGroups
 from repro.core.constants import F10, IF10
-from repro.encodings.ffor import ffor_decode
+from repro.encodings.ffor import (
+    ffor_filter_range,
+    ffor_range_state,
+    ffor_sum_range,
+)
+
+INT64_MIN = -(1 << 63)
+INT64_MAX = (1 << 63) - 1
+
+# (d_low, d_high) with d_low > d_high: matches nothing, by convention.
+EMPTY_BOUNDS = (1, 0)
+
+
+def decode_scalar(d: int, exponent: int, factor: int) -> float:
+    """ALP_dec of a single integer, bit-identical to the vectorized path.
+
+    Mirrors :func:`repro.core.alp.alp_decode_vector` exactly: int64 →
+    float64 cast (round-to-nearest, as numpy's promotion does), then two
+    *separate* multiplies.  This is the comparison oracle the bound
+    search below inverts.
+    """
+    return float(d) * float(F10[factor]) * float(IF10[exponent])
 
 
 def encoded_bounds(
@@ -34,7 +61,9 @@ def encoded_bounds(
 
     The returned range is widened by one to absorb the rounding of
     ALP_enc at the boundaries, so it may admit false positives but never
-    false negatives among *successfully encoded* values.
+    false negatives among *successfully encoded* values.  Kept as the
+    cheap estimate for size/zone heuristics; exact filtering uses
+    :func:`exact_encoded_bounds`.
     """
     scale = float(F10[exponent] * IF10[factor])
     d_low = math.floor(low * scale) - 1
@@ -42,30 +71,163 @@ def encoded_bounds(
     return d_low, d_high
 
 
+@lru_cache(maxsize=4096)
+def exact_encoded_bounds(
+    low: float, high: float, exponent: int, factor: int
+) -> tuple[int, int]:
+    """Exact integer bounds: ``low <= dec(d) <= high  iff  d_low <= d <= d_high``.
+
+    ``dec`` is monotone non-decreasing over int64 (each of its three
+    rounding steps — the cast and the two positive-constant multiplies —
+    preserves order), so the boundary integers are found by binary
+    search: ``d_low`` is the smallest ``d`` with ``dec(d) >= low`` and
+    ``d_high`` the largest with ``dec(d) <= high``.  Roughly 2 x 64
+    scalar decodes per distinct (low, high, e, f), cached thereafter.
+
+    NaN bounds, inverted ranges and ranges beyond the decodable domain
+    all collapse to :data:`EMPTY_BOUNDS` (``d_low > d_high``).
+    """
+    if math.isnan(low) or math.isnan(high) or low > high:
+        return EMPTY_BOUNDS
+    # Smallest d with dec(d) >= low.
+    if decode_scalar(INT64_MAX, exponent, factor) < low:
+        return EMPTY_BOUNDS
+    if decode_scalar(INT64_MIN, exponent, factor) >= low:
+        d_low = INT64_MIN
+    else:
+        lo, hi = INT64_MIN, INT64_MAX  # dec(lo) < low <= dec(hi)
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if decode_scalar(mid, exponent, factor) >= low:
+                hi = mid
+            else:
+                lo = mid
+        d_low = hi
+    # Largest d with dec(d) <= high.
+    if decode_scalar(INT64_MIN, exponent, factor) > high:
+        return EMPTY_BOUNDS
+    if decode_scalar(INT64_MAX, exponent, factor) <= high:
+        d_high = INT64_MAX
+    else:
+        lo, hi = INT64_MIN, INT64_MAX  # dec(lo) <= high < dec(hi)
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if decode_scalar(mid, exponent, factor) <= high:
+                lo = mid
+            else:
+                hi = mid
+        d_high = lo
+    if d_low > d_high:
+        return EMPTY_BOUNDS
+    return d_low, d_high
+
+
+def _exception_mask(
+    vector: AlpVector, low: float, high: float
+) -> np.ndarray:
+    """Float-domain range test of the raw exception doubles.
+
+    NaN payloads compare False on both sides, so they never match — the
+    same behaviour the decode-then-filter path exhibits.
+    """
+    exc = vector.exc_values
+    result: np.ndarray = (exc >= low) & (exc <= high)
+    return result
+
+
 def filter_vector_encoded(
     vector: AlpVector, low: float, high: float
 ) -> np.ndarray:
     """Positions in a vector whose value lies in ``[low, high]``.
 
-    The bulk test runs on the encoded integers; only candidate
-    positions (plus exceptions) are verified on decoded doubles.
+    The bulk test is pure integer comparison on the packed payload
+    (fused unpack-compare); only exception slots touch floating point.
+    Selections are bit-identical to filtering the decoded column.
     """
-    d_low, d_high = encoded_bounds(
+    mask = filter_mask_encoded(vector, low, high)
+    return np.flatnonzero(mask).astype(np.int64)
+
+
+def filter_mask_encoded(
+    vector: AlpVector, low: float, high: float
+) -> np.ndarray:
+    """Boolean mask form of :func:`filter_vector_encoded`."""
+    d_low, d_high = exact_encoded_bounds(
         low, high, vector.exponent, vector.factor
     )
-    encoded = ffor_decode(vector.ffor)
-    candidates = (encoded >= d_low) & (encoded <= d_high)
+    mask = ffor_filter_range(vector.ffor, d_low, d_high)
     if vector.exc_positions.size:
-        # Exceptions carry arbitrary doubles: always candidates.
-        candidates[vector.exc_positions.astype(np.int64)] = True
-    if not candidates.any():
-        return np.empty(0, dtype=np.int64)
-    # Confirm candidates exactly. Decoding only the candidate slots
-    # would need a gather; decoding the vector is one vector op and
-    # keeps the fast path branch-free.
-    decoded = alp_decode_vector(vector)
-    confirmed = candidates & (decoded >= low) & (decoded <= high)
-    return np.flatnonzero(confirmed).astype(np.int64)
+        # Exception slots hold placeholder integers: overwrite whatever
+        # the integer test said with the raw-double comparison.
+        mask[vector.exc_positions.astype(np.int64)] = _exception_mask(
+            vector, low, high
+        )
+    return mask
+
+
+def count_vector_encoded(
+    vector: AlpVector, low: float, high: float
+) -> int:
+    """Count of in-range values in one vector, encoded-domain only.
+
+    Exception-free vectors decided by the FFOR header (full accept or
+    reject) are counted without unpacking a single bit.
+    """
+    d_low, d_high = exact_encoded_bounds(
+        low, high, vector.exponent, vector.factor
+    )
+    if not vector.exception_count:
+        state = ffor_range_state(vector.ffor, d_low, d_high)
+        if state == "reject":
+            obs.counter_add("predicates.vectors_skipped")
+            return 0
+        if state == "accept":
+            obs.counter_add("predicates.vectors_accepted")
+            return vector.count
+        return int(ffor_filter_range(vector.ffor, d_low, d_high).sum())
+    mask = ffor_filter_range(vector.ffor, d_low, d_high)
+    mask[vector.exc_positions.astype(np.int64)] = _exception_mask(
+        vector, low, high
+    )
+    return int(mask.sum())
+
+
+def sum_range_vector(
+    vector: AlpVector, low: float, high: float
+) -> tuple[float, int]:
+    """Filtered SUM of one vector in the encoded domain: ``(sum, count)``.
+
+    Selected non-exception integers are summed exactly by the fused
+    :func:`~repro.encodings.ffor.ffor_sum_range` kernel and scaled once
+    per vector; in-range exception doubles are added afterwards.  When
+    nothing but exceptions matches, the result is exactly the float sum
+    of those raw doubles (no spurious ``+0.0`` main term).
+    """
+    d_low, d_high = exact_encoded_bounds(
+        low, high, vector.exponent, vector.factor
+    )
+    exclude = (
+        vector.exc_positions if vector.exception_count else None
+    )
+    d_sum, kept = ffor_sum_range(vector.ffor, d_low, d_high, exclude)
+    if vector.exception_count:
+        exc_match = _exception_mask(vector, low, high)
+        n_exc = int(exc_match.sum())
+        exc_sum = float(np.sum(vector.exc_values[exc_match])) if n_exc else 0.0
+    else:
+        n_exc = 0
+        exc_sum = 0.0
+    if kept == 0:
+        # Empty integer selection: return the exception sum untouched so
+        # an all-exception selection stays bit-identical to the decode
+        # path (including a -0.0 total).
+        return (exc_sum if n_exc else 0.0), n_exc
+    main = float(d_sum) * float(F10[vector.factor]) * float(
+        IF10[vector.exponent]
+    )
+    if n_exc:
+        return main + exc_sum, kept + n_exc
+    return main, kept
 
 
 def count_range_encoded(
@@ -73,9 +235,10 @@ def count_range_encoded(
 ) -> int:
     """Count of values in ``[low, high]`` using encoded-space filtering.
 
-    ALP row-groups use the integer fast path (vectors whose integer
-    range excludes the predicate are rejected after UNFFOR alone, with
-    no floating-point work); ALP_rd row-groups fall back to decoding.
+    ALP row-groups use the integer fast path (vectors whose FFOR header
+    excludes or fully contains the predicate are decided with no
+    unpacking and no floating-point work); ALP_rd row-groups fall back
+    to decoding.
     """
     from repro.core.alprd import decode_vector_bits
     from repro.alputil.bits import bits_to_double
@@ -84,7 +247,7 @@ def count_range_encoded(
     for rowgroup in column.rowgroups:
         if rowgroup.alp is not None:
             for vector in rowgroup.alp.vectors:
-                total += filter_vector_encoded(vector, low, high).size
+                total += count_vector_encoded(vector, low, high)
         else:
             if rowgroup.rd is None:
                 raise ValueError(
@@ -109,11 +272,9 @@ def vector_may_match(
     """
     if vector.exception_count:
         return True
-    d_low, d_high = encoded_bounds(
+    d_low, d_high = exact_encoded_bounds(
         low, high, vector.exponent, vector.factor
     )
-    vec_min = vector.ffor.reference
-    vec_max = vector.ffor.reference + (
-        (1 << vector.ffor.bit_width) - 1 if vector.ffor.bit_width else 0
+    return (
+        ffor_range_state(vector.ffor, d_low, d_high) != "reject"
     )
-    return vec_max >= d_low and vec_min <= d_high

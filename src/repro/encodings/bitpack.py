@@ -253,6 +253,203 @@ def unpack_bits(buffer: bytes, width: int, count: int) -> np.ndarray:
     return (hi | lo) >> np.uint64(64 - width)
 
 
+@lru_cache(maxsize=1024)
+def _sum_plan_loop(width: int, count: int) -> tuple[int, int, int]:
+    """Stride, repeating field mask and modulus for the packed-sum fold.
+
+    Picks the smallest stride ``k`` such that the sum of *all* fields
+    fits strictly below the modulus ``2**(k*width) - 1`` (at most ~12
+    for ALP's 1024-value vectors), and builds the periodic mask that
+    isolates one stride class: ``width`` one-bits every ``k*width``
+    bits, long enough to cover the whole stream.  The total-sum bound
+    (rather than a per-class one) is what lets :func:`unpack_sum` add
+    the aligned classes together and reduce once.  Pure arithmetic on
+    ``(width, count)``, cached; the ``while`` loops here run a handful
+    of iterations on integers, never over data.
+    """
+    k = 2
+    field_max = (1 << width) - 1
+    while count * field_max >= (1 << (k * width)) - 1:
+        k += 1
+    period = k * width
+    total_bits = count * width
+    mask = field_max
+    covered = period
+    while covered < total_bits:
+        mask |= mask << covered
+        covered *= 2
+    return k, mask, (1 << period) - 1
+
+
+def _packed_stream(buffer: bytes, width: int, count: int) -> int:
+    """The packed payload as one big-endian integer, padding stripped.
+
+    Field ``i`` (stream order) sits at bit offset ``(count-1-i)*width``
+    from the least-significant end — the exact mirror of the MSB-first
+    layout :func:`pack_bits` writes.
+    """
+    total_bits = count * width
+    available = len(buffer) * 8
+    if total_bits > available:
+        raise ValueError(
+            f"buffer holds {available} bits, need {total_bits} "
+            f"for {count} values of width {width}"
+        )
+    return int.from_bytes(buffer, "big") >> (available - total_bits)
+
+
+def _extract_fields_loop(
+    buffer: bytes, width: int, positions: list[int]
+) -> int:
+    """Sum of individual fields plucked straight out of the raw bytes.
+
+    A pinned scalar loop by design: it runs over *exception positions*
+    (a handful per vector), not over the data, and each pluck touches
+    only the <= 9 bytes the field straddles — O(1) per position, far
+    cheaper than gathering the whole vector when the excluded set is
+    sparse.
+    """
+    field_mask = (1 << width) - 1
+    total = 0
+    for position in positions:
+        start_bit = position * width
+        end_bit = start_bit + width
+        first = start_bit >> 3
+        last = (end_bit + 7) >> 3
+        chunk = int.from_bytes(buffer[first:last], "big")
+        total += (chunk >> ((last << 3) - end_bit)) & field_mask
+    return total
+
+
+def unpack_sum(buffer: bytes, width: int, count: int) -> int:
+    """Exact integer sum of ``count`` packed ``width``-bit fields.
+
+    The late-materialization kernel under encoded-domain SUM — and the
+    one place the packed stream is *not* unpacked at all.  The payload
+    is read as a single arbitrary-precision integer and folded modulo
+    ``2**(k*width) - 1``: because ``2**(k*width) ≡ 1`` under that
+    modulus, every field whose bit offset is a multiple of ``k*width``
+    contributes its value directly to the residue.  The ``k`` stride
+    classes are aligned by shifting, masked, and *added together* before
+    a single reduction — safe, because each mask block is followed by a
+    ``(k-1)*width``-bit zero gap and ``k`` is chosen so even the total
+    sum stays below the modulus, so block sums can never carry into a
+    neighbouring block.  The whole kernel is ``k`` shift+mask passes,
+    one add chain and one ``%`` over the raw bytes — no per-value
+    gather, no uint64 column, no float conversion.
+
+    The fold walks the full bit stream, so its cost grows with
+    ``count * width`` while the word-gather of :func:`unpack_bits` is
+    O(count) regardless of width — past :data:`_FOLD_MAX_WIDTH` (and
+    for the byte-aligned widths, whose gather is a single dtype cast)
+    the kernel switches to gather + a bounded uint64 reduction.
+    """
+    if width < 0 or width > 64:
+        raise ValueError(f"bit width must be in [0, 64], got {width}")
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if obs.ENABLED:
+        obs.metrics.counter_add("bitpack.unpack_sum_calls", 1)
+    if width == 0 or count == 0:
+        return 0
+    if width > _FOLD_MAX_WIDTH or width in _CAST_DTYPES:
+        return uint64_sum_bounded(unpack_bits(buffer, width, count), width)
+    stream = _packed_stream(buffer, width, count)
+    return _fold_packed_sum(stream, width, count)
+
+
+def _fold_packed_sum(stream: int, width: int, count: int) -> int:
+    """The modular fold of :func:`unpack_sum` on an already-built stream."""
+    stride, mask, modulus = _sum_plan_loop(width, count)
+    folded = stream & mask
+    for shift in range(1, stride):
+        folded += (stream >> (shift * width)) & mask
+    return folded % modulus
+
+
+#: Widest field the modular fold beats the word gather for.  The fold's
+#: cost is proportional to total stream bits, the gather's to the value
+#: count alone, and the crossover sits just under two bytes per field.
+_FOLD_MAX_WIDTH = 15
+
+#: Above this many excluded positions the per-position byte pluck of
+#: :func:`unpack_sum_excluding` loses to one vectorized gather.
+_EXCLUDE_PLUCK_LIMIT = 48
+
+
+def unpack_sum_excluding(
+    buffer: bytes, width: int, count: int, positions: np.ndarray
+) -> int:
+    """Exact sum of the packed fields with ``positions`` omitted.
+
+    The sparse-correction shape of encoded-domain SUM: ALP exception
+    slots hold placeholder payloads, so their fields must not reach the
+    total.  For a sparse excluded set the fold of :func:`unpack_sum`
+    runs unchanged and the few excluded fields are plucked straight out
+    of the payload bytes; in the gather regime (wide fields, or more
+    than :data:`_EXCLUDE_PLUCK_LIMIT` positions) the vector is gathered
+    *once* and both the total and the excluded slots reduce from the
+    same uint64 array.
+    """
+    if positions.size == 0:
+        return unpack_sum(buffer, width, count)
+    if width == 0 or count == 0:
+        return 0
+    folds = width <= _FOLD_MAX_WIDTH and width not in _CAST_DTYPES
+    if folds and int(positions.size) <= _EXCLUDE_PLUCK_LIMIT:
+        return unpack_sum(buffer, width, count) - _extract_fields_loop(
+            buffer, width, positions.tolist()
+        )
+    if obs.ENABLED:
+        obs.metrics.counter_add("bitpack.unpack_sum_calls", 1)
+    fields = unpack_bits(buffer, width, count)
+    total = uint64_sum_bounded(fields, width)
+    excluded = uint64_sum_bounded(
+        fields[positions.astype(np.int64)], width
+    )
+    return total - excluded
+
+
+def unpack_sum_reference(buffer: bytes, width: int, count: int) -> int:
+    """Scalar oracle for :func:`unpack_sum` (bit-identical, per value)."""
+    fields = unpack_bits(buffer, width, count)
+    total = 0
+    for value in fields.tolist():
+        total += value
+    return total
+
+
+def exact_uint64_sum(values: np.ndarray) -> int:
+    """Exact sum of a uint64 array as a Python int (no wraparound).
+
+    Splits each value into 32-bit halves; each half's partial sum fits a
+    uint64 for any array shorter than 2**32 values, so two vectorized
+    reductions plus one Python-int recombination give the exact total.
+    """
+    if values.size == 0:
+        return 0
+    if values.size >= 1 << 32:
+        raise ValueError("exact_uint64_sum supports < 2**32 values")
+    lo = int((values & np.uint64(0xFFFFFFFF)).sum(dtype=np.uint64))
+    hi = int((values >> np.uint64(32)).sum(dtype=np.uint64))
+    return (hi << 32) + lo
+
+
+def uint64_sum_bounded(values: np.ndarray, width: int) -> int:
+    """Exact sum of uint64 values known to be ``< 2**width`` each.
+
+    When ``width + ceil(log2(n))`` fits in 64 bits the total cannot
+    wrap, so a single vectorized uint64 reduction is exact — one pass
+    instead of the split-sum's two.  Wider values fall back to
+    :func:`exact_uint64_sum`.
+    """
+    if values.size == 0:
+        return 0
+    if width + int(values.size).bit_length() <= 64:
+        return int(values.sum(dtype=np.uint64))
+    return exact_uint64_sum(values)
+
+
 def packed_size_bytes(count: int, width: int) -> int:
     """Byte size of ``count`` packed values of ``width`` bits."""
     return (count * width + 7) // 8

@@ -20,7 +20,13 @@ import numpy as np
 
 from repro import obs
 from repro.core.constants import U64_MASK
-from repro.encodings.bitpack import pack_bits
+from repro.encodings.bitpack import (
+    pack_bits,
+    uint64_sum_bounded,
+    unpack_bits,
+    unpack_sum,
+    unpack_sum_excluding,
+)
 
 
 @dataclass(frozen=True)
@@ -66,8 +72,6 @@ def ffor_decode(encoded: FforEncoded) -> np.ndarray:
     reconstitutes values from their bit rows, so no intermediate residual
     array is written back to memory before the add.
     """
-    from repro.encodings.bitpack import unpack_bits
-
     obs.counter_add("ffor.vectors_decoded")
     width, count = encoded.bit_width, encoded.count
     ref64 = np.uint64(encoded.reference & U64_MASK)
@@ -82,14 +86,209 @@ def ffor_decode(encoded: FforEncoded) -> np.ndarray:
     return out.view(np.int64)
 
 
+def ffor_sum(
+    encoded: FforEncoded, exclude: np.ndarray | None = None
+) -> int:
+    """Exact integer sum of the decoded values, without decoding them.
+
+    ``sum(v_i) = reference * count + sum(residual_i)`` — the reference
+    contribution is one multiplication and the residual sum is the fused
+    :func:`~repro.encodings.bitpack.unpack_sum` reduction, so no int64
+    column (let alone a float64 one) is materialized for the caller.
+
+    ``exclude``, when given, is a sorted array of positions whose values
+    are omitted from the sum — the sparse correction encoded-domain SUM
+    applies for ALP exception slots, whose packed payload holds a
+    placeholder rather than a real value.  The result is an exact Python
+    int in every case.
+    """
+    if obs.ENABLED:
+        obs.metrics.counter_add("ffor.sum_fused", 1)
+    count = encoded.count
+    if exclude is None or exclude.size == 0:
+        if encoded.bit_width == 0:
+            return encoded.reference * count
+        residual_total = unpack_sum(
+            encoded.payload, encoded.bit_width, count
+        )
+        return encoded.reference * count + residual_total
+    kept = count - int(exclude.size)
+    if encoded.bit_width == 0:
+        return encoded.reference * kept
+    residual_total = unpack_sum_excluding(
+        encoded.payload, encoded.bit_width, count, exclude
+    )
+    return encoded.reference * kept + residual_total
+
+
+def ffor_sum_reference(
+    encoded: FforEncoded, exclude: np.ndarray | None = None
+) -> int:
+    """Scalar oracle for :func:`ffor_sum`: decode, then sum per value."""
+    values = ffor_decode_unfused(encoded)
+    skip = (
+        set(exclude.astype(np.int64).tolist())
+        if exclude is not None
+        else set()
+    )
+    total = 0
+    for position, value in enumerate(values.tolist()):
+        if position not in skip:
+            total += value
+    return total
+
+
+def ffor_range_state(
+    encoded: FforEncoded, d_low: int, d_high: int
+) -> str:
+    """Classify a vector against integer bounds from its header alone.
+
+    The decoded values all lie in ``[reference, reference + 2^width)``,
+    so (reference, bit width) decide many vectors without touching the
+    packed payload:
+
+    - ``"reject"`` — no decoded value can fall inside ``[d_low, d_high]``;
+    - ``"accept"`` — every decoded value falls inside the bounds;
+    - ``"partial"`` — the payload must be inspected.
+    """
+    if d_low > d_high or encoded.count == 0:
+        return "reject"
+    vec_min = encoded.reference
+    vec_max = encoded.reference + (
+        (1 << encoded.bit_width) - 1 if encoded.bit_width else 0
+    )
+    if vec_max < d_low or vec_min > d_high:
+        return "reject"
+    if d_low <= vec_min and vec_max <= d_high:
+        return "accept"
+    return "partial"
+
+
+def ffor_filter_range(
+    encoded: FforEncoded, d_low: int, d_high: int
+) -> np.ndarray:
+    """Fused unpack-compare: bool mask of values in ``[d_low, d_high]``.
+
+    The comparison runs on the *packed residuals*: the constant bounds
+    are translated by the frame of reference once (two Python-int
+    subtractions), then clamped into the residual domain, so the kernel
+    never performs the FOR add, never converts to float64 and never
+    materializes the decoded integers for the caller.  Vectors decided
+    by :func:`ffor_range_state` short-circuit without unpacking at all.
+    """
+    obs.counter_add("ffor.filter_fused")
+    count = encoded.count
+    state = ffor_range_state(encoded, d_low, d_high)
+    if state == "reject":
+        return np.zeros(count, dtype=bool)
+    if state == "accept":
+        return np.ones(count, dtype=bool)
+    # Translate the bounds into residual space and clamp; the clamped
+    # bounds stay within [0, 2^width), so the uint64 compares are exact.
+    r_low = max(d_low - encoded.reference, 0)
+    r_high = min(
+        d_high - encoded.reference, (1 << encoded.bit_width) - 1
+    )
+    residuals = unpack_bits(encoded.payload, encoded.bit_width, count)
+    mask: np.ndarray = (residuals >= np.uint64(r_low)) & (
+        residuals <= np.uint64(r_high)
+    )
+    return mask
+
+
+def ffor_sum_range(
+    encoded: FforEncoded,
+    d_low: int,
+    d_high: int,
+    exclude: np.ndarray | None = None,
+) -> tuple[int, int]:
+    """Fused filtered sum: ``(sum, count)`` of values in ``[d_low, d_high]``.
+
+    One unpack feeds both the range mask and the reduction — the
+    filter+aggregate pipeline collapses into a single kernel with no
+    decoded column in between.  ``exclude`` positions are dropped from
+    the selection before summing (ALP exception slots carry placeholder
+    payloads; the caller re-checks their raw doubles separately).  Both
+    outputs are exact Python ints.
+    """
+    obs.counter_add("ffor.sum_range_fused")
+    count = encoded.count
+    state = ffor_range_state(encoded, d_low, d_high)
+    if state == "reject":
+        return 0, 0
+    has_exclude = exclude is not None and exclude.size > 0
+    if encoded.bit_width == 0:
+        # Every value equals the reference; non-reject means it's in range.
+        kept = count - (int(exclude.size) if has_exclude else 0)
+        return encoded.reference * kept, kept
+    if state == "accept":
+        # Header-decided: every value qualifies, so the filtered sum IS
+        # the plain fused sum — the payload is folded, never unpacked.
+        kept = count - (int(exclude.size) if has_exclude else 0)
+        return ffor_sum(encoded, exclude=exclude), kept
+    residuals = unpack_bits(encoded.payload, encoded.bit_width, count)
+    r_low = max(d_low - encoded.reference, 0)
+    r_high = min(
+        d_high - encoded.reference, (1 << encoded.bit_width) - 1
+    )
+    mask = (residuals >= np.uint64(r_low)) & (
+        residuals <= np.uint64(r_high)
+    )
+    if exclude is not None and exclude.size:
+        mask[exclude.astype(np.int64)] = False
+    kept = int(np.count_nonzero(mask))
+    if kept == 0:
+        return 0, 0
+    if encoded.bit_width + count.bit_length() <= 64:
+        # Bool-multiply zeroes the dropped lanes in place of a gather —
+        # one fused pass, exact while the total cannot wrap uint64.
+        residual_sum = int((residuals * mask).sum(dtype=np.uint64))
+    else:
+        residual_sum = uint64_sum_bounded(
+            residuals[mask], encoded.bit_width
+        )
+    return encoded.reference * kept + residual_sum, kept
+
+
+def ffor_sum_range_reference(
+    encoded: FforEncoded,
+    d_low: int,
+    d_high: int,
+    exclude: np.ndarray | None = None,
+) -> tuple[int, int]:
+    """Scalar oracle for :func:`ffor_sum_range` (decode, test, sum)."""
+    values = ffor_decode_unfused(encoded)
+    skip = (
+        set(exclude.astype(np.int64).tolist())
+        if exclude is not None
+        else set()
+    )
+    total = 0
+    kept = 0
+    for position, value in enumerate(values.tolist()):
+        if position not in skip and d_low <= value <= d_high:
+            total += value
+            kept += 1
+    return total, kept
+
+
+def ffor_filter_range_reference(
+    encoded: FforEncoded, d_low: int, d_high: int
+) -> np.ndarray:
+    """Scalar oracle for :func:`ffor_filter_range` (decode, then test)."""
+    values = ffor_decode_unfused(encoded)
+    mask = np.zeros(encoded.count, dtype=bool)
+    for position, value in enumerate(values.tolist()):
+        mask[position] = d_low <= value <= d_high
+    return mask
+
+
 def ffor_decode_unfused(encoded: FforEncoded) -> np.ndarray:
     """Unfused decode: unpack to a residual array, then a second add pass.
 
     Reference implementation for the Figure 5 fusion ablation.  Produces
     bit-identical output to :func:`ffor_decode`.
     """
-    from repro.encodings.bitpack import unpack_bits
-
     residuals = unpack_bits(encoded.payload, encoded.bit_width, encoded.count)
     residuals = np.ascontiguousarray(residuals)  # materialized store
     out = residuals + np.uint64(encoded.reference & U64_MASK)

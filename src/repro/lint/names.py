@@ -30,6 +30,8 @@ SPAN_NAMES: frozenset[str] = frozenset(
         "compressor.decompress_parallel",
         "compressor.rowgroup",
         "query.comp",
+        "query.range_count",
+        "query.range_sum",
         "query.scan",
         "query.sum",
         "sampler.first_level",
@@ -44,6 +46,7 @@ COUNTER_NAMES: frozenset[str] = frozenset(
         "alp.exceptions",
         "alp.vectors_decoded",
         "alp.vectors_encoded",
+        "alp.vectors_summed_encoded",
         "alprd.exceptions",
         "alprd.vectors_decoded",
         "alprd.vectors_encoded",
@@ -52,6 +55,7 @@ COUNTER_NAMES: frozenset[str] = frozenset(
         "bitpack.pack_values",
         "bitpack.unpack_bytes",
         "bitpack.unpack_calls",
+        "bitpack.unpack_sum_calls",
         "bitpack.unpack_values",
         "cache.evictions",
         "cache.hits",
@@ -78,11 +82,23 @@ COUNTER_NAMES: frozenset[str] = frozenset(
         "compressor.values_decoded",
         "compressor.vectors_encoded",
         "ffor.bit_width_sum",
+        "ffor.filter_fused",
         "ffor.packed_bytes",
+        "ffor.sum_fused",
+        "ffor.sum_range_fused",
         "ffor.vectors_decoded",
         "ffor.vectors_encoded",
+        "predicates.vectors_accepted",
+        "predicates.vectors_skipped",
+        "query.batches_fallback",
+        "query.dispatch_fallback",
+        "query.dispatch_fastpath",
+        "query.range_queries",
+        "query.rowgroups_pruned",
+        "query.sum_encoded",
         "query.sum_queries",
         "query.values_scanned",
+        "query.vectors_pruned",
         "query.vectors_scanned",
         "sampler.candidates_kept",
         "sampler.combinations_tried",

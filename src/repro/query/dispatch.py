@@ -1,0 +1,95 @@
+"""Registry-driven dispatch of query ops to source-specific fast paths.
+
+The engine used to hard-code ``isinstance(source, AlpSource)`` checks to
+pick fast paths, which meant every new encoded source required editing
+the engine.  Instead, sources (or the modules that define them) register
+handlers here::
+
+    register("sum", MyEncodedSource, my_fused_sum)
+
+and the engine resolves ``dispatch(op, source, ...)`` at query time.
+Lookup is MRO-aware — the handler registered for the most specific class
+of the source wins, so a subclass of an encoded source inherits its fast
+path automatically and may override it.  A handler can return
+``NotImplemented`` to decline a particular call (e.g. an input shape it
+does not support), in which case the next-most-specific handler — and
+ultimately the engine's decode-then-execute default — runs instead.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro import obs
+
+#: A fast-path handler: ``(source, *op_args) -> result`` or
+#: ``NotImplemented`` to fall through.
+Handler = Callable[..., Any]
+
+#: op name -> [(source type, handler)], registration order.
+_registry: dict[str, list[tuple[type, Handler]]] = {}
+
+
+def register(
+    op: str, source_type: type, handler: Handler | None = None
+) -> Callable[[Handler], Handler]:
+    """Register ``handler`` as the ``op`` fast path for ``source_type``.
+
+    Usable directly (``register("sum", AlpSource, fused_sum)``) or as a
+    decorator (``@register("sum", AlpSource)``).  Re-registering the
+    same (op, type) pair replaces the previous handler — latest wins —
+    so tests can stub fast paths without global state leaking.
+    """
+
+    def add(fn: Handler) -> Handler:
+        entries = _registry.setdefault(op, [])
+        entries[:] = [(t, h) for t, h in entries if t is not source_type]
+        entries.append((source_type, fn))
+        return fn
+
+    if handler is not None:
+        return add(handler)
+    return add
+
+
+def handlers_for(op: str, source: object) -> list[Handler]:
+    """All handlers applicable to ``source``, most-specific-first.
+
+    Specificity is the position of the registered class in
+    ``type(source).__mro__``; classes not in the MRO do not match.
+    """
+    entries = _registry.get(op, [])
+    mro = type(source).__mro__
+    matched = [
+        (mro.index(registered), handler)
+        for registered, handler in entries
+        if registered in mro
+    ]
+    matched.sort(key=lambda pair: pair[0])
+    return [handler for _, handler in matched]
+
+
+def dispatch(
+    op: str, source: object, *args: Any, default: Handler
+) -> Any:
+    """Run the best registered fast path, falling back to ``default``.
+
+    Handlers are tried most-specific-first; each may return
+    ``NotImplemented`` to decline.  ``default`` receives the same
+    ``(source, *args)`` and must always produce a result.
+    """
+    for handler in handlers_for(op, source):
+        result = handler(source, *args)
+        if result is not NotImplemented:
+            obs.counter_add("query.dispatch_fastpath")
+            return result
+    obs.counter_add("query.dispatch_fallback")
+    return default(source, *args)
+
+
+def registered_ops() -> dict[str, tuple[type, ...]]:
+    """Snapshot of the registry: op name -> registered source types."""
+    return {
+        op: tuple(t for t, _ in entries)
+        for op, entries in _registry.items()
+    }

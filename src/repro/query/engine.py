@@ -4,10 +4,22 @@ Three queries, matching the paper:
 
 - :func:`scan_query` — decompress the whole column through the scan
   operator (materializing every vector, discarding it);
-- :func:`sum_query` — scan + SUM aggregation (vectorized summing work on
-  top of the scan);
+- :func:`sum_query` — SUM aggregation, through the encoded-domain fast
+  path when the source registers one (late materialization: packed
+  integers are reduced and scaled once per vector, doubles are never
+  built), falling back to scan + vectorized float summing;
 - :func:`comp_query` — compress the column and serialize it, including
   the metadata the paper mentions (offsets, parameters).
+
+:func:`range_sum_query` / :func:`range_count_query` add the filtered
+aggregates: range predicates are translated to exact integer bounds and
+evaluated fused inside the unpack loop on encoded sources, with
+FFOR-header (and, for file sources, zone-map) skipping.
+
+Fast paths are resolved through :mod:`repro.query.dispatch` — the
+engine never names a concrete source type; sources register their own
+handlers.  Every query also has an explicit ``*_decoded`` form, which
+is both the fallback and the oracle the property tests compare against.
 
 :func:`run_partitioned` executes a query over N partitions with a thread
 pool; numpy kernels release the GIL for part of their work, so the
@@ -24,8 +36,13 @@ from typing import Callable
 import numpy as np
 
 from repro import obs
-from repro.query.operators import AggregateOperator, ScanOperator
-from repro.query.sources import AlpSource, ColumnSource, make_source
+from repro.query.dispatch import dispatch
+from repro.query.operators import (
+    AggregateOperator,
+    FilterOperator,
+    ScanOperator,
+)
+from repro.query.sources import ColumnSource, make_source
 
 
 def scan_query(source: ColumnSource) -> int:
@@ -43,30 +60,92 @@ def scan_query(source: ColumnSource) -> int:
 
 
 def sum_query(source: ColumnSource) -> float:
-    """SUM aggregation over the scan."""
+    """SUM aggregation; encoded-domain when the source supports it."""
     with obs.span("query.sum"):
-        result = AggregateOperator(ScanOperator(source), kind="sum").result()
+        result = float(
+            dispatch("sum", source, default=sum_query_decoded)
+        )
     obs.counter_add("query.sum_queries")
     return result
+
+
+def sum_query_decoded(source: ColumnSource) -> float:
+    """The decode-then-aggregate SUM: fallback path and test oracle."""
+    return AggregateOperator(ScanOperator(source), kind="sum").result()
+
+
+def range_sum_query(
+    source: ColumnSource, low: float, high: float
+) -> tuple[float, int]:
+    """Filtered SUM: ``(sum, count)`` of values in ``[low, high]``."""
+    with obs.span("query.range_sum"):
+        result = dispatch(
+            "range_sum",
+            source,
+            low,
+            high,
+            default=range_sum_query_decoded,
+        )
+    obs.counter_add("query.range_queries")
+    return float(result[0]), int(result[1])
+
+
+def range_sum_query_decoded(
+    source: ColumnSource, low: float, high: float
+) -> tuple[float, int]:
+    """Decode-then-filter-then-sum: fallback path and test oracle."""
+    total = 0.0
+    count = 0
+    for vector in FilterOperator(ScanOperator(source), low, high):
+        total += float(vector.sum())
+        count += vector.size
+    return total, count
+
+
+def range_count_query(
+    source: ColumnSource, low: float, high: float
+) -> int:
+    """COUNT of values in ``[low, high]``."""
+    with obs.span("query.range_count"):
+        result = int(
+            dispatch(
+                "range_count",
+                source,
+                low,
+                high,
+                default=range_count_query_decoded,
+            )
+        )
+    obs.counter_add("query.range_queries")
+    return result
+
+
+def range_count_query_decoded(
+    source: ColumnSource, low: float, high: float
+) -> int:
+    """Decode-then-filter-then-count: fallback path and test oracle."""
+    count = 0
+    for vector in FilterOperator(ScanOperator(source), low, high):
+        count += vector.size
+    return count
 
 
 def comp_query(codec_name: str, values: np.ndarray) -> int:
     """Compress ``values`` under a codec; returns compressed bits.
 
-    For ALP this includes serializing to the on-disk layout, mirroring
-    the paper's note that COMP "also writes extra meta-data for the
-    compressed blocks".
+    Sources that serialize to an on-disk layout (ALP) register a "comp"
+    handler reporting serialized bits including metadata; everything
+    else reports its in-memory compressed footprint.
     """
     with obs.span("query.comp"):
         source = make_source(codec_name, values)
-        if isinstance(source, AlpSource):
-            from repro.storage.serializer import serialize_rowgroup
+        return int(
+            dispatch("comp", source, default=_comp_in_memory_bits)
+        )
 
-            total = 0
-            for rowgroup in source.column.rowgroups:
-                total += len(serialize_rowgroup(rowgroup)) * 8
-            return total
-        return source.compressed_bits
+
+def _comp_in_memory_bits(source: ColumnSource) -> int:
+    return source.compressed_bits
 
 
 def run_partitioned(

@@ -4,15 +4,40 @@ Operators form a pull pipeline: each ``next_vector()`` call returns the
 next 1024-value float64 vector (possibly shorter at the tail) or ``None``
 at end of stream.  Work inside an operator is numpy-vectorized over the
 vector — the defining property of the execution model the paper targets.
+
+Two pipelines coexist:
+
+- the *decoded* pipeline (:class:`ScanOperator` → :class:`FilterOperator`
+  → :class:`AggregateOperator`) materializes every vector as float64 and
+  runs operators on doubles;
+- the *encoded* pipeline (:class:`EncodedScanOperator` and the
+  aggregates below) pulls :class:`~repro.query.sources.EncodedBatch`
+  objects and executes SUM / range predicates directly on the ALP
+  integer domain — late materialization: doubles are never built for
+  values that only feed an aggregate, and vectors whose FFOR header
+  already decides a predicate are skipped without unpacking a bit.
+
+:func:`register_encoded_source` wires a source type into the engine's
+dispatch registry so every encoded source gets the fused ops without
+the engine knowing the type.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, Optional
 
 import numpy as np
 
-from repro.query.sources import ColumnSource
+from repro import obs
+from repro.core.alp import alp_sum_vector
+from repro.core.predicates import (
+    count_vector_encoded,
+    sum_range_vector,
+)
+from repro.query.dispatch import register
+
+if TYPE_CHECKING:
+    from repro.query.sources import ColumnSource, EncodedBatch
 
 
 class Operator:
@@ -33,7 +58,7 @@ class Operator:
 class ScanOperator(Operator):
     """Leaf operator: pulls vectors out of a column source."""
 
-    def __init__(self, source: ColumnSource) -> None:
+    def __init__(self, source: "ColumnSource") -> None:
         self._iter = source.vectors()
 
     def next_vector(self) -> Optional[np.ndarray]:
@@ -99,3 +124,163 @@ class AggregateOperator(Operator):
             elif self._kind == "max" and vector.size:
                 value = max(value, float(vector.max()))
         return value
+
+
+# -- the encoded (late-materialization) pipeline ----------------------
+
+
+class EncodedScanOperator:
+    """Leaf of the encoded pipeline: pulls batches that stay compressed.
+
+    ``value_range``, when given, is forwarded to the source as a
+    push-down hint — sources with zone maps may withhold batches that
+    cannot contain qualifying values (safe for any filtered op: withheld
+    batches contribute nothing to the result).
+    """
+
+    def __init__(
+        self,
+        source: object,
+        value_range: tuple[float, float] | None = None,
+    ) -> None:
+        batches = getattr(source, "encoded_batches")
+        self._iter = batches(value_range)
+
+    def next_batch(self) -> "Optional[EncodedBatch]":
+        return next(self._iter, None)
+
+    def __iter__(self) -> "Iterator[EncodedBatch]":
+        while True:
+            batch = self.next_batch()
+            if batch is None:
+                return
+            yield batch
+
+
+class EncodedSumOperator:
+    """SUM without materialization: integer-domain per ALP batch.
+
+    ALP batches are summed by :func:`~repro.core.alp.alp_sum_vector`
+    (packed-integer reduction + one scale per vector + sparse exception
+    correction); already-decoded fallback batches contribute the same
+    ``float(values.sum())`` term the decoded pipeline would.
+    """
+
+    def __init__(self, child: EncodedScanOperator) -> None:
+        self._child = child
+
+    def result(self) -> float:
+        total = 0.0
+        started = False
+        for batch in self._child:
+            if batch.alp is not None:
+                term = alp_sum_vector(batch.alp)
+            elif batch.values is not None and batch.values.size:
+                term = float(batch.values.sum())
+            else:
+                continue
+            # Mirror the decoded pipeline's `0.0 + term` accumulation
+            # from the first batch on, so results match to the bit when
+            # there is exactly one contributing batch of exceptions.
+            total = term if not started else total + term
+            started = True
+        return total
+
+
+class EncodedRangeAggregateOperator:
+    """Filtered SUM + COUNT over ``[low, high]``, encoded-domain.
+
+    ``result()`` returns ``(sum, count)`` of qualifying values.  ALP
+    batches go through the exact integer-bounds translation
+    (:mod:`repro.core.predicates`); fallback batches are filtered as
+    doubles.
+    """
+
+    def __init__(
+        self, child: EncodedScanOperator, low: float, high: float
+    ) -> None:
+        self._child = child
+        self._low = low
+        self._high = high
+
+    def result(self) -> tuple[float, int]:
+        total = 0.0
+        count = 0
+        started = False
+        for batch in self._child:
+            if batch.alp is not None:
+                term, kept = sum_range_vector(
+                    batch.alp, self._low, self._high
+                )
+            else:
+                values = batch.values
+                if values is None or not values.size:
+                    continue
+                mask = (values >= self._low) & (values <= self._high)
+                kept = int(mask.sum())
+                term = float(values[mask].sum()) if kept else 0.0
+            if not kept:
+                continue
+            total = term if not started else total + term
+            started = True
+            count += kept
+        return total, count
+
+
+class EncodedRangeCountOperator:
+    """COUNT of values in ``[low, high]``; header-decided ALP vectors
+    are counted with zero unpacking."""
+
+    def __init__(
+        self, child: EncodedScanOperator, low: float, high: float
+    ) -> None:
+        self._child = child
+        self._low = low
+        self._high = high
+
+    def result(self) -> int:
+        count = 0
+        for batch in self._child:
+            if batch.alp is not None:
+                count += count_vector_encoded(
+                    batch.alp, self._low, self._high
+                )
+            elif batch.values is not None and batch.values.size:
+                values = batch.values
+                count += int(
+                    ((values >= self._low) & (values <= self._high)).sum()
+                )
+        return count
+
+
+def _encoded_sum(source: object) -> float:
+    obs.counter_add("query.sum_encoded")
+    return EncodedSumOperator(EncodedScanOperator(source)).result()
+
+
+def _encoded_range_sum(
+    source: object, low: float, high: float
+) -> tuple[float, int]:
+    scan = EncodedScanOperator(source, value_range=(low, high))
+    return EncodedRangeAggregateOperator(scan, low, high).result()
+
+
+def _encoded_range_count(
+    source: object, low: float, high: float
+) -> int:
+    scan = EncodedScanOperator(source, value_range=(low, high))
+    return EncodedRangeCountOperator(scan, low, high).result()
+
+
+def register_encoded_source(source_type: type) -> type:
+    """Give ``source_type`` the encoded fast paths for sum/range ops.
+
+    The type must provide ``encoded_batches(value_range=None)`` yielding
+    :class:`~repro.query.sources.EncodedBatch`.  Usable as a class
+    decorator; the engine picks the handlers up through the dispatch
+    registry without naming the type anywhere.
+    """
+    register("sum", source_type, _encoded_sum)
+    register("range_sum", source_type, _encoded_range_sum)
+    register("range_count", source_type, _encoded_range_count)
+    return source_type

@@ -12,9 +12,10 @@ Anticipated failures raise :class:`OpError` with a protocol error code;
 anything else becomes an ``internal`` error frame in the service layer.
 
 The query ops go through the same engine the local benchmarks use
-(:func:`repro.query.engine.sum_query` / :func:`comp_query` over a
-cache-aware :class:`~repro.query.sources.FileColumnSource`), so served
-numbers and local numbers come from one code path.
+(:func:`repro.query.engine.sum_query` / :func:`range_sum_query` /
+:func:`comp_query` over a :class:`~repro.query.sources.FileColumnSource`),
+so served numbers and local numbers come from one code path — including
+the encoded-domain fast paths.
 """
 
 from __future__ import annotations
@@ -22,11 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-import numpy as np
-
 from repro import api
-from repro.query.engine import comp_query, sum_query
-from repro.query.sources import FileColumnSource
+from repro.query.engine import comp_query, range_sum_query, sum_query
 from repro.server import protocol
 from repro.server.registry import DatasetRegistry, ServedColumn
 from repro.storage.errors import IntegrityError
@@ -145,16 +143,16 @@ def build_ops(
     def op_sum(header: dict[str, object], payload: bytes) -> OpResult:
         served = _resolve(registry, header)
         bounds = _range_bounds(header)
+        # Both shapes run the engine's encoded-domain (late
+        # materialization) path: integers are reduced in place of
+        # doubles, and ranged sums skip non-qualifying vectors via zone
+        # maps + FFOR headers without unpacking them.
+        source = served.query_source()
         if bounds is None:
-            source = FileColumnSource(
-                reader=served.reader, cache=served.cache
-            )
             total = float(sum_query(source))
             count = int(source.value_count)
         else:
-            values = served.values_in_range(*bounds)
-            total = float(np.sum(values)) if values.size else 0.0
-            count = int(values.size)
+            total, count = range_sum_query(source, *bounds)
         fields: dict[str, object] = {"sum": total, "count": count}
         fields.update(_quarantine_fields(served))
         return OpResult(fields=fields)

@@ -63,6 +63,20 @@ class ServedColumn:
         row-groups; see :meth:`scan_report`)."""
         return self.reader.read_all(cache=self.cache)
 
+    def query_source(self):
+        """The engine-facing scan source for aggregate ops.
+
+        Deliberately *not* wired to the decoded-vector cache: aggregates
+        run the encoded-domain path, and a served sum must not change by
+        a ulp depending on whether some row-group happened to be warm.
+        Scan ops, whose decoded values are bit-identical either way, keep
+        using the cache through :meth:`all_values` /
+        :meth:`values_in_range`.
+        """
+        from repro.query.sources import FileColumnSource
+
+        return FileColumnSource(reader=self.reader)
+
     def values_in_range(self, low: float, high: float) -> np.ndarray:
         """Values inside ``[low, high]``, zone-map-pruned then filtered."""
         chunks = []

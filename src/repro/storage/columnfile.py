@@ -791,6 +791,28 @@ class ColumnFileReader:
                     raise
                 self._quarantine(index, err)
 
+    def iter_rowgroups_compressed(
+        self,
+    ) -> Iterator[tuple[int, RowGroupMeta, CompressedRowGroup]]:
+        """Yield (index, meta, compressed row-group) without decompressing.
+
+        The late-materialization scan path: framing is decoded (and the
+        payload checksum verified) but the ALP payload stays in its
+        integer-compressed form for encoded-domain execution.  Degraded
+        readers quarantine corrupt row-groups exactly as
+        :meth:`iter_rowgroups` does, so an encoded scan and a decoded
+        scan of the same damaged file cover the same values.
+        """
+        for index in range(len(self._meta)):
+            try:
+                rowgroup = self.read_rowgroup_compressed(index)
+            except CorruptRowGroupError as err:
+                if not self._degraded:
+                    raise
+                self._quarantine(index, err)
+                continue
+            yield index, self._meta[index], rowgroup
+
     def read_all(self, cache: RowGroupCache | None = None) -> np.ndarray:
         """Decompress the whole column.
 

@@ -232,8 +232,15 @@ class TestKernelRecords:
         from repro.bench.records import build_document
 
         records = kernel_bench_records(repeats=1)
-        # One pack + one ffor record per width, plus the ALP vector one.
-        assert len(records) == 2 * len(KERNEL_WIDTHS) + 1
+        # One pack + one ffor record per width, plus the ALP vector
+        # record and the two encoded-query records (q-sum, q-cmp).
+        assert len(records) == 2 * len(KERNEL_WIDTHS) + 3
+        by_dataset = {r.dataset: r for r in records}
+        for name, counter in (
+            ("kernels/q-sum", "query.sum_speedup_vs_decode"),
+            ("kernels/q-cmp", "query.cmp_speedup_vs_decode"),
+        ):
+            assert by_dataset[name].counters[counter] > 0
         document = build_document(
             records,
             config={"kernels": True},
