@@ -144,18 +144,24 @@ def compress(
 
 
 def decompress(
-    column: CompressedRowGroups, options: CompressionOptions | None = None
+    column: CompressedRowGroups,
+    options: CompressionOptions | None = None,
+    *,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Decompress a column back to float64, bit-exactly.
 
     Like :func:`compress`, ``options.threads > 1`` routes through the
     thread-pooled decoder (row-groups decode into disjoint slices of one
     output array); the result is bit-identical to the serial path.
+    ``out``, when given, must be a writable C-contiguous float64 array
+    of exactly ``column.count`` values; the decode writes in place and
+    allocates no output array.
     """
     opts = options or DEFAULT_OPTIONS
     if opts.threads > 1:
-        return _decompress_parallel(column, threads=opts.threads)
-    return _decompress(column)
+        return _decompress_parallel(column, threads=opts.threads, out=out)
+    return _decompress(column, out=out)
 
 
 def write(
@@ -169,15 +175,22 @@ def write(
 
 
 def open(
-    path: str | os.PathLike, *, degraded: bool = False
+    path: str | os.PathLike, *, degraded: bool = False, mmap: bool = False
 ) -> ColumnFileReader:
     """Open a column file for verified random access and scans.
 
     With ``degraded=True`` bulk reads and range scans *quarantine*
     corrupt row-groups (skip + report via
     :meth:`ColumnFileReader.scan_report`) instead of raising.
+
+    With ``mmap=True`` the file is memory-mapped and payloads decode
+    straight out of the page cache with zero copies (v2 and small
+    files silently fall back to the buffered path).  Mapped readers
+    must be closed, and close refuses — with a typed
+    ``BufferLifetimeError`` — while payload views are still alive; see
+    ``docs/PERFORMANCE.md``, "zero-copy read path".
     """
-    return ColumnFileReader(path, degraded=degraded)
+    return ColumnFileReader(path, degraded=degraded, mmap=mmap)
 
 
 def read(path: str | os.PathLike, *, degraded: bool = False) -> np.ndarray:
@@ -197,10 +210,17 @@ def write_dataset(
 
 
 def open_dataset(
-    directory: str | os.PathLike, *, degraded: bool = False
+    directory: str | os.PathLike,
+    *,
+    degraded: bool = False,
+    mmap: bool = False,
 ) -> DatasetReader:
-    """Open a dataset directory for lazy per-column reads and queries."""
-    return DatasetReader(directory, degraded=degraded)
+    """Open a dataset directory for lazy per-column reads and queries.
+
+    ``mmap=True`` applies :func:`open`'s zero-copy mapping to every
+    column file the reader touches (with the same buffered fallback).
+    """
+    return DatasetReader(directory, degraded=degraded, mmap=mmap)
 
 
 def verify(

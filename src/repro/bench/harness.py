@@ -38,6 +38,62 @@ if TYPE_CHECKING:
 #: Nominal clock used for the tuples-per-cycle proxy (paper's Ice Lake).
 NOMINAL_GHZ = 3.5
 
+#: An allocation below this is "small" for memory accounting: decode
+#: scratch, headers, Python object churn.  At or above it, an
+#: allocation is the kind the zero-copy read path exists to eliminate
+#: (payload copies, fresh decode targets) — one 64 KiB block is eight
+#: 1024-value float64 vectors.
+LARGE_ALLOC_BYTES = 1 << 16
+
+
+def peak_rss_bytes() -> int:
+    """The process's high-water resident set size, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux (bytes on macOS, where this
+    over-reports 1024x — acceptable for a trajectory metric that is
+    only ever compared against same-platform baselines).
+    """
+    import resource
+
+    # KiB -> bytes (not the vector size).  # reprolint: ignore[RL4]
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss) * 1024
+
+
+def traced_large_allocs(
+    fn: "Callable[[], object]",
+    iterations: int = 3,
+    threshold: int = LARGE_ALLOC_BYTES,
+) -> int:
+    """Large-allocation-equivalents of one ``fn()`` call, via tracemalloc.
+
+    tracemalloc snapshots only see *live* blocks, so a transient copy
+    (allocated and freed inside the call) would be invisible to a
+    before/after diff.  The traced *peak* does see it: after a warm-up
+    call, each iteration resets the peak, runs ``fn`` and divides the
+    peak growth over the pre-call footprint by ``threshold``.  The
+    worst iteration is returned — ``0`` means no code path in ``fn``
+    ever held ``threshold`` bytes of fresh allocation at once, the
+    steady-state property the serving buffer pool is for.
+    """
+    import tracemalloc
+
+    was_tracing = tracemalloc.is_tracing()
+    if not was_tracing:
+        tracemalloc.start()
+    try:
+        fn()  # warm-up: lazy imports, caches, pool buckets
+        worst = 0
+        for _ in range(iterations):
+            tracemalloc.reset_peak()
+            base = tracemalloc.get_traced_memory()[0]
+            fn()
+            peak = tracemalloc.get_traced_memory()[1]
+            worst = max(worst, int(max(0, peak - base) // threshold))
+        return worst
+    finally:
+        if not was_tracing:
+            tracemalloc.stop()
+
 
 def bench_n(default: int = 60_000) -> int:
     """Values per dataset for table sweeps (override: REPRO_BENCH_N)."""
@@ -276,6 +332,10 @@ def bench_codec_structured(
             obs.disable()
         obs.reset()
 
+    # Memory accounting, after the timing passes so tracemalloc's
+    # interpreter hooks never slow a measured iteration.
+    large_allocs = traced_large_allocs(lambda: codec.decompress(encoded))
+
     return BenchRecord(
         dataset=dataset,
         codec=codec_name,
@@ -288,6 +348,8 @@ def bench_codec_structured(
         decompress_rel=decompress_mbps / calibration,
         spans=breakdown["spans"],
         counters=breakdown["counters"],
+        peak_rss_bytes=peak_rss_bytes(),
+        large_allocs=large_allocs,
     )
 
 

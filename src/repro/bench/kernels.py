@@ -292,6 +292,116 @@ def _bench_query_cmp(repeats: int, calibration: float) -> BenchRecord:
     )
 
 
+def _bench_io(repeats: int, calibration: float) -> BenchRecord:
+    """Cold-file read pipelines: the ``kernels/io`` record.
+
+    ``compress_mbps`` times the **retired** pipeline, step for step —
+    buffered open, a ``bytes(...)`` copy per payload, the scalar
+    :func:`~repro.storage.integrity.crc32c_reference` checksum, a fresh
+    decode allocation per row-group and a final ``concatenate`` —
+    against ``decompress_mbps``, the current one: ``mmap=True`` open,
+    checksums over zero-copy ``memoryview`` slices via the
+    lane-parallel CRC, and every row-group decoding straight into one
+    reused caller buffer.  Their ratio is pinned by ``--min-speedup``
+    as ``counters["io.coldread_speedup_vs_decode"]``; the counters
+    also carry the warm-read throughput (reader kept open, checksum
+    verdicts cached) and the in-memory decode-into vs decode-alloc
+    ratio, isolating the allocation term from the I/O term.
+    """
+    import shutil
+    import tempfile
+
+    from repro.core.compressor import (
+        CompressedRowGroups,
+        compress,
+        decompress,
+    )
+    from repro.data import get_dataset
+    from repro.storage.columnfile import ColumnFileReader, ColumnFileWriter
+    from repro.storage.integrity import crc32c_reference
+    from repro.storage.serializer import deserialize_rowgroup, empty_stats
+
+    values = get_dataset(
+        QUERY_SUM_DATASET, n=KERNEL_VECTORS * KERNEL_VECTOR_SIZE
+    )
+    tmpdir = tempfile.mkdtemp(prefix="alp-bench-io-")
+    path = f"{tmpdir}/io.alpc"
+    try:
+        with ColumnFileWriter(path) as writer:
+            writer.write_values(values)
+
+        probe = ColumnFileReader(path, mmap=True)
+        vector_size = probe.vector_size
+        file_bits = sum(m.length * 8 for m in probe.metadata)
+        probe.close()
+
+        def legacy_cold_read() -> np.ndarray:
+            reader = ColumnFileReader(path)
+            chunks = []
+            for index, meta in enumerate(reader.metadata):
+                payload = bytes(reader.rowgroup_payload(index))
+                if crc32c_reference(payload) != meta.payload_crc:
+                    raise ValueError("checksum mismatch")
+                rowgroup, _ = deserialize_rowgroup(payload, 0)
+                column = CompressedRowGroups(
+                    rowgroups=(rowgroup,),
+                    count=rowgroup.count,
+                    vector_size=vector_size,
+                    stats=empty_stats(),
+                )
+                chunks.append(decompress(column))
+            reader.close()
+            return np.concatenate(chunks)
+
+        target = np.empty(values.size, dtype=np.float64)
+
+        def mmap_cold_read() -> np.ndarray:
+            reader = ColumnFileReader(path, mmap=True)
+            reader.read_all(out=target)
+            reader.close()
+            return target
+
+        legacy_mbps = _per_vector_mbps(
+            legacy_cold_read, values.nbytes, repeats
+        )
+        mmap_mbps = _per_vector_mbps(mmap_cold_read, values.nbytes, repeats)
+
+        warm_reader = ColumnFileReader(path, mmap=True)
+        warm_reader.read_all(out=target)  # prime checksum verdicts
+        warm_mbps = _per_vector_mbps(
+            lambda: warm_reader.read_all(out=target), values.nbytes, repeats
+        )
+        warm_reader.close()
+
+        column = compress(values)
+        into_mbps = _per_vector_mbps(
+            lambda: decompress(column, out=target), values.nbytes, repeats
+        )
+        alloc_mbps = _per_vector_mbps(
+            lambda: decompress(column), values.nbytes, repeats
+        )
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+    bits = file_bits / values.size
+    return BenchRecord(
+        dataset="kernels/io",
+        codec="read",
+        n=int(values.size),
+        bits_per_value=bits,
+        compression_ratio=64.0 / bits,
+        compress_mbps=legacy_mbps,
+        decompress_mbps=mmap_mbps,
+        compress_rel=legacy_mbps / calibration,
+        decompress_rel=mmap_mbps / calibration,
+        counters={
+            "io.coldread_speedup_vs_decode": mmap_mbps / legacy_mbps,
+            "io.warm_read_mbps": warm_mbps,
+            "io.decode_into_speedup_vs_alloc": into_mbps / alloc_mbps,
+        },
+    )
+
+
 def kernel_bench_records(repeats: int = 5) -> list[BenchRecord]:
     """All kernel micro-benchmark records (see module docstring).
 
@@ -310,6 +420,7 @@ def kernel_bench_records(repeats: int = 5) -> list[BenchRecord]:
     raw.append(_bench_alp_vector(repeats, cal_before))
     raw.append(_bench_query_sum(repeats, cal_before))
     raw.append(_bench_query_cmp(repeats, cal_before))
+    raw.append(_bench_io(repeats, cal_before))
     calibration = (cal_before + calibration_mbps(repeats=repeats)) / 2
 
     # Re-anchor every record on the averaged calibration.

@@ -62,6 +62,15 @@ RECORD_NUMERIC_FIELDS = (
     "decompress_rel",
 )
 
+#: Optional memory-accounting fields (absent in pre-zero-copy documents
+#: and in records that did not measure them).  ``peak_rss_bytes`` is the
+#: process high-water mark (``ru_maxrss``); ``large_allocs`` is the
+#: tracemalloc-derived count of large-allocation-equivalents per
+#: measured operation (see :func:`repro.bench.harness.traced_large_allocs`)
+#: — the field the trajectory watches so a reintroduced payload copy
+#: shows up as a number, not a vibe.
+RECORD_MEMORY_FIELDS = ("peak_rss_bytes", "large_allocs")
+
 
 @dataclass(frozen=True)
 class BenchRecord:
@@ -78,9 +87,11 @@ class BenchRecord:
     decompress_rel: float
     spans: dict = field(default_factory=dict)
     counters: dict = field(default_factory=dict)
+    peak_rss_bytes: int | None = None
+    large_allocs: int | None = None
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "dataset": self.dataset,
             "codec": self.codec,
             "n": self.n,
@@ -93,6 +104,11 @@ class BenchRecord:
             "spans": self.spans,
             "counters": self.counters,
         }
+        for name in RECORD_MEMORY_FIELDS:
+            value = getattr(self, name)
+            if value is not None:
+                out[name] = value
+        return out
 
     @classmethod
     def from_dict(cls, raw: dict) -> "BenchRecord":
@@ -108,6 +124,16 @@ class BenchRecord:
             decompress_rel=float(raw["decompress_rel"]),
             spans=dict(raw.get("spans", {})),
             counters=dict(raw.get("counters", {})),
+            peak_rss_bytes=(
+                int(raw["peak_rss_bytes"])
+                if raw.get("peak_rss_bytes") is not None
+                else None
+            ),
+            large_allocs=(
+                int(raw["large_allocs"])
+                if raw.get("large_allocs") is not None
+                else None
+            ),
         )
 
     @property
@@ -227,6 +253,16 @@ def _validate_record(
     for name in ("spans", "counters"):
         if not isinstance(record.get(name), dict):
             problems.append(f"{where}.{name} must be an object")
+    for name in RECORD_MEMORY_FIELDS:
+        value = record.get(name)
+        if value is not None and (
+            isinstance(value, bool)
+            or not isinstance(value, int)
+            or value < 0
+        ):
+            problems.append(
+                f"{where}.{name} must be a non-negative integer when present"
+            )
     key = (record.get("dataset"), record.get("codec"))
     if all(isinstance(part, str) for part in key):
         if key in seen:

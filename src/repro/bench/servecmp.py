@@ -1,0 +1,249 @@
+"""Serving-latency comparison: cold vs warm vs checked-in baseline.
+
+``python -m repro.bench.servecmp COLD.json [WARM.json]`` reads loadgen
+``BENCH_*.json`` documents (one ``served/loadgen`` record whose
+``counters`` carry the latency percentiles — see
+:func:`repro.server.loadgen.write_loadgen_json`) and reports the
+serving latency picture CI cares about:
+
+- **cold vs baseline** (``--baseline PATH``): the cold-file p99 —
+  first-touch reads, nothing cached — compared against the checked-in
+  baseline p99.  More than ``--max-regression`` (fractional, default
+  0.5) slower fails; wall-clock latencies on shared CI runners are
+  noisy, so the bound is deliberately loose and catches step changes
+  (a reintroduced payload copy), not jitter.
+- **cold vs warm**: the delta the decoded-vector cache + buffer pool
+  buy once resident, published in the job summary so the effect of the
+  zero-copy read path is a number in every run.
+- **memory fields**: per-request large-allocation counts
+  (``large_allocs``) are compared *strictly* when both runs carry them
+  — allocation counts are deterministic where latency is not, so a
+  steady-state run that allocates more than baseline fails even inside
+  the latency tolerance.
+
+Like :mod:`repro.bench.gate`, the same table is rendered as
+GitHub-flavoured markdown and appended to ``--summary PATH`` or
+``$GITHUB_STEP_SUMMARY`` when set.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.bench.records import BenchRecord, read_bench_json
+
+#: Fail when cold p99 exceeds baseline p99 by more than this fraction.
+DEFAULT_MAX_REGRESSION = 0.5
+
+#: Latency percentiles lifted out of the loadgen counters dict.
+LATENCY_KEYS = ("latency_p50_ms", "latency_p95_ms", "latency_p99_ms")
+
+
+@dataclass(frozen=True)
+class ServeStats:
+    """The slice of one loadgen record this comparison consumes."""
+
+    label: str
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    requests_per_s: float
+    large_allocs: int | None
+    peak_rss_bytes: int | None
+
+
+def load_serve_stats(path: str | Path, label: str) -> ServeStats:
+    """Read one loadgen document into a :class:`ServeStats`."""
+    _, records = read_bench_json(path)
+    record = _loadgen_record(records, path)
+    counters = record.counters
+    values: dict[str, float] = {}
+    for key in (*LATENCY_KEYS, "requests_per_s"):
+        raw = counters.get(key)
+        if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+            raise ValueError(
+                f"{path}: loadgen record counter {key!r} missing or "
+                "non-numeric; was this written by write_loadgen_json?"
+            )
+        values[key] = float(raw)
+    return ServeStats(
+        label=label,
+        p50_ms=values["latency_p50_ms"],
+        p95_ms=values["latency_p95_ms"],
+        p99_ms=values["latency_p99_ms"],
+        requests_per_s=values["requests_per_s"],
+        large_allocs=record.large_allocs,
+        peak_rss_bytes=record.peak_rss_bytes,
+    )
+
+
+def _loadgen_record(
+    records: list[BenchRecord], path: str | Path
+) -> BenchRecord:
+    for record in records:
+        if record.codec == "loadgen":
+            return record
+    raise ValueError(f"{path}: no loadgen record in document")
+
+
+def relative_change(baseline: float, current: float) -> float:
+    """(current - baseline) / baseline; positive = slower/worse."""
+    if baseline <= 0:
+        return 0.0 if current <= 0 else float("inf")
+    return (current - baseline) / baseline
+
+
+def compare(
+    cold: ServeStats,
+    baseline: ServeStats | None,
+    max_regression: float,
+) -> list[str]:
+    """Failure messages from the cold-vs-baseline comparison."""
+    if baseline is None:
+        return []
+    problems: list[str] = []
+    change = relative_change(baseline.p99_ms, cold.p99_ms)
+    if change > max_regression:
+        problems.append(
+            f"cold p99 regressed {change:+.1%} vs baseline "
+            f"({baseline.p99_ms:.1f} ms -> {cold.p99_ms:.1f} ms, "
+            f"tolerance {max_regression:.0%})"
+        )
+    if (
+        cold.large_allocs is not None
+        and baseline.large_allocs is not None
+        and cold.large_allocs > baseline.large_allocs
+    ):
+        problems.append(
+            "per-request large-allocation count grew from "
+            f"{baseline.large_allocs} to {cold.large_allocs} — a copy "
+            "crept back into the read path (this check has no latency "
+            "tolerance; allocation counts are deterministic)"
+        )
+    return problems
+
+
+def render_markdown(
+    cold: ServeStats,
+    warm: ServeStats | None,
+    baseline: ServeStats | None,
+    problems: list[str],
+    max_regression: float,
+) -> str:
+    """The serving-latency picture as a markdown table."""
+    rows = [s for s in (baseline, cold, warm) if s is not None]
+    lines = [
+        "## Serving latency (loadgen)",
+        "",
+        "| run | p50 ms | p95 ms | p99 ms | req/s | large allocs/req |",
+        "|---|---:|---:|---:|---:|---:|",
+    ]
+    for stats in rows:
+        allocs = (
+            str(stats.large_allocs)
+            if stats.large_allocs is not None
+            else "—"
+        )
+        lines.append(
+            f"| {stats.label} | {stats.p50_ms:.1f} | {stats.p95_ms:.1f} "
+            f"| {stats.p99_ms:.1f} | {stats.requests_per_s:.0f} "
+            f"| {allocs} |"
+        )
+    lines.append("")
+    if warm is not None:
+        delta = relative_change(cold.p99_ms, warm.p99_ms)
+        lines.append(
+            f"Cold -> warm p99: {cold.p99_ms:.1f} ms -> "
+            f"{warm.p99_ms:.1f} ms ({delta:+.1%}) — what the decoded "
+            "cache + buffer pool buy once resident."
+        )
+    if baseline is not None:
+        delta = relative_change(baseline.p99_ms, cold.p99_ms)
+        verdict = "within" if delta <= max_regression else "OVER"
+        lines.append(
+            f"Cold p99 vs baseline: {delta:+.1%} ({verdict} the "
+            f"{max_regression:.0%} bound)."
+        )
+    for problem in problems:
+        lines.append(f"- :x: {problem}")
+    if not problems:
+        lines.append("")
+        lines.append("**Serving comparison passed.**")
+    return "\n".join(lines) + "\n"
+
+
+def write_summary(markdown: str, summary_path: str | None) -> None:
+    """Append ``markdown`` to ``summary_path`` or ``$GITHUB_STEP_SUMMARY``."""
+    path = summary_path or os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    with Path(path).open("a", encoding="utf-8") as handle:
+        handle.write(markdown)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.servecmp",
+        description=(
+            "compare loadgen latency records: cold vs warm vs a "
+            "checked-in baseline"
+        ),
+    )
+    parser.add_argument("cold", help="BENCH_loadgen_*.json of the cold run")
+    parser.add_argument(
+        "warm",
+        nargs="?",
+        default=None,
+        help="optional warm-run BENCH_loadgen_*.json (cache resident)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="checked-in baseline loadgen BENCH_*.json to gate against",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=DEFAULT_MAX_REGRESSION,
+        help=(
+            "max fractional cold-p99 increase vs baseline "
+            f"(default {DEFAULT_MAX_REGRESSION})"
+        ),
+    )
+    parser.add_argument(
+        "--summary",
+        default=None,
+        help=(
+            "append the markdown table to this file "
+            "(default: $GITHUB_STEP_SUMMARY when set)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    cold = load_serve_stats(args.cold, "cold")
+    warm = (
+        load_serve_stats(args.warm, "warm") if args.warm else None
+    )
+    baseline = (
+        load_serve_stats(args.baseline, "baseline")
+        if args.baseline
+        else None
+    )
+    problems = compare(cold, baseline, args.max_regression)
+    markdown = render_markdown(
+        cold, warm, baseline, problems, args.max_regression
+    )
+    print(markdown, end="")
+    write_summary(markdown, args.summary)
+    if problems:
+        print(f"servecmp FAILED: {len(problems)} problem(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

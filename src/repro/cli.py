@@ -350,13 +350,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import threading
 
     from repro import obs
-    from repro.server import DatasetRegistry, DecodedVectorCache
+    from repro.server import BufferPool, DatasetRegistry, DecodedVectorCache
     from repro.server.service import ServerConfig, ServerHandle
 
     if args.obs:
         obs.enable()
-    cache = DecodedVectorCache(byte_budget=args.cache_mb * (1 << 20))
-    registry = DatasetRegistry(cache=cache, degraded=not args.strict)
+    pool = (
+        BufferPool(byte_budget=args.pool_mb * (1 << 20))
+        if args.pool_mb > 0
+        else None
+    )
+    cache = DecodedVectorCache(
+        byte_budget=args.cache_mb * (1 << 20), pool=pool
+    )
+    registry = DatasetRegistry(
+        cache=cache,
+        degraded=not args.strict,
+        mmap=args.mmap,
+        pool=pool,
+    )
     for spec in args.data:
         name: str | None = None
         path = spec
@@ -385,6 +397,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print("draining...", flush=True)
     handle.shutdown()
     print(f"cache: {json.dumps(cache.stats().as_dict())}")
+    if pool is not None:
+        print(f"pool: {json.dumps(pool.stats().as_dict())}")
     return 0
 
 
@@ -593,6 +607,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=256,
         help="decoded-vector cache budget in MiB",
+    )
+    p.add_argument(
+        "--pool-mb",
+        type=int,
+        default=64,
+        help="decode buffer-pool idle budget in MiB (0 disables pooling)",
+    )
+    p.add_argument(
+        "--mmap",
+        action="store_true",
+        help="memory-map served column files for zero-copy payload reads",
     )
     p.add_argument(
         "--strict",

@@ -354,8 +354,21 @@ def compress_parallel(
     return column
 
 
-def _decode_rowgroup_into(rg: CompressedRowGroup, out: np.ndarray) -> None:
-    """Decode one row-group into its preallocated output slice."""
+def decode_rowgroup_into(rg: CompressedRowGroup, out: np.ndarray) -> None:
+    """Decode one row-group into a preallocated float64 slice.
+
+    The canonical decode path: :func:`decompress`,
+    :func:`decompress_parallel` and the storage readers'
+    ``read_rowgroup``/``read_all`` ``out=`` variants all funnel through
+    here, each vector writing directly into its offset of the caller's
+    buffer.  ``out`` must be a writable float64 array (or slice) of
+    exactly ``rg.count`` values.
+    """
+    if out.dtype != np.float64 or out.ndim != 1 or out.size != rg.count:
+        raise ValueError(
+            f"out must be a 1-D float64 array of {rg.count} values, "
+            f"got {out.dtype} with shape {out.shape}"
+        )
     pos = 0
     if rg.alp is not None:
         for vector in rg.alp.vectors:
@@ -367,19 +380,43 @@ def _decode_rowgroup_into(rg: CompressedRowGroup, out: np.ndarray) -> None:
         alprd_decode(rg.rd, out=out[pos : pos + rg.rd.count])
 
 
-def decompress(column: CompressedRowGroups) -> np.ndarray:
+def coerce_decode_out(
+    column: CompressedRowGroups, out: np.ndarray | None
+) -> np.ndarray:
+    """Validate (or allocate) a whole-column float64 decode buffer."""
+    if out is None:
+        return np.empty(column.count, dtype=np.float64)
+    if not isinstance(out, np.ndarray):
+        raise TypeError(f"out must be a numpy ndarray, got {type(out)!r}")
+    if out.dtype != np.float64 or out.ndim != 1 or out.size != column.count:
+        raise ValueError(
+            f"out must be a 1-D float64 array of {column.count} values, "
+            f"got {out.dtype} with shape {out.shape}"
+        )
+    if not out.flags.c_contiguous or not out.flags.writeable:
+        raise ValueError("out must be C-contiguous and writable")
+    return out
+
+
+def decompress(
+    column: CompressedRowGroups, out: np.ndarray | None = None
+) -> np.ndarray:
     """Decompress a column back to float64, bit-exactly.
 
     Every vector decodes directly into its offset of one preallocated
     output array — no per-vector arrays are built and concatenated.
+    ``out``, when given, must be a writable C-contiguous float64 array
+    of exactly ``column.count`` values; the decoded column is written
+    in place and ``out`` itself is returned, so steady-state callers
+    (the serving buffer pool) allocate nothing per decode.
     """
+    out = coerce_decode_out(column, out)
     if column.count == 0:
-        return np.empty(0, dtype=np.float64)
+        return out
     with obs.span("compressor.decompress"):
-        out = np.empty(column.count, dtype=np.float64)
         pos = 0
         for rg in column.rowgroups:
-            _decode_rowgroup_into(rg, out[pos : pos + rg.count])
+            decode_rowgroup_into(rg, out[pos : pos + rg.count])
             pos += rg.count
         if obs.ENABLED:
             obs.metrics.counter_add("compressor.values_decoded", column.count)
@@ -387,31 +424,32 @@ def decompress(column: CompressedRowGroups) -> np.ndarray:
 
 
 def decompress_parallel(
-    column: CompressedRowGroups, threads: int = 2
+    column: CompressedRowGroups, threads: int = 2, out: np.ndarray | None = None
 ) -> np.ndarray:
     """Decompress row-groups concurrently with a thread pool.
 
     Each row-group decodes into a disjoint slice of one preallocated
     output array, so workers never touch the same memory and the result
-    is bit-identical to :func:`decompress`.  Like
-    :func:`compress_parallel`, the win comes from numpy kernels
-    releasing the GIL for part of the decode.
+    is bit-identical to :func:`decompress` — including when the caller
+    provides the array via ``out=`` (same contract as
+    :func:`decompress`).  Like :func:`compress_parallel`, the win comes
+    from numpy kernels releasing the GIL for part of the decode.
     """
     from concurrent.futures import ThreadPoolExecutor
 
     if threads <= 1 or len(column.rowgroups) <= 1:
-        return decompress(column)
+        return decompress(column, out=out)
+    out = coerce_decode_out(column, out)
     if column.count == 0:
-        return np.empty(0, dtype=np.float64)
+        return out
     with obs.span("compressor.decompress_parallel"):
-        out = np.empty(column.count, dtype=np.float64)
         slices = []
         pos = 0
         for rg in column.rowgroups:
             slices.append((rg, out[pos : pos + rg.count]))
             pos += rg.count
         with ThreadPoolExecutor(max_workers=threads) as pool:
-            list(pool.map(lambda item: _decode_rowgroup_into(*item), slices))
+            list(pool.map(lambda item: decode_rowgroup_into(*item), slices))
         if obs.ENABLED:
             obs.metrics.counter_add("compressor.values_decoded", column.count)
         return out

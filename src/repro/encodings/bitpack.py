@@ -25,15 +25,62 @@ against.
 
 from __future__ import annotations
 
+import sys
 from functools import lru_cache
 
 import numpy as np
 
 from repro import obs
 
+if sys.version_info >= (3, 12):  # pragma: no cover - version switch
+    from collections.abc import Buffer
+else:  # pragma: no cover - version switch
+    from typing import Union
+
+    #: Pre-3.12 stand-in for :class:`collections.abc.Buffer`: the
+    #: buffer-protocol inputs the unpack kernels accept at runtime.
+    Buffer = Union[bytes, bytearray, memoryview, np.ndarray]
+
 #: Widths packable with a single dtype cast (big-endian field bytes are
 #: exactly the value's low bytes in stream order).
 _CAST_DTYPES = {8: np.dtype(np.uint8), 16: ">u2", 32: ">u4", 64: ">u8"}
+
+
+def as_byte_buffer(buffer: Buffer) -> bytes | bytearray | memoryview:
+    """A flat byte view of any C-contiguous buffer, without copying.
+
+    ``bytes``/``bytearray`` pass through; other buffer-protocol objects
+    (``memoryview`` slices of an mmap, numpy byte arrays) are wrapped in
+    a ``memoryview`` and cast to unsigned bytes.  Non-contiguous views
+    have no zero-copy byte representation and are rejected with a clear
+    error rather than silently copied.
+    """
+    if isinstance(buffer, (bytes, bytearray)):
+        return buffer
+    view = buffer if isinstance(buffer, memoryview) else memoryview(buffer)
+    if not view.c_contiguous:
+        raise ValueError(
+            "expected a C-contiguous buffer; got a non-contiguous "
+            "memoryview (materialize it with bytes(...) or "
+            "np.ascontiguousarray first)"
+        )
+    return view.cast("B")
+
+
+def _coerce_out(out: np.ndarray, count: int) -> np.ndarray:
+    """Validate a caller-provided unpack destination buffer."""
+    if not isinstance(out, np.ndarray):
+        raise TypeError(f"out must be a numpy ndarray, got {type(out)!r}")
+    if out.dtype != np.uint64:
+        raise ValueError(f"out must have dtype uint64, got {out.dtype}")
+    if out.ndim != 1 or out.size != count:
+        raise ValueError(
+            f"out must be a 1-D array of exactly {count} values, "
+            f"got shape {out.shape}"
+        )
+    if not out.flags.c_contiguous or not out.flags.writeable:
+        raise ValueError("out must be C-contiguous and writable")
+    return out
 
 
 def bit_width_required(
@@ -205,8 +252,18 @@ def _unpack_plan(
     return word_idx, offset, spill_shift
 
 
-def unpack_bits(buffer: bytes, width: int, count: int) -> np.ndarray:
+def unpack_bits(
+    buffer: Buffer, width: int, count: int, out: np.ndarray | None = None
+) -> np.ndarray:
     """Unpack ``count`` values of ``width`` bits each from ``buffer``.
+
+    ``buffer`` may be any C-contiguous buffer-protocol object —
+    ``bytes``, ``bytearray``, a ``memoryview`` slice of an mmap, or a
+    numpy byte array — and is never copied whole (non-contiguous views
+    are rejected, see :func:`as_byte_buffer`).  ``out``, when given,
+    must be a writable C-contiguous uint64 array of exactly ``count``
+    values and receives the fields in place, so batch decoders can
+    unpack straight into a caller-provided column buffer.
 
     The generic path pads the payload to whole 64-bit words (plus one
     spill word), views it as big-endian uint64, and reconstructs each
@@ -221,8 +278,14 @@ def unpack_bits(buffer: bytes, width: int, count: int) -> np.ndarray:
         raise ValueError(f"bit width must be in [0, 64], got {width}")
     if count < 0:
         raise ValueError("count must be non-negative")
+    if out is not None:
+        out = _coerce_out(out, count)
     if width == 0:
+        if out is not None:
+            out[...] = 0
+            return out
         return np.zeros(count, dtype=np.uint64)
+    buffer = as_byte_buffer(buffer)
     total_bits = count * width
     available = len(buffer) * 8
     if total_bits > available:
@@ -231,18 +294,23 @@ def unpack_bits(buffer: bytes, width: int, count: int) -> np.ndarray:
             f"for {count} values of width {width}"
         )
     if count == 0:
-        return np.zeros(0, dtype=np.uint64)
+        return out if out is not None else np.zeros(0, dtype=np.uint64)
     if obs.ENABLED:
         obs.metrics.counter_add("bitpack.unpack_calls", 1)
         obs.metrics.counter_add("bitpack.unpack_values", count)
         obs.metrics.counter_add("bitpack.unpack_bytes", len(buffer))
     cast = _CAST_DTYPES.get(width)
     if cast is not None:
-        return np.frombuffer(buffer, dtype=cast, count=count).astype(np.uint64)
-    padded_len = ((len(buffer) + 7) // 8 + 1) * 8
-    words = np.frombuffer(
-        buffer.ljust(padded_len, b"\x00"), dtype=">u8"
-    ).astype(np.uint64)
+        fields = np.frombuffer(buffer, dtype=cast, count=count)
+        if out is not None:
+            out[...] = fields  # widening big-endian cast, in place
+            return out
+        return fields.astype(np.uint64)
+    nbytes = (total_bits + 7) // 8
+    padded_len = ((nbytes + 7) // 8 + 1) * 8
+    padded = np.zeros(padded_len, dtype=np.uint8)
+    padded[:nbytes] = np.frombuffer(buffer, dtype=np.uint8, count=nbytes)
+    words = padded.view(">u8").astype(np.uint64)
     word_idx, offset, spill_shift = _unpack_plan(width, count)
     hi = words[word_idx] << offset
     lo = np.where(
@@ -250,7 +318,10 @@ def unpack_bits(buffer: bytes, width: int, count: int) -> np.ndarray:
         np.uint64(0),
         words[word_idx + 1] >> spill_shift,
     )
-    return (hi | lo) >> np.uint64(64 - width)
+    hi |= lo
+    if out is not None:
+        return np.right_shift(hi, np.uint64(64 - width), out=out)
+    return hi >> np.uint64(64 - width)
 
 
 @lru_cache(maxsize=1024)
@@ -281,7 +352,7 @@ def _sum_plan_loop(width: int, count: int) -> tuple[int, int, int]:
     return k, mask, (1 << period) - 1
 
 
-def _packed_stream(buffer: bytes, width: int, count: int) -> int:
+def _packed_stream(buffer: Buffer, width: int, count: int) -> int:
     """The packed payload as one big-endian integer, padding stripped.
 
     Field ``i`` (stream order) sits at bit offset ``(count-1-i)*width``
@@ -299,7 +370,7 @@ def _packed_stream(buffer: bytes, width: int, count: int) -> int:
 
 
 def _extract_fields_loop(
-    buffer: bytes, width: int, positions: list[int]
+    buffer: Buffer, width: int, positions: list[int]
 ) -> int:
     """Sum of individual fields plucked straight out of the raw bytes.
 
@@ -321,7 +392,7 @@ def _extract_fields_loop(
     return total
 
 
-def unpack_sum(buffer: bytes, width: int, count: int) -> int:
+def unpack_sum(buffer: Buffer, width: int, count: int) -> int:
     """Exact integer sum of ``count`` packed ``width``-bit fields.
 
     The late-materialization kernel under encoded-domain SUM — and the
@@ -352,6 +423,7 @@ def unpack_sum(buffer: bytes, width: int, count: int) -> int:
         obs.metrics.counter_add("bitpack.unpack_sum_calls", 1)
     if width == 0 or count == 0:
         return 0
+    buffer = as_byte_buffer(buffer)
     if width > _FOLD_MAX_WIDTH or width in _CAST_DTYPES:
         return uint64_sum_bounded(unpack_bits(buffer, width, count), width)
     stream = _packed_stream(buffer, width, count)
@@ -378,7 +450,7 @@ _EXCLUDE_PLUCK_LIMIT = 48
 
 
 def unpack_sum_excluding(
-    buffer: bytes, width: int, count: int, positions: np.ndarray
+    buffer: Buffer, width: int, count: int, positions: np.ndarray
 ) -> int:
     """Exact sum of the packed fields with ``positions`` omitted.
 
@@ -395,6 +467,7 @@ def unpack_sum_excluding(
         return unpack_sum(buffer, width, count)
     if width == 0 or count == 0:
         return 0
+    buffer = as_byte_buffer(buffer)
     folds = width <= _FOLD_MAX_WIDTH and width not in _CAST_DTYPES
     if folds and int(positions.size) <= _EXCLUDE_PLUCK_LIMIT:
         return unpack_sum(buffer, width, count) - _extract_fields_loop(
@@ -410,7 +483,7 @@ def unpack_sum_excluding(
     return total - excluded
 
 
-def unpack_sum_reference(buffer: bytes, width: int, count: int) -> int:
+def unpack_sum_reference(buffer: Buffer, width: int, count: int) -> int:
     """Scalar oracle for :func:`unpack_sum` (bit-identical, per value)."""
     fields = unpack_bits(buffer, width, count)
     total = 0

@@ -21,6 +21,7 @@ import numpy as np
 from repro import obs
 from repro.core.constants import U64_MASK
 from repro.encodings.bitpack import (
+    Buffer,
     pack_bits,
     uint64_sum_bounded,
     unpack_bits,
@@ -31,9 +32,15 @@ from repro.encodings.bitpack import (
 
 @dataclass(frozen=True)
 class FforEncoded:
-    """An FFOR-encoded integer vector (same storage layout as FOR)."""
+    """An FFOR-encoded integer vector (same storage layout as FOR).
 
-    payload: bytes
+    ``payload`` is any buffer-protocol object — ``bytes`` from the
+    in-memory encoder, or a ``memoryview`` slice of an mmap when the
+    vector was deserialized from a mapped column file (see
+    ``docs/PERFORMANCE.md``, "zero-copy read path").
+    """
+
+    payload: Buffer
     reference: int
     bit_width: int
     count: int
@@ -65,25 +72,40 @@ def ffor_encode(values: np.ndarray) -> FforEncoded:
     )
 
 
-def ffor_decode(encoded: FforEncoded) -> np.ndarray:
+def ffor_decode(
+    encoded: FforEncoded, out: np.ndarray | None = None
+) -> np.ndarray:
     """Fused decode: unpack and add the reference in a single kernel.
 
     The reference addition is folded into the same expression that
     reconstitutes values from their bit rows, so no intermediate residual
-    array is written back to memory before the add.
+    array is written back to memory before the add.  ``out``, when given,
+    must be a writable C-contiguous int64 (or uint64) array of exactly
+    ``encoded.count`` values; the decode then allocates nothing.
     """
     obs.counter_add("ffor.vectors_decoded")
     width, count = encoded.bit_width, encoded.count
     ref64 = np.uint64(encoded.reference & U64_MASK)
+    if out is None:
+        target = None
+    else:
+        target = out if out.dtype == np.uint64 else out.view(np.uint64)
+        if target.ndim != 1 or target.size != count:
+            raise ValueError(
+                f"out must be a 1-D array of exactly {count} values, "
+                f"got shape {out.shape}"
+            )
     if width == 0:
-        out = np.full(count, ref64, dtype=np.uint64)
-        return out.view(np.int64)
+        if target is not None:
+            target[...] = ref64
+            return target.view(np.int64)
+        return np.full(count, ref64, dtype=np.uint64).view(np.int64)
     # The reference is added *in place* on the unpacker's fresh output —
     # no intermediate residual array is materialized and re-read, which
     # is the numpy rendering of FastLanes' fused subtract+unpack kernel.
-    out = unpack_bits(encoded.payload, width, count)
-    out += ref64
-    return out.view(np.int64)
+    target = unpack_bits(encoded.payload, width, count, out=target)
+    target += ref64
+    return target.view(np.int64)
 
 
 def ffor_sum(

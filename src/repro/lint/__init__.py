@@ -5,7 +5,7 @@ int64/uint64 semantics in the ALP round-trip, bit widths that must stay
 inside ``[0, 64]``, hot kernels that must never fall back to per-value
 Python loops, observability span names that the docs promise, and format
 constants that must have a single authoritative definition.  reprolint
-encodes those invariants as six rule families:
+encodes those invariants as seven rule families:
 
 - **RL1 dtype/overflow** — signed/unsigned numpy mixes (``int64 op
   uint64`` silently promotes to float64), shift amounts that can reach
@@ -27,6 +27,10 @@ encodes those invariants as six rule families:
 - **RL6 async blocking** — no blocking calls (``time.sleep``, ``open``,
   ``socket.*``, direct :mod:`repro.api` codec work) inside ``async def``
   bodies under ``repro/server`` — the event loop must never block.
+- **RL7 storage copy** — no single-argument ``bytes(...)``
+  materialization of payload slices under ``repro/storage`` — the
+  zero-copy read path hands payloads around as ``memoryview`` slices,
+  and one stray copy silently re-inflates every read.
 
 Violations can be suppressed per line with ``# reprolint:
 ignore[RL1]`` (a trailing comment on the flagged line, or a standalone
@@ -51,6 +55,7 @@ from repro.lint.rules_const import FormatConstantRule
 from repro.lint.rules_dtype import DtypeOverflowRule
 from repro.lint.rules_hotloop import HotLoopRule
 from repro.lint.rules_span import SpanHygieneRule
+from repro.lint.rules_storage import StorageCopyRule
 
 __all__ = [
     "ALL_RULES",
@@ -62,6 +67,7 @@ __all__ = [
     "HotLoopRule",
     "Rule",
     "SpanHygieneRule",
+    "StorageCopyRule",
     "Violation",
     "lint_file",
     "lint_paths",
@@ -75,4 +81,5 @@ ALL_RULES: tuple[Rule, ...] = (
     FormatConstantRule(),
     BareAssertRule(),
     AsyncBlockingRule(),
+    StorageCopyRule(),
 )

@@ -60,6 +60,7 @@ COUNTER_NAMES: frozenset[str] = frozenset(
         "cache.evictions",
         "cache.hits",
         "cache.misses",
+        "columnfile.bytes_mapped",
         "columnfile.bytes_read",
         "columnfile.bytes_written",
         "columnfile.checksum_failures",
@@ -105,6 +106,8 @@ COUNTER_NAMES: frozenset[str] = frozenset(
         "sampler.early_exits",
         "sampler.first_level_runs",
         "sampler.first_level_vectors",
+        "pool.hits",
+        "pool.misses",
         "sampler.second_level_runs",
         "sampler.second_level_skipped",
         "server.bytes_in",
@@ -124,6 +127,8 @@ GAUGE_NAMES: frozenset[str] = frozenset(
     {
         "cache.bytes",
         "compressor.bits_per_value",
+        "pool.bytes",
+        "pool.outstanding",
         "server.inflight",
     }
 )

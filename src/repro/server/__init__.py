@@ -7,6 +7,8 @@ This package puts the existing surface behind a socket:
 - :mod:`repro.server.cache` — the shared decoded-vector LRU cache,
   keyed by ``(file, rowgroup)`` with a byte budget, also usable by the
   local query engine (``FileColumnSource(cache=...)``);
+- :mod:`repro.server.bufferpool` — the size-bucketed pool of reusable
+  decode buffers behind the zero-allocation steady-state scan path;
 - :mod:`repro.server.registry` — the dataset registry mapping served
   names to open (degraded) column readers;
 - :mod:`repro.server.ops` — the *synchronous* request handlers
@@ -27,13 +29,16 @@ CLI entry points.
 
 from __future__ import annotations
 
+from repro.server.bufferpool import BufferPool, PoolStats
 from repro.server.cache import CacheStats, DecodedVectorCache
 from repro.server.client import ServerClient, ServerError
 from repro.server.registry import DatasetRegistry
 from repro.server.service import ReproServer, ServerConfig, run_in_thread
 
 __all__ = [
+    "BufferPool",
     "CacheStats",
+    "PoolStats",
     "DatasetRegistry",
     "DecodedVectorCache",
     "ReproServer",

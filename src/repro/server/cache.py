@@ -31,11 +31,14 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Hashable
+from typing import TYPE_CHECKING, Callable, Hashable
 
 import numpy as np
 
 from repro import obs
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.server.bufferpool import BufferPool
 
 #: Cache keys: ``(file path, row-group index)`` for column files; any
 #: hashable works (the cache never interprets the key).
@@ -72,12 +75,24 @@ class CacheStats:
 
 
 class DecodedVectorCache:
-    """Byte-budgeted, thread-safe LRU over decoded float64 row-groups."""
+    """Byte-budgeted, thread-safe LRU over decoded float64 row-groups.
 
-    def __init__(self, byte_budget: int = 256 * 1024 * 1024) -> None:
+    ``pool``, when given, is a :class:`~repro.server.bufferpool.BufferPool`
+    that :meth:`load_into` draws fill targets from — decode-into-buffer
+    cache fills instead of fresh allocations.  Inserted targets are
+    *transferred* to the cache (made read-only, never recycled), so a
+    pool-fed cache is safe to share with in-flight responses.
+    """
+
+    def __init__(
+        self,
+        byte_budget: int = 256 * 1024 * 1024,
+        pool: "BufferPool | None" = None,
+    ) -> None:
         if byte_budget < 0:
             raise ValueError(f"byte_budget must be >= 0, got {byte_budget}")
         self._budget = byte_budget
+        self._pool = pool
         self._lock = threading.Lock()
         self._entries: OrderedDict[CacheKey, np.ndarray] = OrderedDict()
         self._bytes = 0
@@ -143,6 +158,49 @@ class DecodedVectorCache:
         if values is not None:
             return values
         return self.put(key, loader())
+
+    def load_into(
+        self,
+        key: CacheKey,
+        count: int,
+        fill: Callable[[np.ndarray], None],
+    ) -> np.ndarray:
+        """Like :meth:`get_or_load`, with a decode-into-buffer fill.
+
+        On a miss, a float64 target of ``count`` values is drawn from
+        the attached pool (or freshly allocated without one), ``fill``
+        decodes into it in place, and the filled buffer is inserted.
+        A buffer that becomes the resident entry is *transferred* to
+        the cache; one that loses an insertion race (or exceeds the
+        cache budget) goes back to the pool.  ``fill`` runs outside
+        the lock; its exceptions propagate uncached, returning the
+        buffer to the pool.
+        """
+        values = self.get(key)
+        if values is not None:
+            return values
+        buffer = (
+            self._pool.acquire(count)
+            if self._pool is not None
+            else np.empty(count, dtype=np.float64)
+        )
+        try:
+            fill(buffer)
+        except BaseException:
+            if self._pool is not None:
+                self._pool.release(buffer)
+            raise
+        resident = self.put(key, buffer)
+        if self._pool is not None:
+            if resident is buffer:
+                # The cache (or, for over-budget arrays, the caller)
+                # now owns the buffer; it is read-only and must never
+                # be handed out as a decode target again.
+                self._pool.transfer(buffer)
+            else:
+                buffer.setflags(write=True)
+                self._pool.release(buffer)
+        return resident
 
     def invalidate(self, key: CacheKey) -> bool:
         """Drop one entry; returns whether it was present."""

@@ -43,6 +43,10 @@ class LoadgenResult:
     values_scanned: int = 0
     elapsed_s: float = 0.0
     latencies_s: list[float] = field(default_factory=list)
+    #: Client-process memory accounting (see the trace pass in
+    #: :func:`run_loadgen`): ``None`` when not measured.
+    peak_rss_bytes: int | None = None
+    large_allocs: int | None = None
 
     @property
     def error_count(self) -> int:
@@ -74,6 +78,8 @@ class LoadgenResult:
             "latency_max_ms": (
                 max(self.latencies_s) * 1e3 if self.latencies_s else 0.0
             ),
+            "peak_rss_bytes": self.peak_rss_bytes,
+            "large_allocs": self.large_allocs,
         }
 
 
@@ -200,6 +206,23 @@ def run_loadgen(
     for thread in threads:
         thread.join()
     result.elapsed_s = time.perf_counter() - start
+
+    # Memory accounting rides after the timed run, so tracemalloc's
+    # interpreter hooks never inflate a measured latency.  The traced
+    # pass replays one request of each op against the first target and
+    # keeps the worst per-request large-allocation count — the
+    # client-side copy trajectory (receive buffers, decoded responses).
+    from repro.bench.harness import peak_rss_bytes, traced_large_allocs
+
+    result.peak_rss_bytes = peak_rss_bytes()
+    dataset, column = targets[0]
+    with ServerClient(
+        config.host, config.port, deadline_ms=config.deadline_ms
+    ) as client:
+        result.large_allocs = max(
+            traced_large_allocs(lambda: _issue(client, op, dataset, column))
+            for op in dict.fromkeys(config.ops)
+        )
     return result
 
 
@@ -232,6 +255,8 @@ def write_loadgen_json(
         decompress_rel=0.0,
         spans={},
         counters=summary,
+        peak_rss_bytes=result.peak_rss_bytes,
+        large_allocs=result.large_allocs,
     )
     return write_bench_json(
         path,

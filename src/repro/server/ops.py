@@ -130,15 +130,14 @@ def build_ops(
     def op_scan(header: dict[str, object], payload: bytes) -> OpResult:
         served = _resolve(registry, header)
         bounds = _range_bounds(header)
-        if bounds is None:
-            values = served.all_values()
-        else:
-            values = served.values_in_range(*bounds)
-        fields: dict[str, object] = {"count": int(values.size)}
+        # scan_payload owns the buffer lifecycle: full-column scans
+        # decode into a pooled target and release it once the response
+        # bytes exist, so steady state allocates nothing per request
+        # beyond the serialized frame itself.
+        body, count = served.scan_payload(bounds)
+        fields: dict[str, object] = {"count": count}
         fields.update(_quarantine_fields(served))
-        return OpResult(
-            fields=fields, payload=protocol.values_to_bytes(values)
-        )
+        return OpResult(fields=fields, payload=body)
 
     def op_sum(header: dict[str, object], payload: bytes) -> OpResult:
         served = _resolve(registry, header)

@@ -12,6 +12,12 @@ Every :class:`ServedColumn` routes decoded row-groups through the shared
 :class:`~repro.server.cache.DecodedVectorCache`, keyed by
 ``(file path, rowgroup index)`` — the same keying the local query engine
 uses, so a server and an in-process scan can share one cache.
+
+The registry also owns the serving tier's zero-copy knobs: ``mmap=True``
+memory-maps every registered column file (payloads decode straight out
+of the page cache), and a shared :class:`~repro.server.bufferpool
+.BufferPool` feeds scan targets and cache fills so steady-state traffic
+recycles buffers instead of allocating (see docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -21,13 +27,21 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.server import protocol
+from repro.server.bufferpool import BufferPool
 from repro.server.cache import DecodedVectorCache
 from repro.storage.columnfile import ColumnFileReader, ScanReport
 from repro.storage.dataset_dir import MANIFEST_NAME, DatasetReader
 
 
 class ServedColumn:
-    """One column under service: a degraded reader plus the shared cache."""
+    """One column under service: a degraded reader plus the shared cache.
+
+    ``pool``, when given, feeds full-column scan buffers: each scan
+    decodes into a recycled target, serializes the response while the
+    buffer is held, and releases it — zero large allocations on the
+    steady-state path (see :meth:`scan_payload`).
+    """
 
     def __init__(
         self,
@@ -36,12 +50,14 @@ class ServedColumn:
         path: str,
         reader: ColumnFileReader,
         cache: DecodedVectorCache | None,
+        pool: BufferPool | None = None,
     ) -> None:
         self.dataset = dataset
         self.column = column
         self.path = path
         self.reader = reader
         self.cache = cache
+        self.pool = pool
 
     @property
     def value_count(self) -> int:
@@ -62,6 +78,35 @@ class ServedColumn:
         """Every decodable value, in order (degraded readers skip bad
         row-groups; see :meth:`scan_report`)."""
         return self.reader.read_all(cache=self.cache)
+
+    def scan_payload(
+        self, bounds: "tuple[float, float] | None" = None
+    ) -> tuple[bytes, int]:
+        """One scan response, serialized: ``(payload bytes, count)``.
+
+        The full-column shape is the allocation-managed hot path.  With
+        a single cached row-group the resident cache array serializes
+        directly (zero copies, zero allocations); otherwise, with a
+        pool, row-groups decode into a recycled full-column buffer that
+        is released once the response bytes exist.  The serialized copy
+        ``values_to_bytes`` makes is the one allocation that remains —
+        the response frame must outlive the buffer's next reuse.
+        """
+        if bounds is not None:
+            values = self.values_in_range(*bounds)
+            return protocol.values_to_bytes(values), int(values.size)
+        single_cached = (
+            self.cache is not None and self.reader.rowgroup_count == 1
+        )
+        if self.pool is None or single_cached:
+            values = self.all_values()
+            return protocol.values_to_bytes(values), int(values.size)
+        buffer = self.pool.acquire(self.value_count)
+        try:
+            values = self.reader.read_all(cache=self.cache, out=buffer)
+            return protocol.values_to_bytes(values), int(values.size)
+        finally:
+            self.pool.release(buffer)
 
     def query_source(self):
         """The engine-facing scan source for aggregate ops.
@@ -109,9 +154,14 @@ class DatasetRegistry:
         self,
         cache: DecodedVectorCache | None = None,
         degraded: bool = True,
+        *,
+        mmap: bool = False,
+        pool: BufferPool | None = None,
     ) -> None:
         self.cache = cache
         self.degraded = degraded
+        self.mmap = mmap
+        self.pool = pool
         #: dataset name -> column name -> ServedColumn
         self._datasets: dict[str, dict[str, ServedColumn]] = {}
 
@@ -123,7 +173,9 @@ class DatasetRegistry:
         dataset = name or file_path.stem
         if dataset in self._datasets:
             raise ValueError(f"dataset {dataset!r} is already registered")
-        reader = ColumnFileReader(file_path, degraded=self.degraded)
+        reader = ColumnFileReader(
+            file_path, degraded=self.degraded, mmap=self.mmap
+        )
         self._datasets[dataset] = {
             file_path.stem: ServedColumn(
                 dataset=dataset,
@@ -131,6 +183,7 @@ class DatasetRegistry:
                 path=str(file_path),
                 reader=reader,
                 cache=self.cache,
+                pool=self.pool,
             )
         }
         return dataset
@@ -151,8 +204,11 @@ class DatasetRegistry:
                 dataset=dataset,
                 column=column,
                 path=str(file_path),
-                reader=ColumnFileReader(file_path, degraded=self.degraded),
+                reader=ColumnFileReader(
+                    file_path, degraded=self.degraded, mmap=self.mmap
+                ),
                 cache=self.cache,
+                pool=self.pool,
             )
         self._datasets[dataset] = columns
         return dataset

@@ -53,6 +53,7 @@ paper contrasts against block-based general-purpose compression.
 from __future__ import annotations
 
 import itertools
+import mmap as _mmaplib
 import os
 import struct
 import threading
@@ -65,11 +66,16 @@ from repro import obs
 from repro.core.compressor import (
     CompressedRowGroup,
     CompressedRowGroups,
+    coerce_decode_out,
     compress_rowgroup,
     decompress,
 )
 from repro.core.constants import ROWGROUP_VECTORS, VECTOR_SIZE
-from repro.storage.errors import CorruptFileError, CorruptRowGroupError
+from repro.storage.errors import (
+    BufferLifetimeError,
+    CorruptFileError,
+    CorruptRowGroupError,
+)
 from repro.storage.integrity import crc32c
 from repro.storage.serializer import (
     deserialize_rowgroup,
@@ -97,6 +103,11 @@ _FOOTER_ENTRY = {
     FORMAT_VERSION: struct.Struct("<QQQddBI"),
 }
 _ZONE_ENTRY = struct.Struct("<ddB")
+
+#: Files smaller than this stay on the buffered (slurp) read path even
+#: when ``mmap=True`` is requested: mapping cost and page-fault overhead
+#: beat one small sequential read only past a few pages.
+MMAP_MIN_BYTES = 1 << 16
 
 #: Exceptions a corrupted payload may raise out of the deserializer /
 #: decoder before (v2) or despite (never, in practice) checksums.
@@ -460,13 +471,30 @@ class ColumnFileReader:
     :meth:`scan_report`; direct access via :meth:`read_rowgroup` /
     :meth:`read_rowgroup_compressed` always raises so a caller asking
     for specific bytes never silently gets nothing.
+
+    With ``mmap=True`` the file is memory-mapped instead of slurped,
+    and every payload access — :meth:`rowgroup_payload`, the
+    deserialized ``FforEncoded.payload`` buffers, checksum
+    verification — runs over zero-copy ``memoryview`` slices of the
+    map.  Small files and v2 files silently fall back to the buffered
+    path (see :meth:`_mmap_eligible`).  Mapped readers have an explicit
+    lifetime: :meth:`close` invalidates the map, refuses with a typed
+    :class:`BufferLifetimeError` while payload views are still alive
+    (no dangling-view undefined behaviour), and every later access
+    raises ``ValueError``.  The reader is a context manager.
     """
 
     def __init__(
-        self, path: str | os.PathLike, *, degraded: bool = False
+        self,
+        path: str | os.PathLike,
+        *,
+        degraded: bool = False,
+        mmap: bool = False,
     ) -> None:
         self._path = os.fspath(path)
         self._degraded = degraded
+        self._closed = False
+        self._mmap: _mmaplib.mmap | None = None
         # One reader may be hammered from many threads (the serving
         # layer shares readers across requests): the integrity
         # bookkeeping below is lock-protected so checksum results and
@@ -475,13 +503,111 @@ class ColumnFileReader:
         self._integrity_lock = threading.Lock()
         self._quarantined: dict[int, CorruptRowGroupError] = {}
         self._checked: dict[int, CorruptRowGroupError | None] = {}
-        with obs.span("columnfile.open"), open(self._path, "rb") as f:
-            data = f.read()
-        if obs.ENABLED:
-            obs.metrics.counter_add("columnfile.bytes_read", len(data))
-        self._data = data
-        self._parse_header_and_trailer()
-        self._parse_footer()
+        with obs.span("columnfile.open"):
+            if mmap and self._mmap_eligible():
+                with open(self._path, "rb") as f:
+                    self._mmap = _mmaplib.mmap(
+                        f.fileno(), 0, access=_mmaplib.ACCESS_READ
+                    )
+                self._data: bytes | memoryview = memoryview(self._mmap)
+                if obs.ENABLED:
+                    obs.metrics.counter_add(
+                        "columnfile.bytes_mapped", len(self._data)
+                    )
+            else:
+                with open(self._path, "rb") as f:
+                    data = f.read()
+                if obs.ENABLED:
+                    obs.metrics.counter_add(
+                        "columnfile.bytes_read", len(data)
+                    )
+                self._data = data
+        try:
+            self._parse_header_and_trailer()
+            self._parse_footer()
+        except BaseException:
+            # A failed open must not leak the map (there are no caller
+            # views yet, so this close cannot raise BufferLifetimeError).
+            self._release_data()
+            raise
+
+    def _mmap_eligible(self) -> bool:
+        """Whether this file takes the zero-copy mapped path.
+
+        The buffered fallback covers two cases the map cannot win:
+        files below :data:`MMAP_MIN_BYTES` (mapping overhead beats one
+        small read) and v2 files (no payload checksums — their payloads
+        are re-verified structurally on every decode, so handing out
+        long-lived views of unverifiable bytes buys nothing).  Anything
+        unparseable falls back too, so open-time corruption errors are
+        identical on both paths.
+        """
+        try:
+            if os.path.getsize(self._path) < MMAP_MIN_BYTES:
+                return False
+            with open(self._path, "rb") as f:
+                head = f.read(_HEADER_BODY)
+        except OSError:
+            return False
+        if len(head) < _HEADER_BODY or head[:4] != MAGIC:
+            return False
+        version = struct.unpack_from("<H", head, 4)[0]
+        return version >= FORMAT_VERSION
+
+    # -- lifetime -----------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has released the underlying buffer."""
+        return self._closed
+
+    @property
+    def mapped(self) -> bool:
+        """True when this reader serves payloads from an mmap."""
+        return self._mmap is not None
+
+    def _release_data(self) -> None:
+        data, self._data = self._data, b""
+        if isinstance(data, memoryview):
+            data.release()
+        if self._mmap is not None:
+            self._mmap.close()
+            self._mmap = None
+
+    def close(self) -> None:
+        """Release the underlying buffer (idempotent).
+
+        On the mmap path every payload ``memoryview`` (and every numpy
+        array borrowing one) aliases the map, so closing while such
+        views are live would dangle them; CPython guards this with a
+        ``BufferError`` deep inside ``mmap``, which is re-surfaced here
+        as the typed :class:`BufferLifetimeError`.  The reader stays
+        open and fully usable after that error — drop the views and
+        close again.
+        """
+        if self._closed:
+            return
+        data, self._data = self._data, b""
+        if isinstance(data, memoryview):
+            data.release()
+        if self._mmap is not None:
+            try:
+                self._mmap.close()
+            except BufferError:
+                self._data = memoryview(self._mmap)
+                raise BufferLifetimeError(self._path) from None
+            self._mmap = None
+        self._closed = True
+
+    def __enter__(self) -> "ColumnFileReader":
+        return self
+
+    def __exit__(self, exc_type: object, *exc_info: object) -> None:
+        self.close()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ValueError(f"{self._path}: reader is closed")
 
     # -- open-time parsing (header, trailer, footer) ------------------
 
@@ -612,6 +738,7 @@ class ColumnFileReader:
         when the section is intact.  Version-2 files carry no payload
         checksums, so only decode failures can be detected there.
         """
+        self._require_open()
         with self._integrity_lock:
             if index in self._checked:
                 return self._checked[index]
@@ -699,10 +826,22 @@ class ColumnFileReader:
         """Byte length of the footer (checksum/trailer excluded)."""
         return self._footer_end - self._footer_offset
 
-    def rowgroup_payload(self, index: int) -> bytes:
-        """The raw serialized bytes of one row-group section."""
+    def rowgroup_payload(self, index: int) -> memoryview:
+        """A zero-copy ``memoryview`` of one row-group section.
+
+        On the mmap path the view aliases the map itself (and pins it:
+        :meth:`close` raises :class:`BufferLifetimeError` while it is
+        alive); on the buffered path it aliases the in-memory file
+        image.  Callers that need an independent copy — e.g. to outlive
+        the reader — must take ``bytes(view)`` themselves; the read
+        path never materializes one (lint rule RL7 enforces this
+        module-wide, see ``docs/STATIC_ANALYSIS.md``).
+        """
+        self._require_open()
         meta = self._meta[index]
-        return bytes(self._data[meta.offset : meta.offset + meta.length])
+        data = self._data
+        view = data if isinstance(data, memoryview) else memoryview(data)
+        return view[meta.offset : meta.offset + meta.length]
 
     @property
     def rowgroup_count(self) -> int:
@@ -725,6 +864,7 @@ class ColumnFileReader:
         Raises :class:`CorruptRowGroupError` on checksum or framing
         damage, even in degraded mode (direct access is explicit).
         """
+        self._require_open()
         err = self.check_rowgroup(index)
         if err is not None:
             raise err
@@ -746,8 +886,15 @@ class ColumnFileReader:
         obs.counter_add("columnfile.rowgroups_read")
         return rowgroup
 
-    def read_rowgroup(self, index: int) -> np.ndarray:
-        """Decompress one row-group to float64 (raises on corruption)."""
+    def read_rowgroup(
+        self, index: int, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Decompress one row-group to float64 (raises on corruption).
+
+        ``out``, when given, must be a writable C-contiguous float64
+        array (or slice) of exactly the row-group's value count; the
+        decode writes in place and returns ``out``.
+        """
         with obs.span("columnfile.read_rowgroup"):
             rowgroup = self.read_rowgroup_compressed(index)
             column = CompressedRowGroups(
@@ -756,8 +903,12 @@ class ColumnFileReader:
                 vector_size=self.vector_size,
                 stats=empty_stats(),
             )
+            # Validate out *before* the decode try-block: a bad caller
+            # buffer must raise as a plain ValueError, not masquerade
+            # as (and be cached as) payload corruption.
+            out = coerce_decode_out(column, out)
             try:
-                return decompress(column)
+                return decompress(column, out=out)
             except _DECODE_ERRORS as exc:
                 raise self._decode_error(
                     index, f"payload does not decompress: {exc}"
@@ -775,6 +926,16 @@ class ColumnFileReader:
         """
         if cache is None:
             return self.read_rowgroup(index)
+        load_into = getattr(cache, "load_into", None)
+        if load_into is not None:
+            # Pool-aware caches (DecodedVectorCache with a BufferPool)
+            # hand us a fill target, so a cache miss decodes into a
+            # recycled buffer instead of a fresh allocation.
+            return load_into(
+                (self._path, index),
+                self._meta[index].count,
+                lambda out: self.read_rowgroup(index, out=out),
+            )
         return cache.get_or_load(
             (self._path, index), lambda: self.read_rowgroup(index)
         )
@@ -813,17 +974,75 @@ class ColumnFileReader:
                 continue
             yield index, self._meta[index], rowgroup
 
-    def read_all(self, cache: RowGroupCache | None = None) -> np.ndarray:
+    def read_all(
+        self,
+        cache: RowGroupCache | None = None,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Decompress the whole column.
 
         In degraded mode, quarantined row-groups are omitted (the
         result holds every remaining value, in order); consult
         :meth:`scan_report` for what was skipped.
+
+        Allocation behaviour (the serving hot path leans on all three):
+
+        - Without a cache, each row-group decodes *directly into its
+          slice* of one output array — no per-group arrays, no
+          concatenate pass.
+        - With ``out=`` (a writable C-contiguous float64 array of
+          exactly :attr:`value_count` values), that output array is the
+          caller's buffer and the call allocates nothing; the filled
+          prefix ``out[:n]`` is returned (``n < value_count`` only when
+          degraded mode quarantined groups).
+        - With a cache and a single row-group (and no ``out=``), the
+          resident cached array is returned directly — zero copies.  It
+          is read-only; callers that mutate must copy.
         """
-        chunks = [values for _, values in self.iter_rowgroups(cache)]
-        if not chunks:
-            return np.empty(0, dtype=np.float64)
-        return np.concatenate(chunks)
+        self._require_open()
+        total = self.value_count
+        if out is None:
+            if cache is not None and len(self._meta) == 1:
+                try:
+                    return self.cached_rowgroup(0, cache)
+                except CorruptRowGroupError as err:
+                    if not self._degraded:
+                        raise
+                    self._quarantine(0, err)
+                    return np.empty(0, dtype=np.float64)
+            target = np.empty(total, dtype=np.float64)
+        else:
+            if (
+                not isinstance(out, np.ndarray)
+                or out.dtype != np.float64
+                or out.ndim != 1
+                or out.size != total
+            ):
+                raise ValueError(
+                    f"out must be a 1-D float64 array of {total} values"
+                )
+            if not out.flags.c_contiguous or not out.flags.writeable:
+                raise ValueError("out must be C-contiguous and writable")
+            target = out
+        pos = 0
+        for index, meta in enumerate(self._meta):
+            try:
+                if cache is None:
+                    self.read_rowgroup(
+                        index, out=target[pos : pos + meta.count]
+                    )
+                else:
+                    np.copyto(
+                        target[pos : pos + meta.count],
+                        self.cached_rowgroup(index, cache),
+                    )
+            except CorruptRowGroupError as err:
+                if not self._degraded:
+                    raise
+                self._quarantine(index, err)
+                continue
+            pos += meta.count
+        return target if pos == total else target[:pos]
 
     def scan_range(
         self, low: float, high: float, cache: RowGroupCache | None = None

@@ -100,13 +100,20 @@ class DatasetReader:
 
     With ``degraded=True``, every column reader it opens quarantines
     corrupt row-groups instead of raising (see
-    :meth:`ColumnFileReader.scan_report` per column).
+    :meth:`ColumnFileReader.scan_report` per column).  With
+    ``mmap=True``, every column reader memory-maps its file for
+    zero-copy payload access (small/v2 files fall back to buffered).
     """
 
     def __init__(
-        self, directory: str | os.PathLike, *, degraded: bool = False
+        self,
+        directory: str | os.PathLike,
+        *,
+        degraded: bool = False,
+        mmap: bool = False,
     ) -> None:
         self._degraded = degraded
+        self._mmap = mmap
         self._path = Path(directory)
         manifest_path = self._path / MANIFEST_NAME
         if not manifest_path.exists():
@@ -147,7 +154,9 @@ class DatasetReader:
             )
         if column not in self._readers:
             self._readers[column] = ColumnFileReader(
-                self._path / self._files[column], degraded=self._degraded
+                self._path / self._files[column],
+                degraded=self._degraded,
+                mmap=self._mmap,
             )
         return self._readers[column]
 

@@ -11,6 +11,13 @@ The hierarchy distinguishes the two blast radii a reader cares about:
 
 Both derive from :class:`IntegrityError`, which itself derives from
 ``ValueError`` so pre-v3 callers catching ``ValueError`` keep working.
+
+:class:`BufferLifetimeError` is not a corruption error: it guards the
+zero-copy mmap read path, where payload ``memoryview`` slices alias the
+mapped file.  Closing the map while such views are live would leave
+them dangling (a segfault in C; a ``BufferError`` deep inside ``mmap``
+in CPython), so the reader surfaces the situation as this typed error
+instead.
 """
 
 from __future__ import annotations
@@ -18,6 +25,23 @@ from __future__ import annotations
 
 class IntegrityError(ValueError):
     """Base class for on-disk corruption detected by the storage layer."""
+
+
+class BufferLifetimeError(RuntimeError):
+    """A zero-copy reader was closed while exported views are still live.
+
+    Raised by ``ColumnFileReader.close()`` when payload ``memoryview``
+    slices (or numpy arrays borrowing them) still reference the mmap.
+    The map stays open and valid; drop the views and close again.
+    """
+
+    def __init__(self, path: str) -> None:
+        super().__init__(
+            f"{path}: cannot close an mmap-backed reader while payload "
+            "memoryviews are still alive; drop all views (and arrays "
+            "borrowing them) before closing"
+        )
+        self.path = path
 
 
 class CorruptFileError(IntegrityError):

@@ -7,20 +7,54 @@ error-detection properties matter less here than the ecosystem
 compatibility: a v3 file's checksums can be re-verified with any
 standard crc32c implementation.
 
-The implementation is pure Python (the environment bakes in no crc32c
-wheel and :mod:`zlib` only provides the plain CRC32 polynomial) using
-slicing-by-8: eight 256-entry tables fold one 64-bit chunk per loop
-iteration, which keeps verification cost at well under a millisecond
-per typical row-group payload.
+The environment bakes in no crc32c wheel and :mod:`zlib` only provides
+the plain CRC32 polynomial, so the implementation is pure Python — in
+two tiers:
+
+- **scalar slicing-by-8** (:func:`crc32c_reference`): eight 256-entry
+  tables fold one 64-bit chunk per loop iteration.  This is the pinned
+  oracle for the equivalence tests and the "before" arm of the
+  ``kernels/io`` benchmark, and the path small buffers (headers,
+  footers) take.
+- **lane-parallel numpy** (the default for buffers >=
+  ``PARALLEL_MIN_BYTES``): the buffer is split into K equal chunks and
+  all K CRC states advance in lockstep with vectorized table gathers,
+  so each Python-level step folds ``8 * K`` bytes instead of 8.  The
+  per-chunk CRCs are then merged with the standard GF(2)
+  zero-extension operator (the ``crc32_combine`` construction): the
+  byte-update ``s' = (s >> 8) ^ T[(s ^ b) & 0xFF]`` is affine over
+  GF(2), so ``crc(s, a || b) = M_len(b)(crc(s, a)) ^ crc(0, b)`` with
+  ``M_L`` the advance-by-L-zero-bytes matrix, computed once per chunk
+  length by binary exponentiation.
+
+Both tiers accept any C-contiguous buffer-protocol object —
+``bytes``, ``bytearray``, ``memoryview`` (including slices of an
+``mmap``) or a numpy byte array — without materializing an
+intermediate ``bytes`` copy, which is what keeps mmap-backed payload
+verification zero-copy (see ``docs/PERFORMANCE.md``).
 """
 
 from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
 
 #: Reversed Castagnoli polynomial (0x1EDC6F41 bit-reflected).
 _POLY = 0x82F63B78
 
 #: Number of slicing tables (bytes folded per main-loop iteration).
 _SLICES = 8
+
+#: Buffers at least this long take the lane-parallel numpy path; the
+#: scalar tier runs at single-digit MB/s in pure Python, so the
+#: threshold is set where the numpy dispatch overhead amortizes.
+PARALLEL_MIN_BYTES = 4096
+
+#: Upper bound on the number of parallel CRC lanes.  More lanes mean
+#: fewer Python-level loop iterations but a longer GF(2) combine pass;
+#: 512 keeps the combine under ~3% of total cost at row-group sizes.
+_MAX_LANES = 512
 
 
 def _build_tables() -> tuple[tuple[int, ...], ...]:
@@ -38,21 +72,38 @@ def _build_tables() -> tuple[tuple[int, ...], ...]:
 
 
 _TABLES = _build_tables()
+#: The same tables as one (8, 256) uint32 array for the lane kernel.
+_NP_TABLES = np.array(_TABLES, dtype=np.uint32)
 
 
-def crc32c(data: bytes | bytearray | memoryview, value: int = 0) -> int:
-    """CRC32C of ``data``, optionally continuing from a prior ``value``.
+def _byte_view(data: object) -> "bytes | bytearray | memoryview":
+    """A flat byte-indexable, copy-free view of any contiguous buffer.
 
-    Matches the standard crc32c convention (e.g. ``crc32c(b"123456789")``
-    is ``0xE3069283``); chain calls by passing the previous return value
-    to checksum a logical section held in multiple buffers.
+    ``bytes``/``bytearray`` pass through untouched; everything else
+    goes through ``memoryview(...).cast("B")``, which requires (and we
+    check for, with a clear error) C-contiguity — a strided view has
+    no zero-copy byte representation.
     """
+    if isinstance(data, (bytes, bytearray)):
+        return data
+    view = data if isinstance(data, memoryview) else memoryview(data)
+    if not view.c_contiguous:
+        raise ValueError(
+            "crc32c requires a C-contiguous buffer; got a non-contiguous "
+            "memoryview (copy it with bytes(...) or np.ascontiguousarray "
+            "first)"
+        )
+    return view.cast("B")
+
+
+def _scalar_update(
+    buf: "bytes | bytearray | memoryview", start: int, stop: int, crc: int
+) -> int:
+    """Advance the raw CRC state over ``buf[start:stop]``, slicing-by-8."""
     t0, t1, t2, t3, t4, t5, t6, t7 = _TABLES
-    crc = (value & 0xFFFFFFFF) ^ 0xFFFFFFFF
-    buf = bytes(data)
-    length = len(buf)
-    aligned = length - (length % _SLICES)
-    i = 0
+    length = stop - start
+    aligned = start + length - (length % _SLICES)
+    i = start
     while i < aligned:
         low = crc ^ (
             buf[i]
@@ -71,7 +122,159 @@ def crc32c(data: bytes | bytearray | memoryview, value: int = 0) -> int:
             ^ t0[buf[i + 7]]
         )
         i += _SLICES
-    while i < length:
+    while i < stop:
         crc = (crc >> 8) ^ t0[(crc ^ buf[i]) & 0xFF]
         i += 1
+    return crc
+
+
+# --- GF(2) combine machinery -------------------------------------------
+#
+# A 32x32 GF(2) matrix is a tuple of 32 ints: entry j is the image of
+# basis vector 1<<j.  All matrices used here are powers of the single
+# advance-one-zero-byte operator, so they commute and binary
+# exponentiation needs no order bookkeeping.
+
+
+def _mat_apply(mat: tuple[int, ...], vec: int) -> int:
+    out = 0
+    idx = 0
+    while vec:
+        if vec & 1:
+            out ^= mat[idx]
+        vec >>= 1
+        idx += 1
+    return out
+
+
+def _mat_mul(a: tuple[int, ...], b: tuple[int, ...]) -> tuple[int, ...]:
+    return tuple(_mat_apply(a, col) for col in b)
+
+
+def _one_zero_byte_matrix() -> tuple[int, ...]:
+    # s' = (s >> 8) ^ T0[s & 0xFF] applied to each basis vector.
+    t0 = _TABLES[0]
+    cols = []
+    for i in range(32):
+        e = 1 << i
+        cols.append((e >> 8) ^ t0[e & 0xFF])
+    return tuple(cols)
+
+
+_ZERO_BYTE_MATRIX = _one_zero_byte_matrix()
+_IDENTITY = tuple(1 << i for i in range(32))
+
+
+@lru_cache(maxsize=256)
+def _zero_advance(length: int) -> tuple[int, ...]:
+    """The GF(2) operator advancing a CRC state by ``length`` zero bytes."""
+    if length == 0:
+        return _IDENTITY
+    if length == 1:
+        return _ZERO_BYTE_MATRIX
+    half = _zero_advance(length // 2)
+    mat = _mat_mul(half, half)
+    if length & 1:
+        mat = _mat_mul(_ZERO_BYTE_MATRIX, mat)
+    return mat
+
+
+@lru_cache(maxsize=64)
+def _zero_advance_tables(length: int) -> tuple[tuple[int, ...], ...]:
+    """The advance operator as four 256-entry byte tables.
+
+    Applying a 32x32 matrix bit by bit costs ~32 ops per lane; the
+    table form costs 4 lookups + 3 XORs.  Chunk lengths recur across
+    calls (payload sizes are quantized by the row-group layout), so
+    the one-time table build amortizes via the cache.
+    """
+    mat = _zero_advance(length)
+    tables = []
+    for byte_pos in range(4):
+        shift = byte_pos * 8
+        tables.append(
+            tuple(_mat_apply(mat, b << shift) for b in range(256))
+        )
+    return tuple(tables)
+
+
+def _lanes_update(
+    buf: "bytes | bytearray | memoryview", crc: int
+) -> tuple[int, int]:
+    """Advance ``crc`` over as much of ``buf`` as lanes cover.
+
+    Returns ``(state, consumed)``; the caller finishes the ragged tail
+    with :func:`_scalar_update`.
+    """
+    n = len(buf)
+    lanes = min(_MAX_LANES, max(8, n // 256))
+    chunk_len = (n // lanes) & ~7  # multiple of 8 for the 64-bit step
+    if chunk_len < 64:
+        return crc, 0
+    arr = np.frombuffer(buf, dtype=np.uint8, count=lanes * chunk_len)
+    chunks = arr.reshape(lanes, chunk_len)
+    words = chunks.view("<u4")  # (lanes, chunk_len // 4)
+
+    t0, t1, t2, t3, t4, t5, t6, t7 = _NP_TABLES
+    states = np.zeros(lanes, dtype=np.uint32)
+    states[0] = crc  # lane 0 continues the incoming state
+    for step in range(chunk_len // 8):
+        low = states ^ words[:, 2 * step]
+        high = words[:, 2 * step + 1]
+        states = (
+            t7[low & 0xFF]
+            ^ t6[(low >> 8) & 0xFF]
+            ^ t5[(low >> 16) & 0xFF]
+            ^ t4[low >> 24]
+            ^ t3[high & 0xFF]
+            ^ t2[(high >> 8) & 0xFF]
+            ^ t1[(high >> 16) & 0xFF]
+            ^ t0[high >> 24]
+        )
+
+    # Merge lane CRCs left to right: crc(s, a || b) over GF(2) is
+    # M_len(b)(crc(s, a)) ^ crc(0, b).
+    a0, a1, a2, a3 = _zero_advance_tables(chunk_len)
+    lane_crcs = states.tolist()
+    state = lane_crcs[0]
+    for lane_crc in lane_crcs[1:]:
+        state = (
+            a0[state & 0xFF]
+            ^ a1[(state >> 8) & 0xFF]
+            ^ a2[(state >> 16) & 0xFF]
+            ^ a3[state >> 24]
+            ^ lane_crc
+        )
+    return state, lanes * chunk_len
+
+
+def crc32c(data: object, value: int = 0) -> int:
+    """CRC32C of ``data``, optionally continuing from a prior ``value``.
+
+    Matches the standard crc32c convention (e.g. ``crc32c(b"123456789")``
+    is ``0xE3069283``); chain calls by passing the previous return value
+    to checksum a logical section held in multiple buffers.  ``data``
+    may be any C-contiguous buffer-protocol object; no intermediate
+    copy is made.
+    """
+    buf = _byte_view(data)
+    n = len(buf)
+    crc = (value & 0xFFFFFFFF) ^ 0xFFFFFFFF
+    consumed = 0
+    if n >= PARALLEL_MIN_BYTES:
+        crc, consumed = _lanes_update(buf, crc)
+    crc = _scalar_update(buf, consumed, n, crc)
+    return crc ^ 0xFFFFFFFF
+
+
+def crc32c_reference(data: object, value: int = 0) -> int:
+    """The pinned scalar slicing-by-8 CRC32C (pre-lane-parallel path).
+
+    Kept as the oracle for the equivalence tests and as the "before"
+    arm of the ``kernels/io`` cold-read benchmark; bit-identical to
+    :func:`crc32c` for every input.
+    """
+    buf = _byte_view(data)
+    crc = (value & 0xFFFFFFFF) ^ 0xFFFFFFFF
+    crc = _scalar_update(buf, 0, len(buf), crc)
     return crc ^ 0xFFFFFFFF

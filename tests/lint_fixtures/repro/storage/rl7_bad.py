@@ -1,0 +1,33 @@
+"""Seeded RL7 violations: payload copies inside the storage layer.
+
+Scoped as ``repro/storage/rl7_bad.py`` via the fixture-prefix
+stripping, so the storage-copy rule applies exactly as it would to the
+real read path.  Each ``bytes(...)`` here re-materializes a payload the
+zero-copy path hands around as a ``memoryview``; the copy-free shapes
+at the bottom must stay legal.
+"""
+
+
+def copy_payload_view(view: memoryview) -> bytes:
+    return bytes(view)  # RL7: full-payload copy of a zero-copy slice
+
+
+def copy_sliced_payload(data: bytes, start: int, end: int) -> bytes:
+    return bytes(memoryview(data)[start:end])  # RL7: copies the slice
+
+
+def copy_attribute_payload(reader) -> bytes:
+    return bytes(reader.payload)  # RL7: detaches without justification
+
+
+def allowed_shapes() -> tuple[bytes, bytes, bytes, bytes]:
+    zero_fill = bytes(8)  # ok: size-based construction, no source buffer
+    literal = bytes([0x41, 0x4C, 0x50, 0x43])  # ok: literal magic
+    encoded = bytes("ALPC", "ascii")  # ok: multi-argument encode form
+    empty = bytes()  # ok: no argument at all
+    return zero_fill, literal, encoded, empty
+
+
+def justified_copy(view: memoryview) -> bytes:
+    # The reader closes right after this; the response must outlive it.
+    return bytes(view)  # reprolint: ignore[RL7]

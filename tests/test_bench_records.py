@@ -233,8 +233,9 @@ class TestKernelRecords:
 
         records = kernel_bench_records(repeats=1)
         # One pack + one ffor record per width, plus the ALP vector
-        # record and the two encoded-query records (q-sum, q-cmp).
-        assert len(records) == 2 * len(KERNEL_WIDTHS) + 3
+        # record, the two encoded-query records (q-sum, q-cmp) and the
+        # cold-read I/O record (kernels/io).
+        assert len(records) == 2 * len(KERNEL_WIDTHS) + 4
         by_dataset = {r.dataset: r for r in records}
         for name, counter in (
             ("kernels/q-sum", "query.sum_speedup_vs_decode"),

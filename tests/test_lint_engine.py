@@ -42,7 +42,15 @@ def test_directory_walk_skips_fixtures_unless_explicit():
 
 def test_fixtures_trigger_every_rule_family():
     violations = lint_paths([FIXTURES], root=ROOT)
-    assert _codes(violations) == ["RL1", "RL2", "RL3", "RL4", "RL5", "RL6"]
+    assert _codes(violations) == [
+        "RL1",
+        "RL2",
+        "RL3",
+        "RL4",
+        "RL5",
+        "RL6",
+        "RL7",
+    ]
 
 
 def test_rl6_fixture_flags_each_blocking_shape():
@@ -58,6 +66,17 @@ def test_rl6_fixture_flags_each_blocking_shape():
     # The nested sync helper and the module-level sync function are the
     # allowed shapes — exactly the four coroutine bodies fire.
     assert len(violations) == 4
+
+
+def test_rl7_fixture_flags_payload_copies_only():
+    violations = lint_file(
+        FIXTURES / "repro/storage/rl7_bad.py", ROOT, ALL_RULES
+    )
+    assert all(v.rule == "RL7" for v in violations)
+    # Three unjustified copies fire; the copy-free shapes (size
+    # construction, literal list, encode form, no-arg) and the
+    # suppressed justified copy do not.
+    assert len(violations) == 3
 
 
 def test_rl1_fixture_flags_each_check():
@@ -149,6 +168,7 @@ def test_cli_json_format(capsys):
         "RL4",
         "RL5",
         "RL6",
+        "RL7",
     }
     assert all(
         {"rule", "path", "line", "col", "message"} <= set(entry)
@@ -159,5 +179,5 @@ def test_cli_json_format(capsys):
 def test_cli_list_rules(capsys):
     assert lint_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for code in ("RL1", "RL2", "RL3", "RL4", "RL5", "RL6"):
+    for code in ("RL1", "RL2", "RL3", "RL4", "RL5", "RL6", "RL7"):
         assert code in out
