@@ -1,0 +1,55 @@
+"""Lock construction with a pluggable factory.
+
+Every long-lived mutex in the serving/storage stack is created through
+:func:`create_lock` instead of ``threading.Lock()`` directly.  In
+production the indirection is free — no factory installed means a plain
+``threading.Lock``.  Under test, the runtime lock-order sanitizer
+(:mod:`repro.lint.sanitizer`) installs a factory that hands out
+instrumented locks, which lets the *real* suites detect lock-order
+inversions, re-entrant acquisitions, and blocking-while-holding at
+runtime — the dynamic complement to reprolint's static RL8.
+
+The ``name`` argument is a stable human label (``"ClassName._lock"``)
+used by sanitizer reports and the acquisition-order graph; it is ignored
+by the default factory.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, ContextManager, Protocol
+
+
+class MutexLike(ContextManager[bool], Protocol):
+    """What callers may assume about a created lock."""
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        ...
+
+    def release(self) -> None:
+        ...
+
+    def locked(self) -> bool:
+        ...
+
+
+LockFactory = Callable[[str], MutexLike]
+
+_factory: LockFactory | None = None
+
+
+def create_lock(name: str) -> MutexLike:
+    """A mutex labelled ``name`` — from the installed factory, if any."""
+    factory = _factory
+    if factory is None:
+        return threading.Lock()
+    return factory(name)
+
+
+def set_lock_factory(factory: LockFactory | None) -> LockFactory | None:
+    """Install ``factory`` (``None`` restores the default); returns the
+    previously installed factory so callers can nest cleanly."""
+    global _factory
+    previous = _factory
+    _factory = factory
+    return previous

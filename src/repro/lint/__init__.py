@@ -5,7 +5,7 @@ int64/uint64 semantics in the ALP round-trip, bit widths that must stay
 inside ``[0, 64]``, hot kernels that must never fall back to per-value
 Python loops, observability span names that the docs promise, and format
 constants that must have a single authoritative definition.  reprolint
-encodes those invariants as seven rule families:
+encodes those invariants as ten rule families:
 
 - **RL1 dtype/overflow** — signed/unsigned numpy mixes (``int64 op
   uint64`` silently promotes to float64), shift amounts that can reach
@@ -31,6 +31,17 @@ encodes those invariants as seven rule families:
   materialization of payload slices under ``repro/storage`` — the
   zero-copy read path hands payloads around as ``memoryview`` slices,
   and one stray copy silently re-inflates every read.
+- **RL8 lock discipline** — CFG-based (:mod:`repro.lint.cfg`): fields
+  mutated under a lock somewhere must be locked everywhere, no blocking
+  call or ``await`` while a lock is held, and the cross-class
+  lock-acquisition-order graph must stay acyclic (deadlock freedom).
+- **RL9 resource linearity** — every ``BufferPool.acquire()`` /
+  ``os.open()`` / ``open()`` binding must reach exactly one of
+  ``release``/``transfer``/``close`` on *every* CFG path, exception
+  edges included.
+- **RL10 view escapes** — payload ``memoryview``s must not be stored
+  into ``self``/module containers, yielded past the owning reader's
+  ``with`` scope, or captured by closures that outlive it.
 
 Violations can be suppressed per line with ``# reprolint:
 ignore[RL1]`` (a trailing comment on the flagged line, or a standalone
@@ -54,8 +65,11 @@ from repro.lint.rules_async import AsyncBlockingRule
 from repro.lint.rules_const import FormatConstantRule
 from repro.lint.rules_dtype import DtypeOverflowRule
 from repro.lint.rules_hotloop import HotLoopRule
+from repro.lint.rules_linearity import ResourceLinearityRule
+from repro.lint.rules_locks import LockDisciplineRule
 from repro.lint.rules_span import SpanHygieneRule
 from repro.lint.rules_storage import StorageCopyRule
+from repro.lint.rules_views import ViewEscapeRule
 
 __all__ = [
     "ALL_RULES",
@@ -65,9 +79,12 @@ __all__ = [
     "FileContext",
     "FormatConstantRule",
     "HotLoopRule",
+    "LockDisciplineRule",
+    "ResourceLinearityRule",
     "Rule",
     "SpanHygieneRule",
     "StorageCopyRule",
+    "ViewEscapeRule",
     "Violation",
     "lint_file",
     "lint_paths",
@@ -82,4 +99,7 @@ ALL_RULES: tuple[Rule, ...] = (
     BareAssertRule(),
     AsyncBlockingRule(),
     StorageCopyRule(),
+    LockDisciplineRule(),
+    ResourceLinearityRule(),
+    ViewEscapeRule(),
 )

@@ -1,0 +1,561 @@
+"""Intraprocedural control-flow graphs + forward dataflow for reprolint.
+
+The per-statement AST rules (RL1–RL7) cannot see *paths*: whether a
+buffer acquired before a branch is released on both arms, whether a lock
+is still held when an ``await`` runs, whether an exception edge skips a
+``release()``.  This module gives rules that view.
+
+**CFG shape.**  One statement per basic block (``Block.node`` is the
+statement; compound statements contribute only their *header* — the
+evaluated test/iterable/context expression — to the block, their bodies
+become separate blocks).  Synthetic blocks mark function entry/exit,
+``with`` enter/exit, loop heads, exception dispatch and ``finally``
+entry.  Edges carry a kind:
+
+- ``NORMAL`` — the statement completed;
+- ``EXCEPTION`` — the statement raised (the dataflow applies
+  :meth:`ForwardAnalysis.transfer_exception`, which by default is the
+  identity: "the statement did not take effect");
+- ``BACK`` — a loop back edge.
+
+``try``/``finally`` (and ``with``, modeled as a ``try``/``finally``
+around the body) use a *shared* ``finally`` body: every way into the
+``finally`` funnels through one chain of blocks whose exits fan out to
+every recorded continuation (fall-through, ``return``, ``break``,
+``continue``, re-raise).  That merges states from different entries —
+a deliberate over-approximation that keeps the graph linear in the
+source size; the dataflow below is a *may* analysis with union join and
+distributive transfers, so its fixpoint still equals the union over all
+graph paths (the property ``tests/test_lint_cfg_property.py`` pins
+against brute-force path enumeration).
+
+**Dataflow.**  :func:`run_forward` runs a classic worklist iteration of
+a :class:`ForwardAnalysis` (gen/kill over frozensets, or any lattice
+with a monotone ``join``) and returns the in-state of every reachable
+block.  Rules then re-apply ``transfer`` locally to inspect states *at*
+a statement of interest.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Sequence
+
+# --------------------------------------------------------------- edge kinds
+
+NORMAL = "normal"
+EXCEPTION = "exception"
+BACK = "back"
+
+# -------------------------------------------------------------- block kinds
+
+ENTRY = "entry"
+EXIT = "exit"
+STMT = "stmt"
+LOOP_HEAD = "loop-head"
+WITH_ENTER = "with-enter"
+WITH_EXIT = "with-exit"
+EXCEPT_DISPATCH = "except-dispatch"
+FINALLY_ENTRY = "finally-entry"
+JOIN = "join"
+
+
+@dataclass
+class Block:
+    """One basic block: a single statement (or a synthetic marker)."""
+
+    index: int
+    kind: str
+    node: ast.AST | None = None
+    #: For ``with``-enter/exit blocks: the specific context-manager item.
+    item: ast.withitem | None = None
+
+    @property
+    def line(self) -> int:
+        """Best-effort source line (synthetic blocks inherit their node's)."""
+        return getattr(self.node, "lineno", 0)
+
+
+class CFG:
+    """A control-flow graph over one function body."""
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.func = func
+        self.blocks: list[Block] = []
+        self._succs: list[list[tuple[int, str]]] = []
+        self._preds: list[list[tuple[int, str]]] = []
+        self.entry = self.new_block(ENTRY, func).index
+        self.exit = self.new_block(EXIT, func).index
+
+    def new_block(
+        self,
+        kind: str,
+        node: ast.AST | None = None,
+        item: ast.withitem | None = None,
+    ) -> Block:
+        block = Block(index=len(self.blocks), kind=kind, node=node, item=item)
+        self.blocks.append(block)
+        self._succs.append([])
+        self._preds.append([])
+        return block
+
+    def add_edge(self, src: int, dst: int, kind: str = NORMAL) -> None:
+        if (dst, kind) not in self._succs[src]:
+            self._succs[src].append((dst, kind))
+            self._preds[dst].append((src, kind))
+
+    def succs(self, index: int) -> Sequence[tuple[int, str]]:
+        return self._succs[index]
+
+    def preds(self, index: int) -> Sequence[tuple[int, str]]:
+        return self._preds[index]
+
+
+# ------------------------------------------------------- builder internals
+
+#: Abrupt-completion kinds routed through enclosing ``finally`` blocks.
+_RETURN = "return"
+_BREAK = "break"
+_CONTINUE = "continue"
+_RERAISE = "reraise"
+
+
+@dataclass
+class _Finally:
+    """One pending ``finally`` (or ``with``-exit) funnel.
+
+    ``entry`` exists from the moment the ``try``/``with`` starts being
+    built, so nested abrupt jumps and exception edges can target it
+    immediately; the funnel's out-edges are resolved once the statement
+    is fully built and every requested continuation is known.
+    """
+
+    entry: int
+    outer: "_Ctx"
+    conts: set[str] = field(default_factory=set)
+
+
+@dataclass(frozen=True)
+class _Ctx:
+    """Builder context: where exceptions and abrupt exits go from here."""
+
+    exc: int
+    loop_head: int | None = None
+    loop_after: int | None = None
+    finallies: tuple[_Finally, ...] = ()
+    #: ``len(finallies)`` at the innermost loop entry — ``break`` and
+    #: ``continue`` only run finallies *above* this watermark.
+    loop_finally_base: int = 0
+
+
+class _Builder:
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.cfg = CFG(func)
+
+    def build(self) -> CFG:
+        ctx = _Ctx(exc=self.cfg.exit)
+        frontier = self._stmts(self.cfg.func.body, [self.cfg.entry], ctx)
+        for src in frontier:
+            self.cfg.add_edge(src, self.cfg.exit, NORMAL)
+        return self.cfg
+
+    # -- frontier plumbing -------------------------------------------------
+
+    def _connect(self, frontier: Sequence[int], dst: int, kind: str = NORMAL) -> None:
+        for src in frontier:
+            self.cfg.add_edge(src, dst, kind)
+
+    def _stmts(
+        self, stmts: Sequence[ast.stmt], frontier: list[int], ctx: _Ctx
+    ) -> list[int]:
+        for stmt in stmts:
+            if not frontier:
+                break  # unreachable code after return/raise/break
+            frontier = self._stmt(stmt, frontier, ctx)
+        return frontier
+
+    def _exc_edge(self, block: Block, ctx: _Ctx) -> None:
+        """Add the exception edge if this block can plausibly raise."""
+        if _block_can_raise(block):
+            self.cfg.add_edge(block.index, ctx.exc, EXCEPTION)
+
+    # -- abrupt-exit routing ----------------------------------------------
+
+    def _abrupt_target(self, kind: str, ctx: _Ctx) -> int:
+        """Where an abrupt exit jumps, funneling through finallies."""
+        if kind in (_BREAK, _CONTINUE):
+            if len(ctx.finallies) > ctx.loop_finally_base:
+                record = ctx.finallies[-1]
+                record.conts.add(kind)
+                return record.entry
+            target = ctx.loop_after if kind == _BREAK else ctx.loop_head
+            if target is None:
+                raise SyntaxError(f"{kind!r} outside loop")
+            return target
+        # _RETURN: through every enclosing finally, then function exit.
+        if ctx.finallies:
+            record = ctx.finallies[-1]
+            record.conts.add(_RETURN)
+            return record.entry
+        return self.cfg.exit
+
+    def _resolve_finally(self, record: _Finally, frontier: Sequence[int]) -> None:
+        """Fan the funnel's exit out to every recorded continuation."""
+        if any(kind == EXCEPTION for _, kind in self.cfg.preds(record.entry)):
+            record.conts.add(_RERAISE)
+        for kind in sorted(record.conts):
+            if kind == _RERAISE:
+                target = record.outer.exc
+            else:
+                target = self._abrupt_target(kind, record.outer)
+            # The finally body itself completed *normally*; the edge kind
+            # reflects the last finally statement, not the propagating
+            # exception, so transfers apply correctly.
+            self._connect(frontier, target, NORMAL)
+
+    # -- statement dispatch ------------------------------------------------
+
+    def _stmt(self, stmt: ast.stmt, frontier: list[int], ctx: _Ctx) -> list[int]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, frontier, ctx)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, frontier, ctx)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, stmt.items, frontier, ctx)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, frontier, ctx)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, frontier, ctx)
+        return self._simple(stmt, frontier, ctx)
+
+    def _simple(self, stmt: ast.stmt, frontier: list[int], ctx: _Ctx) -> list[int]:
+        block = self.cfg.new_block(STMT, stmt)
+        self._connect(frontier, block.index)
+        if isinstance(stmt, (ast.Break, ast.Continue, ast.Pass)):
+            if isinstance(stmt, ast.Pass):
+                return [block.index]
+            kind = _BREAK if isinstance(stmt, ast.Break) else _CONTINUE
+            edge = BACK if (kind == _CONTINUE and not ctx.finallies) else NORMAL
+            self.cfg.add_edge(block.index, self._abrupt_target(kind, ctx), edge)
+            return []
+        self._exc_edge(block, ctx)
+        if isinstance(stmt, ast.Return):
+            self.cfg.add_edge(block.index, self._abrupt_target(_RETURN, ctx), NORMAL)
+            return []
+        if isinstance(stmt, ast.Raise):
+            return []
+        return [block.index]
+
+    def _if(self, stmt: ast.If, frontier: list[int], ctx: _Ctx) -> list[int]:
+        test = self.cfg.new_block(STMT, stmt)
+        self._connect(frontier, test.index)
+        self._exc_edge(test, ctx)
+        out = self._stmts(stmt.body, [test.index], ctx)
+        if stmt.orelse:
+            out += self._stmts(stmt.orelse, [test.index], ctx)
+        else:
+            out.append(test.index)
+        return out
+
+    def _loop(
+        self,
+        stmt: ast.While | ast.For | ast.AsyncFor,
+        frontier: list[int],
+        ctx: _Ctx,
+    ) -> list[int]:
+        head = self.cfg.new_block(LOOP_HEAD, stmt)
+        after = self.cfg.new_block(JOIN, stmt)
+        self._connect(frontier, head.index)
+        self._exc_edge(head, ctx)
+        body_ctx = replace(
+            ctx,
+            loop_head=head.index,
+            loop_after=after.index,
+            loop_finally_base=len(ctx.finallies),
+        )
+        body_out = self._stmts(stmt.body, [head.index], body_ctx)
+        self._connect(body_out, head.index, BACK)
+        # Loop-ends edge (condition false / iterator exhausted), through
+        # the else clause when present.  ``while True`` still gets the
+        # edge — constant-condition pruning is not this graph's job.
+        if stmt.orelse:
+            else_out = self._stmts(stmt.orelse, [head.index], ctx)
+            self._connect(else_out, after.index)
+        else:
+            self.cfg.add_edge(head.index, after.index, NORMAL)
+        return [after.index]
+
+    def _with(
+        self,
+        stmt: ast.With | ast.AsyncWith,
+        items: Sequence[ast.withitem],
+        frontier: list[int],
+        ctx: _Ctx,
+    ) -> list[int]:
+        item = items[0]
+        enter = self.cfg.new_block(WITH_ENTER, stmt, item)
+        self._connect(frontier, enter.index)
+        self.cfg.add_edge(enter.index, ctx.exc, EXCEPTION)
+        exit_block = self.cfg.new_block(WITH_EXIT, stmt, item)
+        record = _Finally(entry=exit_block.index, outer=ctx)
+        body_ctx = replace(
+            ctx, exc=exit_block.index, finallies=ctx.finallies + (record,)
+        )
+        if len(items) > 1:
+            body_out = self._with(stmt, items[1:], [enter.index], body_ctx)
+        else:
+            body_out = self._stmts(stmt.body, [enter.index], body_ctx)
+        self._connect(body_out, exit_block.index, NORMAL)
+        self._resolve_finally(record, [exit_block.index])
+        return [exit_block.index]
+
+    def _try(self, stmt: ast.Try, frontier: list[int], ctx: _Ctx) -> list[int]:
+        fin_entry: Block | None = None
+        record: _Finally | None = None
+        if stmt.finalbody:
+            fin_entry = self.cfg.new_block(FINALLY_ENTRY, stmt)
+            record = _Finally(entry=fin_entry.index, outer=ctx)
+        after_exc = fin_entry.index if fin_entry is not None else ctx.exc
+        finallies = ctx.finallies + (record,) if record is not None else ctx.finallies
+
+        dispatch: Block | None = None
+        if stmt.handlers:
+            dispatch = self.cfg.new_block(EXCEPT_DISPATCH, stmt)
+        body_exc = dispatch.index if dispatch is not None else after_exc
+        body_ctx = replace(ctx, exc=body_exc, finallies=finallies)
+        body_out = self._stmts(stmt.body, list(frontier), body_ctx)
+
+        part_ctx = replace(ctx, exc=after_exc, finallies=finallies)
+        normal_out: list[int] = []
+        if stmt.orelse:
+            normal_out += self._stmts(stmt.orelse, body_out, part_ctx)
+        else:
+            normal_out += body_out
+
+        if dispatch is not None:
+            catch_all = False
+            for handler in stmt.handlers:
+                hblock = self.cfg.new_block(STMT, handler)
+                self.cfg.add_edge(dispatch.index, hblock.index, NORMAL)
+                if _block_can_raise(hblock):
+                    self.cfg.add_edge(hblock.index, after_exc, EXCEPTION)
+                normal_out += self._stmts(handler.body, [hblock.index], part_ctx)
+                if _is_catch_all(handler):
+                    catch_all = True
+            if not catch_all:
+                self.cfg.add_edge(dispatch.index, after_exc, EXCEPTION)
+
+        if fin_entry is not None and record is not None:
+            self._connect(normal_out, fin_entry.index, NORMAL)
+            fin_out = self._stmts(stmt.finalbody, [fin_entry.index], ctx)
+            self._resolve_finally(record, fin_out)
+            return fin_out
+        return normal_out
+
+    def _match(self, stmt: ast.Match, frontier: list[int], ctx: _Ctx) -> list[int]:
+        subject = self.cfg.new_block(STMT, stmt)
+        self._connect(frontier, subject.index)
+        self._exc_edge(subject, ctx)
+        out: list[int] = [subject.index]  # no case may match
+        for case in stmt.cases:
+            out += self._stmts(case.body, [subject.index], ctx)
+        return out
+
+
+def _block_can_raise(block: Block) -> bool:
+    """Whether this block's statement can plausibly raise.
+
+    Giving *every* statement an exception edge drowns path-sensitive
+    rules in impossible paths (``if x is y:`` "raising" between an
+    acquire and its release).  Name loads, constants, tuple/list
+    display, ``not``/``and``/``or`` and identity comparisons cannot
+    raise; anything else — calls, attribute/subscript access,
+    arithmetic, ``await``, ``yield`` (``throw()`` injection) — can.
+    ``raise`` and ``assert`` always can.
+    """
+    node = block.node
+    if isinstance(node, (ast.Raise, ast.Assert)):
+        return True
+    if block.kind == LOOP_HEAD and isinstance(node, (ast.For, ast.AsyncFor)):
+        return True  # the implicit __next__ call
+    if block.kind == WITH_ENTER:
+        return True  # the implicit __enter__ call
+    for sub in iter_evaluated(block):
+        if not isinstance(sub, ast.expr):
+            continue  # statement wrappers, contexts, operators
+        if isinstance(sub, (ast.Name, ast.Constant, ast.Tuple, ast.List, ast.Starred)):
+            continue
+        if isinstance(sub, ast.UnaryOp) and isinstance(sub.op, ast.Not):
+            continue
+        if isinstance(sub, ast.BoolOp):
+            continue
+        if isinstance(sub, ast.Compare) and all(
+            isinstance(op, (ast.Is, ast.IsNot)) for op in sub.ops
+        ):
+            continue
+        return True
+    return False
+
+
+def _is_catch_all(handler: ast.ExceptHandler) -> bool:
+    """``except:`` or ``except BaseException`` — nothing gets past it."""
+    if handler.type is None:
+        return True
+    node = handler.type
+    if isinstance(node, ast.Attribute):
+        return node.attr == "BaseException"
+    return isinstance(node, ast.Name) and node.id == "BaseException"
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the CFG of one function body (nested defs are opaque)."""
+    return _Builder(func).build()
+
+
+def iter_function_cfgs(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, CFG]]:
+    """Yield ``(function, cfg)`` for every def in the module, any depth."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, build_cfg(node)
+
+
+# ------------------------------------------------------ header expressions
+
+
+def header_exprs(block: Block) -> list[ast.AST]:
+    """The AST actually *evaluated* in this block.
+
+    Compound statements own only their header (test / iterable / context
+    expression); their bodies live in other blocks.  Synthetic blocks
+    evaluate nothing.  Rules should event-extract from these nodes via
+    :func:`iter_evaluated` rather than walking ``block.node`` raw.
+    """
+    node = block.node
+    if node is None or block.kind in (ENTRY, EXIT, JOIN, FINALLY_ENTRY, EXCEPT_DISPATCH):
+        return []
+    if block.kind == WITH_ENTER and block.item is not None:
+        exprs: list[ast.AST] = [block.item.context_expr]
+        if block.item.optional_vars is not None:
+            exprs.append(block.item.optional_vars)
+        return exprs
+    if block.kind == WITH_EXIT:
+        return []
+    if isinstance(node, (ast.If, ast.While)):
+        return [node.test]
+    if isinstance(node, (ast.For, ast.AsyncFor)):
+        return [node.iter, node.target]
+    if isinstance(node, ast.Match):
+        return [node.subject]
+    if isinstance(node, ast.ExceptHandler):
+        return [node.type] if node.type is not None else []
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        # Executing a def/class evaluates decorators and defaults only;
+        # the body is a separate scope (rules treat it as a closure).
+        return list(node.decorator_list)
+    return [node]
+
+
+def iter_evaluated(block: Block) -> Iterator[ast.AST]:
+    """Walk the expressions evaluated in ``block``.
+
+    Like ``ast.walk`` over :func:`header_exprs`, but does *not* descend
+    into nested function/lambda bodies or comprehensions — code in those
+    runs in another frame (or another time) and must not contribute
+    events to this block.
+    """
+    stack: list[ast.AST] = list(header_exprs(block))
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef),
+            ):
+                continue
+            if isinstance(
+                child, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                continue
+            stack.append(child)
+
+
+def block_awaits(block: Block) -> list[ast.AST]:
+    """``await`` / ``async for`` / ``async with`` suspension points."""
+    marks: list[ast.AST] = []
+    node = block.node
+    if block.kind == LOOP_HEAD and isinstance(node, ast.AsyncFor):
+        marks.append(node)
+    if block.kind in (WITH_ENTER, WITH_EXIT) and isinstance(node, ast.AsyncWith):
+        marks.append(node)
+    for sub in iter_evaluated(block):
+        if isinstance(sub, ast.Await):
+            marks.append(sub)
+    return marks
+
+
+# ----------------------------------------------------------- dataflow layer
+
+
+class ForwardAnalysis:
+    """A forward may/must dataflow over frozenset-like states.
+
+    Subclasses implement :meth:`initial`, :meth:`join` and
+    :meth:`transfer`; :meth:`transfer_exception` describes what still
+    happens when the block's statement *raises* instead of completing
+    (default: nothing — the identity).  ``join`` must be monotone over a
+    finite lattice for the worklist to terminate.
+    """
+
+    def initial(self) -> frozenset[object]:
+        return frozenset()
+
+    def join(
+        self, a: frozenset[object], b: frozenset[object]
+    ) -> frozenset[object]:
+        return a | b
+
+    def transfer(
+        self, block: Block, state: frozenset[object]
+    ) -> frozenset[object]:
+        return state
+
+    def transfer_exception(
+        self, block: Block, state: frozenset[object]
+    ) -> frozenset[object]:
+        return state
+
+
+def run_forward(
+    cfg: CFG, analysis: ForwardAnalysis
+) -> dict[int, frozenset[object]]:
+    """Worklist fixpoint; returns in-states of reachable blocks."""
+    in_states: dict[int, frozenset[object]] = {cfg.entry: analysis.initial()}
+    work: deque[int] = deque([cfg.entry])
+    queued = {cfg.entry}
+    steps = 0
+    limit = 64 * (len(cfg.blocks) + 1) * (len(cfg.blocks) + 1)
+    while work:
+        steps += 1
+        if steps > limit:  # pragma: no cover - defensive fixpoint guard
+            raise RuntimeError("dataflow failed to converge")
+        index = work.popleft()
+        queued.discard(index)
+        state = in_states[index]
+        block = cfg.blocks[index]
+        out_normal = analysis.transfer(block, state)
+        out_exc = analysis.transfer_exception(block, state)
+        for dst, kind in cfg.succs(index):
+            out = out_exc if kind == EXCEPTION else out_normal
+            current = in_states.get(dst)
+            merged = out if current is None else analysis.join(current, out)
+            if current is None or merged != current:
+                in_states[dst] = merged
+                if dst not in queued:
+                    queued.add(dst)
+                    work.append(dst)
+    return in_states

@@ -19,6 +19,10 @@ from repro.lint.engine import lint_paths
 #: Default walk targets when no paths are given.
 _DEFAULT_PATHS = ("src", "tests", "benchmarks")
 
+#: Version of the ``--format json`` output shape.  Bump on any change to
+#: the envelope or the per-violation fields; CI consumers key off it.
+JSON_SCHEMA_VERSION = 1
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -52,6 +56,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        default=None,
+        help=(
+            "comma-separated rule codes to run (e.g. RL8,RL9,RL10); "
+            "default: all rules"
+        ),
+    )
     return parser
 
 
@@ -61,12 +74,36 @@ def main(argv: Sequence[str] | None = None) -> int:
         for rule in ALL_RULES:
             print(f"{rule.code}  {rule.name}: {rule.description}")
         return 0
+    rules = ALL_RULES
+    if args.select:
+        wanted = {
+            code.strip().upper()
+            for code in args.select.split(",")
+            if code.strip()
+        }
+        unknown = wanted - {rule.code for rule in ALL_RULES}
+        if unknown:
+            print(
+                f"unknown rule code(s): {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+        rules = tuple(rule for rule in ALL_RULES if rule.code in wanted)
     paths = list(args.paths) if args.paths else [
         Path(p) for p in _DEFAULT_PATHS if Path(p).exists()
     ]
-    violations = lint_paths(paths, root=args.root, rules=ALL_RULES)
+    violations = lint_paths(paths, root=args.root, rules=rules)
     if args.format == "json":
-        print(json.dumps([v.as_dict() for v in violations], indent=2))
+        print(
+            json.dumps(
+                {
+                    "schema_version": JSON_SCHEMA_VERSION,
+                    "rules": sorted(rule.code for rule in rules),
+                    "violations": [v.as_dict() for v in violations],
+                },
+                indent=2,
+            )
+        )
     else:
         for violation in violations:
             print(violation.render())

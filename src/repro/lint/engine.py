@@ -122,6 +122,19 @@ class Rule:
         """Yield every violation found in ``ctx``."""
         raise NotImplementedError
 
+    def begin_run(self) -> None:
+        """Reset any cross-file state; called once before a lint run."""
+
+    def finalize(self) -> Iterator[Violation]:
+        """Yield run-wide violations after every file was checked.
+
+        Rules that accumulate cross-file facts (RL8's lock-acquisition
+        -order graph) report here.  Per-line suppression cannot apply —
+        there is no single line — so such rules must honour
+        suppressions when *recording* facts in :meth:`check`.
+        """
+        return iter(())
+
     def violation(
         self, ctx: FileContext, node: ast.AST, message: str
     ) -> Violation:
@@ -181,6 +194,50 @@ def _collect_comments(
     )
 
 
+def _expand_suppressions(
+    tree: ast.Module, suppressions: dict[int, frozenset[str]]
+) -> dict[int, frozenset[str]]:
+    """Map suppressions anywhere in a statement's header onto its line.
+
+    Rules may anchor a violation on *any* physical line of a statement's
+    header (a literal on a continuation line, a decorator argument), but
+    the suppression comment physically fits where there is room — the
+    closing paren line, the decorator line.  For every statement, the
+    union of suppressions across its header span — first line through
+    the line before its body (simple statements: through ``end_lineno``)
+    — plus its decorator lines applies to every line of that span.  Body
+    lines are deliberately excluded: a pragma on a ``def`` never
+    blankets the function body.
+    """
+    if not suppressions:
+        return suppressions
+    expanded: dict[int, set[str]] = {
+        line: set(codes) for line, codes in suppressions.items()
+    }
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            header_end = max(start, body[0].lineno - 1)
+        else:
+            header_end = getattr(node, "end_lineno", None) or start
+        decorators = getattr(node, "decorator_list", None) or []
+        lines = set(range(start, header_end + 1))
+        for decorator in decorators:
+            end = getattr(decorator, "end_lineno", None) or decorator.lineno
+            lines.update(range(decorator.lineno, end + 1))
+        pooled: set[str] = set()
+        for line in lines:
+            pooled.update(suppressions.get(line, ()))
+        if not pooled:
+            continue
+        for line in lines:
+            expanded.setdefault(line, set()).update(pooled)
+    return {line: frozenset(codes) for line, codes in expanded.items()}
+
+
 def effective_parts(path: Path, root: Path) -> tuple[str, ...]:
     """Path segments used for rule scoping (see the module docstring)."""
     try:
@@ -207,7 +264,7 @@ def parse_file(path: Path, root: Path) -> FileContext | None:
         effective=effective_parts(path, root),
         tree=tree,
         source=source,
-        suppressions=suppressions,
+        suppressions=_expand_suppressions(tree, suppressions),
         comment_lines=comment_lines,
     )
 
@@ -219,13 +276,8 @@ def _suppressed(ctx: FileContext, violation: Violation) -> bool:
     return "*" in codes or violation.rule.upper() in codes
 
 
-def lint_file(
-    path: Path, root: Path, rules: Sequence[Rule]
-) -> list[Violation]:
-    """Run ``rules`` over one file, honouring suppressions."""
-    ctx = parse_file(path, root)
-    if ctx is None:
-        return []
+def _check_file(ctx: FileContext, rules: Sequence[Rule]) -> list[Violation]:
+    """Run every applicable rule's per-file pass over one context."""
     found: list[Violation] = []
     for rule in rules:
         if not rule.applies_to(ctx):
@@ -233,6 +285,25 @@ def lint_file(
         for violation in rule.check(ctx):
             if not _suppressed(ctx, violation):
                 found.append(violation)
+    return found
+
+
+def lint_file(
+    path: Path, root: Path, rules: Sequence[Rule]
+) -> list[Violation]:
+    """Run ``rules`` over one file as a complete lint run.
+
+    Cross-file rules see a single-file universe: ``begin_run`` resets
+    them and ``finalize`` reports whatever that one file accumulated.
+    """
+    ctx = parse_file(path, root)
+    if ctx is None:
+        return []
+    for rule in rules:
+        rule.begin_run()
+    found = _check_file(ctx, rules)
+    for rule in rules:
+        found.extend(rule.finalize())
     found.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
     return found
 
@@ -273,7 +344,14 @@ def lint_paths(
         rules = ALL_RULES
     if root is None:
         root = Path.cwd()
+    for rule in rules:
+        rule.begin_run()
     found: list[Violation] = []
     for path in iter_python_files(paths):
-        found.extend(lint_file(path, root, rules))
+        ctx = parse_file(path, root)
+        if ctx is not None:
+            found.extend(_check_file(ctx, rules))
+    for rule in rules:
+        found.extend(rule.finalize())
+    found.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
     return found

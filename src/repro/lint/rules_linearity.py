@@ -1,0 +1,362 @@
+"""RL9 — resource linearity on every control-flow path.
+
+The zero-copy serving path runs on an ownership protocol: a buffer from
+``BufferPool.acquire()`` must reach *exactly one* of ``release()`` /
+``transfer()`` before the function ends, a file descriptor from
+``os.open()`` must reach ``os.close()``, a file handle from ``open()``
+must be closed — on every path, including the exception edges a missed
+``finally:`` silently drops.  One leaked pool buffer per failed request
+bleeds the pool budget until the server allocates cold again; tests
+rarely exercise the raising path, so the leak ships.
+
+This rule runs the shared CFG/dataflow layer (:mod:`repro.lint.cfg`) as
+a *may* analysis over ownership tokens:
+
+- ``x = pool.acquire(...)`` / ``fd = os.open(...)`` / ``f = open(...)``
+  binds a tracked resource to a plain name (attribute targets are out of
+  scope — storing into ``self`` hands ownership to the object, whose
+  ``close()`` discipline is checked by its own tests);
+- ``pool.release(x)`` / ``pool.transfer(x)`` / ``os.close(x)`` /
+  ``x.close()`` *finish* it;
+- returning or yielding ``x``, aliasing it (``y = x``) or storing it
+  into an attribute/container *escapes* it — ownership moved, this
+  function is no longer responsible;
+- passing ``x`` as a call argument is a borrow, not an escape: the
+  classic leak is exactly ``fill(buffer)`` raising after ``acquire``.
+
+Acquisitions take effect only when the statement *completes*
+(exception edge: nothing was bound); finishes take effect on both edge
+kinds (a raising ``release`` still consumed the buffer).  A token still
+unfinished in the function-exit state means *some* path leaks; a finish
+whose token is already finished on every path means a double release.
+
+``tests/test_lint_cfg_property.py`` pins this verdict against
+brute-force path enumeration over the same CFG on hypothesis-generated
+control-flow shapes.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from repro.lint.cfg import (
+    CFG,
+    Block,
+    ForwardAnalysis,
+    iter_evaluated,
+    iter_function_cfgs,
+    run_forward,
+)
+from repro.lint.engine import FileContext, Rule, Violation
+
+ACQUIRE = "acquire"
+FINISH = "finish"
+ESCAPE = "escape"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One ownership event a block performs on a named resource."""
+
+    kind: str
+    var: str
+    node: ast.AST
+    #: For ``acquire``: a human label ("pool buffer", "file descriptor").
+    what: str = ""
+
+    @property
+    def site(self) -> tuple[int, int]:
+        return (
+            getattr(self.node, "lineno", 0),
+            getattr(self.node, "col_offset", 0),
+        )
+
+
+def _dotted(expr: ast.AST) -> str | None:
+    """``a.b.c`` spelled out, or None for non-name expressions."""
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _acquire_label(call: ast.Call) -> str | None:
+    """What kind of resource this call hands out, if any."""
+    func = call.func
+    if isinstance(func, ast.Attribute) and func.attr == "acquire":
+        receiver = _dotted(func.value)
+        # ``ok = lock.acquire(timeout=...)`` binds a bool, not a resource.
+        if receiver is not None and "lock" in receiver.rsplit(".", 1)[-1].lower():
+            return None
+        return "pool buffer"
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "os"
+        and func.attr == "open"
+    ):
+        return "file descriptor"
+    if isinstance(func, ast.Name) and func.id == "open":
+        return "file handle"
+    return None
+
+
+def _finished_var(call: ast.Call) -> str | None:
+    """The name a finisher call consumes, if this call is one."""
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    if func.attr in ("release", "transfer"):
+        if call.args and isinstance(call.args[0], ast.Name):
+            return call.args[0].id
+        return None
+    if func.attr == "close":
+        if isinstance(func.value, ast.Name):
+            if func.value.id == "os":
+                if call.args and isinstance(call.args[0], ast.Name):
+                    return call.args[0].id
+                return None
+            return func.value.id
+    return None
+
+
+def _escaped_names(expr: ast.AST | None) -> Iterator[str]:
+    """Names whose *value* leaves via this expression.
+
+    Call subtrees are skipped: ``return os.read(fd, 16)`` escapes the
+    read result, not ``fd`` — arguments are borrows.
+    """
+    if expr is None:
+        return
+    stack: list[ast.AST] = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Call):
+            continue
+        if isinstance(node, ast.Name):
+            yield node.id
+        else:
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def block_events(block: Block) -> list[Event]:
+    """Ownership events performed by one CFG block, in program order."""
+    events: list[Event] = []
+    node = block.node
+    if isinstance(node, (ast.Assign, ast.AnnAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        value = node.value
+        if len(targets) == 1 and isinstance(targets[0], ast.Name):
+            # ``x = a if c else b`` *may* bind either arm's resource.
+            candidates = (
+                [value.body, value.orelse]
+                if isinstance(value, ast.IfExp)
+                else [value]
+            )
+            for candidate in candidates:
+                if isinstance(candidate, ast.Call):
+                    label = _acquire_label(candidate)
+                    if label is not None:
+                        events.append(
+                            Event(ACQUIRE, targets[0].id, candidate, what=label)
+                        )
+        if isinstance(value, ast.Name):
+            # ``y = x`` aliases; ``self.buf = x`` / ``d[k] = x`` stores.
+            # Either way ownership left this name.
+            events.append(Event(ESCAPE, value.id, node))
+        elif value is not None and any(
+            isinstance(t, (ast.Attribute, ast.Subscript)) for t in targets
+        ):
+            for name in _escaped_names(value):
+                events.append(Event(ESCAPE, name, node))
+    if isinstance(node, ast.Return):
+        for name in _escaped_names(node.value):
+            events.append(Event(ESCAPE, name, node))
+    for sub in iter_evaluated(block):
+        if isinstance(sub, ast.Call):
+            var = _finished_var(sub)
+            if var is not None:
+                events.append(Event(FINISH, var, sub))
+        elif isinstance(sub, (ast.Yield, ast.YieldFrom)):
+            for name in _escaped_names(sub.value):
+                events.append(Event(ESCAPE, name, sub))
+    return events
+
+
+# Dataflow tokens: ("acq", var, site) — resource live; ("fin", var, site)
+# — consumed by a finisher; ("esc", var, site) — ownership moved away.
+# FINISH/ESCAPE map acq -> fin/esc per token, ACQUIRE generates a token;
+# all transfers are distributive over set union, so the fixpoint below
+# equals the union of per-path outcomes.
+
+
+class _LinearityAnalysis(ForwardAnalysis):
+    def __init__(self, events: Mapping[int, Sequence[Event]]) -> None:
+        self._events = events
+
+    def _apply(
+        self, block: Block, state: frozenset[object], completed: bool
+    ) -> frozenset[object]:
+        tokens = set(state)
+        for event in self._events.get(block.index, ()):
+            if event.kind == ACQUIRE:
+                if completed:
+                    tokens.add(("acq", event.var, event.site))
+            else:
+                consumed = "fin" if event.kind == FINISH else "esc"
+                for token in [
+                    t
+                    for t in tokens
+                    if isinstance(t, tuple)
+                    and t[0] == "acq"
+                    and t[1] == event.var
+                ]:
+                    tokens.discard(token)
+                    tokens.add((consumed, token[1], token[2]))
+        return frozenset(tokens)
+
+    def transfer(
+        self, block: Block, state: frozenset[object]
+    ) -> frozenset[object]:
+        return self._apply(block, state, completed=True)
+
+    def transfer_exception(
+        self, block: Block, state: frozenset[object]
+    ) -> frozenset[object]:
+        # The statement raised: nothing got bound, but a raising
+        # release()/transfer() still consumed its argument.
+        return self._apply(block, state, completed=False)
+
+
+@dataclass(frozen=True)
+class LinearityFinding:
+    """One linearity defect: a may-leak or a may-double-finish."""
+
+    kind: str  # "leak" | "double-finish"
+    var: str
+    what: str
+    node: ast.AST
+
+
+def collect_events(
+    cfg: CFG,
+) -> tuple[dict[int, list[Event]], dict[tuple[str, tuple[int, int]], Event]]:
+    """Per-block ownership events and the acquire-site index for ``cfg``."""
+    events: dict[int, list[Event]] = {}
+    sites: dict[tuple[str, tuple[int, int]], Event] = {}
+    for block in cfg.blocks:
+        found = block_events(block)
+        if found:
+            events[block.index] = found
+            for event in found:
+                if event.kind == ACQUIRE:
+                    sites[(event.var, event.site)] = event
+    return events, sites
+
+
+def findings_from_states(
+    cfg: CFG,
+    events: Mapping[int, Sequence[Event]],
+    sites: Mapping[tuple[str, tuple[int, int]], Event],
+    in_states: Mapping[int, frozenset[object]],
+) -> list[LinearityFinding]:
+    """Extract defects from per-block in-states (however computed).
+
+    Split out from :func:`analyze_linearity` so the property test can
+    feed brute-force path-enumerated states through the *same* verdict
+    logic and compare against the dataflow fixpoint.
+    """
+    findings: list[LinearityFinding] = []
+    exit_state = in_states.get(cfg.exit, frozenset())
+    for token in sorted(
+        t for t in exit_state if isinstance(t, tuple) and t[0] == "acq"
+    ):
+        acquire = sites[(token[1], token[2])]
+        findings.append(
+            LinearityFinding("leak", acquire.var, acquire.what, acquire.node)
+        )
+    # Double finish: a finisher whose token is already consumed on every
+    # path reaching it (fin present, acq absent).
+    for block in cfg.blocks:
+        state = in_states.get(block.index)
+        if state is None:
+            continue
+        for event in events.get(block.index, ()):
+            if event.kind != FINISH:
+                continue
+            already = {
+                (t[1], t[2])
+                for t in state
+                if isinstance(t, tuple) and t[0] == "fin" and t[1] == event.var
+            }
+            live = {
+                (t[1], t[2])
+                for t in state
+                if isinstance(t, tuple)
+                and t[0] in ("acq", "esc")
+                and t[1] == event.var
+            }
+            for var, site in sorted(already - live):
+                acquire = sites.get((var, site))
+                if acquire is not None:
+                    findings.append(
+                        LinearityFinding(
+                            "double-finish", var, acquire.what, event.node
+                        )
+                    )
+    return findings
+
+
+def analyze_linearity(cfg: CFG) -> list[LinearityFinding]:
+    """All linearity defects of one function body."""
+    events, sites = collect_events(cfg)
+    if not sites:
+        return []
+    in_states = run_forward(cfg, _LinearityAnalysis(events))
+    return findings_from_states(cfg, events, sites, in_states)
+
+
+class ResourceLinearityRule(Rule):
+    """RL9: acquire/release/transfer linearity under server + storage."""
+
+    code = "RL9"
+    name = "resource-linearity"
+    description = (
+        "a pool buffer / fd / file handle must reach exactly one of "
+        "release/transfer/close on every CFG path (exception edges "
+        "included) under repro/server and repro/storage"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return len(ctx.effective) >= 2 and ctx.effective[0] == "repro" and (
+            ctx.effective[1] in ("server", "storage")
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for func, cfg in iter_function_cfgs(ctx.tree):
+            for finding in analyze_linearity(cfg):
+                if finding.kind == "leak":
+                    yield self.violation(
+                        ctx,
+                        finding.node,
+                        f"{finding.what} {finding.var!r} acquired here may "
+                        "reach function exit without release/transfer/close "
+                        f"on some path through {func.name!r} (check "
+                        "exception edges: wrap in try/finally or release "
+                        "in an except)",
+                    )
+                else:
+                    yield self.violation(
+                        ctx,
+                        finding.node,
+                        f"{finding.what} {finding.var!r} is already "
+                        "released/closed on every path reaching this "
+                        "finisher (double release)",
+                    )

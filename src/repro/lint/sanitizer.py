@@ -1,0 +1,215 @@
+"""Runtime lock-order sanitizer — the dynamic complement to RL8.
+
+Static analysis (RL8) proves ordering facts about lock acquisitions it
+can see syntactically; this module observes the acquisitions that
+*actually happen* while the real suites run.  It plugs into
+:func:`repro.concurrency.set_lock_factory`, so every lock created
+through :func:`repro.concurrency.create_lock` while installed is
+instrumented:
+
+- **acquisition order**: a global directed graph on lock *names*
+  records ``A -> B`` whenever a thread acquires ``B`` while holding
+  ``A``.  A new edge that closes a cycle is a lock-order inversion —
+  two threads taking those locks in opposite orders can deadlock, even
+  if this run happened not to.
+- **re-entrant acquisition**: acquiring a lock a thread already holds
+  (``threading.Lock`` self-deadlocks; with a timeout it merely fails).
+- **hold-while-blocking**: ``time.sleep`` called with any instrumented
+  lock held (the patched ``sleep`` checks the current thread's stack).
+
+Reports accumulate in :attr:`LockOrderSanitizer.reports`; the pytest
+hook in ``tests/conftest.py`` (enabled by ``REPRO_LOCK_SANITIZER=1``)
+fails any test that produced one.  Edges are recorded before the
+blocking ``acquire`` call, so an inversion is reported even when the
+run deadlocks-and-times-out rather than completing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from types import TracebackType
+from typing import Callable
+
+from repro import concurrency
+
+
+@dataclass(frozen=True)
+class SanitizerReport:
+    """One observed concurrency hazard."""
+
+    kind: str  # "lock-order-inversion" | "reentrant-acquire" | "hold-while-blocking"
+    detail: str
+
+
+class _SanitizedLock:
+    """A ``threading.Lock`` that narrates acquisitions to its sanitizer."""
+
+    __slots__ = ("_inner", "name", "_sanitizer")
+
+    def __init__(self, name: str, sanitizer: "LockOrderSanitizer") -> None:
+        self._inner = threading.Lock()
+        self.name = name
+        self._sanitizer = sanitizer
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._sanitizer._before_acquire(self.name)
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            self._sanitizer._did_acquire(self.name)
+        return got
+
+    def release(self) -> None:
+        self._inner.release()
+        self._sanitizer._did_release(self.name)
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.release()
+
+
+@dataclass
+class LockOrderSanitizer:
+    """Collects lock-order facts from instrumented locks.
+
+    The graph and report list are guarded by a *plain* lock (never
+    instrumented — the sanitizer must not observe itself).  Held-lock
+    stacks are per-thread and unsynchronized.
+    """
+
+    reports: list[SanitizerReport] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._guard = threading.Lock()
+        #: lock name -> names acquired at least once while it was held.
+        self._edges: dict[str, set[str]] = {}
+        self._seen_inversions: set[frozenset[str]] = set()
+        self._local = threading.local()
+        self._previous_factory: concurrency.LockFactory | None = None
+        self._previous_sleep: Callable[[float], None] | None = None
+        self._installed = False
+
+    # ------------------------------------------------------------ factory
+
+    def make_lock(self, name: str) -> _SanitizedLock:
+        return _SanitizedLock(name, self)
+
+    def install(self) -> "LockOrderSanitizer":
+        """Route ``create_lock`` through this sanitizer and patch
+        ``time.sleep`` for hold-while-blocking detection."""
+        if self._installed:
+            return self
+        self._previous_factory = concurrency.set_lock_factory(self.make_lock)
+        self._previous_sleep = previous_sleep = time.sleep
+
+        def _watched_sleep(seconds: float) -> None:
+            held = list(self._stack())
+            if held:
+                self._report(
+                    "hold-while-blocking",
+                    f"time.sleep({seconds!r}) while holding "
+                    f"{', '.join(repr(n) for n in held)}",
+                )
+            previous_sleep(seconds)
+
+        setattr(time, "sleep", _watched_sleep)
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        if not self._installed:
+            return
+        concurrency.set_lock_factory(self._previous_factory)
+        if self._previous_sleep is not None:
+            setattr(time, "sleep", self._previous_sleep)
+        self._previous_factory = None
+        self._previous_sleep = None
+        self._installed = False
+
+    def __enter__(self) -> "LockOrderSanitizer":
+        return self.install()
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.uninstall()
+
+    # --------------------------------------------------------- observation
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _report(self, kind: str, detail: str) -> None:
+        with self._guard:
+            self.reports.append(SanitizerReport(kind, detail))
+
+    def _path_exists(self, source: str, target: str) -> bool:
+        """Graph reachability; caller holds ``_guard``."""
+        seen = {source}
+        frontier = [source]
+        while frontier:
+            node = frontier.pop()
+            if node == target:
+                return True
+            for nxt in self._edges.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return False
+
+    def _before_acquire(self, name: str) -> None:
+        stack = self._stack()
+        if name in stack:
+            self._report(
+                "reentrant-acquire",
+                f"lock {name!r} acquired by a thread already holding it "
+                f"(held stack: {stack!r})",
+            )
+            return
+        if not stack:
+            return
+        holder = stack[-1]
+        with self._guard:
+            # An edge closing a path back to the holder is an inversion:
+            # some other execution took these locks in the other order.
+            if name != holder and self._path_exists(name, holder):
+                pair = frozenset((name, holder))
+                if pair not in self._seen_inversions:
+                    self._seen_inversions.add(pair)
+                    self.reports.append(
+                        SanitizerReport(
+                            "lock-order-inversion",
+                            f"acquiring {name!r} while holding {holder!r}, "
+                            f"but {name!r} -> {holder!r} was previously "
+                            "observed: opposite orders can deadlock",
+                        )
+                    )
+            self._edges.setdefault(holder, set()).add(name)
+
+    def _did_acquire(self, name: str) -> None:
+        self._stack().append(name)
+
+    def _did_release(self, name: str) -> None:
+        stack = self._stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] == name:
+                del stack[index]
+                return

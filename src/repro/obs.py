@@ -36,6 +36,8 @@ import time
 from dataclasses import dataclass, field
 from types import TracebackType
 
+from repro.concurrency import create_lock
+
 __all__ = [
     "MetricsRegistry",
     "SpanStat",
@@ -138,7 +140,7 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = create_lock("MetricsRegistry._lock")
         self._local = threading.local()
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, float] = {}

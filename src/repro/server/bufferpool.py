@@ -29,12 +29,12 @@ enabled (``pool.hits`` / ``pool.misses``, gauges ``pool.outstanding`` /
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro import obs
+from repro.concurrency import create_lock
 
 #: Default budget of *idle* bytes kept on free lists (outstanding
 #: buffers are the workload's, not the pool's).  64 MiB holds ~80 free
@@ -84,7 +84,7 @@ class BufferPool:
         if byte_budget < 0:
             raise ValueError(f"byte_budget must be >= 0, got {byte_budget}")
         self._budget = byte_budget
-        self._lock = threading.Lock()
+        self._lock = create_lock("BufferPool._lock")
         #: value count -> stack of idle buffers of exactly that size.
         self._free: dict[int, list[np.ndarray]] = {}
         self._free_bytes = 0

@@ -28,7 +28,6 @@ Counters are mirrored into :mod:`repro.obs` when enabled
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Hashable
@@ -36,6 +35,7 @@ from typing import TYPE_CHECKING, Callable, Hashable
 import numpy as np
 
 from repro import obs
+from repro.concurrency import create_lock
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.server.bufferpool import BufferPool
@@ -93,7 +93,7 @@ class DecodedVectorCache:
             raise ValueError(f"byte_budget must be >= 0, got {byte_budget}")
         self._budget = byte_budget
         self._pool = pool
-        self._lock = threading.Lock()
+        self._lock = create_lock("DecodedVectorCache._lock")
         self._entries: OrderedDict[CacheKey, np.ndarray] = OrderedDict()
         self._bytes = 0
         self._hits = 0
@@ -179,27 +179,35 @@ class DecodedVectorCache:
         values = self.get(key)
         if values is not None:
             return values
-        buffer = (
-            self._pool.acquire(count)
-            if self._pool is not None
-            else np.empty(count, dtype=np.float64)
-        )
+        pool = self._pool
+        if pool is None:
+            buffer = np.empty(count, dtype=np.float64)
+            fill(buffer)
+            return self.put(key, buffer)
+        buffer = pool.acquire(count)
         try:
             fill(buffer)
+            resident = self.put(key, buffer)
         except BaseException:
-            if self._pool is not None:
-                self._pool.release(buffer)
-            raise
-        resident = self.put(key, buffer)
-        if self._pool is not None:
-            if resident is buffer:
-                # The cache (or, for over-budget arrays, the caller)
-                # now owns the buffer; it is read-only and must never
-                # be handed out as a decode target again.
-                self._pool.transfer(buffer)
-            else:
+            # put() may have already frozen the buffer; it must go back
+            # writable or the next decode-into fails.  The nested
+            # finally keeps the release on every path — RL9 checks this
+            # shape statically.
+            try:
                 buffer.setflags(write=True)
-                self._pool.release(buffer)
+            finally:
+                pool.release(buffer)
+            raise
+        if resident is buffer:
+            # The cache (or, for over-budget arrays, the caller) now
+            # owns the buffer; it is read-only and must never be handed
+            # out as a decode target again.
+            pool.transfer(buffer)
+        else:
+            try:
+                buffer.setflags(write=True)
+            finally:
+                pool.release(buffer)
         return resident
 
     def invalidate(self, key: CacheKey) -> bool:

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.bench.records import BenchRecord, write_bench_json
+from repro.concurrency import create_lock
 from repro.server.client import ServerClient, ServerError
 
 #: Default operation mix, cycled per worker request.
@@ -191,7 +192,7 @@ def run_loadgen(
     if targets is None:
         targets = discover_targets(config)
     result = LoadgenResult()
-    lock = threading.Lock()
+    lock = create_lock("run_loadgen.result_lock")
     threads = [
         threading.Thread(
             target=_worker,

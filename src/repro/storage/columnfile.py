@@ -56,13 +56,13 @@ import itertools
 import mmap as _mmaplib
 import os
 import struct
-import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Hashable, Iterator, Protocol
 
 import numpy as np
 
 from repro import obs
+from repro.concurrency import create_lock
 from repro.core.compressor import (
     CompressedRowGroup,
     CompressedRowGroups,
@@ -500,7 +500,7 @@ class ColumnFileReader:
         # bookkeeping below is lock-protected so checksum results and
         # quarantine entries — and their obs counters — stay exact
         # under concurrency.
-        self._integrity_lock = threading.Lock()
+        self._integrity_lock = create_lock("ColumnFileReader._integrity_lock")
         self._quarantined: dict[int, CorruptRowGroupError] = {}
         self._checked: dict[int, CorruptRowGroupError | None] = {}
         with obs.span("columnfile.open"):
@@ -509,6 +509,9 @@ class ColumnFileReader:
                     self._mmap = _mmaplib.mmap(
                         f.fileno(), 0, access=_mmaplib.ACCESS_READ
                     )
+                # The reader IS the owner of this view: close() refuses
+                # to run while exported slices are live, so the stored
+                # view cannot dangle.  # reprolint: ignore[RL10]
                 self._data: bytes | memoryview = memoryview(self._mmap)
                 if obs.ENABLED:
                     obs.metrics.counter_add(
@@ -594,6 +597,8 @@ class ColumnFileReader:
             try:
                 self._mmap.close()
             except BufferError:
+                # Refused close: re-arm the owner's view so the reader
+                # stays usable.  # reprolint: ignore[RL10]
                 self._data = memoryview(self._mmap)
                 raise BufferLifetimeError(self._path) from None
             self._mmap = None

@@ -1,0 +1,53 @@
+"""Shared pytest hooks.
+
+Setting ``REPRO_LOCK_SANITIZER=1`` wraps every test in the runtime
+lock-order sanitizer (:mod:`repro.lint.sanitizer`): locks created via
+:func:`repro.concurrency.create_lock` during the test are instrumented,
+and any observed lock-order inversion, re-entrant acquisition, or
+``time.sleep``-while-holding fails the test.  CI runs the server /
+cache / bufferpool / concurrent-reader suites under this flag (the
+``sanitize-concurrency`` step); locally it is off by default so the
+sanitizer's own unit tests can install their private instances without
+nesting.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _lock_sanitizer(request: pytest.FixtureRequest):
+    if os.environ.get("REPRO_LOCK_SANITIZER") != "1":
+        yield
+        return
+    if request.node.get_closest_marker("no_lock_sanitizer") is not None:
+        yield
+        return
+    from repro.lint.sanitizer import LockOrderSanitizer
+
+    sanitizer = LockOrderSanitizer()
+    sanitizer.install()
+    try:
+        yield
+    finally:
+        sanitizer.uninstall()
+    if sanitizer.reports:
+        details = "\n".join(
+            f"  [{report.kind}] {report.detail}"
+            for report in sanitizer.reports
+        )
+        pytest.fail(
+            f"lock sanitizer observed {len(sanitizer.reports)} "
+            f"hazard(s):\n{details}"
+        )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "no_lock_sanitizer: opt a test out of the REPRO_LOCK_SANITIZER "
+        "wrapper (used by tests that install their own sanitizer)",
+    )

@@ -1,0 +1,59 @@
+"""Seeded RL8 violations: every lock-discipline sub-rule fires here."""
+
+import asyncio
+import threading
+import time
+
+
+class GuardedCounter:
+    """``_count`` is locked in ``add`` but mutated bare in ``wipe``."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def add(self, n: int) -> None:
+        with self._lock:
+            self._count += n
+
+    def wipe(self) -> None:
+        self._count = 0  # guarded field mutated without the lock
+
+    def slow_flush(self) -> None:
+        with self._lock:
+            time.sleep(0.01)  # blocking call while holding the lock
+
+    def re_enter(self) -> None:
+        with self._lock:
+            with self._lock:  # re-entrant acquisition of the same lock
+                self._count += 1
+
+
+class AsyncHolder:
+    """Suspends while holding its lock."""
+
+    def __init__(self) -> None:
+        self._lock = asyncio.Lock()
+
+    async def tick(self) -> None:
+        async with self._lock:
+            await asyncio.sleep(0)  # await while the lock is held
+
+
+class Crossed:
+    """Acquires its two locks in both orders — a deadlock cycle."""
+
+    def __init__(self) -> None:
+        self._front_lock = threading.Lock()
+        self._back_lock = threading.Lock()
+        self.depth = 0
+
+    def forward(self) -> None:
+        with self._front_lock:
+            with self._back_lock:
+                self.depth += 1
+
+    def backward(self) -> None:
+        with self._back_lock:
+            with self._front_lock:
+                self.depth -= 1

@@ -1,0 +1,45 @@
+"""Clean counterexample for RL8: disciplined locking, no findings."""
+
+import threading
+import time
+
+
+class CleanCounter:
+    """Every ``_count`` access is locked; blocking happens outside."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def add(self, n: int) -> None:
+        with self._lock:
+            self._count += n
+
+    def wipe(self) -> None:
+        with self._lock:
+            self._count = 0
+
+    def flush(self) -> float:
+        with self._lock:
+            snapshot = self._count
+        time.sleep(0.0)  # blocking, but the lock is already released
+        return float(snapshot)
+
+
+class Ordered:
+    """Two locks, always taken in the same order — no cycle."""
+
+    def __init__(self) -> None:
+        self._front_lock = threading.Lock()
+        self._back_lock = threading.Lock()
+        self.depth = 0
+
+    def forward(self) -> None:
+        with self._front_lock:
+            with self._back_lock:
+                self.depth += 1
+
+    def forward_again(self) -> None:
+        with self._front_lock:
+            with self._back_lock:
+                self.depth -= 1

@@ -1,0 +1,30 @@
+"""Seeded RL9 violations: leaks on exception/branch paths, double release."""
+
+import os
+
+
+def leaks_on_error(pool, count, fill):
+    buf = pool.acquire(count)  # leak: fill() may raise before the release
+    fill(buf)
+    pool.release(buf)
+
+
+def leaks_on_branch(pool, count, flag):
+    buf = pool.acquire(count)  # leak: the early return skips the release
+    if flag:
+        return None
+    pool.release(buf)
+    return None
+
+
+def double_release(pool, count):
+    buf = pool.acquire(count)
+    pool.release(buf)
+    pool.release(buf)  # double release: already consumed on every path
+
+
+def fd_leak(path):
+    fd = os.open(path, os.O_RDONLY)  # leak: os.read() may raise
+    data = os.read(fd, 16)
+    os.close(fd)
+    return data

@@ -1,0 +1,35 @@
+"""Clean counterexample for RL9: one finish on every path."""
+
+import os
+
+
+def fill_and_release(pool, count, fill):
+    buf = pool.acquire(count)
+    try:
+        fill(buf)
+    finally:
+        pool.release(buf)
+
+
+def transfer_on_success(pool, count, fill):
+    buf = pool.acquire(count)
+    try:
+        fill(buf)
+    except BaseException:
+        pool.release(buf)
+        raise
+    pool.transfer(buf)
+    return buf
+
+
+def return_escapes(pool, count):
+    buf = pool.acquire(count)
+    return buf  # ownership moves to the caller
+
+
+def fd_closed(path):
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        return os.read(fd, 16)
+    finally:
+        os.close(fd)

@@ -1,0 +1,31 @@
+"""Seeded RL10 violations: payload views escaping their reader's lifetime."""
+
+_STASH = {}
+
+
+class PayloadHoarder:
+    def __init__(self, reader):
+        self._reader = reader
+        self._views = []
+        self._last = None
+
+    def keep(self, index):
+        view = self._reader.rowgroup_payload(index)
+        self._last = view  # view stored into self
+        self._views.append(view)  # view stored into a self container
+
+    def stash_global(self, index):
+        view = self._reader.rowgroup_payload(index)
+        _STASH[index] = view  # view stored into a module container
+
+
+def stream(path, opener):
+    with opener(path) as reader:
+        view = reader.rowgroup_payload(0)
+        yield view  # yielded past the owning with-scope
+
+
+def deferred(path, opener):
+    with opener(path) as reader:
+        view = reader.rowgroup_payload(0)
+        return lambda: view[0]  # captured by a closure that outlives the view

@@ -1,0 +1,29 @@
+"""Clean counterexample for RL10: borrowed, function-local views only."""
+
+
+def decode_values(reader, index, deserialize):
+    view = reader.rowgroup_payload(index)
+    return deserialize(view)  # borrow: the decoded arrays own their data
+
+
+def slice_locally(reader, index):
+    view = reader.rowgroup_payload(index)
+    header, body = view[:16], view[16:]
+    return len(header) + len(body)
+
+
+class OwnedReader:
+    """A reader yielding views of *itself* is the owner's documented API."""
+
+    def __init__(self, count):
+        self._count = count
+
+    def rowgroup_payload(self, index):
+        raise NotImplementedError
+
+    def iter_payloads(self):
+        index = 0
+        while index < self._count:
+            view = self.rowgroup_payload(index)
+            yield view
+            index += 1

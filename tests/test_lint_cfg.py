@@ -1,0 +1,270 @@
+"""Unit coverage for the reprolint CFG builder and dataflow layer."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.cfg import (
+    BACK,
+    EXCEPTION,
+    EXIT,
+    LOOP_HEAD,
+    NORMAL,
+    WITH_ENTER,
+    WITH_EXIT,
+    Block,
+    ForwardAnalysis,
+    block_awaits,
+    build_cfg,
+    iter_evaluated,
+    iter_function_cfgs,
+    run_forward,
+)
+
+
+def _cfg(source: str):
+    tree = ast.parse(source)
+    func = tree.body[0]
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return build_cfg(func)
+
+
+def _edges(cfg):
+    return {
+        (src, dst, kind)
+        for src in range(len(cfg.blocks))
+        for dst, kind in cfg.succs(src)
+    }
+
+
+def _blocks_of_kind(cfg, kind):
+    return [b for b in cfg.blocks if b.kind == kind]
+
+
+# ------------------------------------------------------------------- shape
+
+
+def test_straight_line_reaches_exit():
+    cfg = _cfg("def f(x):\n    y = x\n    return y\n")
+    # entry -> assign -> return -> exit, all NORMAL.
+    path = []
+    index = cfg.entry
+    while index != cfg.exit:
+        succs = [dst for dst, kind in cfg.succs(index) if kind == NORMAL]
+        assert len(succs) == 1
+        index = succs[0]
+        path.append(index)
+    assert cfg.blocks[path[-1]].kind == EXIT
+
+
+def test_if_without_else_falls_through():
+    cfg = _cfg("def f(c):\n    if c:\n        a = c\n    b = c\n")
+    test_block = next(
+        b for b in cfg.blocks if isinstance(b.node, ast.If)
+    )
+    targets = {dst for dst, kind in cfg.succs(test_block.index)}
+    assert len(targets) == 2  # body and fall-through
+
+
+def test_loop_has_back_edge_and_exit_edge():
+    cfg = _cfg("def f(items):\n    for i in items:\n        x = i\n")
+    head = _blocks_of_kind(cfg, LOOP_HEAD)[0]
+    kinds = {kind for _, _, kind in _edges(cfg)}
+    assert BACK in kinds
+    # Iterator exhaustion leaves the loop.
+    assert any(kind == NORMAL for _, kind in cfg.succs(head.index))
+    # The implicit __next__ can raise.
+    assert any(kind == EXCEPTION for _, kind in cfg.succs(head.index))
+
+
+def test_while_true_still_exits_structurally():
+    cfg = _cfg("def f():\n    while True:\n        pass\n")
+    head = _blocks_of_kind(cfg, LOOP_HEAD)[0]
+    assert any(kind == NORMAL for _, kind in cfg.succs(head.index))
+
+
+def test_with_models_enter_exit_and_enter_exception():
+    cfg = _cfg("def f(cm):\n    with cm() as h:\n        use(h)\n")
+    enter = _blocks_of_kind(cfg, WITH_ENTER)[0]
+    exits = _blocks_of_kind(cfg, WITH_EXIT)
+    assert len(exits) == 1
+    # __enter__ failure propagates outward: __exit__ is NOT called.
+    assert (enter.index, cfg.exit, EXCEPTION) in _edges(cfg)
+    # The raising body routes through the with-exit funnel.
+    body = next(b for b in cfg.blocks if isinstance(b.node, ast.Expr))
+    assert (body.index, exits[0].index, EXCEPTION) in _edges(cfg)
+
+
+def test_try_finally_runs_on_exception_and_return():
+    cfg = _cfg(
+        "def f(x):\n"
+        "    try:\n"
+        "        risky(x)\n"
+        "        return x\n"
+        "    finally:\n"
+        "        cleanup(x)\n"
+    )
+    cleanup = next(
+        b
+        for b in cfg.blocks
+        if isinstance(b.node, ast.Expr)
+        and "cleanup" in ast.unparse(b.node)
+    )
+    # The finally body fans out to both continuations: re-raise (exit
+    # via the propagating exception) and return (exit).
+    assert (cleanup.index, cfg.exit, NORMAL) in _edges(cfg)
+    risky = next(
+        b
+        for b in cfg.blocks
+        if isinstance(b.node, ast.Expr) and "risky" in ast.unparse(b.node)
+    )
+    # risky's exception edge goes into the finally funnel, not to exit.
+    exc_targets = {dst for dst, kind in cfg.succs(risky.index) if kind == EXCEPTION}
+    assert exc_targets and cfg.exit not in exc_targets
+
+
+def test_catch_all_handler_swallows_dispatch_edge():
+    swallowed = _cfg(
+        "def f(x):\n"
+        "    try:\n"
+        "        risky(x)\n"
+        "    except BaseException:\n"
+        "        x = None\n"
+    )
+    leaky = _cfg(
+        "def f(x):\n"
+        "    try:\n"
+        "        risky(x)\n"
+        "    except ValueError:\n"
+        "        x = None\n"
+    )
+
+    def dispatch_exc_to_exit(cfg):
+        return any(
+            (dst, kind) == (cfg.exit, EXCEPTION)
+            for b in cfg.blocks
+            if b.kind == "except-dispatch"
+            for dst, kind in cfg.succs(b.index)
+        )
+
+    assert not dispatch_exc_to_exit(swallowed)
+    assert dispatch_exc_to_exit(leaky)
+
+
+def test_break_through_finally_runs_cleanup():
+    cfg = _cfg(
+        "def f(items):\n"
+        "    for i in items:\n"
+        "        try:\n"
+        "            if i:\n"
+        "                break\n"
+        "        finally:\n"
+        "            note(i)\n"
+        "    tail()\n"
+    )
+    note = next(
+        b
+        for b in cfg.blocks
+        if isinstance(b.node, ast.Expr) and "note" in ast.unparse(b.node)
+    )
+    # The finally's exits include the loop-after join (break continuation).
+    join_targets = {dst for dst, _ in cfg.succs(note.index)}
+    assert len(join_targets) >= 2  # break target + fall-through
+
+
+def test_safe_statements_get_no_exception_edge():
+    cfg = _cfg("def f(x, y):\n    z = x\n    ok = x is y\n    t = (x, y)\n")
+    for block in cfg.blocks:
+        if isinstance(block.node, ast.Assign):
+            kinds = {kind for _, kind in cfg.succs(block.index)}
+            assert kinds == {NORMAL}
+
+
+def test_calls_get_exception_edges():
+    cfg = _cfg("def f(x):\n    y = g(x)\n    return y\n")
+    assign = next(b for b in cfg.blocks if isinstance(b.node, ast.Assign))
+    assert any(kind == EXCEPTION for _, kind in cfg.succs(assign.index))
+
+
+# -------------------------------------------------------- helpers & walking
+
+
+def test_iter_evaluated_skips_nested_defs():
+    cfg = _cfg("def f(x):\n    y = lambda: boom(x)\n")
+    assign = next(b for b in cfg.blocks if isinstance(b.node, ast.Assign))
+    names = {
+        n.id for n in iter_evaluated(assign) if isinstance(n, ast.Name)
+    }
+    assert "boom" not in names
+
+
+def test_block_awaits_marks_await_and_async_with():
+    cfg = _cfg(
+        "async def f(lock):\n"
+        "    async with lock:\n"
+        "        await tick()\n"
+    )
+    marked = [b for b in cfg.blocks if block_awaits(b)]
+    kinds = {b.kind for b in marked}
+    assert WITH_ENTER in kinds and WITH_EXIT in kinds
+    assert any(
+        isinstance(b.node, ast.Expr) for b in marked
+    )  # the await statement itself
+
+
+def test_iter_function_cfgs_finds_nested_defs():
+    tree = ast.parse(
+        "def outer():\n    def inner():\n        return 1\n    return inner\n"
+    )
+    names = [func.name for func, _ in iter_function_cfgs(tree)]
+    assert sorted(names) == ["inner", "outer"]
+
+
+# ---------------------------------------------------------------- dataflow
+
+
+class _ReachingAssigns(ForwardAnalysis):
+    """Tiny gen-only analysis: which assign lines may have executed."""
+
+    def transfer(self, block: Block, state: frozenset[object]):
+        if isinstance(block.node, ast.Assign) and block.kind == "stmt":
+            return state | {block.node.lineno}
+        return state
+
+    def transfer_exception(self, block: Block, state: frozenset[object]):
+        return state  # the assignment did not happen
+
+
+def test_run_forward_joins_branches():
+    cfg = _cfg(
+        "def f(c):\n"
+        "    if c:\n"
+        "        a = 1\n"
+        "    else:\n"
+        "        b = 2\n"
+        "    tail(c)\n"
+    )
+    states = run_forward(cfg, _ReachingAssigns())
+    assert states[cfg.exit] == frozenset({3, 5})
+
+
+def test_run_forward_exception_edge_uses_exception_transfer():
+    cfg = _cfg(
+        "def f(x):\n"
+        "    try:\n"
+        "        y = g(x)\n"
+        "    finally:\n"
+        "        done(x)\n"
+    )
+    states = run_forward(cfg, _ReachingAssigns())
+    # The normal path contributes line 3; the exception path (g raised
+    # before binding) contributes nothing — the joined exit state holds
+    # exactly the may-information.
+    assert states[cfg.exit] == frozenset({3})
+    finally_block = next(
+        b
+        for b in cfg.blocks
+        if isinstance(b.node, ast.Expr) and "done" in ast.unparse(b.node)
+    )
+    # The finally body itself sees the *join* of both ways in.
+    assert states[finally_block.index] == frozenset({3})

@@ -1,0 +1,184 @@
+"""Property: the RL9 dataflow fixpoint equals brute-force path enumeration.
+
+The linearity analysis is a may-analysis with union join and
+distributive transfers, so its fixpoint must equal the union of
+per-path outcomes (MOP).  This test generates random control-flow
+shapes — nested ifs, loops (with break/continue), try/except/finally,
+with blocks — seeded with acquire/release/transfer/escape statements,
+then compares :func:`analyze_linearity`'s verdict against enumerating
+every path through the *same* CFG (back/looping edges capped at two
+traversals per path, which is enough for a single-generation token
+domain: any token's witness path needs an edge at most twice — once
+reaching its acquire, once after).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.lint.cfg import EXCEPTION, build_cfg
+from repro.lint.rules_linearity import (
+    _LinearityAnalysis,
+    analyze_linearity,
+    collect_events,
+    findings_from_states,
+    run_forward,
+)
+
+# ----------------------------------------------------------- program maker
+
+_LEAVES = [
+    "buf = pool.acquire(8)",
+    "pool.release(buf)",
+    "pool.transfer(buf)",
+    "work(buf)",
+    "tick()",
+    "x = 1",
+    "return buf",
+    "return None",
+    "raise ValueError()",
+]
+_LOOP_LEAVES = _LEAVES + ["break", "continue"]
+
+
+def _indent(lines: list[str]) -> list[str]:
+    return ["    " + line for line in lines]
+
+
+@st.composite
+def _body(draw, depth: int, in_loop: bool) -> list[str]:
+    leaves = _LOOP_LEAVES if in_loop else _LEAVES
+    n = draw(st.integers(min_value=1, max_value=2))
+    lines: list[str] = []
+    for _ in range(n):
+        if depth > 0 and draw(st.booleans()):
+            shape = draw(
+                st.sampled_from(
+                    ["if", "ifelse", "while", "for", "tryexc", "tryfin", "with"]
+                )
+            )
+            inner = draw(_body(depth=depth - 1, in_loop=in_loop or shape in ("while", "for")))
+            if shape == "if":
+                lines += ["if cond:"] + _indent(inner)
+            elif shape == "ifelse":
+                other = draw(_body(depth=depth - 1, in_loop=in_loop))
+                lines += (
+                    ["if cond:"] + _indent(inner) + ["else:"] + _indent(other)
+                )
+            elif shape == "while":
+                lines += ["while cond:"] + _indent(inner)
+            elif shape == "for":
+                lines += ["for item in items:"] + _indent(inner)
+            elif shape == "tryexc":
+                handler = draw(_body(depth=depth - 1, in_loop=in_loop))
+                lines += (
+                    ["try:"]
+                    + _indent(inner)
+                    + ["except ValueError:"]
+                    + _indent(handler)
+                )
+            elif shape == "tryfin":
+                cleanup = draw(_body(depth=depth - 1, in_loop=in_loop))
+                lines += (
+                    ["try:"] + _indent(inner) + ["finally:"] + _indent(cleanup)
+                )
+            else:
+                lines += ["with cm() as h:"] + _indent(inner)
+        else:
+            lines.append(draw(st.sampled_from(leaves)))
+    return lines
+
+
+@st.composite
+def _program(draw) -> str:
+    lines = draw(_body(depth=2, in_loop=False))
+    return "\n".join(
+        ["def f(pool, cond, items, cm, work, tick):"] + _indent(lines)
+    )
+
+
+# ------------------------------------------------------- path enumeration
+
+
+def _enumerate_in_states(cfg, analysis, edge_cap: int = 2, path_budget: int = 200_000):
+    """Union of per-path states at every block, edges capped per path."""
+    in_states: dict[int, set[frozenset[object]]] = {}
+    budget = [path_budget]
+
+    class _Exhausted(Exception):
+        pass
+
+    def visit(index: int, state: frozenset[object], used: dict[tuple[int, int, str], int]):
+        budget[0] -= 1
+        if budget[0] < 0:
+            raise _Exhausted
+        in_states.setdefault(index, set()).add(state)
+        if index == cfg.exit:
+            return
+        block = cfg.blocks[index]
+        out_normal = analysis.transfer(block, state)
+        out_exc = analysis.transfer_exception(block, state)
+        for dst, kind in cfg.succs(index):
+            edge = (index, dst, kind)
+            if used.get(edge, 0) >= edge_cap:
+                continue
+            used[edge] = used.get(edge, 0) + 1
+            visit(dst, out_exc if kind == EXCEPTION else out_normal, used)
+            used[edge] -= 1
+
+    try:
+        visit(cfg.entry, analysis.initial(), {})
+    except _Exhausted:
+        return None
+    return {
+        index: frozenset().union(*states)
+        for index, states in in_states.items()
+    }
+
+
+def _verdict(findings):
+    return sorted(
+        (f.kind, f.var, getattr(f.node, "lineno", 0)) for f in findings
+    )
+
+
+# ----------------------------------------------------------- the property
+
+
+@settings(max_examples=80, deadline=None)
+@given(_program())
+def test_fixpoint_matches_path_enumeration(source: str):
+    func = ast.parse(source).body[0]
+    assert isinstance(func, ast.FunctionDef)
+    cfg = build_cfg(func)
+    events, sites = collect_events(cfg)
+    if not sites:
+        assert analyze_linearity(cfg) == []
+        return
+    analysis = _LinearityAnalysis(events)
+    enumerated = _enumerate_in_states(cfg, analysis)
+    assume(enumerated is not None)  # rare path explosion: skip the example
+    expected = findings_from_states(cfg, events, sites, enumerated)
+    assert _verdict(analyze_linearity(cfg)) == _verdict(expected)
+
+
+def test_known_leak_shapes_agree_with_enumeration():
+    source = (
+        "def f(pool, cond, items, cm, work, tick):\n"
+        "    buf = pool.acquire(8)\n"
+        "    while cond:\n"
+        "        work(buf)\n"
+        "    pool.release(buf)\n"
+    )
+    func = ast.parse(source).body[0]
+    cfg = build_cfg(func)
+    findings = analyze_linearity(cfg)
+    assert [f.kind for f in findings] == ["leak"]  # work() may raise
+    events, sites = collect_events(cfg)
+    enumerated = _enumerate_in_states(cfg, _LinearityAnalysis(events))
+    assert _verdict(findings) == _verdict(
+        findings_from_states(cfg, events, sites, enumerated)
+    )

@@ -40,17 +40,12 @@ def test_directory_walk_skips_fixtures_unless_explicit():
 # --------------------------------------------------------------- fixtures
 
 
+ALL_CODES = [f"RL{n}" for n in range(1, 11)]
+
+
 def test_fixtures_trigger_every_rule_family():
     violations = lint_paths([FIXTURES], root=ROOT)
-    assert _codes(violations) == [
-        "RL1",
-        "RL2",
-        "RL3",
-        "RL4",
-        "RL5",
-        "RL6",
-        "RL7",
-    ]
+    assert _codes(violations) == sorted(ALL_CODES)
 
 
 def test_rl6_fixture_flags_each_blocking_shape():
@@ -95,6 +90,62 @@ def test_rl2_fixture_exempts_pinned_reference():
     assert all(v.rule == "RL2" for v in violations)
     # decode_reference's .tolist() loop is pinned and must not appear.
     assert len(violations) == 2
+
+
+def test_rl8_fixture_flags_each_discipline_breach():
+    violations = lint_file(
+        FIXTURES / "repro/server/rl8_bad.py", ROOT, ALL_RULES
+    )
+    assert all(v.rule == "RL8" for v in violations)
+    messages = " | ".join(v.message for v in violations)
+    assert "mutated under a lock elsewhere but bare" in messages
+    assert "blocking time.sleep()" in messages
+    assert "acquired while already held" in messages
+    assert "await while holding" in messages
+    assert "lock-order cycle" in messages
+    assert len(violations) == 5
+
+
+def test_rl8_clean_fixture_is_silent():
+    assert lint_file(FIXTURES / "repro/server/rl8_clean.py", ROOT, ALL_RULES) == []
+
+
+def test_rl9_fixture_flags_each_linearity_breach():
+    violations = lint_file(
+        FIXTURES / "repro/server/rl9_bad.py", ROOT, ALL_RULES
+    )
+    assert all(v.rule == "RL9" for v in violations)
+    messages = " | ".join(v.message for v in violations)
+    assert "'leaks_on_error'" in messages
+    assert "'leaks_on_branch'" in messages
+    assert "double release" in messages
+    assert "file descriptor 'fd'" in messages
+    assert len(violations) == 4
+
+
+def test_rl9_clean_fixture_is_silent():
+    assert lint_file(FIXTURES / "repro/server/rl9_clean.py", ROOT, ALL_RULES) == []
+
+
+def test_rl10_fixture_flags_each_escape_shape():
+    violations = lint_file(
+        FIXTURES / "repro/storage/rl10_bad.py", ROOT, ALL_RULES
+    )
+    assert all(v.rule == "RL10" for v in violations)
+    messages = " | ".join(v.message for v in violations)
+    assert "'self._last'" in messages
+    assert ".append()" in messages
+    assert "'_STASH[index]'" in messages
+    assert "yielded out of the ``with`` scope" in messages
+    assert "captured by closure" in messages
+    assert len(violations) == 5
+
+
+def test_rl10_clean_fixture_is_silent():
+    assert (
+        lint_file(FIXTURES / "repro/storage/rl10_clean.py", ROOT, ALL_RULES)
+        == []
+    )
 
 
 # ------------------------------------------------------------ suppressions
@@ -142,6 +193,42 @@ def test_unsuppressed_violation_fires(tmp_path):
     assert _codes(violations) == ["RL5"]
 
 
+def test_suppression_covers_multiline_decorator(tmp_path):
+    # The RL4 literal anchors on the decorator's continuation line; the
+    # pragma fits on the decorator's closing line.  Both belong to the
+    # decorated statement's header span.
+    source = (
+        "@fancy(\n"
+        "    1024,\n"
+        ")  # reprolint: ignore[RL4]\n"
+        "def sized():\n"
+        "    return None\n"
+    )
+    assert _lint_snippet(tmp_path, source) == []
+
+
+def test_suppression_on_def_does_not_blanket_body(tmp_path):
+    source = (
+        "def sized():  # reprolint: ignore[RL5]\n"
+        "    assert True\n"
+    )
+    violations = _lint_snippet(tmp_path, source)
+    assert _codes(violations) == ["RL5"]
+
+
+def test_suppression_on_any_header_line_of_multiline_statement(tmp_path):
+    # RL4 anchors the magic literal on the *first* line of the statement;
+    # the pragma sits on the last physical line of its header span.
+    source = "SIZES = (\n    1024,\n    1024,\n)  # reprolint: ignore[RL4]\n"
+    assert _lint_snippet(tmp_path, source) == []
+
+
+def test_suppression_on_unrelated_following_line_does_not_leak(tmp_path):
+    source = "assert True\nx = 1  # reprolint: ignore[RL5]\n"
+    violations = _lint_snippet(tmp_path, source)
+    assert _codes(violations) == ["RL5"]
+
+
 # ---------------------------------------------------------------------- CLI
 
 
@@ -161,23 +248,37 @@ def test_cli_json_format(capsys):
     code = lint_main([str(FIXTURES), "--root", str(ROOT), "--format", "json"])
     assert code == 1
     payload = json.loads(capsys.readouterr().out)
-    assert {entry["rule"] for entry in payload} == {
-        "RL1",
-        "RL2",
-        "RL3",
-        "RL4",
-        "RL5",
-        "RL6",
-        "RL7",
-    }
+    assert payload["schema_version"] == 1
+    assert payload["rules"] == sorted(ALL_CODES)
+    assert {entry["rule"] for entry in payload["violations"]} == set(ALL_CODES)
     assert all(
         {"rule", "path", "line", "col", "message"} <= set(entry)
-        for entry in payload
+        for entry in payload["violations"]
     )
+
+
+def test_cli_select_narrows_rules(capsys):
+    code = lint_main(
+        [str(FIXTURES), "--root", str(ROOT), "--format", "json",
+         "--select", "RL8,RL9,RL10"]
+    )
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["rules"] == ["RL10", "RL8", "RL9"]
+    assert {entry["rule"] for entry in payload["violations"]} == {
+        "RL8",
+        "RL9",
+        "RL10",
+    }
+
+
+def test_cli_select_rejects_unknown_code(capsys):
+    assert lint_main([str(FIXTURES), "--select", "RL99"]) == 2
+    assert "unknown rule code" in capsys.readouterr().err
 
 
 def test_cli_list_rules(capsys):
     assert lint_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for code in ("RL1", "RL2", "RL3", "RL4", "RL5", "RL6", "RL7"):
+    for code in ALL_CODES:
         assert code in out

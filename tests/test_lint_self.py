@@ -9,6 +9,7 @@ name registry is cross-checked against both the code and the docs.
 from __future__ import annotations
 
 import ast
+import json
 from pathlib import Path
 
 from repro.lint.engine import lint_paths
@@ -43,6 +44,70 @@ def test_server_package_is_rl6_clean():
     )
     rendered = "\n".join(v.render() for v in violations)
     assert violations == [], f"blocking calls in coroutines:\n{rendered}"
+
+
+def test_server_and_storage_are_concurrency_clean():
+    # The concurrency/ownership contracts added with RL8–RL10 must find
+    # nothing real (the seeded violations live in fixtures; the two
+    # owner-stores in columnfile carry justified suppressions).
+    from repro.lint import (
+        LockDisciplineRule,
+        ResourceLinearityRule,
+        ViewEscapeRule,
+    )
+
+    violations = lint_paths(
+        [ROOT / "src" / "repro"],
+        root=ROOT,
+        rules=[LockDisciplineRule(), ResourceLinearityRule(), ViewEscapeRule()],
+    )
+    rendered = "\n".join(v.render() for v in violations)
+    assert violations == [], f"concurrency/ownership violations:\n{rendered}"
+
+
+def test_cli_json_output_matches_schema(capsys):
+    """Full structural validation of the machine-readable output.
+
+    The envelope is versioned (``schema_version``) so downstream
+    tooling can detect shape changes; this test is the schema's
+    executable definition.
+    """
+    from repro.lint import ALL_RULES
+    from repro.lint.cli import JSON_SCHEMA_VERSION, main as lint_main
+
+    code = lint_main(
+        [
+            str(ROOT / "tests" / "lint_fixtures"),
+            "--root",
+            str(ROOT),
+            "--format",
+            "json",
+        ]
+    )
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+
+    assert isinstance(payload, dict)
+    assert set(payload) == {"schema_version", "rules", "violations"}
+    assert payload["schema_version"] == JSON_SCHEMA_VERSION == 1
+
+    known_codes = sorted(rule.code for rule in ALL_RULES)
+    assert payload["rules"] == known_codes
+
+    assert isinstance(payload["violations"], list) and payload["violations"]
+    for entry in payload["violations"]:
+        assert set(entry) == {"rule", "path", "line", "col", "message"}
+        assert entry["rule"] in known_codes
+        assert isinstance(entry["path"], str) and entry["path"]
+        assert isinstance(entry["line"], int) and entry["line"] >= 1
+        assert isinstance(entry["col"], int) and entry["col"] >= 0
+        assert isinstance(entry["message"], str) and entry["message"]
+    # Deterministic ordering: path, then line, col, rule.
+    keys = [
+        (e["path"], e["line"], e["col"], e["rule"])
+        for e in payload["violations"]
+    ]
+    assert keys == sorted(keys)
 
 
 def _scan_used_names() -> dict[str, set[str]]:

@@ -1,0 +1,195 @@
+"""The runtime lock-order sanitizer: detection and non-detection."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import concurrency
+from repro.lint.sanitizer import LockOrderSanitizer
+
+pytestmark = pytest.mark.no_lock_sanitizer
+
+
+@pytest.fixture()
+def sanitizer():
+    instance = LockOrderSanitizer()
+    instance.install()
+    try:
+        yield instance
+    finally:
+        instance.uninstall()
+
+
+def _kinds(sanitizer):
+    return [report.kind for report in sanitizer.reports]
+
+
+def test_factory_roundtrip_restores_default():
+    before = concurrency.create_lock("t.plain")
+    assert isinstance(before, type(threading.Lock()))
+    with LockOrderSanitizer() as sanitizer:
+        instrumented = concurrency.create_lock("t.instrumented")
+        assert instrumented.__class__.__name__ == "_SanitizedLock"
+        with instrumented:
+            assert instrumented.locked()
+        assert sanitizer.reports == []
+    after = concurrency.create_lock("t.plain2")
+    assert isinstance(after, type(threading.Lock()))
+
+
+def test_nested_install_restores_outer_factory():
+    outer = LockOrderSanitizer().install()
+    inner = LockOrderSanitizer().install()
+    inner.uninstall()
+    lock = concurrency.create_lock("t.nested")
+    with lock:
+        pass
+    outer.uninstall()
+    assert outer.reports == [] and inner.reports == []
+
+
+def test_consistent_order_is_clean(sanitizer):
+    a = concurrency.create_lock("t.a")
+    b = concurrency.create_lock("t.b")
+    for _ in range(3):
+        with a:
+            with b:
+                pass
+    assert sanitizer.reports == []
+
+
+def test_order_inversion_detected(sanitizer):
+    a = concurrency.create_lock("t.a")
+    b = concurrency.create_lock("t.b")
+    with a:
+        with b:
+            pass
+    with b:
+        with a:
+            pass
+    assert _kinds(sanitizer) == ["lock-order-inversion"]
+    assert "'t.a'" in sanitizer.reports[0].detail
+    assert "'t.b'" in sanitizer.reports[0].detail
+
+
+def test_inversion_reported_once_per_pair(sanitizer):
+    a = concurrency.create_lock("t.a")
+    b = concurrency.create_lock("t.b")
+    for _ in range(3):
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+    assert _kinds(sanitizer) == ["lock-order-inversion"]
+
+
+def test_transitive_inversion_detected(sanitizer):
+    a = concurrency.create_lock("t.a")
+    b = concurrency.create_lock("t.b")
+    c = concurrency.create_lock("t.c")
+    with a:
+        with b:
+            pass
+    with b:
+        with c:
+            pass
+    with c:
+        with a:  # closes the a -> b -> c cycle
+            pass
+    assert "lock-order-inversion" in _kinds(sanitizer)
+
+
+def test_reentrant_acquire_detected(sanitizer):
+    lock = concurrency.create_lock("t.again")
+    with lock:
+        assert lock.acquire(blocking=False) is False
+    assert _kinds(sanitizer) == ["reentrant-acquire"]
+
+
+def test_sleep_while_holding_detected(sanitizer):
+    lock = concurrency.create_lock("t.held")
+    with lock:
+        time.sleep(0)
+    assert _kinds(sanitizer) == ["hold-while-blocking"]
+    assert "'t.held'" in sanitizer.reports[0].detail
+
+
+def test_sleep_without_lock_is_clean(sanitizer):
+    with concurrency.create_lock("t.free"):
+        pass
+    time.sleep(0)
+    assert sanitizer.reports == []
+
+
+def test_cross_thread_inversion_detected(sanitizer):
+    """The classic: two threads, opposite orders, no overlap needed."""
+    a = concurrency.create_lock("t.a")
+    b = concurrency.create_lock("t.b")
+
+    def forward():
+        with a:
+            with b:
+                pass
+
+    def backward():
+        with b:
+            with a:
+                pass
+
+    first = threading.Thread(target=forward)
+    first.start()
+    first.join()
+    second = threading.Thread(target=backward)
+    second.start()
+    second.join()
+    assert _kinds(sanitizer) == ["lock-order-inversion"]
+
+
+def test_per_thread_stacks_do_not_mix(sanitizer):
+    """Two threads each holding one lock is not a nesting."""
+    a = concurrency.create_lock("t.a")
+    b = concurrency.create_lock("t.b")
+    barrier = threading.Barrier(2)
+
+    def hold(lock):
+        with lock:
+            barrier.wait(timeout=5)
+            barrier.wait(timeout=5)
+
+    threads = [
+        threading.Thread(target=hold, args=(lock,)) for lock in (a, b)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert sanitizer.reports == []
+
+
+def test_real_serving_stack_is_clean_under_sanitizer(sanitizer, tmp_path):
+    """Cache-over-pool fills (the RL9 hot path) produce zero reports."""
+    import numpy as np
+
+    from repro.server.bufferpool import BufferPool
+    from repro.server.cache import DecodedVectorCache
+
+    pool = BufferPool()
+    cache = DecodedVectorCache(byte_budget=1 << 20, pool=pool)
+
+    def fill(buffer: np.ndarray) -> None:
+        buffer[:] = 1.5
+
+    for index in range(8):
+        values = cache.load_into(("k", index % 3), 64, fill)
+        assert values.shape == (64,)
+    with pytest.raises(RuntimeError):
+        cache.load_into(
+            ("boom", 0), 64, lambda _buf: (_ for _ in ()).throw(RuntimeError())
+        )
+    assert pool.stats().outstanding == 0
+    assert sanitizer.reports == []

@@ -154,6 +154,27 @@ class TestCacheLoadInto:
         recycled = pool.acquire(200)
         assert recycled.flags.writeable
 
+    def test_put_exception_returns_buffer_to_pool(self, monkeypatch):
+        # Regression (found by RL9): the insertion used to sit outside
+        # the try that released the buffer, so a put() failure leaked a
+        # pooled buffer — and the handler returned it read-only, which
+        # release() rejects.
+        pool = BufferPool()
+        cache = DecodedVectorCache(pool=pool)
+
+        def broken_put(key, values):
+            # Fail the way the real put() can: after freezing the array.
+            values.setflags(write=False)
+            raise MemoryError("insertion failed")
+
+        monkeypatch.setattr(cache, "put", broken_put)
+        with pytest.raises(MemoryError):
+            cache.load_into("key", 200, lambda out: out.fill(4.0))
+        stats = pool.stats()
+        assert stats.outstanding == 0
+        assert stats.free_buffers == 1
+        assert pool.acquire(200).flags.writeable
+
     def test_over_budget_fill_goes_back_to_pool(self):
         pool = BufferPool()
         cache = DecodedVectorCache(byte_budget=100, pool=pool)
