@@ -1,10 +1,11 @@
-"""Storage fault-injection sweep: prove v3 corruption is never silent.
+"""Storage fault-injection sweep: prove corruption is never silent.
 
 ``python -m repro.bench.faults`` writes a small multi-row-group column
-file, then damages **every section** of it — header, each row-group
-payload, footer, trailer — with single-bit flips at several positions
-plus truncations at every section boundary, and classifies what a
-reader sees:
+file (format v3) and a multi-column table file (format v4), then
+damages **every section** of each — header, each row-group payload /
+per-column chunk, footer, trailer — with single-bit flips at several
+positions plus truncations at every section boundary, and classifies
+what a reader sees:
 
 - ``detected`` — a typed :class:`~repro.storage.errors.IntegrityError`
   in strict mode, *and* (for row-group damage) the degraded reader
@@ -237,7 +238,7 @@ def run_truncation_sweep(
 
 
 def run_fault_sweep(directory: str | None = None) -> list[FaultOutcome]:
-    """The full sweep; returns every outcome (callers check for garbage)."""
+    """The v3 sweep; returns every outcome (callers check for garbage)."""
     values = _make_values()
     with tempfile.TemporaryDirectory(dir=directory) as tmp:
         path = os.path.join(tmp, "faults.alpc")
@@ -248,17 +249,282 @@ def run_fault_sweep(directory: str | None = None) -> list[FaultOutcome]:
     return outcomes
 
 
+# -- format v4 (multi-column tables) ----------------------------------
+
+
+def _make_table() -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
+    """The v4 sweep's table: float, nullable int, and string columns."""
+    rng = np.random.default_rng(17)
+    n = FAULT_VALUE_COUNT
+    columns = {
+        "f": np.round(np.cumsum(rng.normal(0, 0.2, n)) + 30.0, 2),
+        "i": rng.integers(-50, 5000, n),
+        "s": np.array(
+            [f"tag-{int(v) % 7}" for v in rng.integers(0, 7, n)],
+            dtype=object,
+        ),
+    }
+    validity = {"i": rng.random(n) > 0.1}
+    # Null slots decode to the codec fill value; pre-fill them so the
+    # written table equals the expected read back, slot for slot.
+    columns["i"][~validity["i"]] = 0
+    return columns, validity
+
+
+def write_fault_table(
+    path: str,
+    columns: dict[str, np.ndarray],
+    validity: dict[str, np.ndarray],
+) -> None:
+    """Write the sweep's small multi-row-group v4 table file."""
+    from repro.storage.schema import FLOAT64, INT64, STRING, Column, Schema
+    from repro.storage.tablefile import TableFileWriter
+
+    schema = Schema(
+        (
+            Column("f", FLOAT64),
+            Column("i", INT64, nullable=True),
+            Column("s", STRING),
+        )
+    )
+    with TableFileWriter(
+        path,
+        schema,
+        vector_size=FAULT_VECTOR_SIZE,
+        rowgroup_vectors=FAULT_ROWGROUP_VECTORS,
+    ) as writer:
+        writer.write_rows(columns, validity=validity)
+
+
+def enumerate_table_sections(path: str) -> list[Section]:
+    """Name every byte range of a v4 table file, in file order."""
+    from repro.storage.tablefile import TableFileReader
+
+    file_size = os.path.getsize(path)
+    with TableFileReader(path) as reader:
+        sections = [Section("header", 0, reader.header_length)]
+        for rg in range(reader.rowgroup_count):
+            for name in reader.schema.names:
+                meta = reader.chunk_meta(rg, name)
+                sections.append(
+                    Section(
+                        f"chunk[{rg},{name}]", meta.offset, meta.length
+                    )
+                )
+        sections.append(
+            Section("footer", reader.footer_offset, reader.footer_length)
+        )
+        trailer_start = reader.footer_offset + reader.footer_length
+        sections.append(
+            Section("trailer", trailer_start, file_size - trailer_start)
+        )
+    return sections
+
+
+def _column_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    if len(a) != len(b):
+        return False
+    if getattr(a, "dtype", None) is not None and a.dtype.kind == "f":
+        return bool(
+            np.array_equal(a.view(np.uint64), b.view(np.uint64))
+        )
+    if getattr(a, "dtype", None) is not None and a.dtype.kind == "O":
+        return all(x == y for x, y in zip(a, b, strict=True))
+    return bool(np.array_equal(a, b))
+
+
+def _table_equal(
+    got: tuple[dict[str, np.ndarray], dict[str, np.ndarray]],
+    want: tuple[dict[str, np.ndarray], dict[str, np.ndarray]],
+) -> bool:
+    got_vals, got_valid = got
+    want_vals, want_valid = want
+    if set(got_vals) != set(want_vals) or set(got_valid) != set(want_valid):
+        return False
+    return all(
+        _column_equal(got_vals[k], want_vals[k]) for k in want_vals
+    ) and all(
+        np.array_equal(got_valid[k], want_valid[k]) for k in want_valid
+    )
+
+
+def _expected_minus_rowgroups(
+    columns: dict[str, np.ndarray],
+    validity: dict[str, np.ndarray],
+    dropped: set[int],
+    rowgroup_count: int,
+) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
+    """The table minus whole row-groups (the quarantine unit: a corrupt
+    chunk removes its row-group's *rows* from every column)."""
+    rg_rows = FAULT_ROWGROUP_VECTORS * FAULT_VECTOR_SIZE
+    keep = [
+        slice(rg * rg_rows, (rg + 1) * rg_rows)
+        for rg in range(rowgroup_count)
+        if rg not in dropped
+    ]
+
+    def cut(arr: np.ndarray) -> np.ndarray:
+        if not keep:
+            return arr[:0]
+        return np.concatenate([arr[s] for s in keep])
+
+    return (
+        {k: cut(v) for k, v in columns.items()},
+        {k: cut(v) for k, v in validity.items()},
+    )
+
+
+def _classify_table_read(
+    path: str,
+    columns: dict[str, np.ndarray],
+    validity: dict[str, np.ndarray],
+    section: Section,
+) -> tuple[str, str]:
+    """Read a damaged v4 table strictly and degraded; classify."""
+    from repro.storage.tablefile import TableFileReader
+
+    try:
+        with TableFileReader(path) as reader:
+            restored = reader.read_columns()
+    except IntegrityError as exc:
+        strict = ("detected", f"strict: {type(exc).__name__}")
+    else:
+        if _table_equal(restored, (columns, validity)):
+            strict = ("correct", "strict: bit-identical")
+        else:
+            return (
+                "silent-garbage",
+                "strict table read returned wrong values without raising",
+            )
+
+    if not section.name.startswith("chunk"):
+        return strict
+    try:
+        with TableFileReader(path, degraded=True) as reader:
+            restored = reader.read_columns()
+            report = reader.scan_report()
+            rowgroup_count = reader.rowgroup_count
+    except IntegrityError as exc:
+        return ("detected", f"degraded: {type(exc).__name__}")
+    if strict[0] == "correct":
+        return strict
+    if report.chunks_quarantined == 0:
+        return (
+            "silent-garbage",
+            "degraded table read reported nothing for a damaged chunk",
+        )
+    dropped = {q.rowgroup for q in report.quarantined}
+    expected = _expected_minus_rowgroups(
+        columns, validity, dropped, rowgroup_count
+    )
+    if not _table_equal(restored, expected):
+        return (
+            "silent-garbage",
+            "degraded table read damaged values outside the "
+            "quarantined row-group",
+        )
+    return (
+        "detected",
+        f"degraded: quarantined {report.chunks_quarantined} chunk(s) "
+        f"({len(dropped)} row-group(s) of rows), rest bit-identical",
+    )
+
+
+def run_table_fault_sweep(
+    directory: str | None = None,
+) -> list[FaultOutcome]:
+    """The v4 sweep: bit-flips in every section, truncation at every
+    boundary, zero silent garbage tolerated."""
+    from repro.storage.tablefile import TableFileReader
+
+    columns, validity = _make_table()
+    outcomes = []
+    with tempfile.TemporaryDirectory(dir=directory) as tmp:
+        path = os.path.join(tmp, "faults_v4.alpc")
+        write_fault_table(path, columns, validity)
+        sections = enumerate_table_sections(path)
+        pristine = open(path, "rb").read()
+
+        for section in sections:
+            if section.length == 0:
+                continue
+            for rel in FLIP_POSITIONS:
+                pos = section.offset + min(
+                    int(section.length * rel), section.length - 1
+                )
+                damaged = bytearray(pristine)
+                damaged[pos] ^= 0x10
+                with open(path, "wb") as handle:
+                    handle.write(damaged)
+                outcome, detail = _classify_table_read(
+                    path, columns, validity, section
+                )
+                outcomes.append(
+                    FaultOutcome(
+                        section.name, "bitflip", pos, outcome, detail
+                    )
+                )
+
+        cut_points = sorted(
+            {s.offset for s in sections}
+            | {s.offset + s.length for s in sections}
+            | {len(pristine) - 1}
+        )
+        for cut in cut_points:
+            if cut >= len(pristine):
+                continue
+            with open(path, "wb") as handle:
+                handle.write(pristine[:cut])
+            try:
+                with TableFileReader(path) as reader:
+                    restored = reader.read_columns()
+            except IntegrityError as exc:
+                outcome, detail = (
+                    "detected",
+                    f"strict: {type(exc).__name__}",
+                )
+            else:
+                if _table_equal(restored, (columns, validity)):
+                    outcome, detail = "correct", "strict: bit-identical"
+                else:
+                    outcome, detail = (
+                        "silent-garbage",
+                        "truncated table read back wrong values",
+                    )
+            outcomes.append(
+                FaultOutcome("file", "truncate", cut, outcome, detail)
+            )
+        with open(path, "wb") as handle:
+            handle.write(pristine)
+    return outcomes
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run the sweep; exit 1 on any silent-garbage outcome."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.faults",
-        description="storage fault-injection sweep over every v3 section",
+        description=(
+            "storage fault-injection sweep over every v3/v4 section"
+        ),
     )
     parser.add_argument(
         "--json", action="store_true", help="emit outcomes as JSON"
     )
+    parser.add_argument(
+        "--format",
+        choices=("v3", "v4", "both"),
+        default="both",
+        help=(
+            "which on-disk format to sweep: the v3 single-column file, "
+            "the v4 multi-column table, or both (default)"
+        ),
+    )
     args = parser.parse_args(argv)
-    outcomes = run_fault_sweep()
+    outcomes = []
+    if args.format in ("v3", "both"):
+        outcomes += run_fault_sweep()
+    if args.format in ("v4", "both"):
+        outcomes += run_table_fault_sweep()
     garbage = [o for o in outcomes if o.outcome == "silent-garbage"]
     if args.json:
         print(

@@ -36,7 +36,15 @@ against the decode-then-aggregate baseline on real-shaped columns:
 Both query kernels are exception-light by construction (the datasets
 are decimal columns ALP encodes with few exceptions), which is the
 regime the encoded-domain paths target; ``--min-speedup`` lets CI pin
-the two ratios directly.
+the ratios directly.
+
+A ``kernels/q-table`` record benchmarks format v4 zone-map predicate
+pushdown end to end: a selective (~1%) range scan over a two-column
+table — ``compress_mbps`` the pruned ``TableFileReader.scan`` path,
+``decompress_mbps`` the decode-everything-then-mask baseline, their
+ratio under ``counters["table.scan_speedup_vs_decode"]`` (gated by
+``--min-speedup`` like the other query kernels), and the fraction of
+vectors never decoded under ``counters["table.vectors_skip_fraction"]``.
 
 Records follow the ``BENCH_*.json`` schema (see
 :mod:`repro.bench.records`): ``bits_per_value`` is the field width and
@@ -292,6 +300,104 @@ def _bench_query_cmp(repeats: int, calibration: float) -> BenchRecord:
     )
 
 
+#: Rows of the v4 table the zone-map pushdown kernel scans.
+TABLE_BENCH_ROWS = 256 * KERNEL_VECTOR_SIZE
+#: Selectivity of its range predicate (fraction of rows kept).
+TABLE_BENCH_SELECTIVITY = 0.01
+
+
+def _bench_query_table(repeats: int, calibration: float) -> BenchRecord:
+    """Zone-map-pruned v4 table scan vs decode-everything
+    (``kernels/q-table``)."""
+    import os
+    import tempfile
+
+    from repro import obs
+    from repro.query.table import FilterPredicate
+    from repro.storage.schema import Column, Schema
+    from repro.storage.tablefile import TableFileReader, TableFileWriter
+
+    n = TABLE_BENCH_ROWS
+    rng = np.random.default_rng(0xA19)
+    # A monotone predicate column (the time-series shape zone maps
+    # exist for) plus a decimal value column.
+    ts = np.cumsum(rng.random(n) + 0.5)
+    value = np.round(rng.normal(20, 5, n), 2)
+    lo_row = int(n * (0.5 - TABLE_BENCH_SELECTIVITY / 2))
+    hi_row = int(n * (0.5 + TABLE_BENCH_SELECTIVITY / 2)) - 1
+    low, high = float(ts[lo_row]), float(ts[hi_row])
+    predicate = FilterPredicate("ts", low=low, high=high)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "qtable.alpc")
+        schema = Schema((Column("ts"), Column("value")))
+        with TableFileWriter(path, schema) as writer:
+            writer.write_rows({"ts": ts, "value": value})
+        with TableFileReader(path) as reader:
+
+            def pruned() -> np.ndarray:
+                values, _ = reader.scan(["value"], predicate)
+                return values["value"]
+
+            def decode_everything() -> np.ndarray:
+                values, _ = reader.read_columns(["ts", "value"])
+                mask = (values["ts"] >= low) & (values["ts"] <= high)
+                return values["value"][mask]
+
+            # The pruned scan must be bit-identical to the full scan
+            # before its throughput means anything.
+            if not np.array_equal(pruned(), decode_everything()):
+                raise AssertionError(
+                    "pruned table scan disagrees with decode-everything"
+                )
+
+            nbytes = ts.nbytes + value.nbytes
+            pruned_mbps = _per_vector_mbps(pruned, nbytes, repeats)
+            decode_mbps = _per_vector_mbps(
+                decode_everything, nbytes, repeats
+            )
+
+            # Skip fraction, measured from the reader's own pruning
+            # counters over one observed scan.
+            was_enabled = obs.enabled()
+            obs.enable()
+            try:
+                before = obs.snapshot()["counters"]
+                pruned()
+                after = obs.snapshot()["counters"]
+            finally:
+                if not was_enabled:
+                    obs.disable()
+
+            def delta(name: str) -> float:
+                return float(after.get(name, 0)) - float(
+                    before.get(name, 0)
+                )
+
+            skipped = delta("tablefile.vectors_pruned")
+            decoded = delta("tablefile.vectors_decoded")
+            skip_fraction = skipped / max(skipped + decoded, 1.0)
+
+        compressed_bytes = os.path.getsize(path)
+
+    bits = 8.0 * compressed_bytes / n
+    return BenchRecord(
+        dataset="kernels/q-table",
+        codec="alp",
+        n=n,
+        bits_per_value=bits,
+        compression_ratio=(2 * 64.0) / bits if bits else 0.0,
+        compress_mbps=pruned_mbps,
+        decompress_mbps=decode_mbps,
+        compress_rel=pruned_mbps / calibration,
+        decompress_rel=decode_mbps / calibration,
+        counters={
+            "table.scan_speedup_vs_decode": pruned_mbps / decode_mbps,
+            "table.vectors_skip_fraction": skip_fraction,
+        },
+    )
+
+
 def _bench_io(repeats: int, calibration: float) -> BenchRecord:
     """Cold-file read pipelines: the ``kernels/io`` record.
 
@@ -420,6 +526,7 @@ def kernel_bench_records(repeats: int = 5) -> list[BenchRecord]:
     raw.append(_bench_alp_vector(repeats, cal_before))
     raw.append(_bench_query_sum(repeats, cal_before))
     raw.append(_bench_query_cmp(repeats, cal_before))
+    raw.append(_bench_query_table(repeats, cal_before))
     raw.append(_bench_io(repeats, cal_before))
     calibration = (cal_before + calibration_mbps(repeats=repeats)) / 2
 

@@ -84,7 +84,13 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
     from repro.storage import ColumnFileReader
+    from repro.storage.tablefile import (
+        FORMAT_VERSION_V4,
+        file_format_version,
+    )
 
+    if file_format_version(args.input) >= FORMAT_VERSION_V4:
+        return _inspect_table(args)
     reader = ColumnFileReader(args.input)
     print(f"{args.input}: {reader.value_count:,} values in "
           f"{reader.rowgroup_count} row-groups "
@@ -100,6 +106,48 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
             f"{meta.min_value:>14.6g} {meta.max_value:>14.6g}"
             + ("  [non-finite]" if meta.has_non_finite else "")
         )
+    return 0
+
+
+def _inspect_table(args: argparse.Namespace) -> int:
+    from repro.storage.tablefile import TableFileReader
+
+    with TableFileReader(args.input) as reader:
+        schema = reader.schema
+        print(
+            f"{args.input}: format v{reader.format_version} table, "
+            f"{reader.row_count:,} rows x {len(schema)} columns in "
+            f"{reader.rowgroup_count} row-groups "
+            f"(vector size {reader.vector_size})"
+        )
+        print("schema:")
+        for col in schema:
+            codec = f", codec={col.codec}" if col.codec else ""
+            print(
+                f"  {col.name}: {col.type}"
+                f"{' NULL' if col.nullable else ''}{codec}"
+            )
+        print(
+            f"{'rg':>4} {'column':>16} {'rows':>9} {'bytes':>10} "
+            f"{'bits/val':>9} {'nulls':>8} {'min':>14} {'max':>14}"
+        )
+        def fmt(v):
+            if v is None:
+                return "-"
+            return f"{v:.6g}" if isinstance(v, float) else f"{v:d}"
+
+        for rg in range(reader.rowgroup_count):
+            rows = reader.rowgroup_rows(rg)
+            for col in schema.names:
+                meta = reader.chunk_meta(rg, col)
+                zone = meta.zone
+                bits = 8 * meta.length / max(rows, 1)
+                print(
+                    f"{rg:>4} {col:>16} {rows:>9,} {meta.length:>10,} "
+                    f"{bits:>9.2f} {zone.null_count:>8,} "
+                    f"{fmt(zone.min_value):>14} {fmt(zone.max_value):>14}"
+                    + ("  [non-finite]" if zone.has_non_finite else "")
+                )
     return 0
 
 

@@ -37,6 +37,9 @@ SPAN_NAMES: frozenset[str] = frozenset(
         "sampler.first_level",
         "sampler.second_level",
         "server.request",
+        "tablefile.open",
+        "tablefile.scan",
+        "tablefile.write",
     }
 )
 
@@ -119,6 +122,17 @@ COUNTER_NAMES: frozenset[str] = frozenset(
         "server.requests",
         "server.shutdown_rejected",
         "server.slow_clients",
+        "tablefile.bytes_mapped",
+        "tablefile.bytes_read",
+        "tablefile.bytes_written",
+        "tablefile.checksum_failures",
+        "tablefile.chunks_quarantined",
+        "tablefile.chunks_read",
+        "tablefile.chunks_written",
+        "tablefile.rowgroups_pruned",
+        "tablefile.values_quarantined",
+        "tablefile.vectors_decoded",
+        "tablefile.vectors_pruned",
     }
 )
 

@@ -133,6 +133,39 @@ class ServerClient:
         response, payload = self.request("scan", fields)
         return protocol.values_from_bytes(payload), response
 
+    def scan_columns(
+        self, dataset: str, columns: list[str]
+    ) -> tuple[dict[str, np.ndarray], dict[str, object]]:
+        """Fetch a multi-column projection in one request.
+
+        Sends the v4 ``columns`` header field; the response echoes the
+        projected columns' ``schema`` and per-column ``counts``, which
+        this helper uses to split the concatenated float64 payload back
+        into one array per column.  Returns ``(name -> values,
+        response fields)``.
+        """
+        response, payload = self.request(
+            "scan", {"dataset": dataset, "columns": list(columns)}
+        )
+        counts = response.get("counts")
+        if not isinstance(counts, list) or len(counts) != len(columns):
+            raise protocol.ProtocolError(
+                f"projection response 'counts' does not match the "
+                f"{len(columns)} requested columns: {counts!r}"
+            )
+        values = protocol.values_from_bytes(payload)
+        if int(sum(counts)) != int(values.size):
+            raise protocol.ProtocolError(
+                f"projection payload holds {values.size} values, "
+                f"counts say {sum(counts)}"
+            )
+        out: dict[str, np.ndarray] = {}
+        offset = 0
+        for name, count in zip(columns, counts, strict=True):
+            out[name] = values[offset : offset + int(count)]
+            offset += int(count)
+        return out, response
+
     def sum(
         self,
         dataset: str,

@@ -75,6 +75,34 @@ def _optional_str(header: dict[str, object], key: str) -> str | None:
     return value
 
 
+def _columns_projection(header: dict[str, object]) -> list[str] | None:
+    """The optional ``columns`` projection field of a request header.
+
+    ``None`` when absent — the caller must then answer exactly as the
+    pre-projection protocol did, so old clients see byte-identical
+    responses.
+    """
+    value = header.get("columns")
+    if value is None:
+        return None
+    if (
+        not isinstance(value, list)
+        or not value
+        or not all(isinstance(c, str) and c for c in value)
+    ):
+        raise OpError(
+            protocol.ERR_BAD_REQUEST,
+            "request field 'columns' must be a non-empty list of "
+            "column names",
+        )
+    if len(set(value)) != len(value):
+        raise OpError(
+            protocol.ERR_BAD_REQUEST,
+            f"duplicate names in 'columns': {value}",
+        )
+    return value
+
+
 def _range_bounds(
     header: dict[str, object],
 ) -> tuple[float, float] | None:
@@ -128,16 +156,59 @@ def build_ops(
         return OpResult(fields={"datasets": registry.describe()})
 
     def op_scan(header: dict[str, object], payload: bytes) -> OpResult:
-        served = _resolve(registry, header)
+        names = _columns_projection(header)
+        if names is None:
+            # Pre-projection request shape: the response must stay
+            # byte-identical for old clients — same fields, no schema
+            # echo (tests/test_server_protocol.py pins this).
+            served = _resolve(registry, header)
+            bounds = _range_bounds(header)
+            # scan_payload owns the buffer lifecycle: full-column scans
+            # decode into a pooled target and release it once the
+            # response bytes exist, so steady state allocates nothing
+            # per request beyond the serialized frame itself.
+            body, count = served.scan_payload(bounds)
+            fields: dict[str, object] = {"count": count}
+            fields.update(_quarantine_fields(served))
+            return OpResult(fields=fields, payload=body)
+        if header.get("column") is not None:
+            raise OpError(
+                protocol.ERR_BAD_REQUEST,
+                "'column' and 'columns' are mutually exclusive",
+            )
+        dataset = _require_str(header, "dataset")
         bounds = _range_bounds(header)
-        # scan_payload owns the buffer lifecycle: full-column scans
-        # decode into a pooled target and release it once the response
-        # bytes exist, so steady state allocates nothing per request
-        # beyond the serialized frame itself.
-        body, count = served.scan_payload(bounds)
-        fields: dict[str, object] = {"count": count}
-        fields.update(_quarantine_fields(served))
-        return OpResult(fields=fields, payload=body)
+        if bounds is not None and len(names) != 1:
+            raise OpError(
+                protocol.ERR_BAD_REQUEST,
+                "range bounds apply to a single projected column",
+            )
+        try:
+            schema = registry.schema(dataset)
+            projected = [registry.column(dataset, name) for name in names]
+        except KeyError as exc:
+            raise OpError(
+                protocol.ERR_NOT_FOUND, str(exc.args[0])
+            ) from exc
+        blocks: list[bytes] = []
+        counts: list[int] = []
+        for served in projected:
+            body, count = served.scan_payload(bounds)
+            blocks.append(body)
+            counts.append(count)
+        reports = [served.scan_report() for served in projected]
+        fields = {
+            "count": sum(counts),
+            "counts": counts,
+            "schema": [schema.column(name).to_dict() for name in names],
+            "rowgroups_quarantined": sum(
+                r.rowgroups_quarantined for r in reports
+            ),
+            "values_quarantined": sum(
+                r.values_quarantined for r in reports
+            ),
+        }
+        return OpResult(fields=fields, payload=b"".join(blocks))
 
     def op_sum(header: dict[str, object], payload: bytes) -> OpResult:
         served = _resolve(registry, header)

@@ -1,8 +1,10 @@
 """The served-dataset registry: names -> open, cache-aware column readers.
 
-A server serves what is *registered*: single ``.alpc`` column files (one
-column, named after the file stem) or ``alpc-dataset`` directories (one
-column per manifest entry).  Registration opens readers eagerly —
+A server serves what is *registered*: single-column ``.alpc`` files (one
+column, named after the file stem), v4 multi-column table files (one
+served column per non-nullable float64 schema column), or
+``alpc-dataset`` directories (one column per manifest entry).
+Registration opens readers eagerly —
 header/footer verification happens at startup, not on the first request
 — in *degraded* mode by default, so a column with corrupt row-groups
 serves its intact remainder (PR 4 quarantine semantics) instead of
@@ -32,6 +34,17 @@ from repro.server.bufferpool import BufferPool
 from repro.server.cache import DecodedVectorCache
 from repro.storage.columnfile import ColumnFileReader, ScanReport
 from repro.storage.dataset_dir import MANIFEST_NAME, DatasetReader
+from repro.storage.schema import FLOAT64, Column, Schema
+from repro.storage.tablefile import (
+    FORMAT_VERSION_V4,
+    TableColumnReader,
+    TableFileReader,
+    file_format_version,
+)
+
+#: Any reader a served column may sit on: the classic single-column
+#: reader or the per-column view of a v4 table (identical surface).
+ServedReader = ColumnFileReader | TableColumnReader
 
 
 class ServedColumn:
@@ -48,7 +61,7 @@ class ServedColumn:
         dataset: str,
         column: str,
         path: str,
-        reader: ColumnFileReader,
+        reader: ServedReader,
         cache: DecodedVectorCache | None,
         pool: BufferPool | None = None,
     ) -> None:
@@ -164,15 +177,49 @@ class DatasetRegistry:
         self.pool = pool
         #: dataset name -> column name -> ServedColumn
         self._datasets: dict[str, dict[str, ServedColumn]] = {}
+        #: dataset name -> schema (synthesized for v2/v3 sources)
+        self._schemas: dict[str, Schema] = {}
 
     def register_file(
         self, path: str | os.PathLike, name: str | None = None
     ) -> str:
-        """Serve a single ``.alpc`` file as a one-column dataset."""
+        """Serve one ``.alpc`` file (column file or v4 table) as a dataset.
+
+        A v2/v3 single-column file serves one column named after the
+        file stem; a v4 table serves every *non-nullable float64*
+        schema column (the float query pipeline's domain — nullable,
+        integer and string columns are visible in the dataset's schema
+        but not servable).
+        """
         file_path = Path(path)
         dataset = name or file_path.stem
         if dataset in self._datasets:
             raise ValueError(f"dataset {dataset!r} is already registered")
+        if file_format_version(file_path) >= FORMAT_VERSION_V4:
+            table = TableFileReader(
+                file_path, degraded=self.degraded, mmap=self.mmap
+            )
+            served = {
+                col.name: ServedColumn(
+                    dataset=dataset,
+                    column=col.name,
+                    path=str(file_path),
+                    reader=table.column_reader(col.name),
+                    cache=self.cache,
+                    pool=self.pool,
+                )
+                for col in table.schema
+                if col.type == FLOAT64 and not col.nullable
+            }
+            if not served:
+                table.close()
+                raise ValueError(
+                    f"{file_path}: no servable (non-nullable float64) "
+                    f"columns in schema {list(table.schema.names)}"
+                )
+            self._datasets[dataset] = served
+            self._schemas[dataset] = table.schema
+            return dataset
         reader = ColumnFileReader(
             file_path, degraded=self.degraded, mmap=self.mmap
         )
@@ -186,6 +233,7 @@ class DatasetRegistry:
                 pool=self.pool,
             )
         }
+        self._schemas[dataset] = Schema((Column(file_path.stem),))
         return dataset
 
     def register_dataset(
@@ -211,6 +259,9 @@ class DatasetRegistry:
                 pool=self.pool,
             )
         self._datasets[dataset] = columns
+        self._schemas[dataset] = Schema(
+            tuple(Column(name) for name in manifest.column_names)
+        )
         return dataset
 
     def register_path(
@@ -232,6 +283,21 @@ class DatasetRegistry:
     def dataset_names(self) -> tuple[str, ...]:
         """Registered dataset names, registration order."""
         return tuple(self._datasets)
+
+    def schema(self, dataset: str) -> Schema:
+        """The schema of a registered dataset.
+
+        v4 tables report their stored schema (including columns that
+        are not servable through the float pipeline); v2/v3 files and
+        dataset directories report a synthesized all-float64 schema.
+        """
+        schema = self._schemas.get(dataset)
+        if schema is None:
+            raise KeyError(
+                f"unknown dataset {dataset!r}; "
+                f"registered: {sorted(self._datasets)}"
+            )
+        return schema
 
     def column(
         self, dataset: str, column: str | None = None

@@ -12,6 +12,11 @@ scans.  This subpackage makes that concrete:
   per-row-group and per-vector zone maps, offset indexes, and a scan
   API that skips non-qualifying row-groups/vectors without touching
   (let alone decompressing) their bytes,
+- :mod:`repro.storage.schema` / :mod:`repro.storage.tablefile` —
+  format v4: schema-described multi-column tables (null bitmaps, int64
+  and string columns, per-column chunk offsets inside each row-group)
+  with typed zone maps; the table reader also opens v2/v3 files as
+  one-column tables,
 - :mod:`repro.storage.integrity` / :mod:`repro.storage.errors` —
   CRC32C checksums (format v3) and the typed corruption errors the
   verifying read path raises,
@@ -30,8 +35,16 @@ from repro.storage.columnfile import (
     RowGroupMeta,
     ScanReport,
     VectorZone,
-    read_column_file,
-    write_column_file,
+)
+from repro.storage.schema import Column, Schema
+from repro.storage.tablefile import (
+    ChunkZone,
+    QuarantinedChunk,
+    TableColumnReader,
+    TableFileReader,
+    TableFileWriter,
+    TableScanReport,
+    file_format_version,
 )
 from repro.storage.errors import (
     CorruptFileError,
@@ -58,6 +71,8 @@ from repro.storage.serializer_f32 import (
 )
 
 __all__ = [
+    "ChunkZone",
+    "Column",
     "ColumnFileReader",
     "ColumnFileWriter",
     "CorruptFileError",
@@ -66,21 +81,26 @@ __all__ = [
     "DatasetVerifyReport",
     "FileVerifyReport",
     "IntegrityError",
+    "QuarantinedChunk",
     "QuarantinedRowGroup",
     "RepairReport",
     "RowGroupMeta",
     "ScanReport",
+    "Schema",
+    "TableColumnReader",
+    "TableFileReader",
+    "TableFileWriter",
+    "TableScanReport",
     "VectorZone",
     "crc32c",
     "deserialize_float_column",
     "deserialize_rowgroup",
-    "read_column_file",
+    "file_format_version",
     "repair_column_file",
     "serialize_float_column",
     "serialize_rowgroup",
     "verify_column_file",
     "verify_dataset",
     "verify_path",
-    "write_column_file",
     "write_dataset",
 ]

@@ -627,7 +627,13 @@ class ColumnFileReader:
             raise self._corrupt("not an ALPC column file (bad magic)")
         version = struct.unpack_from("<H", data, 4)[0]
         if version not in SUPPORTED_VERSIONS:
-            raise self._corrupt(f"unsupported ALPC version {version}")
+            hint = (
+                " (a v4 multi-column table: open it with "
+                "TableFileReader / repro.api.open_table)"
+                if version == 4
+                else ""
+            )
+            raise self._corrupt(f"unsupported ALPC version {version}{hint}")
         self.format_version = version
         self.vector_size = struct.unpack_from("<I", data, 6)[0]
         header_len = _HEADER_LEN[version]
@@ -1151,47 +1157,3 @@ class ColumnFileReader:
     def vector_count(self) -> int:
         """Total number of vectors across all row-groups."""
         return sum(len(meta.vector_zones) for meta in self._meta)
-
-
-def write_column_file(
-    path: str | os.PathLike,
-    values: np.ndarray,
-    vector_size: int = VECTOR_SIZE,
-    rowgroup_vectors: int = ROWGROUP_VECTORS,
-    *,
-    options: "CompressionOptions | None" = None,
-) -> None:
-    """Deprecated convenience: compress ``values`` into a new ALPC file.
-
-    Use :func:`repro.api.write` instead (same behavior, one options
-    object instead of drifting keyword lists).
-    """
-    import warnings
-
-    warnings.warn(
-        "write_column_file is deprecated; use repro.api.write",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    with ColumnFileWriter(
-        path,
-        vector_size=vector_size,
-        rowgroup_vectors=rowgroup_vectors,
-        options=options,
-    ) as writer:
-        writer.write_values(values)
-
-
-def read_column_file(path: str | os.PathLike) -> np.ndarray:
-    """Deprecated convenience: decompress an entire ALPC file.
-
-    Use ``repro.api.read`` (or ``repro.api.open(path).read_all()``).
-    """
-    import warnings
-
-    warnings.warn(
-        "read_column_file is deprecated; use repro.api.read",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return ColumnFileReader(path).read_all()

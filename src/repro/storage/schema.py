@@ -1,0 +1,166 @@
+"""Logical schemas for multi-column ALPC tables (format v4).
+
+A :class:`Schema` is an ordered collection of :class:`Column` entries —
+name, logical type, nullability, and an optional per-column codec
+override.  It is serialized as JSON inside the v4 footer (see
+docs/FORMAT.md) so a reader can discover the table shape without any
+out-of-band metadata, mirroring how Parquet/ORC front their row groups
+with a self-describing schema.
+
+Logical types map onto the repo's existing codecs:
+
+========  =======================  ==========================
+type      numpy representation     codecs
+========  =======================  ==========================
+float64   ``float64``              ``alp`` / ``alprd`` (adaptive)
+int64     ``int64``                ``ffor`` / ``delta`` (adaptive)
+string    ``object`` (``str``)     ``dict``
+========  =======================  ==========================
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+FLOAT64 = "float64"
+INT64 = "int64"
+STRING = "string"
+
+#: Logical types understood by format v4, in documentation order.
+LOGICAL_TYPES: tuple[str, ...] = (FLOAT64, INT64, STRING)
+
+#: Valid per-column codec overrides for each logical type.  ``None``
+#: (the default) lets the writer pick adaptively.
+CODECS_BY_TYPE: dict[str, tuple[str, ...]] = {
+    FLOAT64: ("alp", "alprd"),
+    INT64: ("ffor", "delta"),
+    STRING: ("dict",),
+}
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of a table: name, logical type, nullability, codec.
+
+    ``codec`` pins the encoding for every chunk of this column; when
+    ``None`` the writer chooses per chunk (ALP's sampler for floats,
+    a size comparison between FFOR and delta for ints).
+    """
+
+    name: str
+    type: str = FLOAT64
+    nullable: bool = False
+    codec: str | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ValueError("column name must be a non-empty string")
+        if self.type not in LOGICAL_TYPES:
+            raise ValueError(
+                f"unknown logical type {self.type!r}; expected one of {LOGICAL_TYPES}"
+            )
+        if self.codec is not None and self.codec not in CODECS_BY_TYPE[self.type]:
+            raise ValueError(
+                f"codec {self.codec!r} is not valid for {self.type} columns; "
+                f"expected one of {CODECS_BY_TYPE[self.type]} or None"
+            )
+
+    def to_dict(self) -> dict[str, object]:
+        out: dict[str, object] = {
+            "name": self.name,
+            "type": self.type,
+            "nullable": self.nullable,
+        }
+        if self.codec is not None:
+            out["codec"] = self.codec
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "Column":
+        if not isinstance(data, dict):
+            raise ValueError(f"column entry must be an object, got {type(data).__name__}")
+        name = data.get("name")
+        ctype = data.get("type", FLOAT64)
+        nullable = data.get("nullable", False)
+        codec = data.get("codec")
+        if not isinstance(name, str):
+            raise ValueError("column entry is missing a string 'name'")
+        if not isinstance(ctype, str):
+            raise ValueError(f"column {name!r} has a non-string 'type'")
+        if not isinstance(nullable, bool):
+            raise ValueError(f"column {name!r} has a non-boolean 'nullable'")
+        if codec is not None and not isinstance(codec, str):
+            raise ValueError(f"column {name!r} has a non-string 'codec'")
+        return cls(name=name, type=ctype, nullable=nullable, codec=codec)
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of columns with unique names."""
+
+    columns: tuple[Column, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        columns = tuple(self.columns)
+        object.__setattr__(self, "columns", columns)
+        if not columns:
+            raise ValueError("a schema needs at least one column")
+        seen: set[str] = set()
+        for col in columns:
+            if not isinstance(col, Column):
+                raise ValueError(
+                    f"schema entries must be Column instances, got {type(col).__name__}"
+                )
+            if col.name in seen:
+                raise ValueError(f"duplicate column name {col.name!r}")
+            seen.add(col.name)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(col.name for col in self.columns)
+
+    def column(self, name: str) -> Column:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise KeyError(f"no column named {name!r}; schema has {list(self.names)}")
+
+    def index(self, name: str) -> int:
+        for i, col in enumerate(self.columns):
+            if col.name == name:
+                return i
+        raise KeyError(f"no column named {name!r}; schema has {list(self.names)}")
+
+    def select(self, names: "list[str] | tuple[str, ...]") -> "Schema":
+        """Projected schema containing ``names`` in the requested order."""
+        return Schema(tuple(self.column(name) for name in names))
+
+    def to_dict(self) -> dict[str, object]:
+        return {"columns": [col.to_dict() for col in self.columns]}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), separators=(",", ":"), sort_keys=False)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "Schema":
+        if not isinstance(data, dict):
+            raise ValueError("schema must be a JSON object")
+        columns = data.get("columns")
+        if not isinstance(columns, list):
+            raise ValueError("schema object is missing a 'columns' list")
+        return cls(tuple(Column.from_dict(entry) for entry in columns))
+
+    @classmethod
+    def from_json(cls, text: str) -> "Schema":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"schema JSON does not parse: {exc}") from exc
+        return cls.from_dict(data)

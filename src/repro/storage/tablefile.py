@@ -1,0 +1,2101 @@
+"""Multi-column table files — ALPC format version 4.
+
+Format v4 generalizes the single-column v3 layout (see
+``columnfile.py`` and docs/FORMAT.md) into a schema-described table:
+
+- the 14-byte header is byte-compatible with v3 (``ALPC`` magic, u16
+  version = 4, u32 vector size, u32 CRC32C of the first 10 bytes);
+- the body is a sequence of *row-groups*; inside each row-group every
+  column of the schema gets its own independently-addressed **chunk**
+  (validity bitmap + codec tag + encoded payload), so a reader seeks
+  and decodes only the columns a query projects;
+- the footer carries the JSON schema, per-row-group row counts, and a
+  per-chunk table of offsets, CRC32C checksums, and typed zone maps at
+  both chunk and vector granularity (min/max over *valid* values plus
+  a null count) — the zone maps drive predicate push-down that skips
+  vectors without touching their payload bytes;
+- the trailer is identical to v3: u32 footer CRC, u64 footer offset,
+  trailing magic.
+
+Codecs per logical type (see :mod:`repro.storage.schema`): float64
+columns store one serialized ALP/ALP_rd row-group per chunk (the exact
+bytes a v3 file would hold), int64 columns store per-vector FFOR or
+delta frames (chosen by encoded size unless pinned), and string
+columns store a sorted dictionary plus bit-packed codes.  Null slots
+are filled with a neutral value before encoding and masked back out by
+the validity bitmap on read.
+
+:class:`TableFileReader` also opens v2/v3 files, presenting them as a
+one-column table, so every consumer of the table API reads all three
+format generations through the same entry point.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+from repro import obs
+from repro.concurrency import create_lock
+from repro.core.compressor import (
+    CompressedRowGroup,
+    CompressedRowGroups,
+    coerce_decode_out,
+    compress_rowgroup,
+    decompress,
+)
+from repro.core.constants import ROWGROUP_VECTORS, VECTOR_SIZE
+from repro.encodings.bitpack import bit_width_required, pack_bits, unpack_bits
+from repro.encodings.delta import DeltaEncoded, delta_decode, delta_encode
+from repro.encodings.ffor import FforEncoded, ffor_decode, ffor_encode
+from repro.storage.columnfile import (
+    MAGIC,
+    MMAP_MIN_BYTES,
+    ColumnFileReader,
+    QuarantinedRowGroup,
+    RowGroupMeta,
+    ScanReport,
+    VectorZone,
+    _fsync_directory,
+)
+from repro.storage.errors import (
+    BufferLifetimeError,
+    CorruptFileError,
+    CorruptRowGroupError,
+)
+from repro.storage.integrity import crc32c
+from repro.storage.schema import (
+    CODECS_BY_TYPE,
+    FLOAT64,
+    INT64,
+    STRING,
+    Column,
+    Schema,
+)
+from repro.storage.serializer import (
+    ByteReader,
+    ByteWriter,
+    _read_ffor,
+    _write_ffor,
+    deserialize_rowgroup,
+    empty_stats,
+    serialize_rowgroup,
+)
+
+if TYPE_CHECKING:
+    from repro.api import CompressionOptions
+    from repro.storage.columnfile import RowGroupCache
+
+import itertools
+import mmap as _mmaplib
+
+FORMAT_VERSION_V4 = 4
+
+_HEADER_BODY = struct.calcsize("<4sHI")
+_HEADER_LEN_V4 = _HEADER_BODY + 4
+_TRAILER_LEN_V4 = 16
+
+#: Per-chunk footer entry: offset, length, payload CRC, zone flags,
+#: raw min, raw max (type-tagged 8-byte fields), null count, vectors.
+_CHUNK_ENTRY = struct.Struct("<QQIB8s8sQI")
+#: Per-vector zone entry: zone flags, raw min, raw max, null count.
+_VZONE_ENTRY = struct.Struct("<B8s8sI")
+
+_ZONE_HAS_MINMAX = 1
+_ZONE_NON_FINITE = 2
+
+_CHUNK_HAS_NULLS = 1
+
+#: Chunk codec tags (the chunk header's ``codec`` byte).
+CODEC_FLOAT_ROWGROUP = 0
+CODEC_INT_FFOR = 1
+CODEC_INT_DELTA = 2
+CODEC_STRING_DICT = 3
+
+_DECODE_ERRORS = (
+    ValueError,
+    IndexError,
+    KeyError,
+    OverflowError,
+    struct.error,
+    UnicodeDecodeError,
+)
+
+_TMP_COUNTER = itertools.count()
+
+
+def file_format_version(path: str | os.PathLike) -> int:
+    """The ALPC format version of ``path`` (2, 3 or 4).
+
+    Raises :class:`CorruptFileError` when the file is too short or the
+    magic does not match — version dispatch and corruption detection
+    share one entry point so every caller reports the same error.
+    """
+    path = os.fspath(path)
+    with open(path, "rb") as f:
+        head = f.read(_HEADER_BODY)
+    if len(head) < _HEADER_BODY or head[:4] != MAGIC:
+        raise CorruptFileError(path, "not an ALPC file (bad magic)")
+    return int(struct.unpack_from("<H", head, 4)[0])
+
+
+def _to_bytes(data: "bytes | memoryview") -> bytes:
+    """Materialize a buffer slice for text decoding (mmap path)."""
+    return data.tobytes() if isinstance(data, memoryview) else data
+
+
+def _validity_to_bitmap(validity: np.ndarray) -> bytes:
+    return np.packbits(
+        validity.astype(np.uint8), bitorder="little"
+    ).tobytes()
+
+
+def _bitmap_to_validity(data: "bytes | memoryview", count: int) -> np.ndarray:
+    bits = np.unpackbits(
+        np.frombuffer(data, dtype=np.uint8), count=count, bitorder="little"
+    )
+    return bits.astype(bool)
+
+
+# -- zone maps --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChunkZone:
+    """Typed zone map over the *valid* values of a chunk or vector.
+
+    ``min_value``/``max_value`` are ``None`` when no finite valid value
+    exists (all-null, empty, or a string column, which carries only the
+    null count).  A zone without bounds can never match a range
+    predicate — null and absent values never satisfy comparisons.
+    """
+
+    min_value: "float | int | None"
+    max_value: "float | int | None"
+    has_non_finite: bool
+    null_count: int
+
+    def may_contain_range(self, low: float, high: float) -> bool:
+        if self.has_non_finite:
+            return True
+        if self.min_value is None or self.max_value is None:
+            return False
+        return self.max_value >= low and self.min_value <= high
+
+
+def _chunk_zone(
+    column: Column, values: np.ndarray, validity: "np.ndarray | None"
+) -> ChunkZone:
+    total = len(values)
+    if validity is None:
+        valid = values
+        null_count = 0
+    else:
+        valid = values[validity]
+        null_count = total - len(valid)
+    if column.type == STRING:
+        return ChunkZone(None, None, False, null_count)
+    valid = np.asarray(valid)
+    if column.type == FLOAT64:
+        finite = valid[np.isfinite(valid)]
+        has_non_finite = finite.size != valid.size
+        if finite.size == 0:
+            return ChunkZone(None, None, has_non_finite, null_count)
+        return ChunkZone(
+            float(finite.min()), float(finite.max()), has_non_finite, null_count
+        )
+    if valid.size == 0:
+        return ChunkZone(None, None, False, null_count)
+    return ChunkZone(int(valid.min()), int(valid.max()), False, null_count)
+
+
+def _vector_zones_typed(
+    column: Column,
+    values: np.ndarray,
+    validity: "np.ndarray | None",
+    vector_size: int,
+) -> tuple[ChunkZone, ...]:
+    zones = []
+    for start in range(0, len(values), vector_size):
+        stop = start + vector_size
+        zones.append(
+            _chunk_zone(
+                column,
+                values[start:stop],
+                None if validity is None else validity[start:stop],
+            )
+        )
+    return tuple(zones)
+
+
+def _pack_bound(column: Column, value: "float | int | None") -> bytes:
+    if value is None:
+        return b"\x00" * 8
+    if column.type == INT64:
+        return struct.pack("<q", int(value))
+    return struct.pack("<d", float(value))
+
+
+def _unpack_bound(
+    column: Column, raw: bytes, flags: int
+) -> "float | int | None":
+    if not flags & _ZONE_HAS_MINMAX:
+        return None
+    if column.type == INT64:
+        return int(struct.unpack("<q", raw)[0])
+    return float(struct.unpack("<d", raw)[0])
+
+
+def _zone_flags(zone: ChunkZone) -> int:
+    flags = 0
+    if zone.min_value is not None:
+        flags |= _ZONE_HAS_MINMAX
+    if zone.has_non_finite:
+        flags |= _ZONE_NON_FINITE
+    return flags
+
+
+def _float_lower(value: "float | int") -> float:
+    """Largest float <= value (conservative zone widening for int64)."""
+    f = float(value)
+    return f if f <= value else float(np.nextafter(f, -np.inf))
+
+
+def _float_upper(value: "float | int") -> float:
+    f = float(value)
+    return f if f >= value else float(np.nextafter(f, np.inf))
+
+
+def _zone_as_vectorzone(zone: ChunkZone) -> VectorZone:
+    """Project a typed chunk zone onto the float-domain VectorZone.
+
+    Integer bounds outside float53 precision are widened outward so the
+    float-domain test stays conservative; a boundless zone maps to the
+    NaN/NaN zone the v3 reader already treats as never-matching.
+    """
+    if zone.min_value is None or zone.max_value is None:
+        return VectorZone(
+            float("nan"), float("nan"), zone.has_non_finite
+        )
+    return VectorZone(
+        _float_lower(zone.min_value),
+        _float_upper(zone.max_value),
+        zone.has_non_finite,
+    )
+
+
+@dataclass(frozen=True)
+class ChunkMeta:
+    """Footer entry for one (row-group, column) chunk."""
+
+    offset: int
+    length: int
+    payload_crc: int
+    zone: ChunkZone
+    vector_zones: tuple[ChunkZone, ...]
+
+
+@dataclass(frozen=True)
+class QuarantinedChunk:
+    """One corrupt chunk a degraded table reader skipped."""
+
+    rowgroup: int
+    column: str
+    offset: int
+    length: int
+    count: int
+    reason: str
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rowgroup": self.rowgroup,
+            "column": self.column,
+            "offset": self.offset,
+            "length": self.length,
+            "count": self.count,
+            "reason": self.reason,
+        }
+
+
+@dataclass(frozen=True)
+class TableScanReport:
+    """Structured account of what a degraded table reader quarantined."""
+
+    path: str
+    format_version: int
+    chunks_total: int
+    chunks_quarantined: int
+    values_quarantined: int
+    quarantined: tuple[QuarantinedChunk, ...]
+
+    @property
+    def clean(self) -> bool:
+        return self.chunks_quarantined == 0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "format_version": self.format_version,
+            "chunks_total": self.chunks_total,
+            "chunks_quarantined": self.chunks_quarantined,
+            "values_quarantined": self.values_quarantined,
+            "quarantined": [entry.as_dict() for entry in self.quarantined],
+        }
+
+
+# -- chunk encoding ---------------------------------------------------
+
+
+def _coerce_column_values(column: Column, values: object) -> np.ndarray:
+    if column.type == FLOAT64:
+        return np.ascontiguousarray(values, dtype=np.float64)
+    if column.type == INT64:
+        return np.ascontiguousarray(values, dtype=np.int64)
+    arr = np.asarray(values, dtype=object)
+    if arr.ndim != 1:
+        raise ValueError(f"column {column.name!r}: values must be 1-D")
+    return arr
+
+
+def _fill_nulls(
+    column: Column, values: np.ndarray, validity: "np.ndarray | None"
+) -> np.ndarray:
+    """Replace null slots with a codec-neutral fill before encoding."""
+    if validity is None or bool(validity.all()):
+        return values
+    if column.type == FLOAT64:
+        return np.where(validity, values, 0.0)
+    if column.type == INT64:
+        return np.where(validity, values, np.int64(0))
+    out = values.copy()
+    out[~validity] = ""
+    return out
+
+
+def _encode_float_payload(
+    values: np.ndarray, vector_size: int, force_scheme: "str | None"
+) -> bytes:
+    rowgroup, _, _ = compress_rowgroup(
+        values, vector_size=vector_size, force_scheme=force_scheme
+    )
+    return serialize_rowgroup(rowgroup)
+
+
+def _write_delta(w: ByteWriter, enc: DeltaEncoded) -> None:
+    w.i64(enc.first_value)
+    w.u8(enc.bit_width)
+    w.u32(len(enc.payload))
+    w.raw(enc.payload)
+    w.u32(enc.count)
+
+
+def _read_delta(r: ByteReader) -> DeltaEncoded:
+    first_value = r.i64()
+    bit_width = r.u8()
+    payload = r.raw(r.u32())
+    count = r.u32()
+    return DeltaEncoded(
+        payload=payload,
+        first_value=first_value,
+        bit_width=bit_width,
+        count=count,
+    )
+
+
+def _encode_int_payload(
+    values: np.ndarray, vector_size: int, codec: "str | None"
+) -> tuple[bytes, int]:
+    """Encode an int64 chunk as per-vector FFOR or delta frames.
+
+    One frame per vector keeps vector-granular random access (the zone
+    map skip path decodes only surviving vectors).  Without a pinned
+    codec both encodings are produced and the smaller payload wins.
+    """
+    vectors = [
+        values[start : start + vector_size]
+        for start in range(0, values.size, vector_size)
+    ]
+
+    def build(name: str) -> bytes:
+        w = ByteWriter()
+        w.u32(len(vectors))
+        for vec in vectors:
+            if name == "ffor":
+                _write_ffor(w, ffor_encode(vec))
+            else:
+                _write_delta(w, delta_encode(vec))
+        return w.getvalue()
+
+    if codec == "ffor":
+        return build("ffor"), CODEC_INT_FFOR
+    if codec == "delta":
+        return build("delta"), CODEC_INT_DELTA
+    ffor_bytes = build("ffor")
+    delta_bytes = build("delta")
+    if len(delta_bytes) < len(ffor_bytes):
+        return delta_bytes, CODEC_INT_DELTA
+    return ffor_bytes, CODEC_INT_FFOR
+
+
+def _encode_string_payload(values: np.ndarray) -> bytes:
+    """Dictionary-encode a string chunk: sorted dict + packed codes."""
+    strings: list[str] = []
+    for v in values:
+        if not isinstance(v, str):
+            raise ValueError(
+                f"string column values must be str, got {type(v).__name__}"
+            )
+        strings.append(v)
+    entries = sorted(set(strings))
+    index = {s: i for i, s in enumerate(entries)}
+    codes = np.fromiter(
+        (index[s] for s in strings), dtype=np.uint64, count=len(strings)
+    )
+    width = bit_width_required(codes)
+    packed = pack_bits(codes, width) if width else b""
+    w = ByteWriter()
+    w.u32(len(entries))
+    for s in entries:
+        raw = s.encode("utf-8")
+        w.u32(len(raw))
+        w.raw(raw)
+    w.u32(len(strings))
+    w.u8(width)
+    w.u32(len(packed))
+    w.raw(packed)
+    return w.getvalue()
+
+
+def _encode_chunk(
+    column: Column,
+    values: np.ndarray,
+    validity: "np.ndarray | None",
+    vector_size: int,
+    codec: "str | None",
+) -> bytes:
+    """Assemble one on-disk chunk: flags, bitmap, codec tag, payload."""
+    w = ByteWriter()
+    has_nulls = validity is not None and not bool(validity.all())
+    w.u8(_CHUNK_HAS_NULLS if has_nulls else 0)
+    if validity is not None and has_nulls:
+        bitmap = _validity_to_bitmap(validity)
+        w.u32(len(bitmap))
+        w.raw(bitmap)
+    filled = _fill_nulls(column, values, validity if has_nulls else None)
+    if column.type == FLOAT64:
+        force = codec if codec in ("alp", "alprd") else None
+        payload = _encode_float_payload(filled, vector_size, force)
+        tag = CODEC_FLOAT_ROWGROUP
+    elif column.type == INT64:
+        payload, tag = _encode_int_payload(filled, vector_size, codec)
+    else:
+        payload = _encode_string_payload(filled)
+        tag = CODEC_STRING_DICT
+    w.u8(tag)
+    w.u32(len(payload))
+    w.raw(payload)
+    return w.getvalue()
+
+
+# -- writer -----------------------------------------------------------
+
+
+class TableFileWriter:
+    """Stream a multi-column table into ALPC format v4.
+
+    Same crash-safety contract as :class:`ColumnFileWriter`: all bytes
+    go to a temp file that is fsynced and atomically renamed over
+    ``path`` only when :meth:`close` completes.  Version 4 files always
+    carry CRC32C integrity sections — there is no un-checksummed v4
+    variant.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        schema: Schema,
+        *,
+        vector_size: int = VECTOR_SIZE,
+        rowgroup_vectors: int = ROWGROUP_VECTORS,
+        options: "CompressionOptions | None" = None,
+    ) -> None:
+        if not isinstance(schema, Schema):
+            raise ValueError(
+                f"schema must be a Schema, got {type(schema).__name__}"
+            )
+        overrides: dict[str, str] = {}
+        force_scheme: "str | None" = None
+        if options is not None:
+            vector_size = options.vector_size
+            rowgroup_vectors = options.rowgroup_vectors
+            force_scheme = options.force_scheme
+            overrides = dict(getattr(options, "column_codecs", ()) or ())
+        for name in overrides:
+            # Unknown names are a caller bug, not a soft no-op.
+            schema.column(name)
+        self._schema = schema
+        self._codecs: dict[str, "str | None"] = {}
+        for col in schema:
+            codec = col.codec if col.codec is not None else overrides.get(col.name)
+            if col.type == FLOAT64 and codec is None and force_scheme is not None:
+                codec = force_scheme
+            if codec is not None and codec not in CODECS_BY_TYPE[col.type]:
+                raise ValueError(
+                    f"codec {codec!r} does not apply to column "
+                    f"{col.name!r} ({col.type}); valid: "
+                    f"{CODECS_BY_TYPE[col.type]}"
+                )
+            self._codecs[col.name] = codec
+        self._path = os.fspath(path)
+        self._tmp_path = f"{self._path}.tmp-{os.getpid()}-{next(_TMP_COUNTER)}"
+        self._vector_size = vector_size
+        self._rowgroup_size = vector_size * rowgroup_vectors
+        self._rows: list[int] = []
+        self._chunks: list[list[ChunkMeta]] = []
+        self._closed = False
+        self._file = open(self._tmp_path, "wb")
+        try:
+            header = MAGIC + struct.pack("<HI", FORMAT_VERSION_V4, vector_size)
+            self._file.write(header)
+            self._file.write(struct.pack("<I", crc32c(header)))
+        except BaseException:
+            self.abort()
+            raise
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def format_version(self) -> int:
+        return FORMAT_VERSION_V4
+
+    def write_rows(
+        self,
+        columns: "dict[str, object]",
+        validity: "dict[str, np.ndarray] | None" = None,
+    ) -> None:
+        """Compress and append rows (sliced into row-groups).
+
+        ``columns`` must provide values for every schema column, all of
+        the same length.  ``validity`` maps *nullable* column names to
+        boolean masks (True = valid); omitted nullable columns are
+        fully valid, and masks for non-nullable columns are rejected.
+        """
+        if self._closed:
+            raise ValueError(f"writer for {self._path} is closed")
+        validity = dict(validity or {})
+        missing = set(self._schema.names) - set(columns)
+        if missing:
+            raise ValueError(f"missing values for columns {sorted(missing)}")
+        extra = set(columns) - set(self._schema.names)
+        if extra:
+            raise ValueError(f"unknown columns {sorted(extra)}")
+        for name in validity:
+            if self._schema.column(name).nullable is False:
+                raise ValueError(
+                    f"column {name!r} is not nullable; validity mask rejected"
+                )
+        arrays: dict[str, np.ndarray] = {}
+        masks: dict[str, "np.ndarray | None"] = {}
+        n_rows: "int | None" = None
+        for col in self._schema:
+            arr = _coerce_column_values(col, columns[col.name])
+            if n_rows is None:
+                n_rows = len(arr)
+            elif len(arr) != n_rows:
+                raise ValueError(
+                    f"column {col.name!r} has {len(arr)} values, "
+                    f"expected {n_rows}"
+                )
+            mask = validity.get(col.name)
+            if mask is not None:
+                mask = np.ascontiguousarray(mask, dtype=bool)
+                if mask.shape != (len(arr),):
+                    raise ValueError(
+                        f"validity mask for {col.name!r} must have "
+                        f"{len(arr)} entries"
+                    )
+            arrays[col.name] = arr
+            masks[col.name] = mask
+        if n_rows is None:
+            raise ValueError("cannot write rows for an empty schema")
+        with obs.span("tablefile.write"):
+            for start in range(0, n_rows, self._rowgroup_size):
+                stop = min(start + self._rowgroup_size, n_rows)
+                self._append_rowgroup(
+                    {n: a[start:stop] for n, a in arrays.items()},
+                    {
+                        n: (m[start:stop] if m is not None else None)
+                        for n, m in masks.items()
+                    },
+                    stop - start,
+                )
+
+    def _append_rowgroup(
+        self,
+        arrays: dict[str, np.ndarray],
+        masks: dict[str, "np.ndarray | None"],
+        n_rows: int,
+    ) -> None:
+        metas: list[ChunkMeta] = []
+        for col in self._schema:
+            values = arrays[col.name]
+            mask = masks[col.name]
+            chunk = _encode_chunk(
+                col, values, mask, self._vector_size, self._codecs[col.name]
+            )
+            offset = self._file.tell()
+            self._file.write(chunk)
+            if obs.ENABLED:
+                obs.metrics.counter_add("tablefile.chunks_written", 1)
+                obs.metrics.counter_add("tablefile.bytes_written", len(chunk))
+            metas.append(
+                ChunkMeta(
+                    offset=offset,
+                    length=len(chunk),
+                    payload_crc=crc32c(chunk),
+                    zone=_chunk_zone(col, values, mask),
+                    vector_zones=_vector_zones_typed(
+                        col, values, mask, self._vector_size
+                    ),
+                )
+            )
+        self._rows.append(n_rows)
+        self._chunks.append(metas)
+
+    def append_chunks(
+        self, n_rows: int, chunks: "list[tuple[bytes, ChunkMeta]]"
+    ) -> None:
+        """Append one row-group from already-encoded chunk bytes.
+
+        The repair path: intact chunks of a damaged file are copied
+        byte-for-byte (no recompression), reusing their zone maps while
+        checksums are recomputed from the bytes actually written.
+        """
+        if self._closed:
+            raise ValueError(f"writer for {self._path} is closed")
+        if len(chunks) != len(self._schema):
+            raise ValueError(
+                f"expected {len(self._schema)} chunks, got {len(chunks)}"
+            )
+        metas: list[ChunkMeta] = []
+        for raw, meta in chunks:
+            offset = self._file.tell()
+            self._file.write(raw)
+            metas.append(
+                ChunkMeta(
+                    offset=offset,
+                    length=len(raw),
+                    payload_crc=crc32c(raw),
+                    zone=meta.zone,
+                    vector_zones=meta.vector_zones,
+                )
+            )
+        self._rows.append(n_rows)
+        self._chunks.append(metas)
+
+    def _footer_bytes(self) -> bytes:
+        schema_json = self._schema.to_json().encode("utf-8")
+        parts = [struct.pack("<I", len(schema_json)), schema_json]
+        parts.append(struct.pack("<I", len(self._rows)))
+        for n_rows in self._rows:
+            parts.append(struct.pack("<Q", n_rows))
+        for metas in self._chunks:
+            for col, meta in zip(self._schema, metas, strict=True):
+                parts.append(
+                    _CHUNK_ENTRY.pack(
+                        meta.offset,
+                        meta.length,
+                        meta.payload_crc,
+                        _zone_flags(meta.zone),
+                        _pack_bound(col, meta.zone.min_value),
+                        _pack_bound(col, meta.zone.max_value),
+                        meta.zone.null_count,
+                        len(meta.vector_zones),
+                    )
+                )
+                for zone in meta.vector_zones:
+                    parts.append(
+                        _VZONE_ENTRY.pack(
+                            _zone_flags(zone),
+                            _pack_bound(col, zone.min_value),
+                            _pack_bound(col, zone.max_value),
+                            zone.null_count,
+                        )
+                    )
+        return b"".join(parts)
+
+    def close(self) -> None:
+        """Write footer + trailer, fsync, atomically publish (idempotent)."""
+        if self._closed:
+            return
+        try:
+            footer_offset = self._file.tell()
+            footer = self._footer_bytes()
+            self._file.write(footer)
+            self._file.write(struct.pack("<I", crc32c(footer)))
+            self._file.write(struct.pack("<Q", footer_offset))
+            self._file.write(MAGIC)
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._file.close()
+            os.replace(self._tmp_path, self._path)
+            _fsync_directory(os.path.dirname(self._path) or ".")
+        except BaseException:
+            self.abort()
+            raise
+        self._closed = True
+
+    def abort(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._file.close()
+        finally:
+            try:
+                os.unlink(self._tmp_path)
+            except OSError:
+                pass
+
+    def __enter__(self) -> "TableFileWriter":
+        return self
+
+    def __exit__(self, exc_type: object, *exc_info: object) -> None:
+        if exc_type is not None:
+            self.abort()
+        else:
+            self.close()
+
+
+# -- parsed chunk -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ParsedChunk:
+    """Decoded chunk framing: validity plus payload location."""
+
+    validity: "np.ndarray | None"
+    codec: int
+    payload_offset: int
+    payload_length: int
+
+
+# -- reader -----------------------------------------------------------
+
+
+class TableFileReader:
+    """Random-access reader over an ALPC table (v4) or column (v2/v3) file.
+
+    v2/v3 files open through the same constructor and appear as a
+    one-column table (one non-nullable float64 column named after the
+    file stem); all v4-only structure is synthesized from the legacy
+    footer, so format dispatch lives here instead of in every caller.
+
+    Same integrity contract as :class:`ColumnFileReader`, at chunk
+    granularity: header/footer checksums verify at open, chunk CRCs
+    verify lazily on first access, and ``degraded=True`` makes bulk
+    reads quarantine corrupt chunks — dropping the affected row-group's
+    *rows* from every requested column, so multi-column results stay
+    row-aligned — instead of raising.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        *,
+        degraded: bool = False,
+        mmap: bool = False,
+    ) -> None:
+        self._path = os.fspath(path)
+        self._degraded = degraded
+        self._closed = False
+        self._mmap: "_mmaplib.mmap | None" = None
+        self._legacy: "ColumnFileReader | None" = None
+        self._integrity_lock = create_lock("TableFileReader._integrity_lock")
+        self._quarantined: dict[tuple[int, int], CorruptRowGroupError] = {}
+        self._checked: dict[tuple[int, int], "CorruptRowGroupError | None"] = {}
+        version = file_format_version(self._path)
+        if version < FORMAT_VERSION_V4:
+            self._legacy = ColumnFileReader(
+                self._path, degraded=degraded, mmap=mmap
+            )
+            stem = os.path.splitext(os.path.basename(self._path))[0] or "values"
+            self._schema = Schema((Column(stem, FLOAT64, nullable=False),))
+            self.format_version = self._legacy.format_version
+            self.vector_size = self._legacy.vector_size
+            self._data: "bytes | memoryview" = b""
+            self._rows: list[int] = [
+                m.count for m in self._legacy.metadata
+            ]
+            self._chunks: list[list[ChunkMeta]] = []
+            return
+        with obs.span("tablefile.open"):
+            if mmap and self._mmap_eligible():
+                with open(self._path, "rb") as f:
+                    self._mmap = _mmaplib.mmap(
+                        f.fileno(), 0, access=_mmaplib.ACCESS_READ
+                    )
+                # The reader owns this view; close() refuses while
+                # exported slices are live.  # reprolint: ignore[RL10]
+                self._data = memoryview(self._mmap)
+                if obs.ENABLED:
+                    obs.metrics.counter_add(
+                        "tablefile.bytes_mapped", len(self._data)
+                    )
+            else:
+                with open(self._path, "rb") as f:
+                    data = f.read()
+                if obs.ENABLED:
+                    obs.metrics.counter_add("tablefile.bytes_read", len(data))
+                self._data = data
+        try:
+            self._parse_header_and_trailer()
+            self._parse_footer()
+        except BaseException:
+            self._release_data()
+            raise
+
+    def _mmap_eligible(self) -> bool:
+        try:
+            return os.path.getsize(self._path) >= MMAP_MIN_BYTES
+        except OSError:
+            return False
+
+    # -- lifetime -----------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        if self._legacy is not None:
+            return self._legacy.closed
+        return self._closed
+
+    @property
+    def mapped(self) -> bool:
+        if self._legacy is not None:
+            return self._legacy.mapped
+        return self._mmap is not None
+
+    def _release_data(self) -> None:
+        data, self._data = self._data, b""
+        if isinstance(data, memoryview):
+            data.release()
+        if self._mmap is not None:
+            self._mmap.close()
+            self._mmap = None
+
+    def close(self) -> None:
+        """Release the underlying buffer (idempotent; see v3 reader)."""
+        if self._legacy is not None:
+            self._legacy.close()
+            return
+        if self._closed:
+            return
+        data, self._data = self._data, b""
+        if isinstance(data, memoryview):
+            data.release()
+        if self._mmap is not None:
+            try:
+                self._mmap.close()
+            except BufferError:
+                # Refused close: re-arm the owner's view so the reader
+                # stays usable.  # reprolint: ignore[RL10]
+                self._data = memoryview(self._mmap)
+                raise BufferLifetimeError(self._path) from None
+            self._mmap = None
+        self._closed = True
+
+    def __enter__(self) -> "TableFileReader":
+        return self
+
+    def __exit__(self, exc_type: object, *exc_info: object) -> None:
+        self.close()
+
+    def _require_open(self) -> None:
+        if self.closed:
+            raise ValueError(f"{self._path}: reader is closed")
+
+    # -- open-time parsing --------------------------------------------
+
+    def _corrupt(self, reason: str) -> CorruptFileError:
+        return CorruptFileError(self._path, reason)
+
+    def _parse_header_and_trailer(self) -> None:
+        data = self._data
+        if len(data) < _HEADER_LEN_V4 + _TRAILER_LEN_V4 or data[:4] != MAGIC:
+            raise self._corrupt("not an ALPC table file (bad magic)")
+        version = struct.unpack_from("<H", data, 4)[0]
+        if version != FORMAT_VERSION_V4:
+            raise self._corrupt(f"unsupported ALPC version {version}")
+        self.format_version = version
+        self.vector_size = struct.unpack_from("<I", data, 6)[0]
+        stored = struct.unpack_from("<I", data, _HEADER_BODY)[0]
+        actual = crc32c(data[:_HEADER_BODY])
+        if stored != actual:
+            obs.counter_add("tablefile.checksum_failures")
+            raise self._corrupt(
+                f"header checksum mismatch "
+                f"(stored 0x{stored:08x}, computed 0x{actual:08x})"
+            )
+        if data[-4:] != MAGIC:
+            raise self._corrupt("missing trailing magic (truncated file?)")
+        self._footer_offset = struct.unpack_from("<Q", data, len(data) - 12)[0]
+        footer_end = len(data) - _TRAILER_LEN_V4
+        if not _HEADER_LEN_V4 <= self._footer_offset <= footer_end:
+            raise self._corrupt(
+                f"footer offset {self._footer_offset} outside file bounds"
+            )
+        self._header_len = _HEADER_LEN_V4
+        self._footer_end = footer_end
+        stored = struct.unpack_from("<I", data, footer_end)[0]
+        actual = crc32c(data[self._footer_offset : footer_end])
+        if stored != actual:
+            obs.counter_add("tablefile.checksum_failures")
+            raise self._corrupt(
+                f"footer checksum mismatch "
+                f"(stored 0x{stored:08x}, computed 0x{actual:08x})"
+            )
+
+    def _parse_footer(self) -> None:
+        data = self._data
+        try:
+            pos = self._footer_offset
+            schema_len = struct.unpack_from("<I", data, pos)[0]
+            pos += 4
+            if pos + schema_len > self._footer_end:
+                raise self._corrupt("footer truncated (schema)")
+            schema_json = _to_bytes(data[pos : pos + schema_len])
+            pos += schema_len
+            try:
+                self._schema = Schema.from_json(schema_json.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError) as exc:
+                raise self._corrupt(f"schema does not parse: {exc}") from exc
+            n_rowgroups = struct.unpack_from("<I", data, pos)[0]
+            pos += 4
+            if pos + 8 * n_rowgroups > self._footer_end:
+                raise self._corrupt("footer truncated (row counts)")
+            self._rows = [
+                int(struct.unpack_from("<Q", data, pos + 8 * i)[0])
+                for i in range(n_rowgroups)
+            ]
+            pos += 8 * n_rowgroups
+            self._chunks = []
+            for rg in range(n_rowgroups):
+                metas: list[ChunkMeta] = []
+                for col in self._schema:
+                    if pos + _CHUNK_ENTRY.size > self._footer_end:
+                        raise self._corrupt("footer truncated (chunk table)")
+                    (
+                        offset,
+                        length,
+                        payload_crc,
+                        zflags,
+                        raw_min,
+                        raw_max,
+                        null_count,
+                        n_vectors,
+                    ) = _CHUNK_ENTRY.unpack_from(data, pos)
+                    pos += _CHUNK_ENTRY.size
+                    if not (
+                        self._header_len <= offset
+                        and offset + length <= self._footer_offset
+                    ):
+                        raise self._corrupt(
+                            f"chunk (row-group {rg}, column {col.name!r}) "
+                            f"section [{offset}, {offset + length}) outside "
+                            f"the payload area"
+                        )
+                    if pos + n_vectors * _VZONE_ENTRY.size > self._footer_end:
+                        raise self._corrupt("footer truncated (zone maps)")
+                    vzones = []
+                    for _ in range(n_vectors):
+                        vflags, vraw_min, vraw_max, vnulls = (
+                            _VZONE_ENTRY.unpack_from(data, pos)
+                        )
+                        pos += _VZONE_ENTRY.size
+                        vzones.append(
+                            ChunkZone(
+                                _unpack_bound(col, vraw_min, vflags),
+                                _unpack_bound(col, vraw_max, vflags),
+                                bool(vflags & _ZONE_NON_FINITE),
+                                vnulls,
+                            )
+                        )
+                    metas.append(
+                        ChunkMeta(
+                            offset=offset,
+                            length=length,
+                            payload_crc=payload_crc,
+                            zone=ChunkZone(
+                                _unpack_bound(col, raw_min, zflags),
+                                _unpack_bound(col, raw_max, zflags),
+                                bool(zflags & _ZONE_NON_FINITE),
+                                null_count,
+                            ),
+                            vector_zones=tuple(vzones),
+                        )
+                    )
+                self._chunks.append(metas)
+        except struct.error as exc:
+            raise self._corrupt(f"footer does not parse: {exc}") from exc
+
+    # -- shape --------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return self._schema.names
+
+    @property
+    def rowgroup_count(self) -> int:
+        if self._legacy is not None:
+            return self._legacy.rowgroup_count
+        return len(self._rows)
+
+    @property
+    def row_count(self) -> int:
+        return sum(self._rows)
+
+    @property
+    def degraded(self) -> bool:
+        return self._degraded
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    def vector_count(self, column: str) -> int:
+        """Number of vectors of one column across all row-groups."""
+        if self._legacy is not None:
+            self._schema.column(column)
+            return self._legacy.vector_count
+        ci = self._schema.index(column)
+        return sum(len(metas[ci].vector_zones) for metas in self._chunks)
+
+    # -- integrity ----------------------------------------------------
+
+    def check_chunk(self, rowgroup: int, column: str) -> "CorruptRowGroupError | None":
+        """Checksum-verify one chunk (cached; no raise)."""
+        if self._legacy is not None:
+            self._schema.column(column)
+            return self._legacy.check_rowgroup(rowgroup)
+        self._require_open()
+        ci = self._schema.index(column)
+        key = (rowgroup, ci)
+        with self._integrity_lock:
+            if key in self._checked:
+                return self._checked[key]
+        meta = self._chunks[rowgroup][ci]
+        err: "CorruptRowGroupError | None" = None
+        actual = crc32c(self._data[meta.offset : meta.offset + meta.length])
+        if actual != meta.payload_crc:
+            err = self._chunk_error(
+                rowgroup,
+                ci,
+                f"chunk checksum mismatch (stored 0x{meta.payload_crc:08x}, "
+                f"computed 0x{actual:08x})",
+                record=False,
+            )
+        with self._integrity_lock:
+            if key not in self._checked:
+                self._checked[key] = err
+                if err is not None:
+                    obs.counter_add("tablefile.checksum_failures")
+            return self._checked[key]
+
+    def _chunk_error(
+        self, rowgroup: int, ci: int, reason: str, *, record: bool = True
+    ) -> CorruptRowGroupError:
+        meta = self._chunks[rowgroup][ci]
+        name = self._schema.columns[ci].name
+        err = CorruptRowGroupError(
+            self._path,
+            rowgroup,
+            meta.offset,
+            meta.length,
+            f"column {name!r}: {reason}",
+        )
+        if record:
+            with self._integrity_lock:
+                self._checked[(rowgroup, ci)] = err
+        return err
+
+    def _quarantine(self, rowgroup: int, ci: int, err: CorruptRowGroupError) -> None:
+        key = (rowgroup, ci)
+        with self._integrity_lock:
+            if key in self._quarantined:
+                return
+            self._quarantined[key] = err
+        if obs.ENABLED:
+            obs.metrics.counter_add("tablefile.chunks_quarantined", 1)
+            obs.metrics.counter_add(
+                "tablefile.values_quarantined", self._rows[rowgroup]
+            )
+
+    def scan_report(self) -> TableScanReport:
+        """The structured quarantine account of this reader so far."""
+        if self._legacy is not None:
+            legacy = self._legacy.scan_report()
+            name = self._schema.columns[0].name
+            entries = tuple(
+                QuarantinedChunk(
+                    rowgroup=q.index,
+                    column=name,
+                    offset=q.offset,
+                    length=q.length,
+                    count=q.count,
+                    reason=q.reason,
+                )
+                for q in legacy.quarantined
+            )
+            return TableScanReport(
+                path=self._path,
+                format_version=legacy.format_version,
+                chunks_total=legacy.rowgroups_total,
+                chunks_quarantined=len(entries),
+                values_quarantined=legacy.values_quarantined,
+                quarantined=entries,
+            )
+        with self._integrity_lock:
+            quarantined = sorted(self._quarantined.items())
+        entries = tuple(
+            QuarantinedChunk(
+                rowgroup=rg,
+                column=self._schema.columns[ci].name,
+                offset=self._chunks[rg][ci].offset,
+                length=self._chunks[rg][ci].length,
+                count=self._rows[rg],
+                reason=err.reason,
+            )
+            for (rg, ci), err in quarantined
+        )
+        return TableScanReport(
+            path=self._path,
+            format_version=self.format_version,
+            chunks_total=len(self._rows) * len(self._schema),
+            chunks_quarantined=len(entries),
+            values_quarantined=sum(e.count for e in entries),
+            quarantined=entries,
+        )
+
+    # -- chunk access -------------------------------------------------
+
+    @property
+    def header_length(self) -> int:
+        if self._legacy is not None:
+            return self._legacy.header_length
+        return self._header_len
+
+    @property
+    def footer_offset(self) -> int:
+        if self._legacy is not None:
+            return self._legacy.footer_offset
+        return self._footer_offset
+
+    @property
+    def footer_length(self) -> int:
+        if self._legacy is not None:
+            return self._legacy.footer_length
+        return self._footer_end - self._footer_offset
+
+    def chunk_meta(self, rowgroup: int, column: str) -> ChunkMeta:
+        ci = self._schema.index(column)
+        return self._chunks[rowgroup][ci]
+
+    def rowgroup_rows(self, rowgroup: int) -> int:
+        return self._rows[rowgroup]
+
+    def chunk_payload(self, rowgroup: int, column: str) -> memoryview:
+        """Zero-copy view of one chunk section (repair path).
+
+        Callers that need the bytes to outlive the reader must copy;
+        the read path never materializes one (lint rule RL7).
+        """
+        self._require_open()
+        ci = self._schema.index(column)
+        meta = self._chunks[rowgroup][ci]
+        data = self._data
+        view = data if isinstance(data, memoryview) else memoryview(data)
+        return view[meta.offset : meta.offset + meta.length]
+
+    def _parse_chunk(self, rowgroup: int, ci: int) -> _ParsedChunk:
+        """Decode a chunk's framing (validity + payload location).
+
+        Raises :class:`CorruptRowGroupError` on checksum or framing
+        damage, even in degraded mode (direct access is explicit).
+        """
+        self._require_open()
+        name = self._schema.columns[ci].name
+        err = self.check_chunk(rowgroup, name)
+        if err is not None:
+            raise err
+        meta = self._chunks[rowgroup][ci]
+        data = self._data
+        n_rows = self._rows[rowgroup]
+        try:
+            pos = meta.offset
+            end = meta.offset + meta.length
+            flags = data[pos]
+            pos += 1
+            validity: "np.ndarray | None" = None
+            if flags & _CHUNK_HAS_NULLS:
+                bitmap_len = struct.unpack_from("<I", data, pos)[0]
+                pos += 4
+                if pos + bitmap_len > end:
+                    raise ValueError("validity bitmap overruns chunk")
+                validity = _bitmap_to_validity(
+                    data[pos : pos + bitmap_len], n_rows
+                )
+                pos += bitmap_len
+            codec = data[pos]
+            pos += 1
+            payload_len = struct.unpack_from("<I", data, pos)[0]
+            pos += 4
+            if pos + payload_len != end:
+                raise ValueError(
+                    f"chunk framing mismatch: payload [{pos}, "
+                    f"{pos + payload_len}) vs section end {end}"
+                )
+        except _DECODE_ERRORS as exc:
+            raise self._chunk_error(
+                rowgroup, ci, f"chunk does not parse: {exc}"
+            ) from exc
+        return _ParsedChunk(
+            validity=validity,
+            codec=codec,
+            payload_offset=pos,
+            payload_length=payload_len,
+        )
+
+    def _decode_float_rowgroup(
+        self, rowgroup: int, ci: int, parsed: _ParsedChunk
+    ) -> CompressedRowGroup:
+        try:
+            rg, consumed = deserialize_rowgroup(
+                self._data, parsed.payload_offset
+            )
+        except _DECODE_ERRORS as exc:
+            raise self._chunk_error(
+                rowgroup, ci, f"payload does not decode: {exc}"
+            ) from exc
+        if consumed != parsed.payload_length:
+            raise self._chunk_error(
+                rowgroup,
+                ci,
+                f"payload framing mismatch: read {consumed} bytes, "
+                f"footer says {parsed.payload_length}",
+            )
+        return rg
+
+    def _decode_int_frames(
+        self, rowgroup: int, ci: int, parsed: _ParsedChunk
+    ) -> "list[FforEncoded] | list[DeltaEncoded]":
+        reader = ByteReader(self._data, parsed.payload_offset)
+        try:
+            n_vectors = reader.u32()
+            frames: list = []
+            for _ in range(n_vectors):
+                if parsed.codec == CODEC_INT_FFOR:
+                    frames.append(_read_ffor(reader))
+                else:
+                    frames.append(_read_delta(reader))
+        except _DECODE_ERRORS as exc:
+            raise self._chunk_error(
+                rowgroup, ci, f"payload does not decode: {exc}"
+            ) from exc
+        consumed = reader.position - parsed.payload_offset
+        if consumed != parsed.payload_length:
+            raise self._chunk_error(
+                rowgroup,
+                ci,
+                f"payload framing mismatch: read {consumed} bytes, "
+                f"footer says {parsed.payload_length}",
+            )
+        return frames
+
+    def _decode_string_chunk(
+        self, rowgroup: int, ci: int, parsed: _ParsedChunk
+    ) -> np.ndarray:
+        reader = ByteReader(self._data, parsed.payload_offset)
+        n_rows = self._rows[rowgroup]
+        try:
+            n_entries = reader.u32()
+            entries = []
+            for _ in range(n_entries):
+                entries.append(_to_bytes(reader.raw(reader.u32())).decode("utf-8"))
+            count = reader.u32()
+            width = reader.u8()
+            packed = reader.raw(reader.u32())
+            if count != n_rows:
+                raise ValueError(
+                    f"string chunk has {count} values, footer says {n_rows}"
+                )
+            if width:
+                codes = unpack_bits(packed, width, count)
+            else:
+                codes = np.zeros(count, dtype=np.uint64)
+            if count and n_entries == 0:
+                raise ValueError("string chunk has values but no dictionary")
+            if count and int(codes.max()) >= n_entries:
+                raise ValueError("string code outside dictionary")
+        except _DECODE_ERRORS as exc:
+            raise self._chunk_error(
+                rowgroup, ci, f"payload does not decode: {exc}"
+            ) from exc
+        consumed = reader.position - parsed.payload_offset
+        if consumed != parsed.payload_length:
+            raise self._chunk_error(
+                rowgroup,
+                ci,
+                f"payload framing mismatch: read {consumed} bytes, "
+                f"footer says {parsed.payload_length}",
+            )
+        lut = np.asarray(entries, dtype=object)
+        if count == 0:
+            return np.empty(0, dtype=object)
+        return lut[codes.astype(np.int64)]
+
+    def read_chunk(
+        self, rowgroup: int, column: str
+    ) -> tuple[np.ndarray, "np.ndarray | None"]:
+        """Decode one (row-group, column) chunk to (values, validity).
+
+        Always raises on corruption, even in degraded mode; bulk reads
+        (:meth:`read_columns`, :meth:`scan`) are the quarantining paths.
+        """
+        if self._legacy is not None:
+            self._schema.column(column)
+            return self._legacy.read_rowgroup(rowgroup), None
+        ci = self._schema.index(column)
+        col = self._schema.columns[ci]
+        parsed = self._parse_chunk(rowgroup, ci)
+        n_rows = self._rows[rowgroup]
+        if parsed.codec == CODEC_FLOAT_ROWGROUP and col.type == FLOAT64:
+            rg = self._decode_float_rowgroup(rowgroup, ci, parsed)
+            column_group = CompressedRowGroups(
+                rowgroups=(rg,),
+                count=rg.count,
+                vector_size=self.vector_size,
+                stats=empty_stats(),
+            )
+            try:
+                values = decompress(column_group)
+            except _DECODE_ERRORS as exc:
+                raise self._chunk_error(
+                    rowgroup, ci, f"payload does not decompress: {exc}"
+                ) from exc
+        elif parsed.codec in (CODEC_INT_FFOR, CODEC_INT_DELTA) and col.type == INT64:
+            frames = self._decode_int_frames(rowgroup, ci, parsed)
+            try:
+                decoded = [
+                    ffor_decode(f)
+                    if parsed.codec == CODEC_INT_FFOR
+                    else delta_decode(f)
+                    for f in frames
+                ]
+                values = (
+                    np.concatenate(decoded)
+                    if decoded
+                    else np.empty(0, dtype=np.int64)
+                )
+            except _DECODE_ERRORS as exc:
+                raise self._chunk_error(
+                    rowgroup, ci, f"payload does not decompress: {exc}"
+                ) from exc
+        elif parsed.codec == CODEC_STRING_DICT and col.type == STRING:
+            values = self._decode_string_chunk(rowgroup, ci, parsed)
+        else:
+            raise self._chunk_error(
+                rowgroup,
+                ci,
+                f"codec tag {parsed.codec} does not match "
+                f"column type {col.type!r}",
+            )
+        if len(values) != n_rows:
+            raise self._chunk_error(
+                rowgroup,
+                ci,
+                f"chunk decoded to {len(values)} values, "
+                f"footer says {n_rows}",
+            )
+        obs.counter_add("tablefile.chunks_read")
+        return values, parsed.validity
+
+    # -- bulk reads ---------------------------------------------------
+
+    def _resolve_columns(self, columns: "list[str] | tuple[str, ...] | None") -> list[str]:
+        if columns is None:
+            return list(self._schema.names)
+        names = list(columns)
+        if not names:
+            raise ValueError("projection must name at least one column")
+        for name in names:
+            self._schema.column(name)
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate columns in projection: {names}")
+        return names
+
+    def read_columns(
+        self, columns: "list[str] | tuple[str, ...] | None" = None
+    ) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
+        """Decode the projected columns of the whole table.
+
+        Returns ``(values, validity)`` dicts; ``validity`` has an entry
+        per *nullable* projected column (True = valid; null slots in
+        ``values`` hold the codec fill value).  In degraded mode a
+        corrupt chunk quarantines its whole row-group — the rows are
+        dropped from every requested column so results stay aligned.
+        """
+        names = self._resolve_columns(columns)
+        if self._legacy is not None:
+            name = names[0]
+            return {name: self._legacy.read_all()}, {}
+        values: dict[str, list[np.ndarray]] = {n: [] for n in names}
+        validity: dict[str, list[np.ndarray]] = {
+            n: [] for n in names if self._schema.column(n).nullable
+        }
+        for rg in range(len(self._rows)):
+            decoded: dict[str, tuple[np.ndarray, "np.ndarray | None"]] = {}
+            failed = False
+            for name in names:
+                try:
+                    decoded[name] = self.read_chunk(rg, name)
+                except CorruptRowGroupError as err:
+                    if not self._degraded:
+                        raise
+                    self._quarantine(rg, self._schema.index(name), err)
+                    failed = True
+                    break
+            if failed:
+                continue
+            for name in names:
+                vals, mask = decoded[name]
+                values[name].append(vals)
+                if name in validity:
+                    if mask is None:
+                        mask = np.ones(len(vals), dtype=bool)
+                    validity[name].append(mask)
+        out_values = {
+            n: _concat(parts, self._schema.column(n)) for n, parts in values.items()
+        }
+        out_validity = {
+            n: (
+                np.concatenate(parts)
+                if parts
+                else np.empty(0, dtype=bool)
+            )
+            for n, parts in validity.items()
+        }
+        return out_values, out_validity
+
+    def _predicate_masks(
+        self, predicate: object
+    ) -> "Iterator[tuple[int, np.ndarray | None]]":
+        """Per-row-group predicate masks with zone-map pruning.
+
+        Yields ``(rowgroup, mask)`` where ``mask`` is ``None`` for
+        pruned row-groups.  Vectors whose zone map excludes the range
+        are never decoded; their mask slice stays all-False.
+        """
+        column = getattr(predicate, "column")
+        low = float(getattr(predicate, "low"))
+        high = float(getattr(predicate, "high"))
+        ci = self._schema.index(column)
+        col = self._schema.columns[ci]
+        if col.type == STRING:
+            raise ValueError(
+                f"range predicates are not supported on string "
+                f"column {column!r}"
+            )
+        for rg in range(len(self._rows)):
+            meta = self._chunks[rg][ci]
+            n_rows = self._rows[rg]
+            if not meta.zone.may_contain_range(low, high):
+                if obs.ENABLED:
+                    obs.metrics.counter_add("tablefile.rowgroups_pruned", 1)
+                    obs.metrics.counter_add(
+                        "tablefile.vectors_pruned", len(meta.vector_zones)
+                    )
+                yield rg, None
+                continue
+            survivors = [
+                v
+                for v, zone in enumerate(meta.vector_zones)
+                if zone.may_contain_range(low, high)
+            ]
+            if obs.ENABLED:
+                obs.metrics.counter_add(
+                    "tablefile.vectors_pruned",
+                    len(meta.vector_zones) - len(survivors),
+                )
+                obs.metrics.counter_add(
+                    "tablefile.vectors_decoded", len(survivors)
+                )
+            if not survivors:
+                yield rg, None
+                continue
+            mask = np.zeros(n_rows, dtype=bool)
+            parsed = self._parse_chunk(rg, ci)
+            for v, vals in self._decode_vectors(rg, ci, parsed, survivors):
+                start = v * self.vector_size
+                vmask = (vals >= low) & (vals <= high)
+                if parsed.validity is not None:
+                    vmask &= parsed.validity[start : start + len(vals)]
+                mask[start : start + len(vals)] = vmask
+            yield rg, mask
+
+    def _decode_vectors(
+        self, rowgroup: int, ci: int, parsed: _ParsedChunk, vectors: list[int]
+    ) -> Iterator[tuple[int, np.ndarray]]:
+        """Decode only the selected vectors of a numeric chunk."""
+        col = self._schema.columns[ci]
+        if col.type == FLOAT64:
+            from repro.core.alp import alp_decode_vector
+            from repro.core.alprd import decode_vector_bits
+
+            rg = self._decode_float_rowgroup(rowgroup, ci, parsed)
+            payload_vectors = (
+                rg.alp.vectors if rg.alp is not None else rg.rd.vectors
+            )
+            for v in vectors:
+                try:
+                    if rg.alp is not None:
+                        values = alp_decode_vector(payload_vectors[v])
+                    else:
+                        from repro.alputil.bits import bits_to_double
+
+                        values = bits_to_double(
+                            decode_vector_bits(
+                                payload_vectors[v], rg.rd.parameters
+                            )
+                        )
+                except _DECODE_ERRORS as exc:
+                    raise self._chunk_error(
+                        rowgroup, ci, f"vector {v} does not decode: {exc}"
+                    ) from exc
+                yield v, values
+        else:
+            frames = self._decode_int_frames(rowgroup, ci, parsed)
+            for v in vectors:
+                try:
+                    frame = frames[v]
+                    values = (
+                        ffor_decode(frame)
+                        if parsed.codec == CODEC_INT_FFOR
+                        else delta_decode(frame)
+                    )
+                except _DECODE_ERRORS as exc:
+                    raise self._chunk_error(
+                        rowgroup, ci, f"vector {v} does not decode: {exc}"
+                    ) from exc
+                yield v, values
+
+    def scan(
+        self,
+        columns: "list[str] | tuple[str, ...] | None" = None,
+        predicate: object = None,
+    ) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
+        """Filtered projection with zone-map predicate push-down.
+
+        ``predicate`` is any object with ``column``/``low``/``high``
+        attributes (:class:`repro.query.table.FilterPredicate` fits);
+        rows where the predicate column is null never match.  Returns
+        the same ``(values, validity)`` shape as :meth:`read_columns`,
+        restricted to matching rows.  Row-groups and vectors whose zone
+        maps exclude the range are skipped without touching payload
+        bytes (counted by ``tablefile.rowgroups_pruned`` /
+        ``tablefile.vectors_pruned``).
+        """
+        if predicate is None:
+            return self.read_columns(columns)
+        names = self._resolve_columns(columns)
+        if self._legacy is not None:
+            return self._legacy_scan(names[0], predicate)
+        with obs.span("tablefile.scan"):
+            return self._scan_v4(names, predicate)
+
+    def _legacy_scan(
+        self, name: str, predicate: object
+    ) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
+        if getattr(predicate, "column") != name:
+            raise KeyError(
+                f"predicate column {getattr(predicate, 'column')!r} not in "
+                f"schema {list(self._schema.names)}"
+            )
+        low = float(getattr(predicate, "low"))
+        high = float(getattr(predicate, "high"))
+        if self._legacy is None:
+            raise ValueError("_legacy_scan requires a v2/v3 file")
+        parts = []
+        for _rg, _v, values in self._legacy.scan_range_vectors(low, high):
+            parts.append(values[(values >= low) & (values <= high)])
+        merged = (
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.float64)
+        )
+        return {name: merged}, {}
+
+    def _scan_v4(
+        self, names: list[str], predicate: object
+    ) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
+        values: dict[str, list[np.ndarray]] = {n: [] for n in names}
+        validity: dict[str, list[np.ndarray]] = {
+            n: [] for n in names if self._schema.column(n).nullable
+        }
+        pred_ci = self._schema.index(getattr(predicate, "column"))
+        for rg, mask in self._predicate_masks_quarantining(predicate, pred_ci):
+            if mask is None or not mask.any():
+                continue
+            decoded: dict[str, tuple[np.ndarray, "np.ndarray | None"]] = {}
+            failed = False
+            for name in names:
+                try:
+                    decoded[name] = self._read_chunk_masked(rg, name, mask)
+                except CorruptRowGroupError as err:
+                    if not self._degraded:
+                        raise
+                    self._quarantine(rg, self._schema.index(name), err)
+                    failed = True
+                    break
+            if failed:
+                continue
+            for name in names:
+                vals, vmask = decoded[name]
+                values[name].append(vals)
+                if name in validity:
+                    if vmask is None:
+                        vmask = np.ones(len(vals), dtype=bool)
+                    validity[name].append(vmask)
+        out_values = {
+            n: _concat(parts, self._schema.column(n))
+            for n, parts in values.items()
+        }
+        out_validity = {
+            n: (np.concatenate(parts) if parts else np.empty(0, dtype=bool))
+            for n, parts in validity.items()
+        }
+        return out_values, out_validity
+
+    def _predicate_masks_quarantining(
+        self, predicate: object, pred_ci: int
+    ) -> "Iterator[tuple[int, np.ndarray | None]]":
+        gen = self._predicate_masks(predicate)
+        while True:
+            try:
+                rg_mask = next(gen)
+            except StopIteration:
+                return
+            except CorruptRowGroupError as err:
+                if not self._degraded:
+                    raise
+                # The generator cannot resume after raising: restart is
+                # not possible mid-stream, so quarantine and stop — the
+                # caller sees a shorter (still correct) result, exactly
+                # like a degraded v3 scan.
+                self._quarantine(err.index, pred_ci, err)
+                return
+            yield rg_mask
+
+    def _read_chunk_masked(
+        self, rowgroup: int, name: str, mask: np.ndarray
+    ) -> tuple[np.ndarray, "np.ndarray | None"]:
+        """Decode a chunk and keep only ``mask`` rows.
+
+        Numeric chunks decode at vector granularity: vectors whose mask
+        slice is empty are skipped entirely.
+        """
+        ci = self._schema.index(name)
+        col = self._schema.columns[ci]
+        if col.type == STRING:
+            vals, vmask = self.read_chunk(rowgroup, name)
+            return vals[mask], None if vmask is None else vmask[mask]
+        parsed = self._parse_chunk(rowgroup, ci)
+        vsize = self.vector_size
+        needed = [
+            v
+            for v in range(len(self._chunks[rowgroup][ci].vector_zones))
+            if mask[v * vsize : (v + 1) * vsize].any()
+        ]
+        parts: list[np.ndarray] = []
+        mask_parts: list[np.ndarray] = []
+        for v, vals in self._decode_vectors(rowgroup, ci, parsed, needed):
+            vmask = mask[v * vsize : v * vsize + len(vals)]
+            parts.append(vals[vmask])
+            if parsed.validity is not None:
+                mask_parts.append(
+                    parsed.validity[v * vsize : v * vsize + len(vals)][vmask]
+                )
+        dtype = np.float64 if col.type == FLOAT64 else np.int64
+        merged = (
+            np.concatenate(parts) if parts else np.empty(0, dtype=dtype)
+        )
+        if parsed.validity is None:
+            return merged, None
+        merged_mask = (
+            np.concatenate(mask_parts)
+            if mask_parts
+            else np.empty(0, dtype=bool)
+        )
+        return merged, merged_mask
+
+    # -- column adapter -----------------------------------------------
+
+    def column_reader(
+        self, name: str
+    ) -> "ColumnFileReader | TableColumnReader":
+        """A :class:`ColumnFileReader`-compatible view of one column.
+
+        Only non-nullable float64 columns are eligible — they are the
+        ones the encoded-domain query engine and the serving layer
+        operate on.  For v2/v3 files the underlying legacy reader is
+        returned directly.
+        """
+        col = self._schema.column(name)
+        if self._legacy is not None:
+            return self._legacy
+        if col.type != FLOAT64 or col.nullable:
+            raise ValueError(
+                f"column {name!r} ({col.type}"
+                f"{', nullable' if col.nullable else ''}) has no "
+                f"single-column reader; use read_columns()/scan()"
+            )
+        return TableColumnReader(self, self._schema.index(name))
+
+
+def _concat(parts: list[np.ndarray], column: Column) -> np.ndarray:
+    if not parts:
+        if column.type == FLOAT64:
+            return np.empty(0, dtype=np.float64)
+        if column.type == INT64:
+            return np.empty(0, dtype=np.int64)
+        return np.empty(0, dtype=object)
+    return np.concatenate(parts)
+
+
+class TableColumnReader:
+    """One float64 column of a v4 table, speaking the v3 reader surface.
+
+    Implements the method contract of :class:`ColumnFileReader` (metadata,
+    row-group reads, zone-map scans, quarantine reporting) over a
+    single non-nullable float64 column, so :class:`FileColumnSource`,
+    the serving layer, and every encoded-domain query path work on v4
+    tables unchanged.
+    """
+
+    def __init__(self, parent: TableFileReader, ci: int) -> None:
+        self._parent = parent
+        self._ci = ci
+        self._name = parent.schema.columns[ci].name
+        self._cache_path = f"{parent.path}::{self._name}"
+        metas = []
+        for rg in range(parent.rowgroup_count):
+            chunk = parent._chunks[rg][ci]
+            zone = _zone_as_vectorzone(chunk.zone)
+            metas.append(
+                RowGroupMeta(
+                    offset=chunk.offset,
+                    length=chunk.length,
+                    count=parent._rows[rg],
+                    min_value=zone.min_value,
+                    max_value=zone.max_value,
+                    has_non_finite=zone.has_non_finite,
+                    vector_zones=tuple(
+                        _zone_as_vectorzone(z) for z in chunk.vector_zones
+                    ),
+                    payload_crc=chunk.payload_crc,
+                )
+            )
+        self._meta = tuple(metas)
+
+    # -- shape --------------------------------------------------------
+
+    @property
+    def column_name(self) -> str:
+        return self._name
+
+    @property
+    def format_version(self) -> int:
+        return self._parent.format_version
+
+    @property
+    def vector_size(self) -> int:
+        return self._parent.vector_size
+
+    @property
+    def rowgroup_count(self) -> int:
+        return len(self._meta)
+
+    @property
+    def value_count(self) -> int:
+        return sum(m.count for m in self._meta)
+
+    @property
+    def metadata(self) -> tuple[RowGroupMeta, ...]:
+        return self._meta
+
+    @property
+    def vector_count(self) -> int:
+        return sum(len(m.vector_zones) for m in self._meta)
+
+    @property
+    def degraded(self) -> bool:
+        return self._parent.degraded
+
+    @property
+    def closed(self) -> bool:
+        return self._parent.closed
+
+    @property
+    def mapped(self) -> bool:
+        return self._parent.mapped
+
+    def close(self) -> None:
+        """Close the underlying table reader (all column views share it)."""
+        self._parent.close()
+
+    def __enter__(self) -> "TableColumnReader":
+        return self
+
+    def __exit__(self, exc_type: object, *exc_info: object) -> None:
+        self.close()
+
+    # -- integrity ----------------------------------------------------
+
+    def check_rowgroup(self, index: int) -> "CorruptRowGroupError | None":
+        return self._parent.check_chunk(index, self._name)
+
+    def _quarantine(self, index: int, err: CorruptRowGroupError) -> None:
+        self._parent._quarantine(index, self._ci, err)
+
+    def scan_report(self) -> ScanReport:
+        """A v3-shaped per-column view of the parent's quarantine state."""
+        table = self._parent.scan_report()
+        entries = tuple(
+            QuarantinedRowGroup(
+                index=e.rowgroup,
+                offset=e.offset,
+                length=e.length,
+                count=e.count,
+                reason=e.reason,
+            )
+            for e in table.quarantined
+            if e.column == self._name
+        )
+        return ScanReport(
+            path=self._cache_path,
+            format_version=self._parent.format_version,
+            rowgroups_total=len(self._meta),
+            rowgroups_quarantined=len(entries),
+            values_quarantined=sum(e.count for e in entries),
+            quarantined=entries,
+        )
+
+    # -- access -------------------------------------------------------
+
+    def read_rowgroup_compressed(self, index: int) -> CompressedRowGroup:
+        parsed = self._parent._parse_chunk(index, self._ci)
+        if parsed.codec != CODEC_FLOAT_ROWGROUP:
+            raise self._parent._chunk_error(
+                index,
+                self._ci,
+                f"codec tag {parsed.codec} is not a float row-group",
+            )
+        return self._parent._decode_float_rowgroup(index, self._ci, parsed)
+
+    def read_rowgroup(
+        self, index: int, out: "np.ndarray | None" = None
+    ) -> np.ndarray:
+        rowgroup = self.read_rowgroup_compressed(index)
+        column = CompressedRowGroups(
+            rowgroups=(rowgroup,),
+            count=rowgroup.count,
+            vector_size=self.vector_size,
+            stats=empty_stats(),
+        )
+        # Validate out before the decode try-block (bad caller buffers
+        # raise plain ValueError, never cached as corruption).
+        out = coerce_decode_out(column, out)
+        try:
+            return decompress(column, out=out)
+        except _DECODE_ERRORS as exc:
+            raise self._parent._chunk_error(
+                index, self._ci, f"payload does not decompress: {exc}"
+            ) from exc
+
+    def cached_rowgroup(
+        self, index: int, cache: "RowGroupCache | None" = None
+    ) -> np.ndarray:
+        if cache is None:
+            return self.read_rowgroup(index)
+        load_into = getattr(cache, "load_into", None)
+        if load_into is not None:
+            return load_into(
+                (self._cache_path, index),
+                self._meta[index].count,
+                lambda out: self.read_rowgroup(index, out=out),
+            )
+        return cache.get_or_load(
+            (self._cache_path, index), lambda: self.read_rowgroup(index)
+        )
+
+    def iter_rowgroups(
+        self, cache: "RowGroupCache | None" = None
+    ) -> Iterator[tuple[int, np.ndarray]]:
+        for index in range(len(self._meta)):
+            try:
+                yield index, self.cached_rowgroup(index, cache)
+            except CorruptRowGroupError as err:
+                if not self.degraded:
+                    raise
+                self._quarantine(index, err)
+
+    def iter_rowgroups_compressed(
+        self,
+    ) -> Iterator[tuple[int, RowGroupMeta, CompressedRowGroup]]:
+        for index in range(len(self._meta)):
+            try:
+                rowgroup = self.read_rowgroup_compressed(index)
+            except CorruptRowGroupError as err:
+                if not self.degraded:
+                    raise
+                self._quarantine(index, err)
+                continue
+            yield index, self._meta[index], rowgroup
+
+    def read_all(
+        self,
+        cache: "RowGroupCache | None" = None,
+        out: "np.ndarray | None" = None,
+    ) -> np.ndarray:
+        total = self.value_count
+        if out is None:
+            if cache is not None and len(self._meta) == 1:
+                try:
+                    return self.cached_rowgroup(0, cache)
+                except CorruptRowGroupError as err:
+                    if not self.degraded:
+                        raise
+                    self._quarantine(0, err)
+                    return np.empty(0, dtype=np.float64)
+            target = np.empty(total, dtype=np.float64)
+        else:
+            if (
+                not isinstance(out, np.ndarray)
+                or out.dtype != np.float64
+                or out.ndim != 1
+                or out.size != total
+            ):
+                raise ValueError(
+                    f"out must be a 1-D float64 array of {total} values"
+                )
+            if not out.flags.c_contiguous or not out.flags.writeable:
+                raise ValueError("out must be C-contiguous and writable")
+            target = out
+        pos = 0
+        for index, meta in enumerate(self._meta):
+            try:
+                if cache is None:
+                    self.read_rowgroup(index, out=target[pos : pos + meta.count])
+                else:
+                    np.copyto(
+                        target[pos : pos + meta.count],
+                        self.cached_rowgroup(index, cache),
+                    )
+            except CorruptRowGroupError as err:
+                if not self.degraded:
+                    raise
+                self._quarantine(index, err)
+                continue
+            pos += meta.count
+        return target if pos == total else target[:pos]
+
+    def scan_range(
+        self,
+        low: float,
+        high: float,
+        cache: "RowGroupCache | None" = None,
+    ) -> Iterator[tuple[int, np.ndarray]]:
+        for index, meta in enumerate(self._meta):
+            if not meta.may_contain_range(low, high):
+                obs.counter_add("tablefile.rowgroups_pruned")
+                continue
+            try:
+                values = self.cached_rowgroup(index, cache)
+            except CorruptRowGroupError as err:
+                if not self.degraded:
+                    raise
+                self._quarantine(index, err)
+                continue
+            yield index, values
+
+    def scan_range_vectors(
+        self, low: float, high: float
+    ) -> Iterator[tuple[int, int, np.ndarray]]:
+        from repro.core.alp import alp_decode_vector
+        from repro.core.alprd import decode_vector_bits
+
+        for rg_index, meta in enumerate(self._meta):
+            if not meta.may_contain_range(low, high):
+                if obs.ENABLED:
+                    obs.metrics.counter_add("tablefile.rowgroups_pruned", 1)
+                    obs.metrics.counter_add(
+                        "tablefile.vectors_pruned", len(meta.vector_zones)
+                    )
+                continue
+            try:
+                rowgroup = self.read_rowgroup_compressed(rg_index)
+            except CorruptRowGroupError as err:
+                if not self.degraded:
+                    raise
+                self._quarantine(rg_index, err)
+                continue
+            vectors = (
+                rowgroup.alp.vectors
+                if rowgroup.alp is not None
+                else rowgroup.rd.vectors
+            )
+            for v_index, zone in enumerate(meta.vector_zones):
+                if not zone.may_contain_range(low, high):
+                    obs.counter_add("tablefile.vectors_pruned")
+                    continue
+                obs.counter_add("tablefile.vectors_decoded")
+                if rowgroup.alp is not None:
+                    values = alp_decode_vector(vectors[v_index])
+                else:
+                    from repro.alputil.bits import bits_to_double
+
+                    values = bits_to_double(
+                        decode_vector_bits(
+                            vectors[v_index], rowgroup.rd.parameters
+                        )
+                    )
+                yield rg_index, v_index, values
+
+    def count_skippable(self, low: float, high: float) -> int:
+        return sum(
+            1 for meta in self._meta if not meta.may_contain_range(low, high)
+        )
+
+    def count_skippable_vectors(self, low: float, high: float) -> int:
+        skipped = 0
+        for meta in self._meta:
+            if not meta.may_contain_range(low, high):
+                skipped += len(meta.vector_zones)
+                continue
+            skipped += sum(
+                1
+                for zone in meta.vector_zones
+                if not zone.may_contain_range(low, high)
+            )
+        return skipped

@@ -8,8 +8,6 @@ from repro.storage.columnfile import (
     FORMAT_VERSION,
     FORMAT_VERSION_V2,
     ColumnFileReader,
-    read_column_file,
-    write_column_file,
 )
 
 
@@ -189,12 +187,12 @@ class TestVerifyRepair:
         assert bitwise_equal(api.read(dst), values)
 
 
-class TestDeprecationShims:
-    def test_write_column_file_warns_but_works(self, tmp_path):
-        path = tmp_path / "col.alpc"
-        values = _column(5_000)
-        with pytest.warns(DeprecationWarning, match="repro.api.write"):
-            write_column_file(path, values)
-        with pytest.warns(DeprecationWarning, match="repro.api.read"):
-            restored = read_column_file(path)
-        assert bitwise_equal(restored, values)
+class TestShimsRemoved:
+    def test_write_column_file_is_gone(self):
+        # The deprecation shims were removed with format v4; the
+        # replacements are api.write/api.read (and write_table for
+        # multi-column data).
+        import repro.storage.columnfile as columnfile
+
+        assert not hasattr(columnfile, "write_column_file")
+        assert not hasattr(columnfile, "read_column_file")

@@ -151,3 +151,78 @@ class TestColumnWire:
     def test_short_prefix_rejected(self):
         with pytest.raises(protocol.ProtocolError, match="prefix"):
             protocol.column_from_bytes(b"\x01\x02")
+
+
+class TestProjectionNegotiation:
+    """Versioned negotiation of the v4 ``columns`` projection field.
+
+    Old clients never send ``columns``; their requests must produce
+    response frames *byte-identical* to the pre-projection protocol —
+    same field set, same payload, no schema echo.  New clients opt in
+    by sending ``columns`` and get the schema echo back.
+    """
+
+    @pytest.fixture()
+    def ops_and_values(self, tmp_path):
+        from repro import api
+        from repro.server.ops import build_ops
+        from repro.server.registry import DatasetRegistry
+
+        rng = np.random.default_rng(11)
+        n = 8_192
+        ts = np.cumsum(rng.random(n))
+        value = np.round(rng.normal(20, 5, n), 2)
+        api.write_table(tmp_path / "t.alpc", {"ts": ts, "value": value})
+        registry = DatasetRegistry()
+        registry.register_file(tmp_path / "t.alpc", name="t")
+        return build_ops(registry), {"ts": ts, "value": value}
+
+    def test_old_header_answered_byte_identically(self, ops_and_values):
+        ops, columns = ops_and_values
+        result = ops["scan"](
+            {"op": "scan", "dataset": "t", "column": "value"}, b""
+        )
+        # The exact pre-projection response frame, byte for byte.
+        expected = protocol.ok_frame(
+            {
+                "count": len(columns["value"]),
+                "rowgroups_quarantined": 0,
+                "values_quarantined": 0,
+            },
+            protocol.values_to_bytes(columns["value"]),
+            request_id=1,
+        )
+        got = protocol.ok_frame(result.fields, result.payload, request_id=1)
+        assert got == expected
+        assert "schema" not in result.fields
+
+    def test_columns_header_gets_schema_echo(self, ops_and_values):
+        ops, columns = ops_and_values
+        result = ops["scan"](
+            {"op": "scan", "dataset": "t", "columns": ["value", "ts"]}, b""
+        )
+        assert result.fields["schema"] == [
+            {"name": "value", "type": "float64", "nullable": False},
+            {"name": "ts", "type": "float64", "nullable": False},
+        ]
+        n = len(columns["ts"])
+        assert result.fields["counts"] == [n, n]
+        values = protocol.values_from_bytes(result.payload)
+        assert np.array_equal(values[:n], columns["value"])
+        assert np.array_equal(values[n:], columns["ts"])
+
+    def test_column_and_columns_are_exclusive(self, ops_and_values):
+        from repro.server.ops import OpError
+
+        ops, _ = ops_and_values
+        with pytest.raises(OpError) as err:
+            ops["scan"](
+                {
+                    "op": "scan",
+                    "dataset": "t",
+                    "column": "value",
+                    "columns": ["ts"],
+                },
+                b"",
+            )
+        assert err.value.code == protocol.ERR_BAD_REQUEST

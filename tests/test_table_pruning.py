@@ -1,0 +1,237 @@
+"""Zone-map predicate pushdown: pruned scans are exact, and they prune.
+
+Two properties, checked together on every shape:
+
+1. **Parity** — a predicate scan through the zone-map-pruned path is
+   bit-identical to decoding everything and masking with numpy.
+2. **Pruning** — on a selective predicate over a monotone column, the
+   reader's own counters prove that most vectors were never decoded
+   (the acceptance bar is >= 90% skipped at ~1% selectivity).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.query.table import FilterPredicate
+from repro.storage.schema import Column, Schema
+from repro.storage.tablefile import TableFileReader, TableFileWriter
+
+
+def _write(path, columns, validity=None, schema=None, **kwargs):
+    if schema is None:
+        cols = []
+        for name, arr in columns.items():
+            arr = np.asarray(arr)
+            ctype = "float64" if arr.dtype.kind == "f" else (
+                "int64" if arr.dtype.kind in ("i", "u") else "string"
+            )
+            nullable = validity is not None and name in validity
+            cols.append(Column(name, ctype, nullable=nullable))
+        schema = Schema(tuple(cols))
+    with TableFileWriter(path, schema, **kwargs) as writer:
+        writer.write_rows(dict(columns), validity=validity)
+
+
+def _reference_scan(columns, validity, names, predicate):
+    """Decode-everything baseline, computed in numpy."""
+    pred_col = np.asarray(columns[predicate.column], dtype=np.float64)
+    mask = (pred_col >= predicate.low) & (pred_col <= predicate.high)
+    if validity and predicate.column in validity:
+        mask &= validity[predicate.column]
+    out_values = {n: np.asarray(columns[n])[mask] for n in names}
+    out_validity = {
+        n: validity[n][mask] for n in names if validity and n in validity
+    }
+    return out_values, out_validity
+
+
+def _assert_scan_parity(path, columns, validity, names, predicate):
+    with TableFileReader(path) as reader:
+        got_values, got_validity = reader.scan(names, predicate)
+    want_values, want_validity = _reference_scan(
+        columns, validity, names, predicate
+    )
+    assert set(got_values) == set(want_values)
+    for name in want_values:
+        got, want = got_values[name], want_values[name]
+        assert len(got) == len(want), name
+        if np.asarray(want).dtype.kind == "f":
+            assert np.array_equal(
+                np.asarray(got).view(np.uint64),
+                np.asarray(want, dtype=np.float64).view(np.uint64),
+            ), name
+        elif np.asarray(want).dtype.kind == "O":
+            assert list(got) == list(want), name
+        else:
+            assert np.array_equal(got, want), name
+    assert set(got_validity) == set(want_validity)
+    for name in want_validity:
+        assert np.array_equal(got_validity[name], want_validity[name])
+
+
+def _monotone_table(n=65_536, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "ts": np.cumsum(rng.random(n) + 0.5),
+        "value": np.round(rng.normal(20, 5, n), 2),
+        "count": rng.integers(0, 100, n),
+    }
+
+
+class TestParity:
+    @pytest.mark.parametrize("selectivity", [0.01, 0.1, 0.5, 1.0])
+    def test_monotone_predicate_parity(self, tmp_path, selectivity):
+        columns = _monotone_table()
+        path = tmp_path / "t.alpc"
+        _write(path, columns)
+        ts = columns["ts"]
+        n = len(ts)
+        lo_row = int(n * (0.5 - selectivity / 2))
+        hi_row = min(int(n * (0.5 + selectivity / 2)), n - 1)
+        predicate = FilterPredicate(
+            "ts", low=float(ts[lo_row]), high=float(ts[hi_row])
+        )
+        _assert_scan_parity(
+            path, columns, None, ["ts", "value", "count"], predicate
+        )
+
+    def test_random_predicate_column_parity(self, tmp_path):
+        # Non-monotone predicate column: zones overlap, little prunes —
+        # the answer must still be exact.
+        rng = np.random.default_rng(7)
+        n = 16_384
+        columns = {
+            "v": np.round(rng.normal(0, 100, n), 2),
+            "w": np.round(rng.normal(0, 1, n), 2),
+        }
+        path = tmp_path / "t.alpc"
+        _write(path, columns)
+        predicate = FilterPredicate("v", low=-5.0, high=5.0)
+        _assert_scan_parity(path, columns, None, ["v", "w"], predicate)
+
+    def test_nullable_predicate_column_parity(self, tmp_path):
+        # Null rows never match a range predicate.
+        rng = np.random.default_rng(8)
+        n = 8_192
+        columns = {
+            "v": np.round(rng.normal(0, 10, n), 2),
+            "w": rng.integers(0, 5, n),
+        }
+        validity = {"v": rng.random(n) > 0.3}
+        columns["v"][~validity["v"]] = 0.0
+        path = tmp_path / "t.alpc"
+        _write(path, columns, validity=validity)
+        predicate = FilterPredicate("v", low=-3.0, high=3.0)
+        _assert_scan_parity(
+            path, columns, validity, ["v", "w"], predicate
+        )
+
+    def test_empty_result_parity(self, tmp_path):
+        columns = _monotone_table(8_192)
+        path = tmp_path / "t.alpc"
+        _write(path, columns)
+        predicate = FilterPredicate("ts", low=-100.0, high=-50.0)
+        _assert_scan_parity(
+            path, columns, None, ["value"], predicate
+        )
+
+    def test_int_predicate_parity(self, tmp_path):
+        rng = np.random.default_rng(9)
+        n = 8_192
+        columns = {
+            "k": np.sort(rng.integers(0, 10_000, n)),
+            "v": np.round(rng.normal(0, 1, n), 2),
+        }
+        path = tmp_path / "t.alpc"
+        _write(path, columns)
+        predicate = FilterPredicate("k", low=100.0, high=200.0)
+        _assert_scan_parity(path, columns, None, ["k", "v"], predicate)
+
+    def test_string_predicate_rejected(self, tmp_path):
+        columns = {
+            "s": np.array(["a", "b"], dtype=object),
+            "v": np.array([1.0, 2.0]),
+        }
+        path = tmp_path / "t.alpc"
+        _write(path, columns)
+        with TableFileReader(path) as reader:
+            with pytest.raises(ValueError, match="string"):
+                reader.scan(
+                    ["v"], FilterPredicate("s", low=0.0, high=1.0)
+                )
+
+
+class TestPruningCounters:
+    def _counter_delta(self, fn):
+        was_enabled = obs.enabled()
+        obs.enable()
+        try:
+            before = obs.snapshot()["counters"]
+            fn()
+            after = obs.snapshot()["counters"]
+        finally:
+            if not was_enabled:
+                obs.disable()
+        return {
+            key: after.get(key, 0) - before.get(key, 0)
+            for key in (
+                "tablefile.vectors_pruned",
+                "tablefile.vectors_decoded",
+                "tablefile.rowgroups_pruned",
+            )
+        }
+
+    def test_selective_scan_skips_90_percent_of_vectors(self, tmp_path):
+        columns = _monotone_table()
+        path = tmp_path / "t.alpc"
+        _write(path, columns)
+        ts = columns["ts"]
+        n = len(ts)
+        predicate = FilterPredicate(
+            "ts",
+            low=float(ts[int(n * 0.495)]),
+            high=float(ts[int(n * 0.505)]),
+        )
+        with TableFileReader(path) as reader:
+            delta = self._counter_delta(
+                lambda: reader.scan(["value"], predicate)
+            )
+        skipped = delta["tablefile.vectors_pruned"]
+        decoded = delta["tablefile.vectors_decoded"]
+        assert decoded > 0  # something actually ran
+        skip_fraction = skipped / (skipped + decoded)
+        assert skip_fraction >= 0.90, (
+            f"only {skip_fraction:.1%} of vectors skipped "
+            f"({skipped} pruned, {decoded} decoded)"
+        )
+
+    def test_unselective_scan_decodes_everything(self, tmp_path):
+        columns = _monotone_table(8_192)
+        path = tmp_path / "t.alpc"
+        _write(path, columns)
+        ts = columns["ts"]
+        predicate = FilterPredicate(
+            "ts", low=float(ts[0]), high=float(ts[-1])
+        )
+        with TableFileReader(path) as reader:
+            delta = self._counter_delta(
+                lambda: reader.scan(["value"], predicate)
+            )
+        assert delta["tablefile.vectors_pruned"] == 0
+
+    def test_no_match_prunes_whole_rowgroups(self, tmp_path):
+        columns = _monotone_table(8_192)
+        path = tmp_path / "t.alpc"
+        _write(path, columns)
+        predicate = FilterPredicate("ts", low=-10.0, high=-5.0)
+        with TableFileReader(path) as reader:
+            delta = self._counter_delta(
+                lambda: reader.scan(["value"], predicate)
+            )
+            assert delta["tablefile.rowgroups_pruned"] == (
+                reader.rowgroup_count
+            )
+        assert delta["tablefile.vectors_decoded"] == 0
