@@ -1,0 +1,213 @@
+"""Routed-vs-single-node serving comparison for the shard-smoke job.
+
+``python -m repro.bench.shardcmp ROUTER.json SINGLE.json`` reads two
+loadgen ``BENCH_*.json`` documents — one driven through the shard
+router (record codec ``shard_loadgen``, see ``--record-name`` on
+``alp-repro loadgen``) and one against a lone backend (codec
+``loadgen``) — and pins the scaling claim CI cares about:
+
+- **aggregate throughput**: routed served-MB/s must be at least
+  ``--min-speedup`` (default 2.0) times the single-node number.  Both
+  runs execute in the same job on the same runner, so the ratio is
+  machine-relative by construction and holds on slow CI hardware.
+- **zero failed requests**: the routed run's ``error_count`` must be 0
+  even when the job kills a backend mid-run — failover and partial
+  degradation are supposed to absorb that, and this is where the claim
+  is enforced end-to-end rather than in a unit test.
+
+Like :mod:`repro.bench.servecmp`, the verdict is also rendered as
+GitHub-flavoured markdown and appended to ``--summary PATH`` or
+``$GITHUB_STEP_SUMMARY`` when set.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.bench.records import BenchRecord, read_bench_json
+
+#: Routed throughput must be at least this multiple of single-node.
+DEFAULT_MIN_SPEEDUP = 2.0
+
+
+@dataclass(frozen=True)
+class LoadgenSlice:
+    """The slice of one loadgen record this comparison consumes."""
+
+    label: str
+    served_mbps: float
+    requests_per_s: float
+    requests: int
+    error_count: int
+    p99_ms: float
+
+
+def load_slice(path: str | Path, codec: str, label: str) -> LoadgenSlice:
+    """Read the ``codec`` record of one loadgen document."""
+    _, records = read_bench_json(path)
+    record = _record_named(records, codec, path)
+    counters = record.counters
+    values: dict[str, float] = {}
+    for key in ("requests_per_s", "latency_p99_ms", "error_count"):
+        raw = counters.get(key)
+        if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+            raise ValueError(
+                f"{path}: loadgen record counter {key!r} missing or "
+                "non-numeric; was this written by write_loadgen_json?"
+            )
+        values[key] = float(raw)
+    return LoadgenSlice(
+        label=label,
+        served_mbps=record.decompress_mbps,
+        requests_per_s=values["requests_per_s"],
+        requests=record.n,
+        error_count=int(values["error_count"]),
+        p99_ms=values["latency_p99_ms"],
+    )
+
+
+def _record_named(
+    records: list[BenchRecord], codec: str, path: str | Path
+) -> BenchRecord:
+    for record in records:
+        if record.codec == codec:
+            return record
+    raise ValueError(f"{path}: no {codec!r} record in document")
+
+
+def compare(
+    router: LoadgenSlice,
+    single: LoadgenSlice,
+    min_speedup: float,
+) -> list[str]:
+    """Failure messages from the routed-vs-single comparison."""
+    problems: list[str] = []
+    if single.served_mbps <= 0:
+        problems.append(
+            "single-node run served 0 MB/s — nothing to compare against"
+        )
+        return problems
+    speedup = router.served_mbps / single.served_mbps
+    if speedup < min_speedup:
+        problems.append(
+            f"routed throughput is only {speedup:.2f}x single-node "
+            f"({router.served_mbps:.1f} vs {single.served_mbps:.1f} "
+            f"MB/s served; floor {min_speedup:.1f}x)"
+        )
+    if router.error_count:
+        problems.append(
+            f"routed run failed {router.error_count} request(s) — "
+            "failover/partial degradation should absorb backend loss "
+            "with zero failures"
+        )
+    return problems
+
+
+def render_markdown(
+    router: LoadgenSlice,
+    single: LoadgenSlice,
+    problems: list[str],
+    min_speedup: float,
+) -> str:
+    """The routed-vs-single picture as a markdown table."""
+    speedup = (
+        router.served_mbps / single.served_mbps
+        if single.served_mbps > 0
+        else float("inf")
+    )
+    lines = [
+        "## Sharded serving (router vs single node)",
+        "",
+        "| run | served MB/s | req/s | p99 ms | requests | errors |",
+        "|---|---:|---:|---:|---:|---:|",
+    ]
+    for stats in (single, router):
+        lines.append(
+            f"| {stats.label} | {stats.served_mbps:.1f} "
+            f"| {stats.requests_per_s:.0f} | {stats.p99_ms:.1f} "
+            f"| {stats.requests} | {stats.error_count} |"
+        )
+    lines.append("")
+    verdict = "meets" if speedup >= min_speedup else "UNDER"
+    lines.append(
+        f"Aggregate speedup: **{speedup:.2f}x** ({verdict} the "
+        f"{min_speedup:.1f}x floor)."
+    )
+    for problem in problems:
+        lines.append(f"- :x: {problem}")
+    if not problems:
+        lines.append("")
+        lines.append("**Shard comparison passed.**")
+    return "\n".join(lines) + "\n"
+
+
+def write_summary(markdown: str, summary_path: str | None) -> None:
+    """Append ``markdown`` to ``summary_path`` or ``$GITHUB_STEP_SUMMARY``."""
+    path = summary_path or os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    with Path(path).open("a", encoding="utf-8") as handle:
+        handle.write(markdown)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.shardcmp",
+        description=(
+            "compare a routed loadgen run against a single-node run "
+            "and enforce the aggregate-throughput floor"
+        ),
+    )
+    parser.add_argument(
+        "router", help="BENCH_*.json of the run through the shard router"
+    )
+    parser.add_argument(
+        "single", help="BENCH_*.json of the single-backend run"
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=DEFAULT_MIN_SPEEDUP,
+        help=(
+            "minimum routed/single served-MB/s ratio "
+            f"(default {DEFAULT_MIN_SPEEDUP})"
+        ),
+    )
+    parser.add_argument(
+        "--router-codec",
+        default="shard_loadgen",
+        help="record codec of the routed run (default shard_loadgen)",
+    )
+    parser.add_argument(
+        "--single-codec",
+        default="loadgen",
+        help="record codec of the single-node run (default loadgen)",
+    )
+    parser.add_argument(
+        "--summary",
+        default=None,
+        help=(
+            "append the markdown table to this file "
+            "(default: $GITHUB_STEP_SUMMARY when set)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    router = load_slice(args.router, args.router_codec, "router (3 shards)")
+    single = load_slice(args.single, args.single_codec, "single node")
+    problems = compare(router, single, args.min_speedup)
+    markdown = render_markdown(router, single, problems, args.min_speedup)
+    print(markdown, end="")
+    write_summary(markdown, args.summary)
+    if problems:
+        print(f"shardcmp FAILED: {len(problems)} problem(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

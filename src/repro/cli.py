@@ -24,8 +24,11 @@ Subcommands:
   analysis (see ``docs/STATIC_ANALYSIS.md``),
 - ``serve PATH...`` — serve column files / dataset directories over the
   framed TCP protocol (see ``docs/SERVING.md``),
+- ``shard-serve BACKEND...`` — a consistent-hash shard router over N
+  running servers: scatter-gathers scans/sums by row-group partition
+  with replica failover (``docs/SHARDING.md``).
 - ``loadgen --port P`` — closed-loop concurrent load test against a
-  running server; reports p50/p95/p99 latency and can emit a
+  running server or router; reports p50/p95/p99 latency and can emit a
   ``BENCH_*.json`` record.
 
 The CLI is deliberately thin: each subcommand is a few lines over the
@@ -433,6 +436,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     handle = ServerHandle(registry, config)
     print(f"listening on {handle.host}:{handle.port}", flush=True)
+    if args.port_file:
+        # Multi-backend scripts (CI above all) start servers on port 0
+        # and read the real port back from here instead of racing on
+        # fixed port numbers.
+        Path(args.port_file).write_text(f"{handle.port}\n")
 
     stop = threading.Event()
 
@@ -450,6 +458,54 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shard_serve(args: argparse.Namespace) -> int:
+    """Route requests across repro.server backends (scatter-gather)."""
+    import signal
+    import threading
+
+    from repro import obs
+    from repro.server.service import ServerConfig
+    from repro.shard.router import RouterConfig, RouterHandle
+
+    if args.obs:
+        obs.enable()
+    config = RouterConfig(
+        backends=tuple(args.backends),
+        replication=args.replication,
+        partition_rowgroups=args.partition_rowgroups,
+        fanout=args.fanout,
+        server=ServerConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            max_inflight=args.max_inflight,
+            default_deadline_ms=args.deadline_ms,
+        ),
+    )
+    handle = RouterHandle(config)
+    shards = sum(len(parts) for parts in handle.router.shard_map.values())
+    print(
+        f"routing {shards} partition(s) across "
+        f"{len(config.backends)} backend(s), replication "
+        f"{min(config.replication, len(config.backends))}"
+    )
+    print(f"listening on {handle.host}:{handle.port}", flush=True)
+    if args.port_file:
+        Path(args.port_file).write_text(f"{handle.port}\n")
+
+    stop = threading.Event()
+
+    def _on_signal(signum: int, frame: object) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGINT, _on_signal)
+    signal.signal(signal.SIGTERM, _on_signal)
+    stop.wait()
+    print("draining...", flush=True)
+    handle.shutdown()
+    return 0
+
+
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     """Closed-loop load test against a running server."""
     import json
@@ -461,20 +517,32 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         write_loadgen_json,
     )
 
+    from repro.server.loadgen import DEFAULT_OPS
+
+    ops = (
+        tuple(op.strip() for op in args.ops.split(",") if op.strip())
+        if args.ops
+        else DEFAULT_OPS
+    )
     config = LoadgenConfig(
         host=args.host,
         port=args.port,
         clients=args.clients,
         requests_per_client=args.requests,
+        ops=ops,
         deadline_ms=args.deadline_ms,
         overload_retries=args.overload_retries,
+        zipf_s=args.zipf_s,
+        seed=args.seed,
     )
     targets = discover_targets(config)
     result = run_loadgen(config, targets)
     summary = result.summary()
     print(json.dumps(summary, indent=2))
     if args.out:
-        write_loadgen_json(args.out, config, result)
+        write_loadgen_json(
+            args.out, config, result, record_name=args.record_name
+        )
         print(f"wrote {args.out}")
     if args.fail_on_errors and result.error_count:
         print(f"FAIL: {result.error_count} request errors")
@@ -675,7 +743,70 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--obs", action="store_true", help="enable metrics recording"
     )
+    p.add_argument(
+        "--port-file",
+        default=None,
+        help="write the bound port to this file (for --port 0 scripts)",
+    )
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "shard-serve",
+        help="route requests across repro.server backends "
+        "(consistent-hash scatter-gather)",
+    )
+    p.add_argument(
+        "backends",
+        nargs="+",
+        help="backend addresses, host:port each; all must serve "
+        "identical datasets",
+    )
+    p.add_argument(
+        "--replication",
+        type=int,
+        default=2,
+        help="replicas per partition (capped at the backend count)",
+    )
+    p.add_argument(
+        "--partition-rowgroups",
+        type=int,
+        default=1,
+        help="row-groups per partition (the scatter granularity)",
+    )
+    p.add_argument(
+        "--fanout",
+        type=int,
+        default=8,
+        help="concurrent backend RPCs across all in-flight requests",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port", type=int, default=8641, help="TCP port (0 = ephemeral)"
+    )
+    p.add_argument(
+        "--workers", type=int, default=4, help="frontend worker threads"
+    )
+    p.add_argument(
+        "--max-inflight",
+        type=int,
+        default=32,
+        help="admission bound before `overloaded` rejections",
+    )
+    p.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=30_000.0,
+        help="default per-request deadline (budgeted across shards)",
+    )
+    p.add_argument(
+        "--obs", action="store_true", help="enable metrics recording"
+    )
+    p.add_argument(
+        "--port-file",
+        default=None,
+        help="write the bound port to this file (for --port 0 scripts)",
+    )
+    p.set_defaults(fn=_cmd_shard_serve)
 
     p = sub.add_parser(
         "loadgen", help="closed-loop load test against a running server"
@@ -698,7 +829,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="retries per request after `overloaded` rejections",
     )
     p.add_argument(
+        "--ops",
+        default=None,
+        help="comma-separated op trace cycled per worker "
+        "(scan/sum/comp; default scan,sum,sum,scan)",
+    )
+    p.add_argument(
+        "--zipf-s",
+        type=float,
+        default=0.0,
+        help="zipfian target-skew exponent (0 = round-robin)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0, help="seed for the zipfian trace"
+    )
+    p.add_argument(
         "--out", default=None, help="write a BENCH_*.json record document"
+    )
+    p.add_argument(
+        "--record-name",
+        default="loadgen",
+        help="codec field of the BENCH record (gate comparisons key "
+        "on it; use e.g. shard_loadgen for routed runs)",
     )
     p.add_argument(
         "--fail-on-errors",

@@ -37,6 +37,7 @@ SPAN_NAMES: frozenset[str] = frozenset(
         "sampler.first_level",
         "sampler.second_level",
         "server.request",
+        "shard.scatter",
         "tablefile.open",
         "tablefile.scan",
         "tablefile.write",
@@ -122,6 +123,12 @@ COUNTER_NAMES: frozenset[str] = frozenset(
         "server.requests",
         "server.shutdown_rejected",
         "server.slow_clients",
+        "shard.backend_ejected",
+        "shard.backend_readmitted",
+        "shard.failovers",
+        "shard.partial_responses",
+        "shard.scatter_rpcs",
+        "shard.shards_missed",
         "tablefile.bytes_mapped",
         "tablefile.bytes_read",
         "tablefile.bytes_written",
@@ -144,6 +151,7 @@ GAUGE_NAMES: frozenset[str] = frozenset(
         "pool.bytes",
         "pool.outstanding",
         "server.inflight",
+        "shard.backends_healthy",
     }
 )
 

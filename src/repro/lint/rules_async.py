@@ -77,14 +77,14 @@ class AsyncBlockingRule(Rule):
     name = "async-blocking"
     description = (
         "blocking call (time.sleep / open / socket.* / repro.api codec "
-        "work) inside an async def of repro/server; offload to the "
-        "worker pool"
+        "work) inside an async def of repro/server or repro/shard; "
+        "offload to the worker pool"
     )
 
     def applies_to(self, ctx: FileContext) -> bool:
-        return len(ctx.effective) >= 2 and ctx.effective[:2] == (
-            "repro",
-            "server",
+        return len(ctx.effective) >= 2 and ctx.effective[:2] in (
+            ("repro", "server"),
+            ("repro", "shard"),
         )
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:

@@ -348,6 +348,10 @@ class FileColumnSource:
     #: ``DecodedVectorCache``); full scans reuse decoded values across
     #: sources/requests keyed by (file, rowgroup).
     cache: object | None = None
+    #: Optional half-open ``(start, stop)`` row-group restriction: the
+    #: source covers only those row-groups.  The sharded serving tier
+    #: scopes each backend's scan/sum to its partition through this.
+    rowgroups: tuple[int, int] | None = None
 
     @classmethod
     def open(
@@ -371,14 +375,24 @@ class FileColumnSource:
             cache=cache,
         )
 
+    def _rg_bounds(self) -> tuple[int, int]:
+        """The half-open row-group range this source covers."""
+        if self.rowgroups is None:
+            return 0, self.reader.rowgroup_count
+        return self.rowgroups
+
     def vectors(self) -> Iterator[np.ndarray]:
+        rg_start, rg_stop = self._rg_bounds()
         if self.value_range is not None:
             low, high = self.value_range
-            for _, _, values in self.reader.scan_range_vectors(low, high):
-                yield values
+            for rg, _, values in self.reader.scan_range_vectors(low, high):
+                if rg_start <= rg < rg_stop:
+                    yield values
             return
         size = self.reader.vector_size
-        for _, rowgroup in self.reader.iter_rowgroups(self.cache):
+        for _, rowgroup in self.reader.iter_rowgroups(
+            self.cache, rg_start, rg_stop
+        ):
             for start in range(0, rowgroup.size, size):
                 yield rowgroup[start : start + size]
 
@@ -401,7 +415,10 @@ class FileColumnSource:
             for bounds in (self.value_range, value_range)
             if bounds is not None
         ]
-        for _, meta, rowgroup in self.reader.iter_rowgroups_compressed():
+        rg_start, rg_stop = self._rg_bounds()
+        for _, meta, rowgroup in self.reader.iter_rowgroups_compressed(
+            rg_start, rg_stop
+        ):
             if any(
                 not meta.may_contain_range(low, high)
                 for low, high in restrictions
@@ -444,11 +461,17 @@ class FileColumnSource:
 
     @property
     def value_count(self) -> int:
-        return self.reader.value_count
+        if self.rowgroups is None:
+            return self.reader.value_count
+        start, stop = self.rowgroups
+        return sum(m.count for m in self.reader.metadata[start:stop])
 
     @property
     def compressed_bits(self) -> int:
-        return sum(meta.length * 8 for meta in self.reader.metadata)
+        start, stop = self._rg_bounds()
+        return sum(
+            meta.length * 8 for meta in self.reader.metadata[start:stop]
+        )
 
 
 def _comp_alp_serialized(source: AlpSource) -> int:

@@ -31,7 +31,11 @@ from __future__ import annotations
 
 from repro.server.bufferpool import BufferPool, PoolStats
 from repro.server.cache import CacheStats, DecodedVectorCache
-from repro.server.client import ServerClient, ServerError
+from repro.server.client import (
+    ServerClient,
+    ServerError,
+    ServerUnavailableError,
+)
 from repro.server.registry import DatasetRegistry
 from repro.server.service import ReproServer, ServerConfig, run_in_thread
 
@@ -45,5 +49,6 @@ __all__ = [
     "ServerClient",
     "ServerConfig",
     "ServerError",
+    "ServerUnavailableError",
     "run_in_thread",
 ]

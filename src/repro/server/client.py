@@ -2,17 +2,23 @@
 
 A thin blocking wrapper: one socket, sequential request/response frames.
 Used by ``alp-repro loadgen`` (one client per concurrent worker thread),
-the test suite, and anything that wants to talk to a running server
-without touching asyncio.
+the shard router's backend pool, the test suite, and anything that wants
+to talk to a running server without touching asyncio.
 
 Error responses raise :class:`ServerError` carrying the protocol error
 code, so callers can branch on backpressure (``exc.code ==
-"overloaded"``) versus genuine failures.
+"overloaded"``) versus genuine failures.  Connect failures — after the
+bounded, jitter-backed retry budget is spent — raise the typed
+:class:`ServerUnavailableError` instead of a raw ``OSError``, so
+callers (the router's replica failover above all) can treat "this
+backend is down" as one catchable condition.
 """
 
 from __future__ import annotations
 
+import random
 import socket
+import time
 from types import TracebackType
 
 import numpy as np
@@ -35,12 +41,40 @@ class ServerError(Exception):
         return self.code == protocol.ERR_OVERLOADED
 
 
+class ServerUnavailableError(ConnectionError):
+    """The server could not be reached within the retry budget.
+
+    Raised by :class:`ServerClient` when every connect attempt (the
+    initial one plus ``connect_retries`` backed-off retries) failed, or
+    when a mid-request reconnect exhausted the same budget.  ``attempts``
+    counts the connects tried; ``__cause__`` keeps the last ``OSError``.
+    """
+
+    def __init__(self, host: str, port: int, attempts: int) -> None:
+        super().__init__(
+            f"server {host}:{port} unavailable after "
+            f"{attempts} connect attempt(s)"
+        )
+        self.host = host
+        self.port = port
+        self.attempts = attempts
+
+
 class ServerClient:
     """One blocking connection to a repro server.
 
     Use as a context manager, or call :meth:`close` explicitly.  A
     single client is *not* thread-safe (frames would interleave); give
     each thread its own client.
+
+    ``connect_retries`` bounds *additional* connect attempts after a
+    refused/failed connect, with jittered exponential backoff
+    (``retry_backoff_s * 2**attempt``, each multiplied by a uniform
+    ``1.0..1.0+retry_jitter`` factor so synchronized clients do not
+    reconnect in lockstep).  ``request_retries`` additionally retries a
+    request whose connection died mid-flight (every op is stateless and
+    idempotent, so a resend is safe) after reconnecting under the same
+    policy.
     """
 
     def __init__(
@@ -49,12 +83,41 @@ class ServerClient:
         port: int,
         timeout_s: float | None = 60.0,
         deadline_ms: float | None = None,
+        connect_retries: int = 0,
+        request_retries: int = 0,
+        retry_backoff_s: float = 0.05,
+        retry_jitter: float = 0.5,
+        rng: random.Random | None = None,
     ) -> None:
         self.deadline_ms = deadline_ms
-        self._sock = socket.create_connection(
-            (host, port), timeout=timeout_s
-        )
+        self._host = host
+        self._port = port
+        self._timeout_s = timeout_s
+        self._connect_retries = max(0, int(connect_retries))
+        self._request_retries = max(0, int(request_retries))
+        self._retry_backoff_s = retry_backoff_s
+        self._retry_jitter = retry_jitter
+        self._rng = rng or random.Random()
         self._next_id = 0
+        self._sock = self._connect()
+
+    def _connect(self) -> socket.socket:
+        """One bounded, backed-off connect; typed error on exhaustion."""
+        attempts = self._connect_retries + 1
+        for attempt in range(attempts):
+            try:
+                return socket.create_connection(
+                    (self._host, self._port), timeout=self._timeout_s
+                )
+            except OSError as exc:
+                if attempt + 1 == attempts:
+                    raise ServerUnavailableError(
+                        self._host, self._port, attempts
+                    ) from exc
+                backoff = self._retry_backoff_s * (2.0**attempt)
+                backoff *= 1.0 + self._retry_jitter * self._rng.random()
+                time.sleep(backoff)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # -- plumbing -----------------------------------------------------
 
@@ -87,22 +150,56 @@ class ServerClient:
         return b"".join(chunks)
 
     def request(
-        self, op: str, fields: dict[str, object] | None = None,
+        self,
+        op: str,
+        fields: dict[str, object] | None = None,
         payload: bytes = b"",
+        deadline_ms: float | None = None,
     ) -> tuple[dict[str, object], bytes]:
         """Send one request frame, return the (header, payload) response.
 
-        Raises :class:`ServerError` on ``ok=False`` responses and
-        :class:`ConnectionError` if the server hangs up mid-frame.
+        ``deadline_ms`` overrides the client-wide deadline for this one
+        request; the socket timeout is tightened to the deadline (plus a
+        grace second for the response frame to cross the wire), so a
+        deadline-budgeted caller — the shard router — never waits on a
+        dead backend longer than the budget it handed out.
+
+        Raises :class:`ServerError` on ``ok=False`` responses,
+        :class:`ServerUnavailableError` when the connection died and the
+        reconnect budget is spent, and :class:`ConnectionError` if the
+        server hangs up mid-frame with no retries configured.
         """
+        effective = (
+            deadline_ms if deadline_ms is not None else self.deadline_ms
+        )
         self._next_id += 1
         header: dict[str, object] = {"op": op, "id": self._next_id}
-        if self.deadline_ms is not None:
-            header["deadline_ms"] = self.deadline_ms
+        if effective is not None:
+            header["deadline_ms"] = effective
         if fields:
             header.update(fields)
-        self._sock.sendall(protocol.encode_frame(header, payload))
-        response, resp_payload = protocol.read_frame(self._read_exactly)
+        frame = protocol.encode_frame(header, payload)
+        attempts = self._request_retries + 1
+        for attempt in range(attempts):
+            try:
+                if effective is not None:
+                    self._sock.settimeout(effective / 1000.0 + 1.0)
+                try:
+                    self._sock.sendall(frame)
+                    response, resp_payload = protocol.read_frame(
+                        self._read_exactly
+                    )
+                finally:
+                    if effective is not None:
+                        self._sock.settimeout(self._timeout_s)
+                break
+            except (ConnectionError, TimeoutError, OSError):
+                # The connection is in an unknown framing state either
+                # way; only a fresh one is usable.
+                self._sock.close()
+                if attempt + 1 == attempts:
+                    raise
+                self._sock = self._connect()
         if not response.get("ok"):
             code = response.get("error")
             if not isinstance(code, str) or code not in protocol.ERROR_CODES:

@@ -21,10 +21,14 @@ free-form ``counters`` dict of the single record.
 
 from __future__ import annotations
 
+import bisect
+import itertools
+import random
 import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Callable
 
 from repro.bench.records import BenchRecord, write_bench_json
 from repro.concurrency import create_lock
@@ -97,6 +101,15 @@ class LoadgenConfig:
     #: Retry budget for ``overloaded`` rejections, per request.
     overload_retries: int = 0
     retry_sleep_s: float = 0.01
+    #: Zipf exponent for target selection: 0.0 (default) keeps the
+    #: legacy round-robin trace; ``s > 0`` draws each request's target
+    #: with probability ∝ 1/rank^s (rank = discovery order), so a few
+    #: hot keys dominate — the cache-friendly skew real serving sees,
+    #: and what makes warm-cache-aware shard routing measurable.
+    zipf_s: float = 0.0
+    #: Seed for the zipfian draw (per-worker streams derive from it),
+    #: so a trace is reproducible across runs and machines.
+    seed: int = 0
 
     def __post_init__(self) -> None:
         if self.clients < 1:
@@ -109,6 +122,30 @@ class LoadgenConfig:
         bad = set(self.ops) - {"scan", "sum", "comp"}
         if bad:
             raise ValueError(f"unsupported loadgen ops: {sorted(bad)}")
+        if self.zipf_s < 0:
+            raise ValueError(f"zipf_s must be >= 0, got {self.zipf_s}")
+
+
+def _zipf_picker(
+    config: LoadgenConfig, worker_index: int, n_targets: int
+) -> "Callable[[int], int] | None":
+    """A per-worker target picker under zipfian skew, or ``None``.
+
+    Each worker gets its own ``random.Random`` stream derived from the
+    run seed, so a multi-worker trace is reproducible yet workers do
+    not march in lockstep over the same hot key.
+    """
+    if config.zipf_s == 0.0 or n_targets <= 1:
+        return None
+    rng = random.Random(config.seed * 1000 + worker_index)
+    weights = [1.0 / (rank**config.zipf_s) for rank in range(1, n_targets + 1)]
+    cumulative = list(itertools.accumulate(weights))
+    total = cumulative[-1]
+
+    def pick(_request_index: int) -> int:
+        return bisect.bisect(cumulative, rng.random() * total)
+
+    return pick
 
 
 def _issue(
@@ -132,12 +169,16 @@ def _worker(
     result: LoadgenResult,
     lock: threading.Lock,
 ) -> None:
+    pick = _zipf_picker(config, worker_index, len(targets))
     with ServerClient(
         config.host, config.port, deadline_ms=config.deadline_ms
     ) as client:
         for i in range(config.requests_per_client):
             op = config.ops[(worker_index + i) % len(config.ops)]
-            dataset, column = targets[(worker_index + i) % len(targets)]
+            target_index = (
+                pick(i) if pick else (worker_index + i) % len(targets)
+            )
+            dataset, column = targets[target_index]
             start = time.perf_counter()
             scanned = 0
             error_code: str | None = None
@@ -228,7 +269,10 @@ def run_loadgen(
 
 
 def write_loadgen_json(
-    path: str | Path, config: LoadgenConfig, result: LoadgenResult
+    path: str | Path,
+    config: LoadgenConfig,
+    result: LoadgenResult,
+    record_name: str = "loadgen",
 ) -> dict:
     """Persist a run as a schema-valid ``BENCH_*.json`` document.
 
@@ -237,23 +281,37 @@ def write_loadgen_json(
     (8 bytes per served float64 value), the compression-shape fields are
     0.0 (allowed by the schema, meaning "not measured here"), and the
     latency percentiles ride in the free-form ``counters`` dict.
+
+    ``decompress_rel`` is served MB/s divided by the same-process
+    :func:`~repro.bench.harness.calibration_mbps` reference — the
+    machine-relative number the regression gate actually compares, so a
+    routed-serving baseline checked into the repo holds across CI
+    runners of different speeds.  (Baselines written before this field
+    was populated carry ``0.0`` there; the gate reads an upgrade from
+    0.0 as an improvement, so they stay valid.)
+
+    ``record_name`` distinguishes single-node (``loadgen``) from routed
+    (e.g. ``shard_loadgen``) runs — gate comparisons key on it.
     """
+    from repro.bench.harness import calibration_mbps
+
     summary = result.summary()
     served_mbps = (
         result.values_scanned * 8 / 1e6 / result.elapsed_s
         if result.elapsed_s
         else 0.0
     )
+    calibration = calibration_mbps()
     record = BenchRecord(
         dataset="served",
-        codec="loadgen",
+        codec=record_name,
         n=max(result.requests, 1),
         bits_per_value=0.0,
         compression_ratio=0.0,
         compress_mbps=0.0,
         decompress_mbps=served_mbps,
         compress_rel=0.0,
-        decompress_rel=0.0,
+        decompress_rel=served_mbps / calibration if calibration else 0.0,
         spans={},
         counters=summary,
         peak_rss_bytes=result.peak_rss_bytes,
@@ -263,14 +321,13 @@ def write_loadgen_json(
         path,
         [record],
         config={
-            "mode": "loadgen",
+            "mode": record_name,
             "clients": config.clients,
             "requests_per_client": config.requests_per_client,
             "ops": list(config.ops),
             "deadline_ms": config.deadline_ms,
+            "zipf_s": config.zipf_s,
+            "seed": config.seed,
         },
-        # The bench calibration workload is compression-shaped and
-        # meaningless for a serving run; 1.0 keeps the document valid
-        # while making the *_rel fields transparently "per raw MB/s".
-        calibration_mbps=1.0,
+        calibration_mbps=calibration,
     )

@@ -103,6 +103,41 @@ def _columns_projection(header: dict[str, object]) -> list[str] | None:
     return value
 
 
+def _rowgroup_range(
+    header: dict[str, object], served: ServedColumn
+) -> tuple[int, int] | None:
+    """The optional ``rowgroups`` partition field: ``[start, stop)``.
+
+    The shard router scopes each backend request to one partition with
+    this field; requests without it keep the whole-column semantics of
+    the pre-sharding protocol.
+    """
+    value = header.get("rowgroups")
+    if value is None:
+        return None
+    if (
+        not isinstance(value, list)
+        or len(value) != 2
+        or not all(
+            isinstance(v, int) and not isinstance(v, bool) for v in value
+        )
+    ):
+        raise OpError(
+            protocol.ERR_BAD_REQUEST,
+            "request field 'rowgroups' must be a [start, stop) pair of "
+            "row-group indexes",
+        )
+    start, stop = int(value[0]), int(value[1])
+    count = served.reader.rowgroup_count
+    if not (0 <= start < stop <= count):
+        raise OpError(
+            protocol.ERR_BAD_REQUEST,
+            f"row-group range [{start}, {stop}) outside the column's "
+            f"[0, {count})",
+        )
+    return start, stop
+
+
 def _range_bounds(
     header: dict[str, object],
 ) -> tuple[float, float] | None:
@@ -163,11 +198,12 @@ def build_ops(
             # echo (tests/test_server_protocol.py pins this).
             served = _resolve(registry, header)
             bounds = _range_bounds(header)
+            rowgroups = _rowgroup_range(header, served)
             # scan_payload owns the buffer lifecycle: full-column scans
             # decode into a pooled target and release it once the
             # response bytes exist, so steady state allocates nothing
             # per request beyond the serialized frame itself.
-            body, count = served.scan_payload(bounds)
+            body, count = served.scan_payload(bounds, rowgroups)
             fields: dict[str, object] = {"count": count}
             fields.update(_quarantine_fields(served))
             return OpResult(fields=fields, payload=body)
@@ -190,10 +226,11 @@ def build_ops(
             raise OpError(
                 protocol.ERR_NOT_FOUND, str(exc.args[0])
             ) from exc
+        rowgroups = _rowgroup_range(header, projected[0])
         blocks: list[bytes] = []
         counts: list[int] = []
         for served in projected:
-            body, count = served.scan_payload(bounds)
+            body, count = served.scan_payload(bounds, rowgroups)
             blocks.append(body)
             counts.append(count)
         reports = [served.scan_report() for served in projected]
@@ -213,11 +250,12 @@ def build_ops(
     def op_sum(header: dict[str, object], payload: bytes) -> OpResult:
         served = _resolve(registry, header)
         bounds = _range_bounds(header)
+        rowgroups = _rowgroup_range(header, served)
         # Both shapes run the engine's encoded-domain (late
         # materialization) path: integers are reduced in place of
         # doubles, and ranged sums skip non-qualifying vectors via zone
         # maps + FFOR headers without unpacking them.
-        source = served.query_source()
+        source = served.query_source(rowgroups)
         if bounds is None:
             total = float(sum_query(source))
             count = int(source.value_count)

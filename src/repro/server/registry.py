@@ -93,7 +93,9 @@ class ServedColumn:
         return self.reader.read_all(cache=self.cache)
 
     def scan_payload(
-        self, bounds: "tuple[float, float] | None" = None
+        self,
+        bounds: "tuple[float, float] | None" = None,
+        rowgroups: "tuple[int, int] | None" = None,
     ) -> tuple[bytes, int]:
         """One scan response, serialized: ``(payload bytes, count)``.
 
@@ -104,7 +106,14 @@ class ServedColumn:
         is released once the response bytes exist.  The serialized copy
         ``values_to_bytes`` makes is the one allocation that remains —
         the response frame must outlive the buffer's next reuse.
+
+        ``rowgroups`` scopes the scan to the half-open row-group range
+        ``[start, stop)`` — the shard router's partition-sized requests
+        (cache keys stay per-(file, row-group), so a partition scoped
+        to one backend warms exactly its own row-groups).
         """
+        if rowgroups is not None:
+            return self._scan_payload_rowgroups(bounds, rowgroups)
         if bounds is not None:
             values = self.values_in_range(*bounds)
             return protocol.values_to_bytes(values), int(values.size)
@@ -121,7 +130,41 @@ class ServedColumn:
         finally:
             self.pool.release(buffer)
 
-    def query_source(self):
+    def _scan_payload_rowgroups(
+        self,
+        bounds: "tuple[float, float] | None",
+        rowgroups: "tuple[int, int]",
+    ) -> tuple[bytes, int]:
+        """A partition-scoped scan: row-groups ``[start, stop)`` only.
+
+        Decoded row-groups go through the shared cache (same keys the
+        full-column path uses) and degraded readers quarantine corrupt
+        ones, so a scoped scan serves exactly the values a full scan
+        would serve for those row-groups.
+        """
+        start, stop = rowgroups
+        if bounds is not None:
+            low, high = bounds
+            chunks = [
+                values[(values >= low) & (values <= high)]
+                for index, values in self.reader.scan_range(
+                    low, high, cache=self.cache
+                )
+                if start <= index < stop
+            ]
+        else:
+            chunks = [
+                values
+                for _, values in self.reader.iter_rowgroups(
+                    self.cache, start, stop
+                )
+            ]
+        if not chunks:
+            return b"", 0
+        values = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+        return protocol.values_to_bytes(values), int(values.size)
+
+    def query_source(self, rowgroups: "tuple[int, int] | None" = None):
         """The engine-facing scan source for aggregate ops.
 
         Deliberately *not* wired to the decoded-vector cache: aggregates
@@ -129,11 +172,12 @@ class ServedColumn:
         a ulp depending on whether some row-group happened to be warm.
         Scan ops, whose decoded values are bit-identical either way, keep
         using the cache through :meth:`all_values` /
-        :meth:`values_in_range`.
+        :meth:`values_in_range`.  ``rowgroups`` restricts the source to
+        the half-open row-group range (partition-scoped aggregates).
         """
         from repro.query.sources import FileColumnSource
 
-        return FileColumnSource(reader=self.reader)
+        return FileColumnSource(reader=self.reader, rowgroups=rowgroups)
 
     def values_in_range(self, low: float, high: float) -> np.ndarray:
         """Values inside ``[low, high]``, zone-map-pruned then filtered."""
@@ -150,13 +194,20 @@ class ServedColumn:
         return self.reader.scan_report()
 
     def describe(self) -> dict[str, object]:
-        """Metadata for the ``datasets`` op / the CLI listing."""
+        """Metadata for the ``datasets`` op / the CLI listing.
+
+        ``rowgroup_rows`` (per-row-group value counts, footer order) is
+        what the shard router partitions on: it derives partition row
+        counts — and the degraded-row accounting for missing shards —
+        without opening the file itself.
+        """
         return {
             "values": self.value_count,
             "rowgroups": self.reader.rowgroup_count,
             "vector_size": self.reader.vector_size,
             "bits_per_value": self.bits_per_value,
             "format_version": self.reader.format_version,
+            "rowgroup_rows": [m.count for m in self.reader.metadata],
         }
 
 

@@ -453,10 +453,23 @@ class ServerHandle:
 
     def __init__(
         self,
-        registry: DatasetRegistry,
+        registry: DatasetRegistry | None = None,
         config: ServerConfig | None = None,
+        server: ReproServer | None = None,
     ) -> None:
-        self.server = ReproServer(registry, config)
+        if server is None:
+            if registry is None:
+                raise ValueError(
+                    "ServerHandle needs a registry (to build a server) "
+                    "or an existing server"
+                )
+            server = ReproServer(registry, config)
+        elif registry is not None or config is not None:
+            raise ValueError(
+                "pass either registry/config or a pre-built server, "
+                "not both"
+            )
+        self.server = server
         self._started = threading.Event()
         self._startup_error: BaseException | None = None
         self._loop: asyncio.AbstractEventLoop | None = None

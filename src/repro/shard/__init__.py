@@ -1,0 +1,55 @@
+"""repro.shard — a sharded serving tier over :mod:`repro.server`.
+
+A coordinator/router that partitions every registered dataset by
+row-group range across N ``repro.server`` backends and speaks the same
+``ALPS`` framed protocol on both sides:
+
+- :mod:`repro.shard.placement` — the consistent-hash ring (virtual
+  nodes, stable blake2b hashing), partitioning, and the shard map;
+- :mod:`repro.shard.pool` — the health-checked backend connection pool
+  with ejection / probation re-admission;
+- :mod:`repro.shard.merge` — deterministic scatter-response merging
+  (ordered scan concatenation, order-preserving sum folding,
+  quarantine-tally degradation for missing shards);
+- :mod:`repro.shard.router` — the router service itself: scatter-gather
+  with per-shard deadline budgets and replica failover, served through
+  a stock :class:`~repro.server.service.ReproServer` frontend.
+
+Semantics (placement, deadline budgeting, failover, the degradation
+contract) are documented in ``docs/SHARDING.md``; ``alp-repro
+shard-serve`` is the CLI entry point.
+"""
+
+from __future__ import annotations
+
+from repro.shard.merge import PartResult, merge_scan, merge_sum
+from repro.shard.placement import (
+    HashRing,
+    Partition,
+    build_shard_map,
+    partition_column,
+    stable_hash,
+)
+from repro.shard.pool import BackendPool
+from repro.shard.router import (
+    RouterConfig,
+    RouterHandle,
+    ShardRouter,
+    run_router_in_thread,
+)
+
+__all__ = [
+    "BackendPool",
+    "HashRing",
+    "PartResult",
+    "Partition",
+    "RouterConfig",
+    "RouterHandle",
+    "ShardRouter",
+    "build_shard_map",
+    "merge_scan",
+    "merge_sum",
+    "partition_column",
+    "run_router_in_thread",
+    "stable_hash",
+]

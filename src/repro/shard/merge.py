@@ -1,0 +1,148 @@
+"""Deterministic merging of per-partition responses.
+
+The merge rules exist to keep one promise: **with every shard healthy, a
+routed response is byte- and value-identical to the same request served
+by one node** (pinned by ``tests/test_shard_router.py``).
+
+- *Scans* concatenate partition payloads in partition (row-group) order
+  — exactly the order a single node's row-group loop produces.
+- *Sums* fold partition partials **left-to-right in partition order**,
+  mirroring :class:`~repro.query.operators.EncodedSumOperator`'s
+  ``total = term if not started else total + term`` accumulation.
+  Float addition is not associative, so folding in any other order (or
+  pairwise) could drift by a ulp; folding in the same order cannot.
+- *Quarantine tallies* add across partitions, and a partition whose
+  every replica is unreachable degrades into those same tallies (its
+  row-group and row counts), keeping the response row-aligned: counts
+  always account for every row the dataset owns.
+
+Each helper consumes :class:`PartResult` records — one per partition,
+``missing=True`` when no replica answered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.shard.placement import Partition
+
+
+@dataclass(frozen=True)
+class PartResult:
+    """One partition's outcome: a backend response or a degraded miss."""
+
+    partition: Partition
+    #: Response header fields (empty when missing).
+    fields: dict[str, object] = field(default_factory=dict)
+    payload: bytes = b""
+    missing: bool = False
+
+
+def _int_field(fields: dict[str, object], key: str) -> int:
+    value = fields.get(key, 0)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return 0
+    return int(value)
+
+
+def merge_tallies(parts: "list[PartResult]") -> dict[str, object]:
+    """Summed quarantine tallies, with missing partitions folded in."""
+    rowgroups = 0
+    values = 0
+    missing = 0
+    for part in parts:
+        if part.missing:
+            rowgroups += part.partition.stop - part.partition.start
+            values += part.partition.rows
+            missing += 1
+        else:
+            rowgroups += _int_field(part.fields, "rowgroups_quarantined")
+            values += _int_field(part.fields, "values_quarantined")
+    fields: dict[str, object] = {
+        "rowgroups_quarantined": rowgroups,
+        "values_quarantined": values,
+    }
+    if missing:
+        fields["partial"] = True
+        fields["shards_missed"] = missing
+    return fields
+
+
+def merge_scan(parts: "list[PartResult]") -> tuple[dict[str, object], bytes]:
+    """Merge single-column scan partitions: ordered concatenation."""
+    fields = merge_tallies(parts)
+    fields["count"] = sum(
+        _int_field(part.fields, "count") for part in parts
+    )
+    payload = b"".join(part.payload for part in parts)
+    return fields, payload
+
+
+def merge_scan_columns(
+    parts: "list[PartResult]", n_columns: int
+) -> tuple[dict[str, object], bytes]:
+    """Merge projection partitions into one per-column-major payload.
+
+    Each partition's payload is column-major *within the partition*
+    (column 0's slice, then column 1's …, per its ``counts``); the
+    single-node response is column-major over the whole table.  So the
+    merge re-slices: for each column, concatenate that column's slice
+    from every partition in order.  float64 values are 8 bytes each,
+    which makes the slicing arithmetic exact.
+    """
+    fields = merge_tallies(parts)
+    columns: list[list[bytes]] = [[] for _ in range(n_columns)]
+    counts = [0] * n_columns
+    for part in parts:
+        if part.missing:
+            continue
+        part_counts = part.fields.get("counts")
+        if (
+            not isinstance(part_counts, list)
+            or len(part_counts) != n_columns
+        ):
+            raise ValueError(
+                f"partition {part.partition.key} returned malformed "
+                f"'counts': {part_counts!r}"
+            )
+        offset = 0
+        for index, raw in enumerate(part_counts):
+            size = int(raw) * 8
+            columns[index].append(part.payload[offset : offset + size])
+            counts[index] += int(raw)
+            offset += size
+    fields["counts"] = counts
+    fields["count"] = sum(counts)
+    payload = b"".join(b"".join(slices) for slices in columns)
+    # The schema echo comes from any shard that answered — they serve
+    # identical files, so any copy is the canonical one.
+    for part in parts:
+        if not part.missing and "schema" in part.fields:
+            fields["schema"] = part.fields["schema"]
+            break
+    return fields, payload
+
+
+def merge_sum(parts: "list[PartResult]") -> dict[str, object]:
+    """Fold partition sums left-to-right in partition order."""
+    fields = merge_tallies(parts)
+    total = 0.0
+    started = False
+    count = 0
+    for part in parts:
+        if part.missing:
+            continue
+        term = part.fields.get("sum")
+        if isinstance(term, bool) or not isinstance(term, (int, float)):
+            raise ValueError(
+                f"partition {part.partition.key} returned malformed "
+                f"'sum': {term!r}"
+            )
+        # Mirrors EncodedSumOperator.result(): the first term is taken
+        # as-is, later terms accumulate in order.
+        total = float(term) if not started else total + float(term)
+        started = True
+        count += _int_field(part.fields, "count")
+    fields["sum"] = total
+    fields["count"] = count
+    return fields

@@ -1,0 +1,248 @@
+"""Consistent-hash placement: partitions, the ring, and the shard map.
+
+The router partitions every served column by row-group range and places
+each partition on ``replication`` backends chosen by a consistent-hash
+ring walk.  Two properties carry the whole design:
+
+- **Stability** — the replica list of a partition depends only on the
+  partition key and the node set, never on request order or process
+  state.  The first replica is therefore *the* warm replica: routing the
+  same partition to the same backend on every request keeps that
+  backend's decoded-vector cache hot for exactly its own row-groups.
+- **Minimal disruption** — adding or removing one backend remaps only
+  the partitions whose ring neighborhood changed (about ``1/N`` of
+  them), not the whole key space.  Caches on surviving backends stay
+  warm through membership changes (pinned by a Hypothesis property in
+  ``tests/test_shard_placement.py``).
+
+Hashing uses ``blake2b`` (:func:`stable_hash`), not Python's ``hash()``:
+the builtin is salted per process, and placement must agree between a
+router restart and its previous self — and between test runs.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from dataclasses import dataclass
+
+
+def stable_hash(key: str) -> int:
+    """A process-stable 64-bit hash of ``key`` (blake2b, first 8 bytes)."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One shard unit: a half-open row-group range of one served column."""
+
+    dataset: str
+    column: str
+    #: Row-group range ``[start, stop)`` within the column.
+    start: int
+    stop: int
+    #: Total values in the range, from the column's footer metadata —
+    #: what a missing shard contributes to ``values_quarantined``.
+    rows: int
+
+    @property
+    def key(self) -> str:
+        """The placement key (stable across restarts and processes)."""
+        return f"{self.dataset}/{self.column}#{self.start}:{self.stop}"
+
+    @property
+    def rowgroups(self) -> tuple[int, int]:
+        """The range as the wire-level ``rowgroups`` request field."""
+        return (self.start, self.stop)
+
+
+class HashRing:
+    """A consistent-hash ring with virtual nodes.
+
+    Each node is hashed ``vnodes`` times onto a 64-bit circle; a key is
+    placed by walking clockwise from its own hash and collecting the
+    first ``n`` *distinct* nodes — the replica preference order.
+    """
+
+    def __init__(
+        self,
+        nodes: "list[str] | tuple[str, ...]",
+        vnodes: int = 64,
+    ) -> None:
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self._vnodes = vnodes
+        self._nodes: set[str] = set()
+        #: Sorted parallel arrays: vnode hash -> owning node.
+        self._hashes: list[int] = []
+        self._owners: list[str] = []
+        for node in nodes:
+            self.add_node(node)
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        """The member nodes, sorted for determinism."""
+        return tuple(sorted(self._nodes))
+
+    def add_node(self, node: str) -> None:
+        """Add ``node`` (idempotent is an error: membership is explicit)."""
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} is already on the ring")
+        self._nodes.add(node)
+        for replica in range(self._vnodes):
+            point = stable_hash(f"{node}#{replica}")
+            index = bisect.bisect(self._hashes, point)
+            self._hashes.insert(index, point)
+            self._owners.insert(index, node)
+
+    def remove_node(self, node: str) -> None:
+        """Remove ``node`` and all its virtual nodes."""
+        if node not in self._nodes:
+            raise ValueError(f"node {node!r} is not on the ring")
+        self._nodes.discard(node)
+        keep = [
+            (h, o)
+            for h, o in zip(self._hashes, self._owners, strict=True)
+            if o != node
+        ]
+        self._hashes = [h for h, _ in keep]
+        self._owners = [o for _, o in keep]
+
+    def preference(self, key: str, n: int) -> tuple[str, ...]:
+        """The first ``min(n, len(nodes))`` distinct nodes clockwise from
+        ``key``'s hash — the stable replica preference order."""
+        if not self._hashes:
+            return ()
+        want = min(n, len(self._nodes))
+        start = bisect.bisect(self._hashes, stable_hash(key))
+        chosen: list[str] = []
+        seen: set[str] = set()
+        for step in range(len(self._owners)):
+            owner = self._owners[(start + step) % len(self._owners)]
+            if owner not in seen:
+                seen.add(owner)
+                chosen.append(owner)
+                if len(chosen) == want:
+                    break
+        return tuple(chosen)
+
+
+def partition_column(
+    dataset: str,
+    column: str,
+    rowgroup_rows: "list[int]",
+    partition_rowgroups: int,
+) -> "list[Partition]":
+    """Split one column into ``ceil(G / partition_rowgroups)`` partitions.
+
+    ``rowgroup_rows`` is the per-row-group value count list from the
+    column's ``describe()`` — partition row totals come from it, so the
+    router never opens the files itself.
+    """
+    if partition_rowgroups < 1:
+        raise ValueError(
+            f"partition_rowgroups must be >= 1, got {partition_rowgroups}"
+        )
+    partitions: list[Partition] = []
+    count = len(rowgroup_rows)
+    for start in range(0, count, partition_rowgroups):
+        stop = min(start + partition_rowgroups, count)
+        partitions.append(
+            Partition(
+                dataset=dataset,
+                column=column,
+                start=start,
+                stop=stop,
+                rows=int(sum(rowgroup_rows[start:stop])),
+            )
+        )
+    return partitions
+
+
+def build_shard_map(
+    describe: dict[str, object],
+    ring: HashRing,
+    replication: int,
+    partition_rowgroups: int,
+) -> dict[tuple[str, str], list[tuple[Partition, tuple[str, ...]]]]:
+    """Place every column of a ``datasets`` describe onto the ring.
+
+    Returns ``(dataset, column) -> [(partition, replica preference)]``
+    with partitions in row-group order — the order scatter responses are
+    merged back in, which is what keeps merged scans byte-identical to a
+    single-node scan.
+    """
+    if replication < 1:
+        raise ValueError(f"replication must be >= 1, got {replication}")
+    shard_map: dict[
+        tuple[str, str], list[tuple[Partition, tuple[str, ...]]]
+    ] = {}
+    for dataset, columns in describe.items():
+        if not isinstance(columns, dict):
+            raise ValueError(f"malformed describe for dataset {dataset!r}")
+        for column, meta in columns.items():
+            if not isinstance(meta, dict):
+                raise ValueError(
+                    f"malformed describe for column "
+                    f"{dataset!r}/{column!r}"
+                )
+            rowgroup_rows = meta.get("rowgroup_rows")
+            if not isinstance(rowgroup_rows, list):
+                raise ValueError(
+                    f"describe of {dataset!r}/{column!r} lacks "
+                    f"'rowgroup_rows'; backends must be at least as new "
+                    f"as the router"
+                )
+            partitions = partition_column(
+                dataset, column, [int(r) for r in rowgroup_rows],
+                partition_rowgroups,
+            )
+            shard_map[(dataset, column)] = [
+                (part, ring.preference(part.key, replication))
+                for part in partitions
+            ]
+    _balance_primaries(shard_map, ring.nodes)
+    return shard_map
+
+
+def _balance_primaries(
+    shard_map: dict[tuple[str, str], list[tuple[Partition, tuple[str, ...]]]],
+    nodes: tuple[str, ...],
+    load: "dict[str, int] | None" = None,
+) -> None:
+    """Rotate each replica list so primary row-load spreads evenly.
+
+    With coarse partitioning a deployment may have only a handful of
+    placement keys (one per column), and the raw ring walk can then put
+    most primaries on one node — the law of small numbers, not a ring
+    bug.  This greedy pass walks partitions in deterministic key order
+    and promotes, within each partition's *ring-chosen replica set*, the
+    replica with the least accumulated primary row-load.  Replica
+    membership is untouched (so ring stability/disruption properties
+    hold unchanged); only the warm-primary choice moves, and it is a
+    pure function of the shard map, so every router instance over the
+    same backends agrees on it.
+    """
+    if load is None:
+        load = {}
+    for node in nodes:
+        load.setdefault(node, 0)
+    for key in sorted(shard_map):
+        rebuilt: list[tuple[Partition, tuple[str, ...]]] = []
+        for part, replicas in shard_map[key]:
+            if len(replicas) > 1:
+                best = 0
+                for index in range(1, len(replicas)):
+                    if load[replicas[index]] < load[replicas[best]]:
+                        best = index
+                if best:
+                    replicas = (replicas[best],) + tuple(
+                        node
+                        for index, node in enumerate(replicas)
+                        if index != best
+                    )
+            if replicas:
+                load[replicas[0]] += part.rows
+            rebuilt.append((part, replicas))
+        shard_map[key] = rebuilt

@@ -1,0 +1,171 @@
+"""The router's backend pool: connection reuse, ejection, re-admission.
+
+One pool serves every scatter worker.  It keeps a free-list of idle
+:class:`~repro.server.client.ServerClient` connections per backend
+(checkout / checkin / discard), and tracks backend health:
+
+- ``failure_threshold`` consecutive connection-level failures **eject**
+  the backend for an exponentially growing, jittered cool-down
+  (``shard.backend_ejected``) — scatter stops trying it, so a dead
+  backend costs one connect timeout per cool-down, not one per request;
+- when the cool-down expires the backend is **on probation**: eligible
+  again, and the first success clears the failure history
+  (``shard.backend_readmitted``) while another failure re-ejects it with
+  a doubled cool-down;
+- protocol-level errors (``bad_request``, ``not_found``…) are *not*
+  failures — only unreachability counts against health.
+
+Locking: the single pool lock guards only dict/list state.  Connects —
+the blocking part — happen strictly outside it (the runtime lock-order
+sanitizer would flag blocking-while-holding, and it would serialize the
+scatter fan-out).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro import obs
+from repro.concurrency import create_lock
+from repro.server.client import ServerClient
+
+
+class BackendState:
+    """Health and free-list of one backend (guarded by the pool lock)."""
+
+    __slots__ = ("idle", "failures", "ejected_until", "ejections")
+
+    def __init__(self) -> None:
+        self.idle: list[ServerClient] = []
+        self.failures = 0
+        #: Monotonic time until which the backend is ejected (0 = not).
+        self.ejected_until = 0.0
+        #: Lifetime ejection count — scales the cool-down exponent.
+        self.ejections = 0
+
+
+class BackendPool:
+    """Pooled, health-checked connections to a fixed set of backends."""
+
+    def __init__(
+        self,
+        backends: "tuple[str, ...]",
+        connect_timeout_s: float = 5.0,
+        failure_threshold: int = 1,
+        eject_base_s: float = 0.5,
+        eject_max_s: float = 15.0,
+        eject_jitter: float = 0.5,
+        rng: random.Random | None = None,
+    ) -> None:
+        if not backends:
+            raise ValueError("a backend pool needs at least one backend")
+        if len(set(backends)) != len(backends):
+            raise ValueError(f"duplicate backends: {sorted(backends)}")
+        self._connect_timeout_s = connect_timeout_s
+        self._failure_threshold = max(1, failure_threshold)
+        self._eject_base_s = eject_base_s
+        self._eject_max_s = eject_max_s
+        self._eject_jitter = eject_jitter
+        self._rng = rng or random.Random()
+        self._lock = create_lock("BackendPool._lock")
+        self._states: dict[str, BackendState] = {
+            address: BackendState() for address in backends
+        }
+
+    @property
+    def backends(self) -> tuple[str, ...]:
+        """Every configured backend address, configuration order."""
+        return tuple(self._states)
+
+    # -- health -------------------------------------------------------
+
+    def available(self, address: str) -> bool:
+        """Is the backend currently eligible (not inside a cool-down)?"""
+        state = self._states[address]
+        with self._lock:
+            return time.monotonic() >= state.ejected_until
+
+    def healthy_count(self) -> int:
+        """Backends currently outside a cool-down."""
+        now = time.monotonic()
+        with self._lock:
+            return sum(
+                1
+                for state in self._states.values()
+                if now >= state.ejected_until
+            )
+
+    def report_failure(self, address: str) -> None:
+        """Record a connection-level failure; eject past the threshold."""
+        state = self._states[address]
+        with self._lock:
+            state.failures += 1
+            if state.failures < self._failure_threshold:
+                return
+            cooldown = min(
+                self._eject_base_s * (2.0**state.ejections),
+                self._eject_max_s,
+            )
+            cooldown *= 1.0 + self._eject_jitter * self._rng.random()
+            state.ejected_until = time.monotonic() + cooldown
+            state.ejections += 1
+            state.failures = 0
+        obs.counter_add("shard.backend_ejected")
+        obs.gauge_set("shard.backends_healthy", self.healthy_count())
+
+    def report_success(self, address: str) -> None:
+        """Record a success; a probationary backend is fully re-admitted."""
+        state = self._states[address]
+        readmitted = False
+        with self._lock:
+            if state.ejections or state.failures or state.ejected_until:
+                readmitted = state.ejections > 0
+                state.failures = 0
+                state.ejections = 0
+                state.ejected_until = 0.0
+        if readmitted:
+            obs.counter_add("shard.backend_readmitted")
+            obs.gauge_set("shard.backends_healthy", self.healthy_count())
+
+    # -- connections --------------------------------------------------
+
+    def checkout(self, address: str) -> ServerClient:
+        """An idle connection to ``address``, or a fresh one.
+
+        Connecting happens outside the pool lock; a refused connect
+        raises :class:`~repro.server.client.ServerUnavailableError`
+        (no client-side retries — replica failover is the router's
+        retry policy, and it should move on immediately).
+        """
+        state = self._states[address]
+        with self._lock:
+            if state.idle:
+                return state.idle.pop()
+        host, _, port = address.rpartition(":")
+        return ServerClient(
+            host, int(port), timeout_s=self._connect_timeout_s
+        )
+
+    def checkin(self, address: str, client: ServerClient) -> None:
+        """Return a healthy connection to the free-list."""
+        state = self._states[address]
+        with self._lock:
+            state.idle.append(client)
+
+    def discard(self, client: ServerClient) -> None:
+        """Close a connection whose framing state is no longer trusted."""
+        client.close()
+
+    def close(self) -> None:
+        """Close every idle pooled connection."""
+        with self._lock:
+            drained = [
+                client
+                for state in self._states.values()
+                for client in state.idle
+            ]
+            for state in self._states.values():
+                state.idle.clear()
+        for client in drained:
+            client.close()

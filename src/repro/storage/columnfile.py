@@ -952,10 +952,18 @@ class ColumnFileReader:
         )
 
     def iter_rowgroups(
-        self, cache: RowGroupCache | None = None
+        self,
+        cache: RowGroupCache | None = None,
+        start: int = 0,
+        stop: int | None = None,
     ) -> Iterator[tuple[int, np.ndarray]]:
-        """Yield (index, values) per row-group; degraded mode skips bad ones."""
-        for index in range(len(self._meta)):
+        """Yield (index, values) per row-group; degraded mode skips bad ones.
+
+        ``start``/``stop`` restrict the walk to the half-open row-group
+        range ``[start, stop)`` — the sharded serving tier scopes a
+        backend's scan to its partition this way.
+        """
+        for index in self._rowgroup_range(start, stop):
             try:
                 yield index, self.cached_rowgroup(index, cache)
             except CorruptRowGroupError as err:
@@ -963,8 +971,22 @@ class ColumnFileReader:
                     raise
                 self._quarantine(index, err)
 
+    def _rowgroup_range(self, start: int, stop: int | None) -> range:
+        """Validate a half-open row-group range against the footer."""
+        count = len(self._meta)
+        if stop is None:
+            stop = count
+        if not (0 <= start <= stop <= count):
+            raise ValueError(
+                f"row-group range [{start}, {stop}) outside "
+                f"[0, {count})"
+            )
+        return range(start, stop)
+
     def iter_rowgroups_compressed(
         self,
+        start: int = 0,
+        stop: int | None = None,
     ) -> Iterator[tuple[int, RowGroupMeta, CompressedRowGroup]]:
         """Yield (index, meta, compressed row-group) without decompressing.
 
@@ -974,8 +996,10 @@ class ColumnFileReader:
         readers quarantine corrupt row-groups exactly as
         :meth:`iter_rowgroups` does, so an encoded scan and a decoded
         scan of the same damaged file cover the same values.
+        ``start``/``stop`` restrict the walk exactly as in
+        :meth:`iter_rowgroups`.
         """
-        for index in range(len(self._meta)):
+        for index in self._rowgroup_range(start, stop):
             try:
                 rowgroup = self.read_rowgroup_compressed(index)
             except CorruptRowGroupError as err:

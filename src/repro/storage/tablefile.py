@@ -1950,9 +1950,12 @@ class TableColumnReader:
         )
 
     def iter_rowgroups(
-        self, cache: "RowGroupCache | None" = None
+        self,
+        cache: "RowGroupCache | None" = None,
+        start: int = 0,
+        stop: int | None = None,
     ) -> Iterator[tuple[int, np.ndarray]]:
-        for index in range(len(self._meta)):
+        for index in self._rowgroup_range(start, stop):
             try:
                 yield index, self.cached_rowgroup(index, cache)
             except CorruptRowGroupError as err:
@@ -1960,10 +1963,23 @@ class TableColumnReader:
                     raise
                 self._quarantine(index, err)
 
+    def _rowgroup_range(self, start: int, stop: int | None) -> range:
+        """Validate a half-open row-group range against the footer."""
+        count = len(self._meta)
+        if stop is None:
+            stop = count
+        if not (0 <= start <= stop <= count):
+            raise ValueError(
+                f"row-group range [{start}, {stop}) outside [0, {count})"
+            )
+        return range(start, stop)
+
     def iter_rowgroups_compressed(
         self,
+        start: int = 0,
+        stop: int | None = None,
     ) -> Iterator[tuple[int, RowGroupMeta, CompressedRowGroup]]:
-        for index in range(len(self._meta)):
+        for index in self._rowgroup_range(start, stop):
             try:
                 rowgroup = self.read_rowgroup_compressed(index)
             except CorruptRowGroupError as err:

@@ -1,0 +1,251 @@
+"""Placement properties: ring balance, minimal disruption, shard maps.
+
+The two Hypothesis properties pin the guarantees the router's cache
+warmth and failover behavior rest on:
+
+- **balance** — with 64 virtual nodes per backend, no backend owns more
+  than twice its fair share of keys;
+- **minimal disruption** — removing (or adding) one backend remaps
+  *exactly* the keys that backend owned (or the new one acquires):
+  every other key keeps its owner, so surviving backends keep their
+  warm caches through membership changes.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.shard.placement import (
+    HashRing,
+    Partition,
+    build_shard_map,
+    partition_column,
+    stable_hash,
+)
+
+#: Enough keys that the balance statistics are stable.
+KEYS = [f"ds{i % 7}/col{i % 3}#{i}:{i + 1}" for i in range(1200)]
+
+node_names = st.lists(
+    st.from_regex(r"[a-z0-9.]{1,12}:[0-9]{2,5}", fullmatch=True),
+    min_size=2,
+    max_size=8,
+    unique=True,
+)
+
+
+class TestStableHash:
+    def test_stable_across_calls(self):
+        assert stable_hash("a/b#0:1") == stable_hash("a/b#0:1")
+
+    def test_64_bit_range(self):
+        for key in ("", "x", "a" * 100):
+            assert 0 <= stable_hash(key) < 2**64
+
+    def test_known_value_pins_process_independence(self):
+        # blake2b is deterministic everywhere; Python's hash() is not.
+        # This literal breaking means every deployed placement moved.
+        assert stable_hash("dataset/column#0:4") == 0xDE2670D1AC34FCE1
+
+
+class TestHashRing:
+    def test_preference_returns_distinct_nodes(self):
+        ring = HashRing(["a:1", "b:2", "c:3"])
+        pref = ring.preference("key", 3)
+        assert len(pref) == len(set(pref)) == 3
+
+    def test_preference_capped_at_node_count(self):
+        ring = HashRing(["a:1", "b:2"])
+        assert len(ring.preference("key", 5)) == 2
+
+    def test_preference_stable(self):
+        ring = HashRing(["a:1", "b:2", "c:3"])
+        assert ring.preference("k", 2) == ring.preference("k", 2)
+
+    def test_empty_ring(self):
+        ring = HashRing([])
+        assert ring.preference("k", 1) == ()
+
+    def test_duplicate_node_rejected(self):
+        ring = HashRing(["a:1"])
+        with pytest.raises(ValueError, match="already on the ring"):
+            ring.add_node("a:1")
+
+    def test_remove_unknown_rejected(self):
+        ring = HashRing(["a:1"])
+        with pytest.raises(ValueError, match="not on the ring"):
+            ring.remove_node("b:2")
+
+    @settings(max_examples=40, deadline=None)
+    @given(nodes=node_names)
+    def test_balance_bound(self, nodes):
+        ring = HashRing(nodes, vnodes=64)
+        owners = {node: 0 for node in nodes}
+        for key in KEYS:
+            owners[ring.preference(key, 1)[0]] += 1
+        fair = len(KEYS) / len(nodes)
+        assert max(owners.values()) <= 2.0 * fair
+        assert min(owners.values()) > 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(nodes=node_names, data=st.data())
+    def test_remove_remaps_only_the_removed_nodes_keys(self, nodes, data):
+        ring = HashRing(nodes, vnodes=64)
+        removed = data.draw(st.sampled_from(nodes))
+        before = {key: ring.preference(key, 1)[0] for key in KEYS}
+        ring.remove_node(removed)
+        after = {key: ring.preference(key, 1)[0] for key in KEYS}
+        for key in KEYS:
+            if before[key] != removed:
+                assert after[key] == before[key]
+            else:
+                assert after[key] != removed
+
+    @settings(max_examples=40, deadline=None)
+    @given(nodes=node_names)
+    def test_add_moves_keys_only_to_the_new_node(self, nodes):
+        joining, existing = nodes[0], nodes[1:]
+        ring = HashRing(existing, vnodes=64)
+        before = {key: ring.preference(key, 1)[0] for key in KEYS}
+        ring.add_node(joining)
+        after = {key: ring.preference(key, 1)[0] for key in KEYS}
+        for key in KEYS:
+            assert after[key] in (before[key], joining)
+
+    @settings(max_examples=20, deadline=None)
+    @given(nodes=node_names, data=st.data())
+    def test_replica_sets_disrupt_minimally(self, nodes, data):
+        """Replica *sets* lose only the removed node, for n=2 walks."""
+        ring = HashRing(nodes, vnodes=64)
+        removed = data.draw(st.sampled_from(nodes))
+        before = {key: ring.preference(key, 2) for key in KEYS}
+        ring.remove_node(removed)
+        after = {key: ring.preference(key, 2) for key in KEYS}
+        for key in KEYS:
+            if removed not in before[key]:
+                assert after[key] == before[key]
+
+
+class TestPartitionColumn:
+    def test_rows_accounted_exactly(self):
+        rows = [100, 100, 100, 50]
+        parts = partition_column("d", "c", rows, 2)
+        assert [(p.start, p.stop, p.rows) for p in parts] == [
+            (0, 2, 200),
+            (2, 4, 150),
+        ]
+        assert sum(p.rows for p in parts) == sum(rows)
+
+    def test_single_rowgroup_partitions(self):
+        parts = partition_column("d", "c", [10, 20, 30], 1)
+        assert len(parts) == 3
+        assert parts[1] == Partition("d", "c", 1, 2, 20)
+
+    def test_oversized_partition_clamps(self):
+        (part,) = partition_column("d", "c", [10, 20], 100)
+        assert (part.start, part.stop, part.rows) == (0, 2, 30)
+
+    def test_key_is_stable_and_distinct(self):
+        parts = partition_column("d", "c", [1] * 4, 1)
+        keys = [p.key for p in parts]
+        assert len(set(keys)) == 4
+        assert keys[0] == "d/c#0:1"
+
+    def test_bad_partition_size_rejected(self):
+        with pytest.raises(ValueError, match="partition_rowgroups"):
+            partition_column("d", "c", [1], 0)
+
+
+class TestBuildShardMap:
+    DESCRIBE = {
+        "temps": {
+            "temps": {
+                "values": 300,
+                "rowgroups": 3,
+                "rowgroup_rows": [100, 100, 100],
+            }
+        },
+        "prices": {
+            "bid": {
+                "values": 50,
+                "rowgroups": 1,
+                "rowgroup_rows": [50],
+            },
+            "ask": {
+                "values": 50,
+                "rowgroups": 1,
+                "rowgroup_rows": [50],
+            },
+        },
+    }
+
+    def test_partitions_in_rowgroup_order(self):
+        ring = HashRing(["a:1", "b:2", "c:3"])
+        shard_map = build_shard_map(self.DESCRIBE, ring, 2, 1)
+        placed = shard_map[("temps", "temps")]
+        assert [p.start for p, _ in placed] == [0, 1, 2]
+        for _, replicas in placed:
+            assert len(replicas) == 2
+
+    def test_every_column_mapped(self):
+        ring = HashRing(["a:1", "b:2"])
+        shard_map = build_shard_map(self.DESCRIBE, ring, 1, 1)
+        assert set(shard_map) == {
+            ("temps", "temps"),
+            ("prices", "bid"),
+            ("prices", "ask"),
+        }
+
+    def test_primary_load_balanced_with_few_keys(self):
+        """With one partition per column (a handful of placement keys)
+        the raw ring walk can pile most primaries onto one node; the
+        deterministic balancing pass must spread them."""
+        describe = {
+            f"col{i}": {
+                f"col{i}": {
+                    "values": 1000,
+                    "rowgroups": 1,
+                    "rowgroup_rows": [1000],
+                }
+            }
+            for i in range(6)
+        }
+        ring = HashRing(["a:1", "b:2", "c:3"])
+        shard_map = build_shard_map(describe, ring, 2, 1)
+        primary_rows: dict[str, int] = {}
+        for placed in shard_map.values():
+            for part, replicas in placed:
+                primary_rows[replicas[0]] = (
+                    primary_rows.get(replicas[0], 0) + part.rows
+                )
+        assert max(primary_rows.values()) <= 2 * (
+            sum(primary_rows.values()) / len(ring.nodes)
+        )
+
+    def test_primary_balancing_is_deterministic(self):
+        ring_a = HashRing(["a:1", "b:2", "c:3"])
+        ring_b = HashRing(["a:1", "b:2", "c:3"])
+        assert build_shard_map(self.DESCRIBE, ring_a, 2, 1) == (
+            build_shard_map(self.DESCRIBE, ring_b, 2, 1)
+        )
+
+    def test_balancing_preserves_replica_membership(self):
+        """Balancing may rotate a replica list but never change its
+        membership — the ring's disruption properties depend on that."""
+        ring = HashRing(["a:1", "b:2", "c:3", "d:4"])
+        shard_map = build_shard_map(self.DESCRIBE, ring, 3, 1)
+        for (dataset, column), placed in shard_map.items():
+            for part, replicas in placed:
+                assert set(replicas) == set(ring.preference(part.key, 3))
+
+    def test_missing_rowgroup_rows_rejected(self):
+        ring = HashRing(["a:1"])
+        with pytest.raises(ValueError, match="rowgroup_rows"):
+            build_shard_map({"d": {"c": {"values": 1}}}, ring, 1, 1)
+
+    def test_bad_replication_rejected(self):
+        ring = HashRing(["a:1"])
+        with pytest.raises(ValueError, match="replication"):
+            build_shard_map(self.DESCRIBE, ring, 0, 1)

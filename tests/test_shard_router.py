@@ -1,0 +1,447 @@
+"""Router semantics: equivalence, failover, degradation, liveness.
+
+The equivalence class pins the acceptance criterion that routing is
+*transparent*: scan payloads byte-identical and sums bit-identical to a
+direct single-node server while every shard is healthy.  Sums use
+integer-valued doubles so every partial sum is exact — the merge-order
+argument (docs/SHARDING.md) then guarantees bit-identity regardless of
+partitioning.
+
+Failover/degradation tests kill backends mid-flight and pin the
+contract: replicated partitions answer identically with exactly one
+``shard.failovers`` tick; unreplicated partitions degrade into
+row-aligned quarantine tallies (``partial: true``) — never a failed
+request.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import api, obs
+from repro.server import (
+    DatasetRegistry,
+    ServerClient,
+    ServerConfig,
+    ServerError,
+    run_in_thread,
+)
+from repro.server.loadgen import LoadgenConfig, run_loadgen
+from repro.shard.router import RouterConfig, run_router_in_thread
+
+VECTOR_SIZE = 128
+ROWGROUP_VECTORS = 2
+#: Values per row-group under OPTIONS.
+ROWGROUP_VALUES = VECTOR_SIZE * ROWGROUP_VECTORS
+OPTIONS = api.CompressionOptions(
+    vector_size=VECTOR_SIZE, rowgroup_vectors=ROWGROUP_VECTORS
+)
+
+
+def _int_values(n=8_192, seed=0):
+    """Integer-valued doubles: every partial sum is exact in float64."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(-1_000, 1_000, size=n).astype(np.float64)
+
+
+@pytest.fixture
+def cluster(tmp_path):
+    """Three backends serving identical files, plus the value arrays."""
+    values = {
+        "temps": _int_values(seed=1),
+        "loads": _int_values(seed=2),
+    }
+    paths = []
+    for name, vals in values.items():
+        path = tmp_path / f"{name}.alpc"
+        api.write(path, vals, OPTIONS)
+        paths.append(path)
+    handles = []
+    for _ in range(3):
+        registry = DatasetRegistry()
+        for path in paths:
+            registry.register_path(path)
+        handles.append(run_in_thread(registry, ServerConfig(port=0)))
+    try:
+        yield handles, values
+    finally:
+        for handle in handles:
+            handle.shutdown()
+
+
+def _backends(handles):
+    return tuple(f"127.0.0.1:{h.port}" for h in handles)
+
+
+def _start_router(handles, **kwargs):
+    kwargs.setdefault("replication", 2)
+    config = RouterConfig(backends=_backends(handles), **kwargs)
+    return run_router_in_thread(config)
+
+
+def _client(port, **kwargs):
+    return ServerClient("127.0.0.1", port, **kwargs)
+
+
+@pytest.fixture
+def metrics():
+    obs.enable()
+    obs.reset()
+    yield obs
+    obs.disable()
+    obs.reset()
+
+
+def _shard_counters():
+    counters = obs.snapshot()["counters"]
+    return {
+        name: count
+        for name, count in counters.items()
+        if name.startswith("shard.")
+    }
+
+
+class TestEquivalence:
+    def test_scan_payload_byte_identical(self, cluster):
+        handles, _ = cluster
+        router = _start_router(handles)
+        try:
+            with _client(handles[0].port) as direct, _client(
+                router.port
+            ) as routed:
+                for dataset in ("temps", "loads"):
+                    _, direct_body = direct.request(
+                        "scan", {"dataset": dataset}
+                    )
+                    _, routed_body = routed.request(
+                        "scan", {"dataset": dataset}
+                    )
+                    assert routed_body == direct_body
+        finally:
+            router.shutdown()
+
+    def test_sum_bit_identical(self, cluster):
+        handles, values = cluster
+        router = _start_router(handles)
+        try:
+            with _client(handles[0].port) as direct, _client(
+                router.port
+            ) as routed:
+                for dataset in ("temps", "loads"):
+                    direct_sum, direct_fields = direct.sum(dataset)
+                    routed_sum, routed_fields = routed.sum(dataset)
+                    assert np.float64(routed_sum).view(
+                        np.uint64
+                    ) == np.float64(direct_sum).view(np.uint64)
+                    assert routed_sum == float(np.sum(values[dataset]))
+                    assert (
+                        routed_fields["count"] == direct_fields["count"]
+                    )
+        finally:
+            router.shutdown()
+
+    def test_range_queries_match(self, cluster):
+        handles, _ = cluster
+        router = _start_router(handles)
+        try:
+            with _client(handles[0].port) as direct, _client(
+                router.port
+            ) as routed:
+                dv, _ = direct.scan("temps", low=-50.0, high=50.0)
+                rv, _ = routed.scan("temps", low=-50.0, high=50.0)
+                assert np.array_equal(dv, rv)
+                ds, _ = direct.sum("temps", low=-50.0, high=50.0)
+                rs, _ = routed.sum("temps", low=-50.0, high=50.0)
+                assert ds == rs
+        finally:
+            router.shutdown()
+
+    def test_datasets_and_comp_pass_through(self, cluster):
+        handles, _ = cluster
+        router = _start_router(handles)
+        try:
+            with _client(handles[0].port) as direct, _client(
+                router.port
+            ) as routed:
+                assert routed.datasets() == direct.datasets()
+                direct_comp = direct.comp("temps")
+                routed_comp = routed.comp("temps")
+                assert (
+                    routed_comp["compressed_bits"]
+                    == direct_comp["compressed_bits"]
+                )
+        finally:
+            router.shutdown()
+
+    def test_partition_sizes_do_not_change_answers(self, cluster):
+        handles, values = cluster
+        expected = float(np.sum(values["temps"]))
+        for partition_rowgroups in (1, 3, 100):
+            router = _start_router(
+                handles, partition_rowgroups=partition_rowgroups
+            )
+            try:
+                with _client(router.port) as routed:
+                    total, _ = routed.sum("temps")
+                    assert total == expected
+                    scanned, _ = routed.scan("temps")
+                    assert np.array_equal(scanned, values["temps"])
+            finally:
+                router.shutdown()
+
+    def test_errors_propagate_without_failover(self, cluster, metrics):
+        handles, _ = cluster
+        router = _start_router(handles)
+        try:
+            with _client(router.port) as routed:
+                with pytest.raises(ServerError) as excinfo:
+                    routed.scan("nope")
+                assert excinfo.value.code == "not_found"
+                with pytest.raises(ServerError) as excinfo:
+                    routed.scan("temps", low=1.0, high=None)
+                assert excinfo.value.code == "bad_request"
+            assert _shard_counters().get("shard.failovers", 0) == 0
+        finally:
+            router.shutdown()
+
+
+class TestProjection:
+    @pytest.fixture
+    def table_cluster(self, tmp_path):
+        rng = np.random.default_rng(5)
+        table = api.Table.from_arrays(
+            {
+                "bid": rng.integers(0, 500, 4_096).astype(np.float64),
+                "ask": rng.integers(0, 500, 4_096).astype(np.float64),
+            }
+        )
+        path = tmp_path / "prices.alpc"
+        api.write_table(path, table, OPTIONS)
+        handles = []
+        for _ in range(3):
+            registry = DatasetRegistry()
+            registry.register_path(path)
+            handles.append(run_in_thread(registry, ServerConfig(port=0)))
+        try:
+            yield handles, table
+        finally:
+            for handle in handles:
+                handle.shutdown()
+
+    def test_scan_columns_byte_identical(self, table_cluster):
+        handles, _ = table_cluster
+        router = _start_router(handles)
+        try:
+            with _client(handles[0].port) as direct, _client(
+                router.port
+            ) as routed:
+                direct_fields, direct_body = direct.request(
+                    "scan",
+                    {"dataset": "prices", "columns": ["ask", "bid"]},
+                )
+                routed_fields, routed_body = routed.request(
+                    "scan",
+                    {"dataset": "prices", "columns": ["ask", "bid"]},
+                )
+                assert routed_body == direct_body
+                assert (
+                    routed_fields["counts"] == direct_fields["counts"]
+                )
+                assert (
+                    routed_fields["schema"] == direct_fields["schema"]
+                )
+                split, _ = routed.scan_columns("prices", ["bid", "ask"])
+                assert set(split) == {"bid", "ask"}
+        finally:
+            router.shutdown()
+
+
+class TestFailover:
+    def test_single_partition_failover_counts_once(
+        self, cluster, metrics
+    ):
+        handles, values = cluster
+        # One partition per column: the scatter is a single RPC, so the
+        # failover accounting is deterministic — exactly one tick.
+        router = _start_router(handles, partition_rowgroups=1_000)
+        try:
+            placed = router.router.shard_map[("temps", "temps")]
+            assert len(placed) == 1
+            _, replicas = placed[0]
+            primary = replicas[0]
+            victim = next(
+                h for h in handles if f"127.0.0.1:{h.port}" == primary
+            )
+            victim.shutdown()
+            obs.reset()
+            with _client(router.port) as routed:
+                scanned, fields = routed.scan("temps")
+            assert np.array_equal(scanned, values["temps"])
+            assert fields.get("partial") is None
+            assert fields["values_quarantined"] == 0
+            counters = _shard_counters()
+            assert counters["shard.failovers"] == 1
+            assert counters.get("shard.partial_responses", 0) == 0
+            assert counters.get("shard.shards_missed", 0) == 0
+        finally:
+            router.shutdown()
+
+    def test_ejected_backend_not_retried(self, cluster, metrics):
+        handles, values = cluster
+        router = _start_router(handles, partition_rowgroups=1_000)
+        try:
+            placed = router.router.shard_map[("temps", "temps")]
+            _, replicas = placed[0]
+            victim = next(
+                h
+                for h in handles
+                if f"127.0.0.1:{h.port}" == replicas[0]
+            )
+            victim.shutdown()
+            with _client(router.port) as routed:
+                routed.scan("temps")  # ejects the dead primary
+                obs.reset()
+                scanned, _ = routed.scan("temps")
+            assert np.array_equal(scanned, values["temps"])
+            # The dead backend is inside its cool-down: demoted, not
+            # dialled — the healthy replica answers with zero failovers.
+            assert _shard_counters().get("shard.failovers", 0) == 0
+        finally:
+            router.shutdown()
+
+    def test_replicated_scan_survives_any_single_kill(
+        self, cluster, metrics
+    ):
+        handles, values = cluster
+        router = _start_router(handles, replication=2)
+        try:
+            handles[0].shutdown()
+            with _client(router.port) as routed:
+                scanned, fields = routed.scan("temps")
+                total, _ = routed.sum("loads")
+            assert np.array_equal(scanned, values["temps"])
+            assert total == float(np.sum(values["loads"]))
+            assert fields.get("partial") is None
+            counters = _shard_counters()
+            assert counters.get("shard.partial_responses", 0) == 0
+        finally:
+            router.shutdown()
+
+
+class TestPartialDegradation:
+    def test_unreplicated_partitions_degrade_row_aligned(
+        self, cluster, metrics
+    ):
+        handles, values = cluster
+        router = _start_router(handles, replication=1)
+        try:
+            victim = handles[1]
+            dead = f"127.0.0.1:{victim.port}"
+            placed = router.router.shard_map[("temps", "temps")]
+            lost = [p for p, replicas in placed if replicas[0] == dead]
+            assert lost, "placement put nothing on the victim?"
+            victim.shutdown()
+            with _client(router.port) as routed:
+                scanned, fields = routed.scan("temps")
+                total, sum_fields = routed.sum("temps")
+            lost_rows = sum(p.rows for p in lost)
+            assert fields["partial"] is True
+            assert fields["shards_missed"] == len(lost)
+            assert fields["values_quarantined"] == lost_rows
+            assert fields["count"] == values["temps"].size - lost_rows
+            assert fields["count"] + fields["values_quarantined"] == (
+                values["temps"].size
+            )
+            # The surviving values are exactly the surviving
+            # partitions' slices, in partition order.
+            expected = np.concatenate(
+                [
+                    values["temps"][
+                        p.start * ROWGROUP_VALUES : p.stop
+                        * ROWGROUP_VALUES
+                    ]
+                    for p, replicas in placed
+                    if replicas[0] != dead
+                ]
+            )
+            assert np.array_equal(scanned, expected)
+            assert sum_fields["partial"] is True
+            assert total == float(np.sum(expected))
+            counters = _shard_counters()
+            assert counters["shard.partial_responses"] == 2
+            assert counters["shard.shards_missed"] >= len(lost)
+        finally:
+            router.shutdown()
+
+
+class TestLoadgenThroughRouter:
+    def test_mid_kill_run_answers_every_request(self, cluster):
+        handles, _ = cluster
+        router = _start_router(handles, replication=2)
+        try:
+            config = LoadgenConfig(
+                port=router.port,
+                clients=4,
+                requests_per_client=25,
+                deadline_ms=10_000.0,
+                zipf_s=1.1,
+                seed=3,
+            )
+            killer = threading.Timer(0.3, handles[2].shutdown)
+            killer.start()
+            try:
+                result = run_loadgen(config)
+            finally:
+                killer.cancel()
+            assert result.requests == 100
+            assert result.error_count == 0, result.errors
+            # p99 stays under the request deadline: failover, not hang.
+            assert result.percentile(99) < 10.0
+        finally:
+            router.shutdown()
+
+
+class TestRouterValidation:
+    def test_mismatched_backends_rejected(self, tmp_path, cluster):
+        handles, _ = cluster
+        other = tmp_path / "other.alpc"
+        api.write(other, _int_values(seed=9), OPTIONS)
+        registry = DatasetRegistry()
+        registry.register_path(other)
+        odd = run_in_thread(registry, ServerConfig(port=0))
+        try:
+            with pytest.raises(ValueError, match="different datasets"):
+                run_router_in_thread(
+                    RouterConfig(
+                        backends=_backends([handles[0], odd]),
+                        replication=1,
+                    )
+                )
+        finally:
+            odd.shutdown()
+
+    def test_empty_backends_rejected(self):
+        with pytest.raises(ValueError, match="at least one backend"):
+            RouterConfig(backends=())
+
+    def test_unreachable_backend_fails_startup(self, cluster):
+        handles, _ = cluster
+        import socket
+
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            free_port = sock.getsockname()[1]
+        with pytest.raises(ConnectionError):
+            run_router_in_thread(
+                RouterConfig(
+                    backends=(
+                        _backends(handles)[0],
+                        f"127.0.0.1:{free_port}",
+                    ),
+                    replication=1,
+                    discovery_retries=0,
+                )
+            )
